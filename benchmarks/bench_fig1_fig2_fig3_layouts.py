@@ -1,0 +1,58 @@
+"""FIG1-FIG3: regenerate the paper's layout figures and verify their
+stated properties.
+
+* Fig. 1 — one parity stripe spanning all disks (RAID level 5 row).
+* Fig. 2 — parity-declustered layout for v=4, k=3 (complete design).
+* Fig. 3 — BIBD-based k-copy layout for v=4, k=3 (Holland–Gibson).
+"""
+
+from fractions import Fraction
+
+from repro.designs import complete_design
+from repro.layouts import (
+    evaluate_layout,
+    holland_gibson_layout,
+    parity_counts,
+    raid5_layout,
+)
+
+
+def test_fig1_raid5_stripe(benchmark):
+    layout = benchmark(raid5_layout, 5)
+    layout.validate()
+    stripe = layout.stripes[0]
+    assert stripe.size == 5  # one unit per disk: Fig. 1's geometry
+    m = evaluate_layout(layout)
+    assert m.workload_max == 1.0  # rebuilding reads everything
+    print("\n[FIG1] RAID5 v=5 stripe row:")
+    print(layout.render())
+
+
+def test_fig2_declustered_layout(benchmark):
+    def build():
+        return holland_gibson_layout(complete_design(4, 3))
+
+    layout = benchmark(build)
+    layout.validate()
+    m = evaluate_layout(layout)
+    # The Fig. 2 numbers: parity overhead 1/k = 1/3, reconstruction
+    # workload (k-1)/(v-1) = 2/3, both perfectly even.
+    assert m.parity_overhead_max == Fraction(1, 3)
+    assert abs(m.workload_max - 2 / 3) < 1e-12
+    assert m.parity_balanced and m.workload_balanced
+    print("\n[FIG2] Declustered v=4, k=3:")
+    print(layout.render())
+    print(f"parity overhead = {m.parity_overhead_max}, workload = {m.workload_max:.4f}")
+
+
+def test_fig3_bibd_k_copy_layout(benchmark):
+    design = complete_design(4, 3)
+
+    layout = benchmark(holland_gibson_layout, design)
+    layout.validate()
+    # k copies of the BIBD with rotating parity: size k*r = 9, each
+    # disk holds exactly r = 3 parity units.
+    assert layout.size == design.k * design.r == 9
+    assert parity_counts(layout) == [design.r] * 4
+    print("\n[FIG3] Holland–Gibson k-copy layout v=4, k=3:")
+    print(layout.render())

@@ -1,0 +1,62 @@
+"""THM8 + THM9: disk removal from ring layouts.
+
+Regenerates the Section 3.1 metric claims on a sweep: layout size,
+parity overhead, and reconstruction workload after removing 1 or i
+disks, against the theorems' exact formulas/bands.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.layouts import (
+    evaluate_layout,
+    parity_counts,
+    reconstruction_workloads,
+    theorem8_layout,
+    theorem9_layout,
+)
+
+THM8_GRID = [(8, 4), (9, 3), (13, 4), (16, 4), (17, 5), (25, 5)]
+THM9_GRID = [(16, 9, 2), (16, 9, 3), (17, 16, 3), (25, 16, 4), (13, 9, 2)]
+
+
+def test_thm8_table(benchmark):
+    layouts = benchmark(lambda: [(v, k, theorem8_layout(v, k)) for v, k in THM8_GRID])
+    print("\n[THM8] one-disk removal: size k(v-1), overhead (1/k)(v/(v-1)), workload (k-1)/(v-1):")
+    for v, k, lay in layouts:
+        lay.validate()
+        m = evaluate_layout(lay)
+        assert m.size == k * (v - 1)
+        assert m.parity_balanced
+        assert m.parity_overhead_max == Fraction(v, k * (v - 1))
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(v - 1, dtype=bool)]
+        assert np.allclose(off, (k - 1) / (v - 1))
+        print(
+            f"  v={v:>3}->{v-1:>3} k={k}  size={m.size:>4}  "
+            f"overhead={m.parity_overhead_max}  workload={(k-1)/(v-1):.4f}  ✓"
+        )
+
+
+def test_thm9_table(benchmark):
+    layouts = benchmark(
+        lambda: [(v, k, i, theorem9_layout(v, k, i)) for v, k, i in THM9_GRID]
+    )
+    print("\n[THM9] i-disk removal: per-disk parity in {v+i-1, v+i}:")
+    for v, k, i, lay in layouts:
+        lay.validate()
+        counts = parity_counts(lay)
+        assert set(counts) <= {v + i - 1, v + i}
+        m = evaluate_layout(lay)
+        assert m.size == k * (v - 1)
+        lo = Fraction(v + i - 1, k * (v - 1))
+        hi = Fraction(v + i, k * (v - 1))
+        assert lo <= m.parity_overhead_min and m.parity_overhead_max <= hi
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(v - i, dtype=bool)]
+        assert np.allclose(off, (k - 1) / (v - 1))
+        print(
+            f"  v={v:>3}->{v-i:>3} k={k:>2} i={i}  parity counts "
+            f"{sorted(set(counts))}  overhead in [{lo}, {hi}]  ✓"
+        )

@@ -1,0 +1,108 @@
+"""FIG4-FIG6 + THM10-THM12: the stairway transformation.
+
+Regenerates the three stairway figures on concrete parameters and
+verifies the theorems' size, parity-overhead, and workload formulas on
+sweeps — the Section 3.2 "table" the paper states inline.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.layouts import (
+    evaluate_layout,
+    reconstruction_workloads,
+    stairway_layout,
+    stairway_params,
+    theorem10_layout,
+    theorem11_layout,
+)
+
+THM10_GRID = [(4, 3), (5, 3), (8, 4), (9, 3), (13, 4), (16, 4)]
+THM11_GRID = [(8, 4, 3), (12, 9, 4), (16, 8, 4), (18, 9, 3), (24, 16, 5)]
+THM12_GRID = [(11, 9, 4), (13, 9, 3), (14, 11, 4), (23, 19, 5), (29, 25, 5)]
+
+
+def test_fig4_stairway_plus_one(benchmark):
+    layout = benchmark(theorem10_layout, 5, 3)
+    layout.validate()
+    assert layout.v == 6
+    print("\n[FIG4] stairway q=5 -> v=6 (k=3): "
+          f"size {layout.size} = kq(q-1) = {3*5*4}")
+
+
+def test_fig5_stairway_dividing(benchmark):
+    layout = benchmark(theorem11_layout, 8, 4, 3)
+    layout.validate()
+    assert layout.v == 8
+    c = 8 // 4
+    assert layout.size == 3 * (c - 1) * 3
+    print(f"\n[FIG5] stairway q=4 -> v=8 (d=4 divides v, c={c}): size {layout.size}")
+
+
+def test_fig6_stairway_wide_steps(benchmark):
+    layout = benchmark(stairway_layout, 11, 9, 4)
+    layout.validate()
+    c, w = stairway_params(11, 9)
+    assert w == 1  # one wide step: the Fig. 6 overlap case
+    k_min, k_max = layout.stripe_sizes()
+    assert (k_min, k_max) == (3, 4)  # the removed-overlap copies show
+    print(f"\n[FIG6] stairway q=9 -> v=11 with w={w} wide step(s): "
+          f"overlap removed via Thm 8, stripe sizes {k_min}/{k_max}")
+
+
+def test_thm10_metrics_table(benchmark):
+    layouts = benchmark(lambda: [(q, k, theorem10_layout(q, k)) for q, k in THM10_GRID])
+    print("\n[THM10] v=q+1: size kq(q-1), overhead 1/k, workload (k-1)/q:")
+    for q, k, lay in layouts:
+        lay.validate()
+        m = evaluate_layout(lay)
+        assert m.size == k * q * (q - 1)
+        assert m.parity_balanced and m.parity_overhead_max == Fraction(1, k)
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(q + 1, dtype=bool)]
+        assert np.allclose(off, (k - 1) / q)
+        print(f"  q={q:>3} k={k}  size={m.size:>5}  workload={(k-1)/q:.4f}  ✓")
+
+
+def test_thm11_metrics_table(benchmark):
+    layouts = benchmark(
+        lambda: [(v, q, k, theorem11_layout(v, q, k)) for v, q, k in THM11_GRID]
+    )
+    print("\n[THM11] (v-q)|v: size k(c-1)(q-1), workload in [(c-2)/(c-1), 1]·(k-1)/(q-1):")
+    for v, q, k, lay in layouts:
+        lay.validate()
+        c = v // (v - q)
+        m = evaluate_layout(lay)
+        assert m.size == k * (c - 1) * (q - 1)
+        assert m.parity_balanced and m.parity_overhead_max == Fraction(1, k)
+        lo = (c - 2) / (c - 1) * (k - 1) / (q - 1)
+        hi = (k - 1) / (q - 1)
+        assert lo - 1e-12 <= m.workload_min and m.workload_max <= hi + 1e-12
+        print(
+            f"  v={v:>3} q={q:>3} k={k} c={c}  size={m.size:>5}  "
+            f"workload [{m.workload_min:.4f}, {m.workload_max:.4f}] ⊆ [{lo:.4f}, {hi:.4f}] ✓"
+        )
+
+
+def test_thm12_metrics_table(benchmark):
+    layouts = benchmark(
+        lambda: [(v, q, k, stairway_layout(v, q, k)) for v, q, k in THM12_GRID]
+    )
+    print("\n[THM12] wide steps: parity overhead in 1/k + [w-1, w]/(k(c-1)(q-1)):")
+    for v, q, k, lay in layouts:
+        lay.validate()
+        c, w = stairway_params(v, q)
+        m = evaluate_layout(lay)
+        denom = k * (c - 1) * (q - 1)
+        assert m.size == denom // 1 and m.size == k * (c - 1) * (q - 1)
+        lo_p = Fraction(1, k) + Fraction(w - 1, denom)
+        hi_p = Fraction(1, k) + Fraction(w, denom)
+        assert lo_p <= m.parity_overhead_min and m.parity_overhead_max <= hi_p
+        lo_w = (c - 2) / (c - 1) * (k - 1) / (q - 1)
+        hi_w = (k - 1) / (q - 1)
+        assert lo_w - 1e-12 <= m.workload_min and m.workload_max <= hi_w + 1e-12
+        print(
+            f"  v={v:>3} q={q:>3} k={k} c={c} w={w}  size={m.size:>5}  "
+            f"overhead [{m.parity_overhead_min}, {m.parity_overhead_max}] ✓"
+        )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Network-flow parity balancing (Section 4) in action.
+
+Run:  python examples/parity_balancing_demo.py
+
+Starting from one BIBD, compares three ways to place parity:
+
+1. Holland–Gibson: replicate the design k times, rotate parity —
+   perfectly balanced but k times larger;
+2. single flow-balanced copy (Theorem 14) — same design, no
+   replication, per-disk parity counts within one unit;
+3. the lcm-minimal perfectly balanced layout (Corollary 17).
+
+Then shows the simulator-visible consequence: under a write-heavy
+workload, the busiest disk tracks the maximum parity overhead.
+"""
+
+from repro.designs import best_design
+from repro.flow import copies_for_perfect_balance
+from repro.layouts import (
+    evaluate_layout,
+    holland_gibson_layout,
+    minimum_balanced_layout,
+    parity_counts,
+    single_copy_layout,
+)
+from repro.sim import WorkloadConfig, simulate_workload
+
+
+def report(title, layout):
+    layout.validate()
+    m = evaluate_layout(layout)
+    print(f"{title}")
+    print(f"  size={m.size} units/disk, stripes={m.b}, "
+          f"parity counts={parity_counts(layout)}")
+    return layout
+
+
+def main() -> None:
+    design = best_design(9, 3)  # b=12, v=9: v does not divide b
+    print(f"Base design: {design.name} ({design.parameter_string()})")
+    copies = copies_for_perfect_balance(design.b, design.v)
+    print(f"Corollary 17: perfect balance needs lcm(b,v)/b = {copies} copies\n")
+
+    hg = report("Holland–Gibson (k copies, rotated):", holland_gibson_layout(design))
+    single = report("Flow-balanced single copy (Thm 14):", single_copy_layout(design))
+    minimal = report("Minimal perfectly balanced (Cor 17):", minimum_balanced_layout(design))
+
+    print(f"\nSize reduction vs Holland–Gibson: "
+          f"single copy {hg.size / single.size:.1f}x, "
+          f"lcm-minimal {hg.size / minimal.size:.1f}x")
+
+    print("\nWrite-heavy workload (70% writes) on each layout:")
+    for name, layout in [("hg", hg), ("flow-single", single), ("lcm-min", minimal)]:
+        rep = simulate_workload(
+            layout,
+            duration_ms=8_000.0,
+            config=WorkloadConfig(interarrival_ms=7.0, read_fraction=0.3, seed=9),
+        )
+        print(f"  {name:<12} busiest/least-busy disk IO ratio: "
+              f"{rep.max_min_io_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Reconstruction economics: declustering vs RAID5, simulated.
+
+Run:  python examples/reconstruction_speedup.py
+
+Fails a disk in a 9-disk array laid out with stripe sizes k = 3..9
+(k = 9 is RAID5) and measures, with the event-driven simulator:
+
+* the fraction of each surviving disk read during rebuild — analytic
+  value (k-1)/(v-1);
+* rebuild duration with rebuild parallelism, alone and under a
+  foreground workload;
+* bit-for-bit verification of the rebuilt disk through the XOR data
+  plane.
+"""
+
+from repro.layouts import raid5_layout, ring_layout
+from repro.sim import WorkloadConfig, simulate_rebuild
+
+V = 9
+
+
+def main() -> None:
+    print(f"Array of v={V} disks; failing disk 0 and rebuilding to a spare.\n")
+    header = (
+        f"{'k':>3} | {'read frac':>10} {'analytic':>9} | "
+        f"{'rebuild ms':>10} {'w/ load ms':>10} | verified"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for k in (3, 4, 8, V):
+        layout = (
+            raid5_layout(V, rotations=8) if k == V else ring_layout(V, k)
+        )
+        quiet = simulate_rebuild(layout, failed_disk=0, parallelism=4, verify_data=True)
+        busy = simulate_rebuild(
+            layout,
+            failed_disk=0,
+            parallelism=4,
+            workload=WorkloadConfig(interarrival_ms=6.0, seed=11),
+            workload_duration_ms=5_000.0,
+        )
+        frac = max(quiet.read_fractions(layout.size))
+        analytic = (k - 1) / (V - 1)
+        print(
+            f"{k:>3} | {frac:>10.3f} {analytic:>9.3f} | "
+            f"{quiet.duration_ms:>10.0f} {busy.duration_ms:>10.0f} | "
+            f"{quiet.data_verified}"
+        )
+
+    print(
+        "\nSmaller k reads a smaller fraction of each surviving disk "
+        "(at the cost of higher parity overhead 1/k), which is exactly "
+        "the trade parity declustering buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+This environment is offline with a pre-PEP-660 setuptools (no ``wheel``
+package), so ``pip install -e .`` needs the legacy ``setup.py develop``
+path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

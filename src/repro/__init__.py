@@ -1,0 +1,59 @@
+"""repro — parity-declustered data layouts for disk arrays.
+
+A full reproduction of Schwabe & Sutherland, *Improved
+Parity-Declustered Layouts for Disk Arrays* (SPAA 1994; JCSS 53:328-343,
+1996): ring-based BIBD constructions, approximately-balanced layouts
+(disk removal and stairway transformations), network-flow parity
+balancing, and an event-driven disk-array simulator for evaluating the
+resulting layouts.
+
+Quick start::
+
+    import repro
+
+    layout = repro.build_layout(v=33, k=5)   # 33 disks, stripes of 5
+    print(repro.evaluate(layout).summary())
+
+Subpackages:
+
+* :mod:`repro.algebra` — finite fields, rings, generator sets.
+* :mod:`repro.designs` — BIBDs: Theorem 1 ring designs, Theorems 4-6
+  reductions, Theorem 7 bounds.
+* :mod:`repro.flow` — max-flow substrate and the Section 4 parity
+  assignment (Theorems 13-14, Corollaries 15-17).
+* :mod:`repro.layouts` — every layout construction plus metrics,
+  address mapping, and feasibility predictors.
+* :mod:`repro.sim` — discrete-event disk-array simulator with a
+  byte-level XOR data plane.
+* :mod:`repro.core` — planner and top-level API.
+"""
+
+from .core import (
+    FeasibilityCensus,
+    LayoutPlan,
+    build_design,
+    build_layout,
+    census,
+    enumerate_plans,
+    evaluate,
+    plan,
+    plan_layout,
+)
+from .layouts import Layout, LayoutMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FeasibilityCensus",
+    "LayoutPlan",
+    "build_design",
+    "build_layout",
+    "census",
+    "enumerate_plans",
+    "evaluate",
+    "plan",
+    "plan_layout",
+    "Layout",
+    "LayoutMetrics",
+    "__version__",
+]

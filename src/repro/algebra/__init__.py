@@ -1,0 +1,51 @@
+"""Algebraic substrate: integers, polynomials, rings, and finite fields.
+
+These are the raw materials of the paper's Section 2 constructions.
+Everything downstream (designs, layouts) consumes the :class:`Ring`
+interface and the :func:`ring_with_generators` factory.
+"""
+
+from .factor import (
+    divisors,
+    is_prime,
+    is_prime_power,
+    largest_prime_power_leq,
+    min_prime_power_factor,
+    prime_factorization,
+    prime_power_decomposition,
+    prime_powers_upto,
+    primes_upto,
+)
+from .fields import GF, ExtensionField, FiniteField, PrimeField
+from .generators import (
+    generator_capacity,
+    is_generator_set,
+    max_generator_set_size,
+    ring_with_generators,
+)
+from .rings import CrossProductRing, Element, NotInvertible, Ring, Zmod
+
+__all__ = [
+    "divisors",
+    "is_prime",
+    "is_prime_power",
+    "largest_prime_power_leq",
+    "min_prime_power_factor",
+    "prime_factorization",
+    "prime_power_decomposition",
+    "prime_powers_upto",
+    "primes_upto",
+    "GF",
+    "ExtensionField",
+    "FiniteField",
+    "PrimeField",
+    "generator_capacity",
+    "is_generator_set",
+    "max_generator_set_size",
+    "ring_with_generators",
+    "CrossProductRing",
+    "Element",
+    "NotInvertible",
+    "Ring",
+    "Zmod",
+]

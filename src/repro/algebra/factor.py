@@ -1,0 +1,165 @@
+"""Integer factorization and prime-power utilities.
+
+The constructions in Schwabe & Sutherland depend on the multiplicative
+structure of the array size ``v``:
+
+* Theorem 2 characterizes ring-based block designs through ``M(v)``, the
+  smallest prime-power factor of ``v`` (:func:`min_prime_power_factor`).
+* The field constructions (Theorems 4-6) require ``v`` to be a prime
+  power (:func:`is_prime_power`).
+* The stairway coverage search scans prime powers below ``v``
+  (:func:`prime_powers_upto`, :func:`largest_prime_power_leq`).
+
+All routines use deterministic trial division, which is exact and fast
+for the magnitudes that occur in disk-array layouts (``v`` up to a few
+tens of thousands).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = [
+    "is_prime",
+    "prime_factorization",
+    "is_prime_power",
+    "prime_power_decomposition",
+    "min_prime_power_factor",
+    "divisors",
+    "prime_powers_upto",
+    "largest_prime_power_leq",
+    "primes_upto",
+]
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` if ``n`` is a prime number.
+
+    Deterministic trial division by 2, 3 and numbers ``6k±1`` up to
+    ``sqrt(n)``.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0 or n % 3 == 0:
+        return False
+    f = 5
+    while f * f <= n:
+        if n % f == 0 or n % (f + 2) == 0:
+            return False
+        f += 6
+    return True
+
+
+@lru_cache(maxsize=65536)
+def prime_factorization(n: int) -> tuple[tuple[int, int], ...]:
+    """Factor ``n`` into prime powers.
+
+    Returns a tuple of ``(prime, exponent)`` pairs in increasing prime
+    order, e.g. ``prime_factorization(360) == ((2, 3), (3, 2), (5, 1))``.
+
+    Raises:
+        ValueError: if ``n < 1``.
+    """
+    if n < 1:
+        raise ValueError(f"cannot factor non-positive integer {n}")
+    factors: list[tuple[int, int]] = []
+    for p in (2, 3):
+        if n % p == 0:
+            e = 0
+            while n % p == 0:
+                n //= p
+                e += 1
+            factors.append((p, e))
+    f = 5
+    while f * f <= n:
+        for p in (f, f + 2):
+            if n % p == 0:
+                e = 0
+                while n % p == 0:
+                    n //= p
+                    e += 1
+                factors.append((p, e))
+        f += 6
+    if n > 1:
+        factors.append((n, 1))
+    return tuple(factors)
+
+
+def is_prime_power(n: int) -> bool:
+    """Return ``True`` if ``n = p^e`` for some prime ``p`` and ``e >= 1``."""
+    return n >= 2 and len(prime_factorization(n)) == 1
+
+
+def prime_power_decomposition(n: int) -> tuple[int, int]:
+    """Return ``(p, e)`` such that ``n = p^e`` with ``p`` prime.
+
+    Raises:
+        ValueError: if ``n`` is not a prime power.
+    """
+    facs = prime_factorization(n)
+    if len(facs) != 1:
+        raise ValueError(f"{n} is not a prime power (factors: {facs})")
+    return facs[0]
+
+
+def min_prime_power_factor(v: int) -> int:
+    """Return ``M(v) = min{p_i^{e_i}}`` over the prime-power factors of ``v``.
+
+    This is the Theorem 2 bound: a ring of order ``v`` admits a
+    generator set of size ``k`` if and only if ``k <= M(v)``.
+    """
+    return min(p**e for p, e in prime_factorization(v))
+
+
+def divisors(n: int) -> list[int]:
+    """Return all positive divisors of ``n`` in increasing order."""
+    small: list[int] = []
+    large: list[int] = []
+    f = 1
+    while f * f <= n:
+        if n % f == 0:
+            small.append(f)
+            if f != n // f:
+                large.append(n // f)
+        f += 1
+    return small + large[::-1]
+
+
+def primes_upto(n: int) -> list[int]:
+    """Return all primes ``<= n`` (sieve of Eratosthenes)."""
+    if n < 2:
+        return []
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0] = sieve[1] = 0
+    for p in range(2, int(math.isqrt(n)) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+    return [i for i, flag in enumerate(sieve) if flag]
+
+
+def prime_powers_upto(n: int) -> list[int]:
+    """Return all prime powers ``p^e <= n`` (``e >= 1``) in increasing order."""
+    out: list[int] = []
+    for p in primes_upto(n):
+        q = p
+        while q <= n:
+            out.append(q)
+            q *= p
+    return sorted(out)
+
+
+def largest_prime_power_leq(n: int) -> int:
+    """Return the largest prime power ``<= n``.
+
+    Raises:
+        ValueError: if ``n < 2`` (there is no prime power below 2).
+    """
+    if n < 2:
+        raise ValueError(f"no prime power <= {n}")
+    for q in range(n, 1, -1):
+        if is_prime_power(q):
+            return q
+    raise AssertionError("unreachable: 2 is a prime power")

@@ -1,0 +1,268 @@
+"""Finite fields GF(p) and GF(p^m).
+
+The paper's most useful designs (Theorems 4, 5, 6) take the ring to be a
+finite field, where *any* ``k`` distinct elements form a generator set.
+This module provides:
+
+* :class:`PrimeField` — GF(p) as integers mod p;
+* :class:`ExtensionField` — GF(p^m) as polynomials over GF(p) modulo a
+  deterministic irreducible polynomial, with discrete-log tables for
+  O(1) multiplication and inversion;
+* :func:`GF` — factory returning the field of a given prime-power order;
+* subfield extraction (Theorem 6 needs the unique subfield of order
+  ``k`` inside GF(k^m)) and primitive elements / element orders
+  (Theorems 4 and 5 need elements of prescribed multiplicative order).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .factor import prime_factorization, prime_power_decomposition
+from .poly import (
+    Poly,
+    find_irreducible,
+    poly_add,
+    poly_from_int,
+    poly_mod,
+    poly_mul,
+    poly_neg,
+    poly_to_int,
+)
+from .rings import Element, NotInvertible, Ring
+
+__all__ = ["FiniteField", "PrimeField", "ExtensionField", "GF"]
+
+
+class FiniteField(Ring):
+    """Common interface for GF(p) and GF(p^m).
+
+    Attributes:
+        p: field characteristic (a prime).
+        m: extension degree; the field order is ``p^m``.
+    """
+
+    p: int
+    m: int
+
+    def primitive_element(self) -> Element:
+        """A generator of the cyclic multiplicative group (order ``q-1``)."""
+        raise NotImplementedError
+
+    def element_of_order(self, d: int) -> Element:
+        """Return an element of multiplicative order exactly ``d``.
+
+        Theorems 4 and 5 need elements of order ``gcd(v-1, k-1)`` and
+        ``gcd(v-1, k)`` respectively.
+
+        Raises:
+            ValueError: if ``d`` does not divide ``q - 1``.
+        """
+        q1 = self.order - 1
+        if d < 1 or q1 % d != 0:
+            raise ValueError(
+                f"no element of order {d} in GF({self.order}): {d} does not divide {q1}"
+            )
+        return self.pow(self.primitive_element(), q1 // d)
+
+    def subfield_elements(self, suborder: int) -> list[Element]:
+        """Elements of the unique subfield of the given order.
+
+        GF(p^m) contains GF(p^d) exactly when ``d | m``; its elements are
+        the roots of ``x^(p^d) = x``.
+
+        Raises:
+            ValueError: if no subfield of that order exists.
+        """
+        sp, sd = prime_power_decomposition(suborder)
+        if sp != self.p or self.m % sd != 0:
+            raise ValueError(
+                f"GF({self.order}) has no subfield of order {suborder}"
+            )
+        return [a for a in self.elements() if self.pow(a, suborder) == a]
+
+
+def _find_primitive(field: FiniteField) -> Element:
+    """Find a multiplicative generator by checking ``g^((q-1)/r) != 1``
+    for every prime ``r`` dividing ``q - 1``."""
+    q1 = field.order - 1
+    prime_divs = [r for r, _ in prime_factorization(q1)] if q1 > 1 else []
+    for g in field.elements():
+        if g == field.zero:
+            continue
+        if all(field.pow(g, q1 // r) != field.one for r in prime_divs):
+            return g
+    raise AssertionError("finite field must have a primitive element")
+
+
+class PrimeField(FiniteField):
+    """GF(p): the integers modulo a prime ``p``."""
+
+    def __init__(self, p: int):
+        facs = prime_factorization(p)
+        if len(facs) != 1 or facs[0][1] != 1:
+            raise ValueError(f"PrimeField order must be prime, got {p}")
+        self.p = p
+        self.m = 1
+        self.order = p
+        self.zero = 0
+        self.one = 1
+        self._elements = tuple(range(p))
+        self._primitive: int | None = None
+
+    def elements(self) -> Sequence[int]:
+        return self._elements
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inverse(self, a: int) -> int:
+        if a % self.p == 0:
+            raise NotInvertible("0 is not invertible")
+        return pow(a, self.p - 2, self.p)
+
+    def primitive_element(self) -> int:
+        if self._primitive is None:
+            self._primitive = _find_primitive(self)
+        return self._primitive
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF({self.p})"
+
+
+class ExtensionField(FiniteField):
+    """GF(p^m) for ``m >= 2``, built as GF(p)[x] / (f) for the
+    deterministic irreducible ``f`` from :func:`find_irreducible`.
+
+    Elements are integers in ``[0, p^m)`` encoding polynomial
+    coefficients base-``p`` (digit ``i`` = coefficient of ``x^i``), so
+    element 0 is the zero, element 1 the unit, and elements ``< p`` form
+    the prime subfield.  Multiplication and inversion use discrete
+    log/antilog tables built once at construction (O(q) space).
+    """
+
+    def __init__(self, p: int, m: int, modulus: Poly | None = None):
+        if m < 2:
+            raise ValueError("use PrimeField for degree-1 fields")
+        facs = prime_factorization(p)
+        if len(facs) != 1 or facs[0][1] != 1:
+            raise ValueError(f"characteristic must be prime, got {p}")
+        self.p = p
+        self.m = m
+        self.order = p**m
+        self.modulus: Poly = modulus if modulus is not None else find_irreducible(p, m)
+        if len(self.modulus) - 1 != m:
+            raise ValueError(
+                f"modulus degree {len(self.modulus) - 1} does not match m={m}"
+            )
+        self.zero = 0
+        self.one = 1
+        self._elements = tuple(range(self.order))
+        self._build_log_tables()
+
+    def _build_log_tables(self) -> None:
+        """Find a primitive element and tabulate ``exp``/``log``.
+
+        ``_exp[i] = g^i`` for ``i in [0, q-1)`` and ``_log[a] = i`` with
+        ``g^i = a`` for nonzero ``a``; this makes ``mul`` and ``inverse``
+        O(1) (a hot path when generating v(v-1) design blocks).
+        """
+        p, q = self.p, self.order
+        # Search candidates by stepping through powers until a full cycle
+        # of length q-1 is observed (that candidate is primitive).
+        for cand in range(1, q):
+            g = poly_from_int(cand, p)
+            exp: list[int] = [1]
+            cur: Poly = (1,)
+            for _ in range(q - 2):
+                cur = poly_mod(poly_mul(cur, g, p), self.modulus, p)
+                code = poly_to_int(cur, p)
+                if code == 1:
+                    break
+                exp.append(code)
+            if len(exp) == q - 1:
+                self._exp = exp
+                self._log = [0] * q  # _log[0] unused
+                for i, code in enumerate(exp):
+                    self._log[code] = i
+                self._primitive = cand
+                return
+        raise AssertionError("finite field must have a primitive element")
+
+    def elements(self) -> Sequence[int]:
+        return self._elements
+
+    def add(self, a: int, b: int) -> int:
+        p = self.p
+        if p == 2:
+            return a ^ b
+        out = 0
+        mult = 1
+        while a or b:
+            a, da = divmod(a, p)
+            b, db = divmod(b, p)
+            out += ((da + db) % p) * mult
+            mult *= p
+        return out
+
+    def neg(self, a: int) -> int:
+        p = self.p
+        if p == 2:
+            return a
+        out = 0
+        mult = 1
+        while a:
+            a, d = divmod(a, p)
+            out += ((-d) % p) * mult
+            mult *= p
+        return out
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[(self._log[a] + self._log[b]) % (self.order - 1)]
+
+    def inverse(self, a: int) -> int:
+        if a == 0:
+            raise NotInvertible("0 is not invertible")
+        return self._exp[(-self._log[a]) % (self.order - 1)]
+
+    def primitive_element(self) -> int:
+        return self._primitive
+
+    def multiplicative_order(self, a: int) -> int:
+        """O(log) order via discrete logs: ord(g^j) = (q-1)/gcd(j, q-1)."""
+        if a == 0:
+            raise NotInvertible("0 is not a unit")
+        import math
+
+        j = self._log[a]
+        q1 = self.order - 1
+        return q1 // math.gcd(j, q1) if j else 1
+
+    def to_poly(self, a: int) -> Poly:
+        """Decode an element into its coefficient tuple."""
+        return poly_from_int(a, self.p)
+
+    def from_poly(self, f: Poly) -> int:
+        """Encode a coefficient tuple (reduced mod the modulus) as an element."""
+        return poly_to_int(poly_mod(f, self.modulus, self.p), self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF({self.p}^{self.m})"
+
+
+def GF(q: int) -> FiniteField:
+    """Return the finite field of prime-power order ``q``.
+
+    Raises:
+        ValueError: if ``q`` is not a prime power.
+    """
+    p, m = prime_power_decomposition(q)
+    return PrimeField(p) if m == 1 else ExtensionField(p, m)

@@ -1,0 +1,109 @@
+"""Generator sets for ring-based block designs (Theorem 2 / Lemma 3).
+
+A *generator set* of a ring ``R`` is a set ``{g_0, ..., g_{k-1}}`` whose
+pairwise differences are units.  Theorem 2 shows the largest such set in
+any ring of order ``v`` has size ``M(v)``, the minimum prime-power
+factor of ``v``, and Lemma 3 realizes that bound with a cross product of
+finite fields.  This module implements both directions:
+
+* :func:`ring_with_generators` — the Lemma 3 construction for any
+  ``(v, k)`` with ``k <= M(v)``;
+* :func:`max_generator_set_size` — exhaustive search used by the test
+  suite to confirm the Theorem 2 upper bound on small rings.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .factor import min_prime_power_factor, prime_factorization
+from .fields import GF
+from .rings import CrossProductRing, Element, Ring
+
+__all__ = [
+    "generator_capacity",
+    "is_generator_set",
+    "ring_with_generators",
+    "max_generator_set_size",
+]
+
+
+def generator_capacity(v: int) -> int:
+    """``M(v)``: the largest achievable generator-set size for order ``v``
+    (Theorem 2)."""
+    return min_prime_power_factor(v)
+
+
+def is_generator_set(ring: Ring, gens: list[Element]) -> bool:
+    """Check that all pairwise differences of ``gens`` are units.
+
+    Also rejects repeated elements (a repeated generator has difference
+    zero, which is never a unit).
+    """
+    for a, b in itertools.combinations(gens, 2):
+        if not ring.is_unit(ring.sub(a, b)):
+            return False
+    return len(set(gens)) == len(gens)
+
+
+def ring_with_generators(v: int, k: int) -> tuple[Ring, list[Element]]:
+    """Build a ring of order ``v`` with a generator set of size ``k``.
+
+    For prime-power ``v`` the ring is the field GF(v) and the generators
+    are the first ``k`` field elements (``g_0 = 0``, matching the
+    conventions of Theorems 4-6).  For composite ``v`` the ring is the
+    Lemma 3 cross product of the fields ``GF(p_i^{e_i})`` and generator
+    ``j`` takes the ``j``-th element in every component.
+
+    Raises:
+        ValueError: if ``k > M(v)`` (impossible by Theorem 2) or ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"need at least one generator, got k={k}")
+    cap = generator_capacity(v)
+    if k > cap:
+        raise ValueError(
+            f"no ring of order {v} has {k} generators: Theorem 2 caps it at M({v})={cap}"
+        )
+    facs = prime_factorization(v)
+    if len(facs) == 1:
+        field = GF(v)
+        elems = field.elements()
+        return field, [elems[j] for j in range(k)]
+    components = [GF(p**e) for p, e in facs]
+    ring = CrossProductRing(components)
+    gens = [tuple(f.elements()[j] for f in components) for j in range(k)]
+    return ring, gens
+
+
+def max_generator_set_size(ring: Ring) -> int:
+    """Exhaustively find the largest generator set in ``ring``.
+
+    This is a maximum-clique search on the graph whose vertices are ring
+    elements and whose edges join pairs with invertible difference.
+    Exponential in general — intended only for the small rings used to
+    verify Theorem 2 in tests.  A generator set is translation-invariant
+    (adding a constant to all generators preserves differences), so the
+    search fixes ``0`` as a member.
+    """
+    elems = list(ring.elements())
+    unit_diff = {
+        (a, b)
+        for a, b in itertools.permutations(elems, 2)
+        if ring.is_unit(ring.sub(a, b))
+    }
+    candidates = [e for e in elems if e != ring.zero and (e, ring.zero) in unit_diff]
+
+    best = 1  # {0} alone is always a generator set
+
+    def extend(chosen: list[Element], pool: list[Element]) -> None:
+        nonlocal best
+        best = max(best, len(chosen))
+        if len(chosen) + len(pool) <= best:
+            return  # cannot beat the incumbent
+        for i, cand in enumerate(pool):
+            new_pool = [e for e in pool[i + 1 :] if (e, cand) in unit_diff]
+            extend(chosen + [cand], new_pool)
+
+    extend([ring.zero], candidates)
+    return best

@@ -1,0 +1,191 @@
+"""Dense univariate polynomial arithmetic over the prime field GF(p).
+
+This is the substrate for building the extension fields GF(p^m) used by
+the ring-based block design constructions (Section 2 of the paper).
+Polynomials are represented as tuples of integer coefficients in
+``[0, p)``, little-endian (``poly[i]`` is the coefficient of ``x^i``),
+with no trailing zeros; the zero polynomial is the empty tuple ``()``.
+
+The tuple representation keeps polynomials hashable so field elements
+can key dictionaries, and deterministic so constructions are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from .factor import prime_factorization
+
+Poly = tuple[int, ...]
+
+__all__ = [
+    "Poly",
+    "poly_trim",
+    "poly_add",
+    "poly_neg",
+    "poly_sub",
+    "poly_mul",
+    "poly_divmod",
+    "poly_mod",
+    "poly_gcd",
+    "poly_powmod",
+    "is_irreducible",
+    "find_irreducible",
+    "poly_from_int",
+    "poly_to_int",
+]
+
+
+def poly_trim(coeffs: list[int]) -> Poly:
+    """Strip trailing zero coefficients and return an immutable tuple."""
+    i = len(coeffs)
+    while i > 0 and coeffs[i - 1] == 0:
+        i -= 1
+    return tuple(coeffs[:i])
+
+
+def poly_add(a: Poly, b: Poly, p: int) -> Poly:
+    """Return ``a + b`` over GF(p)."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return poly_trim(out)
+
+
+def poly_neg(a: Poly, p: int) -> Poly:
+    """Return ``-a`` over GF(p)."""
+    return tuple((-c) % p for c in a)
+
+
+def poly_sub(a: Poly, b: Poly, p: int) -> Poly:
+    """Return ``a - b`` over GF(p)."""
+    return poly_add(a, poly_neg(b, p), p)
+
+
+def poly_mul(a: Poly, b: Poly, p: int) -> Poly:
+    """Return ``a * b`` over GF(p) (schoolbook; degrees here are tiny)."""
+    if not a or not b:
+        return ()
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % p
+    return poly_trim(out)
+
+
+def poly_divmod(a: Poly, b: Poly, p: int) -> tuple[Poly, Poly]:
+    """Return ``(quotient, remainder)`` of ``a / b`` over GF(p).
+
+    Raises:
+        ZeroDivisionError: if ``b`` is the zero polynomial.
+    """
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    rem = list(a)
+    deg_b = len(b) - 1
+    lead_inv = pow(b[-1], p - 2, p) if p > 2 else b[-1]
+    quot = [0] * max(0, len(a) - deg_b)
+    for i in range(len(a) - 1, deg_b - 1, -1):
+        c = rem[i]
+        if c == 0:
+            continue
+        factor = (c * lead_inv) % p
+        quot[i - deg_b] = factor
+        for j, cb in enumerate(b):
+            rem[i - deg_b + j] = (rem[i - deg_b + j] - factor * cb) % p
+    return poly_trim(quot), poly_trim(rem)
+
+
+def poly_mod(a: Poly, b: Poly, p: int) -> Poly:
+    """Return ``a mod b`` over GF(p)."""
+    return poly_divmod(a, b, p)[1]
+
+
+def poly_gcd(a: Poly, b: Poly, p: int) -> Poly:
+    """Return the monic greatest common divisor of ``a`` and ``b`` over GF(p)."""
+    while b:
+        a, b = b, poly_mod(a, b, p)
+    if a:
+        inv = pow(a[-1], p - 2, p) if p > 2 else a[-1]
+        a = tuple((c * inv) % p for c in a)
+    return a
+
+
+def poly_powmod(base: Poly, exp: int, mod: Poly, p: int) -> Poly:
+    """Return ``base^exp mod mod`` over GF(p) by square-and-multiply."""
+    result: Poly = (1,)
+    base = poly_mod(base, mod, p)
+    while exp > 0:
+        if exp & 1:
+            result = poly_mod(poly_mul(result, base, p), mod, p)
+        base = poly_mod(poly_mul(base, base, p), mod, p)
+        exp >>= 1
+    return result
+
+
+def is_irreducible(f: Poly, p: int) -> bool:
+    """Rabin irreducibility test for ``f`` over GF(p).
+
+    ``f`` of degree ``n`` is irreducible iff ``x^(p^n) == x (mod f)`` and
+    ``gcd(x^(p^(n/q)) - x, f) == 1`` for every prime ``q`` dividing ``n``.
+    """
+    n = len(f) - 1
+    if n < 1:
+        return False
+    if n == 1:
+        return True
+    x: Poly = (0, 1)
+    for q, _ in prime_factorization(n):
+        h = poly_sub(poly_powmod(x, p ** (n // q), f, p), x, p)
+        if len(poly_gcd(h, f, p)) != 1:  # gcd is not a nonzero constant
+            return False
+    return poly_powmod(x, p**n, f, p) == x
+
+
+def poly_from_int(code: int, p: int) -> Poly:
+    """Decode a base-``p`` integer encoding into a polynomial.
+
+    Digit ``i`` of ``code`` in base ``p`` is the coefficient of ``x^i``.
+    """
+    coeffs: list[int] = []
+    while code:
+        code, digit = divmod(code, p)
+        coeffs.append(digit)
+    return tuple(coeffs)
+
+
+def poly_to_int(f: Poly, p: int) -> int:
+    """Encode a polynomial as a base-``p`` integer (inverse of
+    :func:`poly_from_int`)."""
+    code = 0
+    for c in reversed(f):
+        code = code * p + c
+    return code
+
+
+def find_irreducible(p: int, m: int) -> Poly:
+    """Return the lexicographically-first monic irreducible polynomial of
+    degree ``m`` over GF(p).
+
+    The deterministic choice makes every field — and therefore every
+    block design and layout built on top — reproducible across runs.
+
+    Raises:
+        ValueError: if ``m < 1``.
+    """
+    if m < 1:
+        raise ValueError(f"degree must be >= 1, got {m}")
+    if m == 1:
+        return (0, 1)  # x itself
+    # Enumerate monic degree-m polynomials by their low-order coefficients.
+    for code in range(p**m):
+        coeffs = list(poly_from_int(code, p))
+        coeffs += [0] * (m - len(coeffs))
+        coeffs.append(1)  # monic leading coefficient
+        cand = tuple(coeffs)
+        if is_irreducible(cand, p):
+            return cand
+    raise AssertionError(f"no irreducible polynomial of degree {m} over GF({p})")

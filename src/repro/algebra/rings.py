@@ -1,0 +1,229 @@
+"""Finite commutative rings with unit.
+
+Section 2.1 of the paper builds block designs from an arbitrary finite
+commutative ring with unit ``R`` together with a set of *generators*
+whose pairwise differences are invertible.  This module provides the
+ring abstraction and its two non-field realizations:
+
+* :class:`Zmod` — the integers modulo ``n``;
+* :class:`CrossProductRing` — the component-wise cross product
+  ``R_1 x ... x R_n`` of Lemma 3, which realizes the ``M(v)`` generator
+  bound of Theorem 2 for composite ``v``.
+
+Ring elements are opaque hashable Python values (ints for :class:`Zmod`
+and the fields, tuples for cross products).  Every ring enumerates its
+elements in a fixed deterministic order and exposes ``index``/``element``
+to convert between ring elements and dense disk indices ``0..v-1``; the
+design and layout layers work exclusively with those indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Sequence
+
+from .factor import divisors
+
+Element = Hashable
+
+__all__ = ["NotInvertible", "Ring", "Zmod", "CrossProductRing"]
+
+
+class NotInvertible(ArithmeticError):
+    """Raised when asked for the multiplicative inverse of a non-unit."""
+
+
+class Ring(ABC):
+    """A finite commutative ring with a multiplicative unit ``1 != 0``.
+
+    Subclasses implement the four primitive operations; derived
+    operations (``sub``, ``is_unit``, powers, element orders) are
+    provided here.
+    """
+
+    #: Number of elements in the ring (the ring's *order*).
+    order: int
+    #: Additive identity.
+    zero: Element
+    #: Multiplicative identity.
+    one: Element
+
+    @abstractmethod
+    def elements(self) -> Sequence[Element]:
+        """All ring elements in a fixed deterministic order."""
+
+    @abstractmethod
+    def add(self, a: Element, b: Element) -> Element:
+        """Return ``a + b``."""
+
+    @abstractmethod
+    def neg(self, a: Element) -> Element:
+        """Return ``-a``."""
+
+    @abstractmethod
+    def mul(self, a: Element, b: Element) -> Element:
+        """Return ``a * b``."""
+
+    @abstractmethod
+    def inverse(self, a: Element) -> Element:
+        """Return ``a^-1``.
+
+        Raises:
+            NotInvertible: if ``a`` is not a unit of the ring.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+
+    def sub(self, a: Element, b: Element) -> Element:
+        """Return ``a - b``."""
+        return self.add(a, self.neg(b))
+
+    def is_unit(self, a: Element) -> bool:
+        """Return ``True`` if ``a`` has a multiplicative inverse."""
+        try:
+            self.inverse(a)
+        except NotInvertible:
+            return False
+        return True
+
+    def index(self, a: Element) -> int:
+        """Dense index of element ``a`` in ``elements()`` order."""
+        try:
+            return self._index_map[a]
+        except AttributeError:
+            self._index_map: dict[Element, int] = {
+                e: i for i, e in enumerate(self.elements())
+            }
+            return self._index_map[a]
+
+    def element(self, i: int) -> Element:
+        """Element with dense index ``i`` (inverse of :meth:`index`)."""
+        return self.elements()[i]
+
+    def nsmul(self, n: int, a: Element) -> Element:
+        """Return ``n * a = a + a + ... + a`` (``n`` times), the paper's
+        ``n ∗ a`` operation."""
+        result = self.zero
+        addend = a
+        while n > 0:
+            if n & 1:
+                result = self.add(result, addend)
+            addend = self.add(addend, addend)
+            n >>= 1
+        return result
+
+    def pow(self, a: Element, n: int) -> Element:
+        """Return ``a^n`` for ``n >= 0`` (``a^0 = 1``)."""
+        result = self.one
+        base = a
+        while n > 0:
+            if n & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            n >>= 1
+        return result
+
+    def additive_order(self, a: Element) -> int:
+        """Smallest ``m >= 1`` with ``m * a == 0`` (the paper's element
+        *order*).  Always divides the ring order (Algebra Fact 1)."""
+        for m in divisors(self.order):
+            if self.nsmul(m, a) == self.zero:
+                return m
+        raise AssertionError("element order must divide ring order")
+
+    def multiplicative_order(self, a: Element) -> int:
+        """Smallest ``m >= 1`` with ``a^m == 1``.
+
+        Raises:
+            NotInvertible: if ``a`` is not a unit (no such ``m`` exists).
+        """
+        if not self.is_unit(a):
+            raise NotInvertible(f"{a!r} is not a unit")
+        m = 1
+        x = a
+        while x != self.one:
+            x = self.mul(x, a)
+            m += 1
+        return m
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order={self.order})"
+
+
+class Zmod(Ring):
+    """The ring of integers modulo ``n``, elements ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError(f"Zmod order must be >= 2, got {n}")
+        self.order = n
+        self.zero = 0
+        self.one = 1
+        self._elements = tuple(range(n))
+
+    def elements(self) -> Sequence[int]:
+        return self._elements
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.order
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.order
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.order
+
+    def inverse(self, a: int) -> int:
+        try:
+            return pow(a, -1, self.order)
+        except ValueError:
+            raise NotInvertible(f"{a} is not a unit mod {self.order}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Zmod({self.order})"
+
+
+class CrossProductRing(Ring):
+    """Component-wise cross product ``R_1 x ... x R_n`` (Lemma 3).
+
+    Elements are tuples; an element is a unit iff every component is a
+    unit in its ring, so a cross product of two or more fields is a ring
+    but not a field.
+    """
+
+    def __init__(self, rings: Iterable[Ring]):
+        self.rings: tuple[Ring, ...] = tuple(rings)
+        if not self.rings:
+            raise ValueError("cross product of zero rings is not defined")
+        self.order = 1
+        for r in self.rings:
+            self.order *= r.order
+        self.zero = tuple(r.zero for r in self.rings)
+        self.one = tuple(r.one for r in self.rings)
+        self._elements: tuple[tuple[Any, ...], ...] | None = None
+
+    def elements(self) -> Sequence[tuple[Any, ...]]:
+        if self._elements is None:
+            self._elements = tuple(
+                itertools.product(*(r.elements() for r in self.rings))
+            )
+        return self._elements
+
+    def add(self, a: tuple, b: tuple) -> tuple:
+        return tuple(r.add(x, y) for r, x, y in zip(self.rings, a, b))
+
+    def neg(self, a: tuple) -> tuple:
+        return tuple(r.neg(x) for r, x in zip(self.rings, a))
+
+    def mul(self, a: tuple, b: tuple) -> tuple:
+        return tuple(r.mul(x, y) for r, x, y in zip(self.rings, a, b))
+
+    def inverse(self, a: tuple) -> tuple:
+        return tuple(r.inverse(x) for r, x in zip(self.rings, a))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " x ".join(repr(r) for r in self.rings)
+        return f"CrossProductRing({inner})"

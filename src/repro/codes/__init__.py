@@ -1,0 +1,6 @@
+"""Erasure codes: GF(2^8) arithmetic and the P+Q double-fault code."""
+
+from .gf256 import GF256
+from .pq import PQCode
+
+__all__ = ["GF256", "PQCode"]

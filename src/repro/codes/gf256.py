@@ -1,0 +1,65 @@
+"""Vectorized GF(2^8) arithmetic for the P+Q erasure code.
+
+Built on the same extension-field machinery as the design constructions
+(:class:`repro.algebra.ExtensionField`), but exposed as NumPy table
+lookups so the data plane can encode/decode whole units at once: the
+log/antilog tables of GF(256) are precomputed once and byte arrays are
+multiplied in bulk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.fields import ExtensionField
+
+__all__ = ["GF256"]
+
+
+class GF256:
+    """GF(2^8) with NumPy-vectorized multiply/divide on byte arrays."""
+
+    def __init__(self) -> None:
+        field = ExtensionField(2, 8)
+        self.field = field
+        order = field.order
+        exp = np.zeros(order - 1, dtype=np.uint8)
+        log = np.zeros(order, dtype=np.int32)
+        for i, code in enumerate(field._exp):
+            exp[i] = code
+            log[code] = i
+        self._exp = exp
+        self._log = log
+        #: The field's primitive element (generator of the code's
+        #: coefficient sequence g^0, g^1, ...).
+        self.generator = field.primitive_element()
+
+    def power(self, exponent: int) -> int:
+        """``g^exponent`` as a byte value."""
+        return int(self._exp[exponent % 255])
+
+    def mul(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+        """Element-wise GF(256) product of byte arrays (or scalars)."""
+        a_arr = np.asarray(a, dtype=np.uint8)
+        b_arr = np.asarray(b, dtype=np.uint8)
+        out_shape = np.broadcast_shapes(a_arr.shape, b_arr.shape)
+        a_arr, b_arr = np.broadcast_to(a_arr, out_shape), np.broadcast_to(b_arr, out_shape)
+        out = np.zeros(out_shape, dtype=np.uint8)
+        nz = (a_arr != 0) & (b_arr != 0)
+        idx = (self._log[a_arr[nz]] + self._log[b_arr[nz]]) % 255
+        out[nz] = self._exp[idx]
+        return out
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a nonzero byte.
+
+        Raises:
+            ZeroDivisionError: if ``a`` is zero.
+        """
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(self._exp[(-self._log[a]) % 255])
+
+    def div(self, a: np.ndarray | int, b: int) -> np.ndarray:
+        """Element-wise division by a nonzero scalar."""
+        return self.mul(a, self.inverse(b))

@@ -1,0 +1,134 @@
+"""The P+Q double-erasure code (RAID6-style) over GF(2^8).
+
+A stripe holds ``m`` data units ``d_0..d_{m-1}`` plus two check units::
+
+    P = d_0 ⊕ d_1 ⊕ ... ⊕ d_{m-1}
+    Q = c_0·d_0 ⊕ c_1·d_1 ⊕ ... ⊕ c_{m-1}·d_{m-1},   c_i = g^i
+
+with ``g`` a generator of GF(256)*.  Any two erasures among
+``{d_i} ∪ {P, Q}`` are recoverable because the ``c_i`` are distinct
+nonzero elements (a 2-erasure MDS code for ``m <= 255``).
+
+This is the natural double-fault extension of the paper's layouts: the
+generalized Theorem 14 balances *two* distinguished units per stripe,
+and the stairway/removal constructions carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf256 import GF256
+
+__all__ = ["PQCode"]
+
+
+class PQCode:
+    """Encoder/decoder for one stripe's worth of byte units."""
+
+    def __init__(self, data_units: int):
+        if not 1 <= data_units <= 255:
+            raise ValueError(f"P+Q supports 1..255 data units, got {data_units}")
+        self.m = data_units
+        self.gf = GF256()
+        self.coefficients = np.array(
+            [self.gf.power(i) for i in range(data_units)], dtype=np.uint8
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Compute ``(P, Q)`` for a ``(m, width)`` uint8 data matrix.
+
+        Raises:
+            ValueError: on a shape/dtype mismatch.
+        """
+        self._check(data)
+        p = np.bitwise_xor.reduce(data, axis=0)
+        q = np.zeros(data.shape[1], dtype=np.uint8)
+        for i in range(self.m):
+            q ^= self.gf.mul(self.coefficients[i], data[i])
+        return p, q
+
+    def _check(self, data: np.ndarray) -> None:
+        if data.ndim != 2 or data.shape[0] != self.m or data.dtype != np.uint8:
+            raise ValueError(
+                f"data must be uint8 of shape ({self.m}, width), got "
+                f"{data.dtype}{data.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Erasure decoding
+    # ------------------------------------------------------------------
+
+    def reconstruct(
+        self,
+        data: np.ndarray,
+        p: np.ndarray | None,
+        q: np.ndarray | None,
+        missing_data: list[int],
+    ) -> np.ndarray:
+        """Recover up to two erasures.
+
+        Args:
+            data: ``(m, width)`` matrix; rows listed in ``missing_data``
+                are ignored (treated as lost).
+            p, q: the check units, or ``None`` if lost.
+            missing_data: indices of lost data rows.
+
+        Returns:
+            The repaired ``(m, width)`` data matrix (a new array).
+
+        Raises:
+            ValueError: if more than two units are missing in total, or
+                the combination is undecodable (e.g. two data rows lost
+                and P also absent).
+        """
+        lost = len(missing_data) + (p is None) + (q is None)
+        if lost > 2:
+            raise ValueError(f"{lost} erasures exceed the P+Q correction limit of 2")
+        if len(set(missing_data)) != len(missing_data) or not all(
+            0 <= i < self.m for i in missing_data
+        ):
+            raise ValueError(f"invalid missing rows {missing_data}")
+
+        out = data.copy()
+        known = [i for i in range(self.m) if i not in missing_data]
+
+        if len(missing_data) == 0:
+            return out
+
+        if len(missing_data) == 1:
+            (i,) = missing_data
+            if p is not None:
+                # Plain parity path.
+                acc = p.copy()
+                for j in known:
+                    acc ^= out[j]
+                out[i] = acc
+            elif q is not None:
+                acc = q.copy()
+                for j in known:
+                    acc ^= self.gf.mul(self.coefficients[j], out[j])
+                out[i] = self.gf.div(acc, int(self.coefficients[i]))
+            else:
+                raise ValueError("one data row lost but both P and Q are missing")
+            return out
+
+        # Two data rows lost: need both P and Q.
+        if p is None or q is None:
+            raise ValueError("two data rows lost: both P and Q are required")
+        i, j = missing_data
+        ci, cj = int(self.coefficients[i]), int(self.coefficients[j])
+        p_prime = p.copy()
+        q_prime = q.copy()
+        for r in known:
+            p_prime ^= out[r]
+            q_prime ^= self.gf.mul(self.coefficients[r], out[r])
+        # Solve: x_i ^ x_j = P', ci·x_i ^ cj·x_j = Q'.
+        denom = ci ^ cj  # nonzero: coefficients are distinct
+        out[i] = self.gf.div(q_prime ^ self.gf.mul(cj, p_prime), denom)
+        out[j] = p_prime ^ out[i]
+        return out

@@ -1,0 +1,17 @@
+"""Public API: planning, building, and evaluating layouts."""
+
+from .api import build_design, build_layout, evaluate, plan
+from .feasibility import FeasibilityCensus, census
+from .planner import LayoutPlan, enumerate_plans, plan_layout
+
+__all__ = [
+    "build_design",
+    "build_layout",
+    "evaluate",
+    "plan",
+    "FeasibilityCensus",
+    "census",
+    "LayoutPlan",
+    "enumerate_plans",
+    "plan_layout",
+]

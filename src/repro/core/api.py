@@ -1,0 +1,58 @@
+"""Top-level convenience API.
+
+The three calls a downstream user needs:
+
+>>> import repro
+>>> layout = repro.build_layout(33, 5)          # auto-planned
+>>> metrics = repro.evaluate(layout)            # Conditions 2-4 metrics
+>>> design = repro.build_design(13, 4)          # smallest known BIBD
+"""
+
+from __future__ import annotations
+
+from ..designs import BlockDesign, best_design
+from ..layouts import FEASIBLE_SIZE_LIMIT, Layout, LayoutMetrics, evaluate_layout
+from .planner import LayoutPlan, plan_layout
+
+__all__ = ["build_design", "build_layout", "evaluate", "plan"]
+
+
+def build_design(v: int, k: int, *, max_blocks: int | None = None) -> BlockDesign:
+    """Smallest available BIBD for ``(v, k)`` (see
+    :func:`repro.designs.best_design`)."""
+    return best_design(v, k, max_blocks=max_blocks)
+
+
+def plan(
+    v: int,
+    k: int,
+    *,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    require_balanced: bool = False,
+) -> LayoutPlan:
+    """Plan (without building) the best layout construction for
+    ``(v, k)`` under a size budget."""
+    return plan_layout(v, k, max_size=max_size, require_balanced=require_balanced)
+
+
+def build_layout(
+    v: int,
+    k: int,
+    *,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    require_balanced: bool = False,
+) -> Layout:
+    """Build the best feasible parity-declustered layout for a
+    ``v``-disk array with stripe size ``k``.
+
+    Raises:
+        ValueError: if no construction fits the size budget.
+    """
+    return plan(
+        v, k, max_size=max_size, require_balanced=require_balanced
+    ).build()
+
+
+def evaluate(layout: Layout) -> LayoutMetrics:
+    """Metrics for a layout against the paper's Conditions 2-4."""
+    return evaluate_layout(layout)

@@ -1,0 +1,84 @@
+"""Feasibility census over ``(v, k)`` grids — the paper's headline.
+
+The paper's abstract claims its techniques "greatly increase the number
+of parity-declustered data layouts that are appropriate for use in
+large disk arrays".  This module quantifies that: for a grid of array
+sizes and stripe sizes, count the pairs each method can serve within
+the Condition 4 size budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..layouts import FEASIBLE_SIZE_LIMIT, predicted_sizes
+
+__all__ = ["FeasibilityCensus", "census"]
+
+
+@dataclass(frozen=True)
+class FeasibilityCensus:
+    """Counts of feasible ``(v, k)`` pairs per method.
+
+    Attributes:
+        total_pairs: number of pairs examined.
+        per_method: feasible-pair count per construction method.
+        any_method: pairs feasible under at least one method.
+        examples: one example pair per method (for reports).
+    """
+
+    total_pairs: int
+    per_method: dict[str, int]
+    any_method: int
+    examples: dict[str, tuple[int, int]]
+
+    def table(self) -> str:
+        """Formatted report table."""
+        lines = [f"{'method':<14} {'feasible':>9} {'share':>8}  example"]
+        for method in sorted(self.per_method, key=lambda m: -self.per_method[m]):
+            n = self.per_method[method]
+            ex = self.examples.get(method, ("-", "-"))
+            lines.append(
+                f"{method:<14} {n:>9} {n / self.total_pairs:>7.1%}  v={ex[0]}, k={ex[1]}"
+            )
+        lines.append(
+            f"{'ANY':<14} {self.any_method:>9} {self.any_method / self.total_pairs:>7.1%}"
+        )
+        return "\n".join(lines)
+
+
+def census(
+    v_values: list[int],
+    k_values: list[int],
+    *,
+    limit: int = FEASIBLE_SIZE_LIMIT,
+) -> FeasibilityCensus:
+    """Run the feasibility census over a ``(v, k)`` grid.
+
+    Only pairs with ``2 <= k < v`` are counted (``k = v`` is RAID5, not
+    declustering).
+    """
+    per_method: dict[str, int] = {}
+    examples: dict[str, tuple[int, int]] = {}
+    total = 0
+    any_count = 0
+    for v in v_values:
+        for k in k_values:
+            if not 2 <= k < v:
+                continue
+            total += 1
+            sizes = predicted_sizes(v, k)
+            hit = False
+            for method, size in sizes.items():
+                if size <= limit:
+                    per_method[method] = per_method.get(method, 0) + 1
+                    examples.setdefault(method, (v, k))
+                    hit = True
+            if hit:
+                any_count += 1
+    return FeasibilityCensus(
+        total_pairs=total,
+        per_method=per_method,
+        any_method=any_count,
+        examples=examples,
+    )

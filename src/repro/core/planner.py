@@ -1,0 +1,239 @@
+"""Layout planning: pick the best construction for a target array.
+
+This is the decision procedure the paper's results add up to.  Given
+``(v, k)`` and a size budget (Condition 4), enumerate every applicable
+construction with its predicted size and balance quality, and build the
+best one:
+
+1. **ring** — ring layout, needs ``k <= M(v)``; perfectly balanced,
+   size ``k(v-1)``.
+2. **flow_single** — one copy of the smallest known BIBD with
+   flow-assigned parity (Section 4); parity spread ≤ 1, size ``r``.
+3. **flow_lcm** — ``lcm(b, v)/b`` copies, perfectly balanced
+   (Corollary 17), size ``r·lcm(b,v)/b``.
+4. **removal** — Theorems 8/9: start from a prime power ``v+i``
+   (``i(i-1) <= k-i``) and delete ``i`` disks; near-perfect balance,
+   size ``k(v+i-1)``.
+5. **stairway** — Theorems 10-12: perturb a prime power ``q < v``;
+   approximately balanced, size ``k(c-1)(q-1)``.
+6. **hg** — Holland–Gibson ``k``-copy baseline; perfectly balanced,
+   size ``k·r`` (kept for comparison).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..algebra import min_prime_power_factor, is_prime_power
+from ..designs import best_design, candidate_constructions
+from ..layouts import (
+    FEASIBLE_SIZE_LIMIT,
+    Layout,
+    find_smallest_stairway_plan,
+    find_stairway_plan,
+    holland_gibson_layout,
+    layout_from_design,
+    remove_disks,
+    ring_layout,
+    stairway_layout,
+)
+from ..designs.ring_design import ring_design
+
+__all__ = ["LayoutPlan", "plan_layout", "enumerate_plans"]
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """A chosen construction, with its predictions, before building.
+
+    Attributes:
+        v, k: target array and stripe size.
+        method: construction tag (see module docstring).
+        predicted_size: upper bound on the layout size (units/disk) the
+            method will produce.  Exact for the geometric constructions
+            (ring/removal/stairway); design-based methods may come in
+            *smaller* when the generic redundancy reduction finds extra
+            duplicate blocks at build time.
+        balanced: whether parity balance is perfect (vs within one unit
+            or the stairway band).
+        detail: method-specific parameters (e.g. ``q, c, w``).
+    """
+
+    v: int
+    k: int
+    method: str
+    predicted_size: int
+    balanced: bool
+    detail: dict
+    _builder: Callable[[], Layout]
+
+    def build(self) -> Layout:
+        """Materialize the planned layout.
+
+        Raises:
+            AssertionError: if the built layout exceeds the predicted
+                size (the feasibility decision would have been wrong).
+        """
+        layout = self._builder()
+        if layout.size > self.predicted_size:
+            raise AssertionError(
+                f"{self.method}: predicted size {self.predicted_size}, "
+                f"built {layout.size}"
+            )
+        return layout
+
+
+def _removal_candidates(v: int, k: int) -> list[LayoutPlan]:
+    """Theorem 8/9 plans: remove ``i`` disks from a prime power ``v+i``."""
+    plans: list[LayoutPlan] = []
+    i = 1
+    while i * (i - 1) <= k - i and k - i >= 2:
+        source = v + i
+        if is_prime_power(source) and k <= source:
+            ii = i  # bind loop variable
+            plans.append(
+                LayoutPlan(
+                    v=v,
+                    k=k,
+                    method="removal",
+                    predicted_size=k * (source - 1),
+                    balanced=(i == 1),
+                    detail={"source_v": source, "removed": i},
+                    _builder=lambda: remove_disks(
+                        ring_design(source, k), list(range(source - ii, source))
+                    ),
+                )
+            )
+            break  # smallest i gives the best balance; one plan suffices
+        i += 1
+    return plans
+
+
+def enumerate_plans(v: int, k: int) -> list[LayoutPlan]:
+    """All applicable constructions for ``(v, k)``, sorted by
+    ``(predicted_size, imbalance)``.
+
+    Raises:
+        ValueError: if the parameters are out of range.
+    """
+    if not 2 <= k <= v:
+        raise ValueError(f"need 2 <= k <= v, got v={v}, k={k}")
+    plans: list[LayoutPlan] = []
+
+    if k <= min_prime_power_factor(v):
+        plans.append(
+            LayoutPlan(
+                v=v,
+                k=k,
+                method="ring",
+                predicted_size=k * (v - 1),
+                balanced=True,
+                detail={},
+                _builder=lambda: ring_layout(v, k),
+            )
+        )
+
+    candidates = candidate_constructions(v, k)
+    if candidates:
+        design_name, b = candidates[0]
+        r = k * b // v
+        copies = math.lcm(b, v) // b
+        plans.append(
+            LayoutPlan(
+                v=v,
+                k=k,
+                method="flow_single",
+                predicted_size=r,
+                balanced=(b % v == 0),
+                detail={"design": design_name, "b": b},
+                _builder=lambda: layout_from_design(
+                    best_design(v, k), copies=1, parity="flow"
+                ),
+            )
+        )
+        if copies > 1:
+            plans.append(
+                LayoutPlan(
+                    v=v,
+                    k=k,
+                    method="flow_lcm",
+                    predicted_size=r * copies,
+                    balanced=True,
+                    detail={"design": design_name, "b": b, "copies": copies},
+                    _builder=lambda: layout_from_design(
+                        best_design(v, k), copies=copies, parity="flow"
+                    ),
+                )
+            )
+        plans.append(
+            LayoutPlan(
+                v=v,
+                k=k,
+                method="hg",
+                predicted_size=k * r,
+                balanced=True,
+                detail={"design": design_name, "b": b},
+                _builder=lambda: holland_gibson_layout(best_design(v, k)),
+            )
+        )
+
+    plans.extend(_removal_candidates(v, k))
+
+    stairway = find_stairway_plan(v, k)
+    compact = find_smallest_stairway_plan(v, k)
+    for method, sp in (("stairway", stairway), ("stairway_compact", compact)):
+        if sp is None:
+            continue
+        if method == "stairway_compact" and stairway is not None and sp.q == stairway.q:
+            continue  # identical plan; no separate candidate
+        plans.append(
+            LayoutPlan(
+                v=v,
+                k=k,
+                method=method,
+                predicted_size=sp.predicted_size(k),
+                balanced=(sp.w == 0),
+                detail={"q": sp.q, "c": sp.c, "w": sp.w},
+                _builder=lambda sp=sp: stairway_layout(v, sp.q, k),
+            )
+        )
+
+    plans.sort(key=lambda p: (p.predicted_size, not p.balanced))
+    return plans
+
+
+def plan_layout(
+    v: int,
+    k: int,
+    *,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    require_balanced: bool = False,
+) -> LayoutPlan:
+    """Choose the smallest feasible construction for ``(v, k)``.
+
+    Args:
+        max_size: Condition 4 budget (units per disk).
+        require_balanced: restrict to perfectly parity-balanced methods.
+
+    Raises:
+        ValueError: if no applicable construction fits the budget.
+    """
+    plans = enumerate_plans(v, k)
+    for plan in plans:
+        if plan.predicted_size > max_size:
+            continue
+        if require_balanced and not plan.balanced:
+            continue
+        return plan
+    raise ValueError(
+        f"no feasible layout for v={v}, k={k} within size {max_size}"
+        + (" requiring perfect balance" if require_balanced else "")
+        + f"; smallest candidate: "
+        + (
+            f"{plans[0].method} at {plans[0].predicted_size}"
+            if plans
+            else "none"
+        )
+    )

@@ -1,0 +1,60 @@
+"""Block designs: Theorem 1 ring designs, reductions, bounds, catalog."""
+
+from .bibd import BlockDesign, DesignError
+from .bounds import (
+    admissible_parameters,
+    bibd_lower_bound_b,
+    fisher_inequality_holds,
+    meets_lower_bound,
+)
+from .catalog import (
+    best_design,
+    candidate_constructions,
+    difference_set_design,
+    fano_plane,
+)
+from .complement import complement_design, complement_parameters
+from .complete import complete_design, complete_design_b
+from .reductions import (
+    affine_orbits,
+    multiplicative_orbits,
+    theorem4_design,
+    theorem4_parameters,
+    theorem5_design,
+    theorem5_parameters,
+)
+from .ring_design import RingDesign, ring_design, theorem1_parameters
+from .subfield_design import (
+    is_theorem6_applicable,
+    theorem6_design,
+    theorem6_parameters,
+)
+
+__all__ = [
+    "BlockDesign",
+    "DesignError",
+    "admissible_parameters",
+    "bibd_lower_bound_b",
+    "fisher_inequality_holds",
+    "meets_lower_bound",
+    "best_design",
+    "candidate_constructions",
+    "difference_set_design",
+    "fano_plane",
+    "complement_design",
+    "complement_parameters",
+    "complete_design",
+    "complete_design_b",
+    "affine_orbits",
+    "multiplicative_orbits",
+    "theorem4_design",
+    "theorem4_parameters",
+    "theorem5_design",
+    "theorem5_parameters",
+    "RingDesign",
+    "ring_design",
+    "theorem1_parameters",
+    "is_theorem6_applicable",
+    "theorem6_design",
+    "theorem6_parameters",
+]

@@ -1,0 +1,181 @@
+"""Balanced incomplete block designs (BIBDs).
+
+A BIBD is a collection of ``b`` blocks (``k``-element subsets of a
+``v``-element ground set) such that every element lies in exactly ``r``
+blocks and every pair of distinct elements lies in exactly ``λ`` blocks.
+Blocks may repeat (the collection is a multiset); the paper's
+redundancy-removal results (Section 2.2) are precisely about dividing
+out repeated blocks.
+
+Ground-set elements are always the dense integers ``0..v-1`` here; the
+algebra layer owns the mapping from ring elements to indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["DesignError", "BlockDesign"]
+
+
+class DesignError(ValueError):
+    """Raised when a block collection violates the BIBD conditions."""
+
+
+@dataclass(frozen=True)
+class BlockDesign:
+    """A block design on ground set ``{0, .., v-1}``.
+
+    Attributes:
+        v: ground-set size (number of disks, once mapped to a layout).
+        k: block size (parity stripe size).
+        blocks: the block multiset; each block is a sorted tuple of ``k``
+            distinct element indices.
+        name: human-readable construction tag (e.g. ``"ring(v=9,k=3)"``).
+    """
+
+    v: int
+    k: int
+    blocks: tuple[tuple[int, ...], ...]
+    name: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    # Derived parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def b(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    @property
+    def r(self) -> int:
+        """Replication count: blocks containing each element.
+
+        Only meaningful for balanced designs; computed as ``b*k/v``
+        (exact for any element-balanced collection).
+        """
+        return self.b * self.k // self.v
+
+    @property
+    def lambda_(self) -> int:
+        """Pair count λ, from the identity ``λ(v-1) = r(k-1)``."""
+        return self.r * (self.k - 1) // (self.v - 1)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def element_counts(self) -> list[int]:
+        """Number of blocks containing each element, indexed by element."""
+        counts = [0] * self.v
+        for blk in self.blocks:
+            for e in blk:
+                counts[e] += 1
+        return counts
+
+    def pair_counts(self) -> dict[tuple[int, int], int]:
+        """Number of blocks containing each unordered pair.
+
+        Pairs absent from every block are included with count 0.
+        """
+        counts: dict[tuple[int, int], int] = {
+            pair: 0 for pair in itertools.combinations(range(self.v), 2)
+        }
+        for blk in self.blocks:
+            for pair in itertools.combinations(blk, 2):
+                counts[pair] += 1
+        return counts
+
+    def verify(self) -> None:
+        """Check the full BIBD conditions.
+
+        Raises:
+            DesignError: with a specific message on the first violation
+                found (block shape, element balance, or pair balance).
+        """
+        if self.v < 2 or not 2 <= self.k <= self.v:
+            raise DesignError(f"invalid parameters v={self.v}, k={self.k}")
+        if not self.blocks:
+            raise DesignError("design has no blocks")
+        for blk in self.blocks:
+            if len(blk) != self.k:
+                raise DesignError(f"block {blk} has size {len(blk)}, expected {self.k}")
+            if len(set(blk)) != self.k:
+                raise DesignError(f"block {blk} has repeated elements")
+            if tuple(sorted(blk)) != blk:
+                raise DesignError(f"block {blk} is not sorted canonically")
+            if not all(0 <= e < self.v for e in blk):
+                raise DesignError(f"block {blk} has out-of-range elements (v={self.v})")
+        ecounts = self.element_counts()
+        if len(set(ecounts)) != 1:
+            raise DesignError(
+                f"element counts not constant: min={min(ecounts)}, max={max(ecounts)}"
+            )
+        pcounts = self.pair_counts()
+        distinct = set(pcounts.values())
+        if len(distinct) != 1:
+            raise DesignError(
+                f"pair counts not constant: min={min(distinct)}, max={max(distinct)}"
+            )
+
+    def is_bibd(self) -> bool:
+        """``True`` iff :meth:`verify` passes."""
+        try:
+            self.verify()
+        except DesignError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Redundancy (Section 2.2)
+    # ------------------------------------------------------------------
+
+    def multiplicities(self) -> Counter[tuple[int, ...]]:
+        """Multiset counts of each distinct block."""
+        return Counter(self.blocks)
+
+    def redundancy_factor(self) -> int:
+        """The gcd of all block multiplicities — the largest ``f`` by
+        which the design can be uniformly thinned (Section 2.2)."""
+        return math.gcd(*self.multiplicities().values())
+
+    def reduce_redundancy(self, factor: int | None = None) -> "BlockDesign":
+        """Divide every block's multiplicity by ``factor``.
+
+        With ``factor=None`` the maximal factor
+        (:meth:`redundancy_factor`) is used.  The result is a BIBD with
+        ``b``, ``r`` and ``λ`` all divided by ``factor``.
+
+        Raises:
+            DesignError: if some multiplicity is not divisible by
+                ``factor``.
+        """
+        mults = self.multiplicities()
+        if factor is None:
+            factor = math.gcd(*mults.values())
+        if factor == 1:
+            return self
+        reduced: list[tuple[int, ...]] = []
+        for blk in sorted(mults):
+            count = mults[blk]
+            if count % factor != 0:
+                raise DesignError(
+                    f"block {blk} has multiplicity {count}, not divisible by {factor}"
+                )
+            reduced.extend([blk] * (count // factor))
+        return BlockDesign(
+            v=self.v,
+            k=self.k,
+            blocks=tuple(reduced),
+            name=f"{self.name}/f{factor}" if self.name else f"reduced(f={factor})",
+        )
+
+    def parameter_string(self) -> str:
+        """Compact ``(v, k, b, r, λ)`` summary for reports."""
+        return (
+            f"v={self.v} k={self.k} b={self.b} r={self.r} lambda={self.lambda_}"
+        )

@@ -1,0 +1,41 @@
+"""Size bounds for BIBDs (Theorem 7 and classical necessary conditions).
+
+Theorem 7: any BIBD on ``v`` elements with block size ``k`` has at least
+``v(v-1) / gcd(v(v-1), k(k-1))`` blocks.  The Theorem 6 designs meet
+this bound when ``v`` is a power of ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bibd_lower_bound_b",
+    "meets_lower_bound",
+    "admissible_parameters",
+    "fisher_inequality_holds",
+]
+
+
+def bibd_lower_bound_b(v: int, k: int) -> int:
+    """Theorem 7: minimum possible number of blocks of any ``(v, k)`` BIBD."""
+    return v * (v - 1) // math.gcd(v * (v - 1), k * (k - 1))
+
+
+def meets_lower_bound(v: int, k: int, b: int) -> bool:
+    """``True`` iff ``b`` equals the Theorem 7 minimum."""
+    return b == bibd_lower_bound_b(v, k)
+
+
+def admissible_parameters(v: int, k: int, b: int, r: int, lam: int) -> bool:
+    """Classical counting identities every BIBD must satisfy:
+    ``bk = vr`` and ``λ(v-1) = r(k-1)``."""
+    return b * k == v * r and lam * (v - 1) == r * (k - 1)
+
+
+def fisher_inequality_holds(v: int, b: int, k: int) -> bool:
+    """Fisher's inequality ``b >= v`` for nontrivial designs
+    (``2 <= k < v``); vacuously true otherwise."""
+    if not 2 <= k < v:
+        return True
+    return b >= v

@@ -1,0 +1,136 @@
+"""Design selection and a small catalog of classical BIBDs.
+
+:func:`best_design` picks, for a requested ``(v, k)``, the smallest
+design available from the paper's constructions — the decision procedure
+an array controller would ship with.  The explicit difference-set
+designs (Fano plane and friends) anchor the test suite with
+independently-known ground truth.
+"""
+
+from __future__ import annotations
+
+from ..algebra import is_prime_power, min_prime_power_factor
+from .bibd import BlockDesign
+from .complement import complement_design
+from .complete import complete_design, complete_design_b
+from .reductions import (
+    theorem4_design,
+    theorem4_parameters,
+    theorem5_design,
+    theorem5_parameters,
+)
+from .ring_design import ring_design
+from .subfield_design import is_theorem6_applicable, theorem6_design, theorem6_parameters
+
+__all__ = [
+    "difference_set_design",
+    "fano_plane",
+    "best_design",
+    "candidate_constructions",
+]
+
+
+def difference_set_design(v: int, base_block: tuple[int, ...]) -> BlockDesign:
+    """Develop a (planar) difference set mod ``v`` into a BIBD.
+
+    The blocks are ``{d + t mod v}`` for ``t = 0..v-1``.  If
+    ``base_block`` is a perfect difference set, the result is a
+    symmetric BIBD with ``λ = 1``.
+    """
+    k = len(base_block)
+    blocks = tuple(
+        tuple(sorted((d + t) % v for d in base_block)) for t in range(v)
+    )
+    return BlockDesign(v=v, k=k, blocks=blocks, name=f"diffset(v={v},k={k})")
+
+
+def fano_plane() -> BlockDesign:
+    """The (7, 3, 1) Fano plane from the difference set {0, 1, 3} mod 7."""
+    return difference_set_design(7, (0, 1, 3))
+
+
+def _direct_candidates(v: int, k: int) -> list[tuple[str, int]]:
+    """Non-complement constructions applicable to ``(v, k)``."""
+    candidates: list[tuple[str, int]] = []
+    if is_theorem6_applicable(v, k):
+        candidates.append(("thm6", theorem6_parameters(v, k)["b"]))
+    if is_prime_power(v) and 2 <= k <= v:
+        candidates.append(("thm4", theorem4_parameters(v, k)["b"]))
+        if k <= v - 1:
+            candidates.append(("thm5", theorem5_parameters(v, k)["b"]))
+    if 2 <= k <= min_prime_power_factor(v):
+        candidates.append(("ring", v * (v - 1)))
+    if 2 <= k <= v:
+        candidates.append(("complete", complete_design_b(v, k)))
+    return candidates
+
+
+def candidate_constructions(v: int, k: int) -> list[tuple[str, int]]:
+    """Constructions applicable to ``(v, k)`` with their predicted block
+    counts, cheapest first.  Nothing is materialized.
+
+    For ``k > v/2`` the complement of the best ``(v, v-k)`` design is
+    also considered (same block count; see
+    :mod:`repro.designs.complement`).
+    """
+    candidates = _direct_candidates(v, k)
+    if k > v - k >= 2:
+        mirrored = _direct_candidates(v, v - k)
+        if mirrored:
+            best_name, best_b = min(mirrored, key=lambda c: c[1])
+            candidates.append((f"complement:{best_name}", best_b))
+    candidates.sort(key=lambda c: c[1])
+    return candidates
+
+
+_BUILDERS = {
+    "thm6": theorem6_design,
+    "thm4": theorem4_design,
+    "thm5": theorem5_design,
+    "ring": lambda v, k: ring_design(v, k).to_block_design(),
+    "complete": complete_design,
+}
+
+
+def _build_candidate(name: str, v: int, k: int) -> BlockDesign:
+    if name.startswith("complement:"):
+        inner = name.split(":", 1)[1]
+        base = _BUILDERS[inner](v, v - k).reduce_redundancy()
+        return complement_design(base)
+    return _BUILDERS[name](v, k)
+
+
+def best_design(
+    v: int, k: int, *, max_blocks: int | None = None
+) -> BlockDesign:
+    """Build the smallest available BIBD for ``(v, k)``.
+
+    Tries the applicable constructions in increasing predicted size and
+    materializes the first one whose block count fits ``max_blocks``
+    (when given).  The generic redundancy reduction is applied to the
+    winner, so e.g. a plain ring design for ``k = 2`` still sheds its
+    symmetric duplicates.
+
+    Raises:
+        ValueError: if no construction applies (e.g. ``k > v``) or none
+            fits within ``max_blocks``.
+    """
+    candidates = candidate_constructions(v, k)
+    if not candidates:
+        raise ValueError(f"no BIBD construction available for v={v}, k={k}")
+    for name, predicted_b in candidates:
+        if max_blocks is not None and predicted_b > max_blocks:
+            continue
+        if name == "complete" and predicted_b > 1_000_000:
+            continue
+        design = _build_candidate(name, v, k)
+        reduced = design.reduce_redundancy()
+        if reduced.b != design.b:
+            reduced = BlockDesign(
+                v=v, k=k, blocks=reduced.blocks, name=design.name + "+gcd"
+            )
+        return reduced
+    raise ValueError(
+        f"no construction for v={v}, k={k} fits within max_blocks={max_blocks}; "
+        f"smallest available is {candidates[0][0]} with b={candidates[0][1]}"
+    )

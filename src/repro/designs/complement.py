@@ -1,0 +1,55 @@
+"""Complement designs: a classical coverage booster for large ``k``.
+
+The complement of a BIBD — replace each block by the elements *not* in
+it — is again a BIBD, with parameters::
+
+    v' = v,  k' = v - k,  b' = b,  r' = b - r,  λ' = b - 2r + λ
+
+This matters for layout feasibility at large stripe sizes: the paper's
+field constructions are strongest for ``k`` well below ``v``, and the
+complement of a small-``k`` design covers the mirrored large-``k``
+regime at identical block count.  (Complementing is folklore — Wallis
+[16] — but it composes with every construction in this package, so the
+catalog uses it as a fallback.)
+"""
+
+from __future__ import annotations
+
+from .bibd import BlockDesign
+
+__all__ = ["complement_design", "complement_parameters"]
+
+
+def complement_parameters(v: int, k: int, b: int, r: int, lam: int) -> dict[str, int]:
+    """Parameters of the complement of a ``(v, k, b, r, λ)`` BIBD."""
+    return {
+        "v": v,
+        "k": v - k,
+        "b": b,
+        "r": b - r,
+        "lambda": b - 2 * r + lam,
+    }
+
+
+def complement_design(design: BlockDesign) -> BlockDesign:
+    """The complement of ``design``.
+
+    Raises:
+        ValueError: if ``k >= v - 1`` (the complement would have blocks
+            of size < 2, useless as parity stripes).
+    """
+    v, k = design.v, design.k
+    if v - k < 2:
+        raise ValueError(
+            f"complement of a (v={v}, k={k}) design has block size {v - k} < 2"
+        )
+    ground = frozenset(range(v))
+    blocks = tuple(
+        tuple(sorted(ground - set(blk))) for blk in design.blocks
+    )
+    return BlockDesign(
+        v=v,
+        k=v - k,
+        blocks=blocks,
+        name=f"complement({design.name or 'bibd'})",
+    )

@@ -1,0 +1,46 @@
+"""Complete block designs: all ``C(v, k)`` k-subsets of the ground set.
+
+The complete design is the trivially-always-available BIBD the paper
+uses as its baseline: it satisfies every balance condition but its size
+``b = C(v, k)`` explodes with ``v``, which is exactly why it fails the
+Condition 4 feasibility bound for large arrays and why the paper's
+smaller constructions matter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from .bibd import BlockDesign
+
+__all__ = ["complete_design", "complete_design_b"]
+
+
+def complete_design_b(v: int, k: int) -> int:
+    """Number of blocks ``C(v, k)`` of the complete design (no
+    materialization)."""
+    return math.comb(v, k)
+
+
+def complete_design(v: int, k: int) -> BlockDesign:
+    """Materialize the complete design for ``(v, k)``.
+
+    Parameters are ``b = C(v,k)``, ``r = C(v-1,k-1)``,
+    ``λ = C(v-2,k-2)``.
+
+    Raises:
+        ValueError: if ``k`` is out of range or the design would exceed
+            one million blocks (guards accidental explosion; the paper's
+            whole point is that complete designs are infeasible at scale).
+    """
+    if not 2 <= k <= v:
+        raise ValueError(f"need 2 <= k <= v, got v={v}, k={k}")
+    b = complete_design_b(v, k)
+    if b > 1_000_000:
+        raise ValueError(
+            f"complete design for v={v}, k={k} has {b} blocks; "
+            "refusing to materialize (use the size formula instead)"
+        )
+    blocks = tuple(itertools.combinations(range(v), k))
+    return BlockDesign(v=v, k=k, blocks=blocks, name=f"complete(v={v},k={k})")

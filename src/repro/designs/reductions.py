@@ -1,0 +1,210 @@
+"""Redundancy-reducing generator choices (Theorems 4 and 5).
+
+A raw Theorem 1 design has ``b = v(v-1)`` blocks, but for symmetric
+generator choices many pairs ``(x, y)`` index the *same* block.  When
+``v`` is a prime power:
+
+* Theorem 4 chooses the generators as ``{0}`` plus whole multiplicative
+  orbits of an element ``a`` of order ``d = gcd(v-1, k-1)``, giving a
+  factor-``d`` redundancy, hence ``b = v(v-1)/gcd(v-1, k-1)``.
+* Theorem 5 chooses them as whole orbits of the affine map
+  ``x -> z + a(x-z)`` with ``a`` of order ``d = gcd(v-1, k)``, giving
+  ``b = v(v-1)/gcd(v-1, k)``.
+
+Both materialize the full design and then call
+:meth:`BlockDesign.reduce_redundancy`, so the claimed factor is
+*checked*, not assumed: if the multiplicities were not divisible by
+``d`` the reduction would raise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..algebra import GF, Element, FiniteField, is_prime_power
+from .bibd import BlockDesign, DesignError
+from .ring_design import ring_design
+
+__all__ = [
+    "theorem4_design",
+    "theorem4_parameters",
+    "theorem5_design",
+    "theorem5_parameters",
+    "multiplicative_orbits",
+    "affine_orbits",
+]
+
+
+def theorem4_parameters(v: int, k: int) -> dict[str, int]:
+    """Predicted ``(b, r, λ)`` of the Theorem 4 design."""
+    d = math.gcd(v - 1, k - 1)
+    return {
+        "v": v,
+        "k": k,
+        "b": v * (v - 1) // d,
+        "r": k * (v - 1) // d,
+        "lambda": k * (k - 1) // d,
+    }
+
+
+def theorem5_parameters(v: int, k: int) -> dict[str, int]:
+    """Predicted ``(b, r, λ)`` of the Theorem 5 design.
+
+    Note the paper's statement reads ``b = (v-1)/gcd(v-1,k)`` but the
+    construction (and the redundancy argument, a factor ``gcd(v-1, k)``
+    removed from ``v(v-1)`` blocks) gives ``b = v(v-1)/gcd(v-1, k)``;
+    the missing ``v`` is a typesetting artifact of the journal scan.
+    """
+    d = math.gcd(v - 1, k)
+    return {
+        "v": v,
+        "k": k,
+        "b": v * (v - 1) // d,
+        "r": k * (v - 1) // d,
+        "lambda": k * (k - 1) // d,
+    }
+
+
+def multiplicative_orbits(field: FiniteField, a: Element) -> list[list[Element]]:
+    """Orbits of the nonzero field elements under ``x -> a*x``.
+
+    Every orbit has size ``ord(a)``; orbits are returned in
+    first-element enumeration order for determinism.
+    """
+    seen: set[Element] = set()
+    orbits: list[list[Element]] = []
+    for w in field.elements():
+        if w == field.zero or w in seen:
+            continue
+        orbit = [w]
+        x = field.mul(a, w)
+        while x != w:
+            orbit.append(x)
+            x = field.mul(a, x)
+        seen.update(orbit)
+        orbits.append(orbit)
+    return orbits
+
+
+def affine_orbits(
+    field: FiniteField, a: Element, z: Element
+) -> list[list[Element]]:
+    """Orbits of ``x -> z + a(x - z)`` over all field elements.
+
+    ``z`` is a fixed point; every other orbit has size ``ord(a)``.
+    The fixed-point orbit ``[z]`` is included.
+    """
+    seen: set[Element] = set()
+    orbits: list[list[Element]] = []
+    for w in field.elements():
+        if w in seen:
+            continue
+        orbit = [w]
+        x = field.add(z, field.mul(a, field.sub(w, z)))
+        while x != w:
+            orbit.append(x)
+            x = field.add(z, field.mul(a, field.sub(x, z)))
+        seen.update(orbit)
+        orbits.append(orbit)
+    return orbits
+
+
+def _require_prime_power(v: int, theorem: str) -> None:
+    if not is_prime_power(v):
+        raise ValueError(f"{theorem} requires prime-power v, got {v}")
+
+
+def theorem4_design(v: int, k: int) -> BlockDesign:
+    """Construct the Theorem 4 BIBD for prime-power ``v`` and any
+    ``2 <= k <= v``.
+
+    Generators: ``{0}`` union ``(k-1)/d`` multiplicative orbits of an
+    element of order ``d = gcd(v-1, k-1)``.
+
+    Raises:
+        ValueError: if ``v`` is not a prime power or ``k`` out of range.
+        DesignError: if the construction's redundancy deviates from the
+            theorem (would indicate an implementation bug).
+    """
+    _require_prime_power(v, "Theorem 4")
+    if not 2 <= k <= v:
+        raise ValueError(f"need 2 <= k <= v, got v={v}, k={k}")
+    field = GF(v)
+    d = math.gcd(v - 1, k - 1)
+    a = field.element_of_order(d)
+    orbits = multiplicative_orbits(field, a)
+    needed = (k - 1) // d
+    gens: list[Element] = [field.zero]
+    for orbit in orbits[:needed]:
+        gens.extend(orbit)
+    if len(gens) != k:
+        raise AssertionError(
+            f"generator assembly bug: got {len(gens)} generators, wanted {k}"
+        )
+
+    raw = ring_design(v, k, ring=field, gens=gens).to_block_design()
+    reduced = raw.reduce_redundancy(d)
+    expected = theorem4_parameters(v, k)
+    if reduced.b != expected["b"]:
+        raise DesignError(
+            f"Theorem 4 redundancy mismatch: b={reduced.b}, expected {expected['b']}"
+        )
+    return BlockDesign(
+        v=v, k=k, blocks=reduced.blocks, name=f"thm4(v={v},k={k})"
+    )
+
+
+def theorem5_design(v: int, k: int) -> BlockDesign:
+    """Construct the Theorem 5 BIBD for prime-power ``v`` and
+    ``2 <= k <= v-1``.
+
+    Generators: ``k/d`` orbits of the affine map ``x -> z + a(x-z)``
+    (``a`` of order ``d = gcd(v-1, k)``, ``z = 1``), including the orbit
+    through 0 and excluding the fixed point ``z``.
+
+    Raises:
+        ValueError: if ``v`` is not a prime power or ``k`` out of range
+            (``k = v`` is excluded: the generator set must avoid the
+            fixed point ``z``).
+        DesignError: if the redundancy deviates from the theorem.
+    """
+    _require_prime_power(v, "Theorem 5")
+    if not 2 <= k <= v - 1:
+        raise ValueError(f"need 2 <= k <= v-1, got v={v}, k={k}")
+    field = GF(v)
+    d = math.gcd(v - 1, k)
+    a = field.element_of_order(d)
+    z = field.one
+    orbits = affine_orbits(field, a, z)
+    # Exclude the fixed point z's orbit; when d = 1 every orbit is a
+    # singleton (the reduction is trivially by factor 1) and the
+    # remaining singletons are the valid picks.
+    cycle_orbits = [o for o in orbits if z not in o]
+    zero_orbit = next(o for o in cycle_orbits if field.zero in o)
+    needed = k // d
+    chosen = [zero_orbit]
+    for orbit in cycle_orbits:
+        if len(chosen) == needed:
+            break
+        if orbit is not zero_orbit:
+            chosen.append(orbit)
+    gens: list[Element] = []
+    for orbit in chosen:
+        gens.extend(orbit)
+    # g_0 must be 0 for the downstream layout conventions.
+    gens.sort(key=lambda e: 0 if e == field.zero else 1)
+    if len(gens) != k:
+        raise AssertionError(
+            f"generator assembly bug: got {len(gens)} generators, wanted {k}"
+        )
+
+    raw = ring_design(v, k, ring=field, gens=gens).to_block_design()
+    reduced = raw.reduce_redundancy(d)
+    expected = theorem5_parameters(v, k)
+    if reduced.b != expected["b"]:
+        raise DesignError(
+            f"Theorem 5 redundancy mismatch: b={reduced.b}, expected {expected['b']}"
+        )
+    return BlockDesign(
+        v=v, k=k, blocks=reduced.blocks, name=f"thm5(v={v},k={k})"
+    )

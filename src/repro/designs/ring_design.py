@@ -1,0 +1,143 @@
+"""Ring-based block designs (Theorem 1).
+
+Given a finite commutative ring with unit ``R`` and generators
+``g_0..g_{k-1}`` (pairwise differences invertible), the block indexed by
+a pair ``(x, y)`` with ``y != 0`` is ``{x + y(g_i - g_0)}``.  Theorem 1
+proves the collection over all ``v(v-1)`` pairs is a BIBD with
+``b = v(v-1)``, ``r = k(v-1)``, ``λ = k(k-1)``.
+
+The pair indexing is not incidental bookkeeping: Section 3's layouts
+place the parity unit of stripe ``(x, y)`` on disk ``x``, and Theorem 8
+reassigns it to disk ``x + y(g_1 - g_0)`` after a disk removal.  So
+:class:`RingDesign` retains, for every block, its ``(x, y)`` pair and
+its elements *in generator order*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..algebra import Element, Ring, is_generator_set, ring_with_generators
+from .bibd import BlockDesign
+
+__all__ = ["RingDesign", "ring_design", "theorem1_parameters"]
+
+
+def theorem1_parameters(v: int, k: int) -> dict[str, int]:
+    """The exact Theorem 1 parameters for order ``v`` and ``k`` generators."""
+    return {
+        "v": v,
+        "k": k,
+        "b": v * (v - 1),
+        "r": k * (v - 1),
+        "lambda": k * (k - 1),
+    }
+
+
+@dataclass(frozen=True)
+class RingDesign:
+    """A Theorem 1 design with its full ``(x, y)``-pair structure.
+
+    Attributes:
+        ring: the underlying commutative ring with unit.
+        gens: the generator list ``[g_0, ..., g_{k-1}]``.
+        pairs: the ``v(v-1)`` block indices ``(x, y)``, ``y != 0``, in
+            deterministic (x-major) order.
+        block_elements: for each pair, the block's elements in generator
+            order (``block_elements[i][j] = x + y(g_j - g_0)``).
+    """
+
+    ring: Ring
+    gens: tuple[Element, ...]
+    pairs: tuple[tuple[Element, Element], ...]
+    block_elements: tuple[tuple[Element, ...], ...] = field(repr=False)
+
+    @property
+    def v(self) -> int:
+        """Ground-set size (ring order)."""
+        return self.ring.order
+
+    @property
+    def k(self) -> int:
+        """Block size (number of generators)."""
+        return len(self.gens)
+
+    @property
+    def b(self) -> int:
+        """Number of blocks, ``v(v-1)``."""
+        return len(self.pairs)
+
+    def to_block_design(self) -> BlockDesign:
+        """Forget the pair structure: sorted index blocks for the verifier
+        and for constructions that only need the multiset of blocks."""
+        index = self.ring.index
+        blocks = tuple(
+            tuple(sorted(index(e) for e in elems)) for elems in self.block_elements
+        )
+        return BlockDesign(
+            v=self.v,
+            k=self.k,
+            blocks=blocks,
+            name=f"ring(v={self.v},k={self.k})",
+        )
+
+    def block_disks(self, i: int) -> tuple[int, ...]:
+        """Disk indices of block ``i`` in generator order (not sorted)."""
+        index = self.ring.index
+        return tuple(index(e) for e in self.block_elements[i])
+
+
+def ring_design(
+    v: int,
+    k: int,
+    *,
+    ring: Ring | None = None,
+    gens: Sequence[Element] | None = None,
+) -> RingDesign:
+    """Construct the Theorem 1 ring-based block design.
+
+    By default the ring and generators come from
+    :func:`repro.algebra.ring_with_generators` (field for prime-power
+    ``v``, Lemma 3 cross product otherwise).  Callers may supply their
+    own ``ring`` and ``gens`` — Theorems 4-6 do, to induce removable
+    redundancy.
+
+    Raises:
+        ValueError: if ``gens`` is not a valid generator set, or ``k``
+            exceeds the Theorem 2 capacity ``M(v)`` when auto-building.
+    """
+    if (ring is None) != (gens is None):
+        raise ValueError("supply both ring and gens, or neither")
+    if ring is None:
+        ring, gens_list = ring_with_generators(v, k)
+    else:
+        gens_list = list(gens)  # type: ignore[arg-type]
+        if ring.order != v:
+            raise ValueError(f"ring order {ring.order} != v={v}")
+        if len(gens_list) != k:
+            raise ValueError(f"got {len(gens_list)} generators, expected k={k}")
+        if not is_generator_set(ring, gens_list):
+            raise ValueError("pairwise differences of gens are not all invertible")
+
+    g0 = gens_list[0]
+    # Offsets g_i - g_0 are loop-invariant across all v(v-1) pairs.
+    offsets = [ring.sub(g, g0) for g in gens_list]
+    add, mul = ring.add, ring.mul
+
+    pairs: list[tuple[Element, Element]] = []
+    block_elements: list[tuple[Element, ...]] = []
+    elems = ring.elements()
+    for x in elems:
+        for y in elems:
+            if y == ring.zero:
+                continue
+            pairs.append((x, y))
+            block_elements.append(tuple(add(x, mul(y, off)) for off in offsets))
+
+    return RingDesign(
+        ring=ring,
+        gens=tuple(gens_list),
+        pairs=tuple(pairs),
+        block_elements=tuple(block_elements),
+    )

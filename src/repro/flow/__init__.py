@@ -1,0 +1,31 @@
+"""Network-flow substrate and the Section 4 parity assignment method."""
+
+from .bounded import BoundedEdge, InfeasibleFlow, max_flow_with_lower_bounds
+from .dinic import dinic_max_flow, edmonds_karp_max_flow
+from .network import INF, FlowNetwork
+from .parity import (
+    ParityAssignmentGraph,
+    assign_distinguished,
+    assign_parity,
+    build_parity_graph,
+    copies_for_perfect_balance,
+    parity_loads,
+    perfect_balance_possible,
+)
+
+__all__ = [
+    "BoundedEdge",
+    "InfeasibleFlow",
+    "max_flow_with_lower_bounds",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "INF",
+    "FlowNetwork",
+    "ParityAssignmentGraph",
+    "assign_distinguished",
+    "assign_parity",
+    "build_parity_graph",
+    "copies_for_perfect_balance",
+    "parity_loads",
+    "perfect_balance_possible",
+]

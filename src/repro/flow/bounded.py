@@ -1,0 +1,98 @@
+"""Max flow with edge lower bounds.
+
+The parity assignment graph (Fig. 7) puts *lower* bounds on the
+disk→sink edges (``⌊L(d)⌋``).  This module reduces bounded max-flow to
+two plain max-flow runs via the standard excess-node transformation —
+the same reduction the paper sketches concretely in the proof of
+Theorem 13 (their auxiliary graph ``G'``).
+
+``solve`` returns per-edge flows, which is what the parity assignment
+needs (the chosen parity unit is the saturated stripe→disk edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .dinic import dinic_max_flow
+from .network import INF, FlowNetwork
+
+__all__ = ["BoundedEdge", "InfeasibleFlow", "max_flow_with_lower_bounds"]
+
+
+@dataclass(frozen=True)
+class BoundedEdge:
+    """A directed edge with flow bounds ``lo <= f <= hi``."""
+
+    u: int
+    v: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi:
+            raise ValueError(f"invalid bounds [{self.lo}, {self.hi}]")
+
+
+class InfeasibleFlow(RuntimeError):
+    """No flow satisfies all lower bounds."""
+
+
+def max_flow_with_lower_bounds(
+    n: int,
+    edges: Sequence[BoundedEdge],
+    s: int,
+    t: int,
+    *,
+    max_flow: Callable[[FlowNetwork, int, int], int] = dinic_max_flow,
+) -> tuple[int, list[int]]:
+    """Compute a maximum ``s``→``t`` flow respecting edge lower bounds.
+
+    Returns ``(value, flows)`` where ``flows[i]`` is the (integral) flow
+    on ``edges[i]``.
+
+    The reduction: replace each edge's capacity with ``hi - lo`` and
+    account the mandatory ``lo`` units as node excesses; a super
+    source/sink absorbs the excesses, with a ``t -> s`` edge of infinite
+    capacity closing the circulation.  Feasible iff the super flow
+    saturates all excess edges; afterwards, augment ``s -> t`` in the
+    residual network to maximality.
+
+    Raises:
+        InfeasibleFlow: if the lower bounds admit no feasible flow.
+    """
+    super_s, super_t = n, n + 1
+    net = FlowNetwork(n + 2)
+
+    excess = [0] * n
+    edge_ids: list[int] = []
+    for e in edges:
+        edge_ids.append(net.add_edge(e.u, e.v, e.hi - e.lo))
+        excess[e.v] += e.lo
+        excess[e.u] -= e.lo
+
+    required = 0
+    for node, x in enumerate(excess):
+        if x > 0:
+            net.add_edge(super_s, node, x)
+            required += x
+        elif x < 0:
+            net.add_edge(node, super_t, -x)
+
+    ts_edge = net.add_edge(t, s, INF)
+
+    feasible = max_flow(net, super_s, super_t)
+    if feasible != required:
+        raise InfeasibleFlow(
+            f"lower bounds are infeasible: pushed {feasible} of {required} required units"
+        )
+
+    # Freeze the circulation closer, then maximize s -> t on the residual.
+    base_flow = net.flow(ts_edge)
+    net._cap[ts_edge] = 0
+    net._cap[ts_edge ^ 1] = 0
+
+    extra = max_flow(net, s, t)
+    flows = [net.flow(eid) + e.lo for eid, e in zip(edge_ids, edges)]
+    return base_flow + extra, flows

@@ -1,0 +1,71 @@
+"""Flow-network data structure (paired residual-edge representation).
+
+The substrate for Section 4's parity assignment graphs.  Edges are
+stored in a flat array where edge ``i`` and its residual twin ``i ^ 1``
+are adjacent, the standard representation for augmenting-path and
+blocking-flow algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowNetwork", "INF"]
+
+#: Effectively-infinite capacity for auxiliary edges.
+INF = 1 << 60
+
+
+@dataclass
+class _Edge:
+    to: int
+    cap: int
+
+
+class FlowNetwork:
+    """A directed flow network on nodes ``0..n-1`` with integer capacities.
+
+    ``add_edge`` returns the forward edge id; the flow pushed through it
+    after a max-flow run is ``self.flow(edge_id)``.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError(f"a flow network needs at least 2 nodes, got {n}")
+        self.n = n
+        self.head: list[list[int]] = [[] for _ in range(n)]
+        self._to: list[int] = []
+        self._cap: list[int] = []
+
+    def add_edge(self, u: int, v: int, cap: int) -> int:
+        """Add edge ``u -> v`` with the given capacity; returns its id."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
+        if cap < 0:
+            raise ValueError(f"negative capacity {cap}")
+        eid = len(self._to)
+        self._to.append(v)
+        self._cap.append(cap)
+        self.head[u].append(eid)
+        self._to.append(u)
+        self._cap.append(0)  # residual twin
+        self.head[v].append(eid + 1)
+        return eid
+
+    def flow(self, edge_id: int) -> int:
+        """Flow currently pushed through forward edge ``edge_id`` (the
+        capacity accumulated on its residual twin)."""
+        return self._cap[edge_id ^ 1]
+
+    def residual(self, edge_id: int) -> int:
+        """Remaining capacity of edge ``edge_id``."""
+        return self._cap[edge_id]
+
+    def edge_count(self) -> int:
+        """Number of forward edges added."""
+        return len(self._to) // 2
+
+    def push(self, edge_id: int, amount: int) -> None:
+        """Move ``amount`` units of capacity from an edge to its twin."""
+        self._cap[edge_id] -= amount
+        self._cap[edge_id ^ 1] += amount

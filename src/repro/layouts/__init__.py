@@ -1,0 +1,111 @@
+"""Data layouts: every construction in the paper plus the baselines."""
+
+from .balancing import (
+    minimum_balanced_layout,
+    rebalance_parity,
+    single_copy_layout,
+)
+from .dual import (
+    DualParityLayout,
+    verify_double_fault_tolerance,
+    with_dual_parity,
+)
+from .extension import ExtensionStep, extendible_family, movement_cost
+from .parallelism import SequentialMetrics, sequential_metrics
+from .feasibility import (
+    FEASIBLE_SIZE_LIMIT,
+    best_feasible_method,
+    is_feasible_size,
+    predicted_sizes,
+)
+from .holland_gibson import holland_gibson_layout, layout_from_design
+from .layout import Layout, LayoutError, Stripe, materialize
+from .mapping import AddressMapper, PhysicalUnit
+from .metrics import (
+    LayoutMetrics,
+    cocrossing_matrix,
+    evaluate_layout,
+    parity_counts,
+    parity_overheads,
+    reconstruction_workloads,
+)
+from .raid5 import raid5_layout
+from .serialization import (
+    layout_from_dict,
+    layout_to_dict,
+    load_layout,
+    save_layout,
+)
+from .randomized import random_layout
+from .removal import remove_disks, theorem8_layout, theorem9_layout
+from .sparing import (
+    DistributedSparing,
+    choose_spare_units,
+    with_distributed_sparing,
+)
+from .ring_layout import ring_disk_stripes, ring_layout, ring_layout_from_design
+from .stairway import (
+    StairwayPlan,
+    find_smallest_stairway_plan,
+    find_stairway_plan,
+    iter_stairway_plans,
+    stairway_layout,
+    stairway_params,
+    theorem10_layout,
+    theorem11_layout,
+)
+
+__all__ = [
+    "minimum_balanced_layout",
+    "rebalance_parity",
+    "single_copy_layout",
+    "ExtensionStep",
+    "extendible_family",
+    "movement_cost",
+    "DualParityLayout",
+    "verify_double_fault_tolerance",
+    "with_dual_parity",
+    "SequentialMetrics",
+    "sequential_metrics",
+    "random_layout",
+    "DistributedSparing",
+    "choose_spare_units",
+    "with_distributed_sparing",
+    "FEASIBLE_SIZE_LIMIT",
+    "best_feasible_method",
+    "is_feasible_size",
+    "predicted_sizes",
+    "holland_gibson_layout",
+    "layout_from_design",
+    "Layout",
+    "LayoutError",
+    "Stripe",
+    "materialize",
+    "AddressMapper",
+    "PhysicalUnit",
+    "LayoutMetrics",
+    "cocrossing_matrix",
+    "evaluate_layout",
+    "parity_counts",
+    "parity_overheads",
+    "reconstruction_workloads",
+    "raid5_layout",
+    "layout_from_dict",
+    "layout_to_dict",
+    "load_layout",
+    "save_layout",
+    "remove_disks",
+    "theorem8_layout",
+    "theorem9_layout",
+    "ring_disk_stripes",
+    "ring_layout",
+    "ring_layout_from_design",
+    "StairwayPlan",
+    "find_smallest_stairway_plan",
+    "find_stairway_plan",
+    "iter_stairway_plans",
+    "stairway_layout",
+    "stairway_params",
+    "theorem10_layout",
+    "theorem11_layout",
+]

@@ -1,0 +1,67 @@
+"""Flow-balanced layouts (Section 4 applied to layout construction).
+
+Two user-facing consequences of Theorems 13-14:
+
+* :func:`single_copy_layout` — one copy of *any* BIBD with parity spread
+  at most one unit across disks (no replication at all); this is the
+  paper's "turn a single copy of any BIBD into a layout with
+  approximately-balanced parity".
+* :func:`minimum_balanced_layout` — the Holland–Gibson lcm conjecture
+  (Corollary 17): exactly ``lcm(b, v)/b`` copies, flow-assigned parity,
+  perfectly balanced — the provably minimal replication.
+
+Also provides :func:`rebalance_parity`, which reassigns the parity units
+of an existing layout (of arbitrary, even mixed-size stripes) to the
+Theorem 14 optimum while keeping the data placement fixed.
+"""
+
+from __future__ import annotations
+
+from ..designs import BlockDesign
+from ..flow import assign_parity, copies_for_perfect_balance
+from .holland_gibson import layout_from_design
+from .layout import Layout, Stripe
+
+__all__ = [
+    "single_copy_layout",
+    "minimum_balanced_layout",
+    "rebalance_parity",
+]
+
+
+def single_copy_layout(design: BlockDesign) -> Layout:
+    """One unreplicated copy of ``design`` with flow-assigned parity.
+
+    Size ``k·b/v`` — a factor ``k`` smaller than Holland–Gibson — with
+    per-disk parity counts differing by at most one (Corollary 16).
+    """
+    return layout_from_design(design, copies=1, parity="flow")
+
+
+def minimum_balanced_layout(design: BlockDesign) -> Layout:
+    """The minimal perfectly-parity-balanced layout from ``design``:
+    ``lcm(b, v)/b`` copies with flow-assigned parity (Corollary 17)."""
+    copies = copies_for_perfect_balance(design.b, design.v)
+    return layout_from_design(design, copies=copies, parity="flow")
+
+
+def rebalance_parity(layout: Layout) -> Layout:
+    """Reassign parity units of an existing layout via the Section 4
+    network-flow method, leaving every data unit where it is.
+
+    Works for any stripe-size mix (the Theorem 14 statement); per-disk
+    parity counts land in ``{⌊L(d)⌋, ⌈L(d)⌉}``.
+    """
+    stripes_disks = [s.disks for s in layout.stripes]
+    parity_disks = assign_parity(stripes_disks, layout.v)
+    new_stripes = []
+    for stripe, pd in zip(layout.stripes, parity_disks):
+        new_stripes.append(
+            Stripe(units=stripe.units, parity_index=stripe.disks.index(pd))
+        )
+    return Layout(
+        v=layout.v,
+        size=layout.size,
+        stripes=tuple(new_stripes),
+        name=f"{layout.name}+flowparity" if layout.name else "flowparity",
+    )

@@ -1,0 +1,140 @@
+"""Extendible data layouts (Section 5 open problem).
+
+The paper asks for layouts where "additional disks can be introduced
+with minimal reconfiguration of the data on the existing disks".  The
+removal construction of Theorems 8-9 has exactly this property in
+reverse: a family of layouts built by removing nested suffixes of disks
+from one ring design keeps every surviving data unit in place —
+removal renumbers nothing and offsets are assigned per disk in stripe
+order, so growing the array from ``v`` to ``v+1`` disks only
+
+* adds the new disk's column (which must be written anyway), and
+* re-designates O(v) parity units (stripes whose parity returns to the
+  re-added disk).
+
+No live data moves.  :func:`movement_cost` quantifies this against any
+alternative (e.g. replanning a fresh layout), and
+:func:`extendible_family` builds the nested family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra import is_prime_power
+from ..designs import RingDesign, ring_design
+from .layout import Layout
+from .removal import remove_disks
+from .ring_layout import ring_layout_from_design
+
+__all__ = ["ExtensionStep", "movement_cost", "extendible_family"]
+
+
+def _fingerprints(layout: Layout, disks: int) -> dict[tuple[int, int], tuple]:
+    """Per-unit identity of the stripe a unit belongs to, restricted to
+    the first ``disks`` disks: the unit's role is characterized by the
+    set of peer units it shares a stripe with and whether it is parity.
+
+    Two layouts agree on a unit iff a rebuild/controller would treat the
+    unit identically in both.
+    """
+    out: dict[tuple[int, int], tuple] = {}
+    for stripe in layout.stripes:
+        members = frozenset((d, off) for d, off in stripe.units if d < disks)
+        for ui, (d, off) in enumerate(stripe.units):
+            if d < disks:
+                out[(d, off)] = (members, ui == stripe.parity_index)
+    return out
+
+
+def movement_cost(old: Layout, new: Layout) -> dict[str, int]:
+    """How much reconfiguration turning ``old`` into ``new`` requires.
+
+    Compares the two layouts on their common disks (and common offsets)
+    and counts units whose stripe membership changed (``data_moved`` —
+    these require physically relocating data) versus units that merely
+    changed parity/data role (``role_changed`` — a parity recompute, no
+    data movement).
+
+    Returns a dict with ``common_units``, ``data_moved``,
+    ``role_changed``.
+    """
+    disks = min(old.v, new.v)
+    size = min(old.size, new.size)
+    fa = _fingerprints(old, disks)
+    fb = _fingerprints(new, disks)
+    data_moved = 0
+    role_changed = 0
+    common = 0
+    for d in range(disks):
+        for off in range(size):
+            a = fa.get((d, off))
+            b = fb.get((d, off))
+            if a is None or b is None:
+                continue
+            common += 1
+            if a[0] != b[0]:
+                data_moved += 1
+            elif a[1] != b[1]:
+                role_changed += 1
+    return {
+        "common_units": common,
+        "data_moved": data_moved,
+        "role_changed": role_changed,
+    }
+
+
+@dataclass(frozen=True)
+class ExtensionStep:
+    """One step of the extendible family: the layout for ``v`` disks and
+    the cost of having grown from the previous (``v-1``-disk) layout."""
+
+    v: int
+    layout: Layout
+    data_moved: int
+    role_changed: int
+
+
+def extendible_family(v_max: int, k: int, steps: int) -> list[ExtensionStep]:
+    """Build nested layouts for ``v_max - steps .. v_max`` disks from one
+    ring design, growable with zero data movement.
+
+    ``v_max`` must be a prime power (the ring design's order); each
+    smaller layout removes one more trailing disk (Theorems 8/9).  The
+    returned list is ordered smallest array first, each step annotated
+    with the measured reconfiguration cost of growing into it.
+
+    Raises:
+        ValueError: if ``v_max`` is not a prime power or ``steps`` is
+            out of range for Theorem 9 (``steps(steps-1) > k-steps``).
+    """
+    if not is_prime_power(v_max):
+        raise ValueError(f"v_max={v_max} must be a prime power")
+    if steps < 1:
+        raise ValueError("need at least one extension step")
+    design: RingDesign = ring_design(v_max, k)
+
+    layouts: list[Layout] = []
+    for i in range(steps, 0, -1):
+        layouts.append(remove_disks(design, list(range(v_max - i, v_max))))
+    layouts.append(ring_layout_from_design(design))
+
+    family: list[ExtensionStep] = []
+    prev: Layout | None = None
+    for lay in layouts:
+        if prev is None:
+            family.append(
+                ExtensionStep(v=lay.v, layout=lay, data_moved=0, role_changed=0)
+            )
+        else:
+            cost = movement_cost(prev, lay)
+            family.append(
+                ExtensionStep(
+                    v=lay.v,
+                    layout=lay,
+                    data_moved=cost["data_moved"],
+                    role_changed=cost["role_changed"],
+                )
+            )
+        prev = lay
+    return family

@@ -1,0 +1,97 @@
+"""Condition 4 feasibility: layout sizes vs. the units-per-disk budget.
+
+The paper deems a layout *feasible* when its size (units per disk, =
+lookup-table rows) is at most roughly 10,000 tracks; a 1 GB disk of the
+era had about 50,000 tracks.  These predictors compute each
+construction's size *without materializing it*, which is what makes
+array-scale feasibility scans cheap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..algebra import is_prime_power, min_prime_power_factor
+from ..designs import (
+    candidate_constructions,
+    theorem4_parameters,
+    theorem5_parameters,
+    theorem6_parameters,
+    is_theorem6_applicable,
+)
+from .stairway import find_smallest_stairway_plan, find_stairway_plan
+
+__all__ = [
+    "FEASIBLE_SIZE_LIMIT",
+    "is_feasible_size",
+    "predicted_sizes",
+    "best_feasible_method",
+]
+
+#: The paper's default feasibility bound on layout size (units/disk).
+FEASIBLE_SIZE_LIMIT = 10_000
+
+
+def is_feasible_size(size: int, limit: int = FEASIBLE_SIZE_LIMIT) -> bool:
+    """Condition 4 test: layout fits in the lookup-table budget."""
+    return size <= limit
+
+
+def predicted_sizes(v: int, k: int) -> dict[str, int]:
+    """Predicted layout size (units per disk) of every applicable
+    construction for ``(v, k)``, without building anything.
+
+    Methods and their sizes:
+
+    * ``hg_complete``: Holland–Gibson k copies of the complete design —
+      ``k * C(v-1, k-1)``.
+    * ``hg_best``: Holland–Gibson k copies of the smallest available
+      BIBD — ``k^2 * b / v``.
+    * ``flow_best``: single flow-balanced copy of the smallest BIBD —
+      ``k * b / v`` (Section 4).
+    * ``flow_lcm``: minimal perfectly balanced replication —
+      ``(k*b/v) * lcm(b,v)/b`` (Corollary 17).
+    * ``ring``: ring layout — ``k(v-1)`` (needs ``k <= M(v)``).
+    * ``stairway``: least-imbalance stairway (largest prime power
+      ``q < v``) — ``k(c-1)(q-1)`` (approximately balanced).
+    * ``stairway_compact``: size-minimizing stairway (fewest copies) —
+      same formula, smallest value over all valid ``q``.
+    """
+    sizes: dict[str, int] = {}
+    if 2 <= k <= v:
+        r_complete = math.comb(v - 1, k - 1)
+        sizes["hg_complete"] = k * r_complete
+
+        candidates = candidate_constructions(v, k)
+        if candidates:
+            _, b = candidates[0]
+            r = k * b // v  # replication count of the best design
+            sizes["hg_best"] = k * r
+            sizes["flow_best"] = r
+            copies = math.lcm(b, v) // b
+            sizes["flow_lcm"] = r * copies
+
+    if 2 <= k <= min_prime_power_factor(v):
+        sizes["ring"] = k * (v - 1)
+
+    plan = find_stairway_plan(v, k)
+    if plan is not None:
+        sizes["stairway"] = plan.predicted_size(k)
+    compact = find_smallest_stairway_plan(v, k)
+    if compact is not None:
+        sizes["stairway_compact"] = compact.predicted_size(k)
+
+    return sizes
+
+
+def best_feasible_method(
+    v: int, k: int, limit: int = FEASIBLE_SIZE_LIMIT
+) -> tuple[str, int] | None:
+    """Smallest-size construction for ``(v, k)`` within the feasibility
+    limit, or ``None`` if every method exceeds it."""
+    sizes = predicted_sizes(v, k)
+    feasible = [(s, m) for m, s in sizes.items() if is_feasible_size(s, limit)]
+    if not feasible:
+        return None
+    size, method = min(feasible)
+    return method, size

@@ -1,0 +1,202 @@
+"""The data-layout type: stripes of units placed on a disk array.
+
+A layout divides ``v`` disks of ``size`` units each into parity stripes.
+Following the paper's Conditions 1-4 (Section 1):
+
+1. each stripe holds at most one unit per disk (reconstructability);
+2. each stripe has exactly one parity unit;
+3. every unit of every disk belongs to exactly one stripe;
+4. the mapping from logical addresses to units is one table lookup.
+
+``Layout`` is the common currency of the whole library: every
+construction (RAID5, Holland–Gibson, ring-based, removal, stairway,
+flow-balanced) produces one, the metrics kernels consume one, and the
+simulator executes one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["LayoutError", "Stripe", "Layout", "materialize"]
+
+
+class LayoutError(ValueError):
+    """Raised when a unit assignment violates the layout conditions."""
+
+
+@dataclass(frozen=True)
+class Stripe:
+    """One parity stripe.
+
+    Attributes:
+        units: ``(disk, offset)`` positions of the stripe's units.
+        parity_index: index into ``units`` of the parity unit.
+    """
+
+    units: tuple[tuple[int, int], ...]
+    parity_index: int
+
+    @property
+    def size(self) -> int:
+        """Number of units in the stripe (the paper's ``k_s``)."""
+        return len(self.units)
+
+    @property
+    def parity_unit(self) -> tuple[int, int]:
+        """``(disk, offset)`` of the parity unit."""
+        return self.units[self.parity_index]
+
+    @property
+    def disks(self) -> tuple[int, ...]:
+        """Disks crossed by this stripe, in unit order."""
+        return tuple(d for d, _ in self.units)
+
+    def data_units(self) -> tuple[tuple[int, int], ...]:
+        """The non-parity units, in unit order."""
+        return tuple(
+            u for i, u in enumerate(self.units) if i != self.parity_index
+        )
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A complete data layout for a ``v``-disk array.
+
+    Attributes:
+        v: number of disks.
+        size: units per disk (the paper's layout *size*, the Condition 4
+            feasibility quantity).
+        stripes: the stripe list.
+        name: construction tag for reports.
+    """
+
+    v: int
+    size: int
+    stripes: tuple[Stripe, ...]
+    name: str = field(default="", compare=False)
+
+    @property
+    def b(self) -> int:
+        """Number of stripes."""
+        return len(self.stripes)
+
+    def total_units(self) -> int:
+        """``v * size``: every unit on every disk."""
+        return self.v * self.size
+
+    def stripe_sizes(self) -> tuple[int, int]:
+        """``(k_min, k_max)`` over all stripes."""
+        sizes = [s.size for s in self.stripes]
+        return min(sizes), max(sizes)
+
+    def validate(self) -> None:
+        """Check Conditions 1-3 plus full rectangular coverage.
+
+        Raises:
+            LayoutError: on the first violation found.
+        """
+        if self.v < 2 or self.size < 1:
+            raise LayoutError(f"invalid dimensions v={self.v}, size={self.size}")
+        seen: set[tuple[int, int]] = set()
+        for si, stripe in enumerate(self.stripes):
+            if stripe.size < 2:
+                raise LayoutError(f"stripe {si} has fewer than 2 units")
+            if not 0 <= stripe.parity_index < stripe.size:
+                raise LayoutError(f"stripe {si} has invalid parity index")
+            disks = set()
+            for disk, offset in stripe.units:
+                if not (0 <= disk < self.v and 0 <= offset < self.size):
+                    raise LayoutError(
+                        f"stripe {si} unit ({disk},{offset}) out of bounds"
+                    )
+                if disk in disks:
+                    raise LayoutError(
+                        f"stripe {si} crosses disk {disk} twice (violates Condition 1)"
+                    )
+                disks.add(disk)
+                if (disk, offset) in seen:
+                    raise LayoutError(
+                        f"unit ({disk},{offset}) belongs to more than one stripe"
+                    )
+                seen.add((disk, offset))
+        if len(seen) != self.total_units():
+            raise LayoutError(
+                f"layout covers {len(seen)} of {self.total_units()} units"
+            )
+
+    def unit_to_stripe(self) -> dict[tuple[int, int], tuple[int, bool]]:
+        """Map each ``(disk, offset)`` to ``(stripe_id, is_parity)``."""
+        table: dict[tuple[int, int], tuple[int, bool]] = {}
+        for si, stripe in enumerate(self.stripes):
+            for ui, unit in enumerate(stripe.units):
+                table[unit] = (si, ui == stripe.parity_index)
+        return table
+
+    def grid(self) -> list[list[tuple[int, bool]]]:
+        """Dense ``[disk][offset] -> (stripe_id, is_parity)`` table —
+        the Condition 4 lookup table, also handy for printing figures."""
+        table = self.unit_to_stripe()
+        return [
+            [table[(d, off)] for off in range(self.size)] for d in range(self.v)
+        ]
+
+    def render(self, *, max_width: int = 120) -> str:
+        """ASCII rendering in the style of the paper's Figs. 2-3: one row
+        per offset, one column per disk, ``Sn``/``Pn`` for data/parity of
+        stripe ``n``."""
+        grid = self.grid()
+        width = max(3, len(str(self.b - 1)) + 1)
+        header = " " * 6 + "".join(f"D{d:<{width}}" for d in range(self.v))
+        lines = [header[:max_width]]
+        for off in range(self.size):
+            cells = []
+            for d in range(self.v):
+                sid, is_par = grid[d][off]
+                cells.append(f"{'P' if is_par else 'S'}{sid:<{width}}")
+            lines.append((f"{off:>4}: " + "".join(cells))[:max_width])
+        return "\n".join(lines)
+
+
+def materialize(
+    v: int,
+    abstract_stripes: Iterable[tuple[Sequence[int], int]],
+    name: str = "",
+) -> Layout:
+    """Build a :class:`Layout` from disk-level stripes.
+
+    Each abstract stripe is ``(disks, parity_disk)``; offsets are
+    assigned per disk in stripe order (each unit takes the next free
+    slot on its disk), which is how the paper's tables are laid down.
+
+    Raises:
+        LayoutError: if the stripes do not give every disk the same
+            number of units (the paper's layouts are rectangular), or a
+            parity disk is not a member of its stripe.
+    """
+    next_free = [0] * v
+    stripes: list[Stripe] = []
+    for si, (disks, parity_disk) in enumerate(abstract_stripes):
+        units: list[tuple[int, int]] = []
+        parity_index = -1
+        for ui, d in enumerate(disks):
+            if not 0 <= d < v:
+                raise LayoutError(f"stripe {si}: disk {d} out of range (v={v})")
+            units.append((d, next_free[d]))
+            next_free[d] += 1
+            if d == parity_disk:
+                parity_index = ui
+        if parity_index < 0:
+            raise LayoutError(
+                f"stripe {si}: parity disk {parity_disk} not in stripe {tuple(disks)}"
+            )
+        stripes.append(Stripe(units=tuple(units), parity_index=parity_index))
+
+    size = next_free[0]
+    if any(c != size for c in next_free):
+        raise LayoutError(
+            f"ragged layout: per-disk unit counts range "
+            f"{min(next_free)}..{max(next_free)}"
+        )
+    return Layout(v=v, size=size, stripes=tuple(stripes), name=name)

@@ -1,0 +1,138 @@
+"""Logical-to-physical address mapping (Condition 4).
+
+Maps a linear logical address space of *data* units onto the array: one
+table lookup plus constant arithmetic, exactly the paper's efficiency
+model.  Disks larger than one layout iteration tile the layout
+vertically ("multiple copies of the layout can be used as needed").
+
+The lookup table is the per-iteration list of data-unit positions (and
+the reverse grid); its row count — the layout size — is the paper's
+feasibility measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layout import Layout
+
+__all__ = ["AddressMapper", "PhysicalUnit"]
+
+
+@dataclass(frozen=True)
+class PhysicalUnit:
+    """A physical unit address plus its stripe context."""
+
+    disk: int
+    offset: int
+    stripe: int
+    is_parity: bool
+
+
+class AddressMapper:
+    """Bidirectional logical/physical mapping for a layout.
+
+    Logical data units are numbered in stripe order (stripe 0's data
+    units first).  Parity units have no logical address.
+
+    Args:
+        layout: the data layout (one iteration).
+        iterations: how many times the layout tiles each disk (a disk
+            has ``layout.size * iterations`` units).
+    """
+
+    def __init__(self, layout: Layout, *, iterations: int = 1):
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.layout = layout
+        self.iterations = iterations
+        # Forward table: logical data unit -> (disk, offset, stripe).
+        self._data_units: list[tuple[int, int, int]] = []
+        for si, stripe in enumerate(layout.stripes):
+            for d, off in stripe.data_units():
+                self._data_units.append((d, off, si))
+        # Reverse grid: (disk, offset) -> (stripe, is_parity, logical or -1).
+        self._reverse: dict[tuple[int, int], tuple[int, bool, int]] = {}
+        for si, stripe in enumerate(layout.stripes):
+            pd, poff = stripe.parity_unit
+            self._reverse[(pd, poff)] = (si, True, -1)
+        for lba, (d, off, si) in enumerate(self._data_units):
+            self._reverse[(d, off)] = (si, False, lba)
+
+    @property
+    def data_units_per_iteration(self) -> int:
+        """Data units in one layout iteration (``v*size - b``)."""
+        return len(self._data_units)
+
+    @property
+    def capacity(self) -> int:
+        """Total logical data units across all iterations."""
+        return self.data_units_per_iteration * self.iterations
+
+    def table_rows(self) -> int:
+        """Condition 4 metric: rows in the resident lookup table (the
+        layout size — units per disk per iteration)."""
+        return self.layout.size
+
+    def logical_to_physical(self, lba: int) -> PhysicalUnit:
+        """Map a logical data-unit address to its physical unit.
+
+        One table lookup (``lba mod units-per-iteration``) plus constant
+        arithmetic for the iteration offset.
+
+        Raises:
+            IndexError: if ``lba`` is outside the address space.
+        """
+        if not 0 <= lba < self.capacity:
+            raise IndexError(f"lba {lba} outside capacity {self.capacity}")
+        iteration, within = divmod(lba, self.data_units_per_iteration)
+        disk, offset, stripe = self._data_units[within]
+        return PhysicalUnit(
+            disk=disk,
+            offset=offset + iteration * self.layout.size,
+            stripe=stripe + iteration * self.layout.b,
+            is_parity=False,
+        )
+
+    def physical_to_logical(self, disk: int, offset: int) -> tuple[int, bool]:
+        """Map a physical unit back to ``(lba, is_parity)``.
+
+        Parity units return ``(-1, True)``.
+
+        Raises:
+            IndexError: if the physical address is out of range.
+        """
+        iteration, within = divmod(offset, self.layout.size)
+        if not (0 <= disk < self.layout.v and 0 <= iteration < self.iterations):
+            raise IndexError(f"physical address ({disk},{offset}) out of range")
+        stripe, is_parity, lba = self._reverse[(disk, within)]
+        if is_parity:
+            return -1, True
+        return lba + iteration * self.data_units_per_iteration, False
+
+    def stripe_of(self, disk: int, offset: int) -> int:
+        """Global stripe id of a physical unit (across iterations)."""
+        iteration, within = divmod(offset, self.layout.size)
+        stripe, _, _ = self._reverse[(disk, within)]
+        return stripe + iteration * self.layout.b
+
+    def stripe_units(self, global_stripe: int) -> list[PhysicalUnit]:
+        """All physical units of a (global) stripe."""
+        iteration, si = divmod(global_stripe, self.layout.b)
+        stripe = self.layout.stripes[si]
+        shift = iteration * self.layout.size
+        out = []
+        for ui, (d, off) in enumerate(stripe.units):
+            is_par = ui == stripe.parity_index
+            lba = -1
+            if not is_par:
+                _, _, lba = self._reverse[(d, off)]
+            out.append(
+                PhysicalUnit(
+                    disk=d,
+                    offset=off + shift,
+                    stripe=global_stripe,
+                    is_parity=is_par,
+                )
+            )
+        return out

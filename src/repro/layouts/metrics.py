@@ -1,0 +1,124 @@
+"""Layout quality metrics — the paper's Conditions 2-4 measurements.
+
+* Condition 2 (parity balance): per-disk *parity overhead*, the fraction
+  of a disk's units that are parity; the paper's metric is its maximum
+  over disks.
+* Condition 3 (reconstruction balance): per-pair *reconstruction
+  workload*, the fraction of one disk read while rebuilding another;
+  metric is the maximum over ordered pairs.
+* Condition 4 (mapping efficiency): the layout size (units per disk),
+  which is the lookup-table row count.
+
+The workload matrix is computed with a NumPy incidence-matrix product
+(``C = Mᵀ M``); layouts here can have tens of thousands of stripes, and
+the quadratic pair loop in pure Python is the one genuine hot spot in
+the metrics path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from .layout import Layout
+
+__all__ = [
+    "LayoutMetrics",
+    "parity_counts",
+    "parity_overheads",
+    "cocrossing_matrix",
+    "reconstruction_workloads",
+    "evaluate_layout",
+]
+
+
+def parity_counts(layout: Layout) -> list[int]:
+    """Number of parity units on each disk."""
+    counts = [0] * layout.v
+    for stripe in layout.stripes:
+        counts[stripe.parity_unit[0]] += 1
+    return counts
+
+
+def parity_overheads(layout: Layout) -> list[Fraction]:
+    """Exact per-disk parity overhead (parity units / size)."""
+    return [Fraction(c, layout.size) for c in parity_counts(layout)]
+
+
+def cocrossing_matrix(layout: Layout) -> np.ndarray:
+    """``C[i, j]``: number of stripes with units on both disks ``i`` and
+    ``j`` (diagonal: stripes crossing disk ``i``)."""
+    m = np.zeros((layout.b, layout.v), dtype=np.int64)
+    for si, stripe in enumerate(layout.stripes):
+        for d, _ in stripe.units:
+            m[si, d] = 1
+    return m.T @ m
+
+
+def reconstruction_workloads(layout: Layout) -> np.ndarray:
+    """Workload matrix ``W[i, j]``: fraction of disk ``j`` read when disk
+    ``i`` fails (diagonal is zero).
+
+    A stripe crossing both disks contributes exactly one unit read from
+    ``j`` (its unit there), so ``W = C / size`` off-diagonal.
+    """
+    c = cocrossing_matrix(layout).astype(np.float64)
+    np.fill_diagonal(c, 0.0)
+    return c / float(layout.size)
+
+
+@dataclass(frozen=True)
+class LayoutMetrics:
+    """Summary of a layout against the paper's four conditions."""
+
+    v: int
+    size: int
+    b: int
+    k_min: int
+    k_max: int
+    parity_overhead_min: Fraction
+    parity_overhead_max: Fraction
+    workload_min: float
+    workload_max: float
+    parity_spread: int  # max - min per-disk parity count
+
+    @property
+    def parity_balanced(self) -> bool:
+        """Perfectly even parity distribution (Condition 2 ideal)."""
+        return self.parity_spread == 0
+
+    @property
+    def workload_balanced(self) -> bool:
+        """Perfectly even reconstruction workload (Condition 3 ideal)."""
+        return abs(self.workload_max - self.workload_min) < 1e-12
+
+    def summary(self) -> str:
+        """One-line report row."""
+        return (
+            f"v={self.v} size={self.size} b={self.b} k=[{self.k_min},{self.k_max}] "
+            f"parity=[{self.parity_overhead_min},{self.parity_overhead_max}] "
+            f"workload=[{self.workload_min:.4f},{self.workload_max:.4f}]"
+        )
+
+
+def evaluate_layout(layout: Layout) -> LayoutMetrics:
+    """Compute the full metric set for a layout."""
+    pcounts = parity_counts(layout)
+    overheads = [Fraction(c, layout.size) for c in pcounts]
+    w = reconstruction_workloads(layout)
+    offdiag = w[~np.eye(layout.v, dtype=bool)]
+    k_min, k_max = layout.stripe_sizes()
+    return LayoutMetrics(
+        v=layout.v,
+        size=layout.size,
+        b=layout.b,
+        k_min=k_min,
+        k_max=k_max,
+        parity_overhead_min=min(overheads),
+        parity_overhead_max=max(overheads),
+        workload_min=float(offdiag.min()),
+        workload_max=float(offdiag.max()),
+        parity_spread=max(pcounts) - min(pcounts),
+    )

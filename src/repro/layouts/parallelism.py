@@ -1,0 +1,107 @@
+"""Conditions 5 and 6: Stockmeyer's sequential-workload metrics.
+
+Holland & Gibson's last two layout conditions — which the paper sets
+aside and Stockmeyer [15] later measured for these very layouts —
+concern how *logically consecutive* data maps onto the array:
+
+* **Condition 5 (Large Write Optimization):** a logical write covering
+  all ``k-1`` data units of one stripe can compute parity without
+  reading anything.  Metric: the fraction of aligned ``(k-1)``-unit
+  logical runs that land exactly on one stripe's data units.
+* **Condition 6 (Maximal Parallelism):** reading ``v`` consecutive
+  logical units should engage all ``v`` disks.  Metric: the minimum
+  number of distinct disks touched over all windows of ``v``
+  consecutive logical addresses.
+
+Both depend only on the layout and the logical numbering used by
+:class:`repro.layouts.AddressMapper` (stripe-major order, the natural
+choice the paper's Fig. 2/3 tables imply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layout import Layout
+from .mapping import AddressMapper
+
+__all__ = ["SequentialMetrics", "sequential_metrics"]
+
+
+@dataclass(frozen=True)
+class SequentialMetrics:
+    """Conditions 5-6 measurements for a layout + mapping."""
+
+    #: Fraction of aligned (k-1)-unit runs covering exactly one stripe.
+    large_write_fraction: float
+    #: Minimum distinct disks over any v-unit consecutive window.
+    min_parallelism: int
+    #: Maximum distinct disks (= v when some window is perfect).
+    max_parallelism: int
+    v: int
+    k: int
+
+    @property
+    def large_write_optimal(self) -> bool:
+        """Condition 5 ideal: every aligned full-stripe write is free of
+        pre-reads."""
+        return self.large_write_fraction == 1.0
+
+    @property
+    def maximally_parallel(self) -> bool:
+        """Condition 6 ideal: every v-window touches all v disks."""
+        return self.min_parallelism == self.v
+
+
+def sequential_metrics(layout: Layout, *, k: int | None = None) -> SequentialMetrics:
+    """Measure Conditions 5 and 6 for ``layout`` under the stripe-major
+    logical numbering.
+
+    Args:
+        k: nominal stripe size for the large-write window (defaults to
+            the layout's maximum stripe size; approximate layouts mix
+            ``k`` and ``k-1``-unit stripes, and only full-size stripes
+            can be large-write targets).
+    """
+    mapper = AddressMapper(layout)
+    _, k_max = layout.stripe_sizes()
+    k_eff = k if k is not None else k_max
+    window = k_eff - 1
+    capacity = mapper.capacity
+
+    # Condition 5: aligned windows of k-1 logical units.
+    full = 0
+    total = 0
+    for start in range(0, capacity - window + 1, window):
+        stripes = {
+            mapper.logical_to_physical(lba).stripe
+            for lba in range(start, start + window)
+        }
+        total += 1
+        if len(stripes) == 1:
+            # Must also cover the whole stripe's data (not just lie inside).
+            sid = stripes.pop()
+            if len(layout.stripes[sid].data_units()) == window:
+                full += 1
+    large_write_fraction = full / total if total else 0.0
+
+    # Condition 6: sliding windows of v consecutive logical units.
+    v = layout.v
+    disks = [mapper.logical_to_physical(lba).disk for lba in range(capacity)]
+    min_par = v
+    max_par = 0
+    if capacity >= v:
+        for start in range(capacity - v + 1):
+            spread = len(set(disks[start : start + v]))
+            min_par = min(min_par, spread)
+            max_par = max(max_par, spread)
+    else:
+        min_par = max_par = len(set(disks))
+
+    return SequentialMetrics(
+        large_write_fraction=large_write_fraction,
+        min_parallelism=min_par,
+        max_parallelism=max_par,
+        v=v,
+        k=k_eff,
+    )

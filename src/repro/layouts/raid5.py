@@ -1,0 +1,34 @@
+"""RAID level 5: the non-declustered baseline (Fig. 1).
+
+Every stripe spans all ``v`` disks (``k = v``), with the parity unit
+rotated round-robin across disks so no single disk bottlenecks on
+parity updates.  Rebuilding a failed disk reads *all* of every surviving
+disk — the cost parity declustering exists to reduce.
+"""
+
+from __future__ import annotations
+
+from .layout import Layout, Stripe, materialize
+
+__all__ = ["raid5_layout"]
+
+
+def raid5_layout(v: int, *, rotations: int = 1) -> Layout:
+    """Left-symmetric RAID5 layout for ``v`` disks.
+
+    Each rotation contributes ``v`` full-width stripes with the parity
+    walking across the disks, so the layout has ``size = v * rotations``
+    and perfectly balanced parity.
+
+    Raises:
+        ValueError: if ``v < 2`` or ``rotations < 1``.
+    """
+    if v < 2:
+        raise ValueError(f"RAID5 needs at least 2 disks, got {v}")
+    if rotations < 1:
+        raise ValueError(f"rotations must be >= 1, got {rotations}")
+    abstract = []
+    for row in range(v * rotations):
+        parity_disk = (v - 1 - row) % v  # left-symmetric rotation
+        abstract.append((tuple(range(v)), parity_disk))
+    return materialize(v, abstract, name=f"raid5(v={v})")

@@ -1,0 +1,158 @@
+"""Disk removal from ring layouts (Theorems 8 and 9).
+
+Theorem 8: delete one disk ``x₀`` from a ring layout.  Stripes that
+crossed it shrink to ``k-1`` units; each deleted stripe-``(x₀, y)``
+parity unit is reassigned to the stripe's unit on disk
+``x₀ + y(g₁ - g₀)``, which hands exactly one extra parity unit to every
+surviving disk — balance stays perfect.
+
+Theorem 9: delete ``i ≤ √k`` disks.  Running the Theorem 8 rule per
+removed disk leaves ``i(i-1)`` parity units whose preferred target was
+itself removed; those orphans are re-placed on distinct surviving disks
+of their stripes via a bipartite matching (we reuse the flow substrate),
+so every disk ends with ``v+i-1`` or ``v+i`` parity units.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..designs import RingDesign, ring_design
+from ..flow import FlowNetwork, dinic_max_flow
+from .layout import Layout, LayoutError, materialize
+
+__all__ = ["remove_disks", "theorem8_layout", "theorem9_layout"]
+
+
+def _match_orphans(
+    orphans: list[list[int]], disks: list[int]
+) -> list[int]:
+    """Assign each orphan stripe one disk from its candidate list, no
+    disk used twice (the Theorem 9 matching step).
+
+    Args:
+        orphans: candidate disk lists, one per orphaned parity unit.
+        disks: all surviving disk ids (matching capacity 1 each).
+
+    Returns:
+        The chosen disk per orphan.
+
+    Raises:
+        LayoutError: if no perfect matching exists (cannot happen within
+            the Theorem 9 precondition ``i(i-1) <= k-i``).
+    """
+    if not orphans:
+        return []
+    disk_node = {d: 2 + len(orphans) + j for j, d in enumerate(disks)}
+    net = FlowNetwork(2 + len(orphans) + len(disks))
+    source, sink = 0, 1
+    orphan_edges: list[list[int]] = []
+    for i, cands in enumerate(orphans):
+        net.add_edge(source, 2 + i, 1)
+        orphan_edges.append([net.add_edge(2 + i, disk_node[d], 1) for d in cands])
+    for d in disks:
+        net.add_edge(disk_node[d], sink, 1)
+
+    matched = dinic_max_flow(net, source, sink)
+    if matched != len(orphans):
+        raise LayoutError(
+            f"orphan parity matching failed: matched {matched} of {len(orphans)}"
+        )
+    chosen: list[int] = []
+    for i, cands in enumerate(orphans):
+        picked = [d for d, eid in zip(orphans[i], orphan_edges[i]) if net.flow(eid) == 1]
+        chosen.append(picked[0])
+    return chosen
+
+
+def remove_disks(design: RingDesign, removed: Sequence[int]) -> Layout:
+    """Remove the given disks (dense indices) from the ring layout of
+    ``design`` and return the re-balanced layout on ``v - i`` disks.
+
+    Implements Theorem 8 (``i = 1``) and Theorem 9 (``i > 1``).  The
+    surviving disks are renumbered densely, preserving order.
+
+    Raises:
+        ValueError: if ``i >= k`` (a stripe could lose all units), if
+            ``i(i-1) > k-i`` (the paper's matching precondition, which
+            ``i ≤ √k`` guarantees), or if a removed index is invalid.
+    """
+    v, k = design.v, design.k
+    removed_set = set(removed)
+    if len(removed_set) != len(removed):
+        raise ValueError("duplicate removed disks")
+    if not all(0 <= d < v for d in removed_set):
+        raise ValueError(f"removed disks out of range for v={v}")
+    i = len(removed_set)
+    if i == 0:
+        raise ValueError("no disks to remove")
+    if i * (i - 1) > k - i:
+        raise ValueError(
+            f"removing {i} disks violates the Theorem 9 precondition "
+            f"i(i-1) <= k-i (k={k}); need i <= sqrt(k)"
+        )
+    if k - i < 2:
+        raise ValueError(
+            f"removing {i} disks from stripes of size {k} would leave "
+            "single-unit stripes, which cannot carry parity"
+        )
+
+    ring = design.ring
+    index = ring.index
+    g0, g1 = design.gens[0], design.gens[1]
+    delta = ring.sub(g1, g0)
+
+    # Dense renumbering of survivors.
+    new_id = {}
+    nid = 0
+    for d in range(v):
+        if d not in removed_set:
+            new_id[d] = nid
+            nid += 1
+
+    # Pass 1: shrink stripes, apply the Theorem 8 reassignment rule,
+    # collect orphans whose preferred target was also removed.
+    stripes: list[tuple[tuple[int, ...], int]] = []
+    orphan_candidates: list[list[int]] = []
+    orphan_stripe_ids: list[int] = []
+    for (x, y), elems in zip(design.pairs, design.block_elements):
+        disks = [index(e) for e in elems]
+        surviving = tuple(new_id[d] for d in disks if d not in removed_set)
+        x_idx = index(x)
+        if x_idx not in removed_set:
+            parity = new_id[x_idx]
+        else:
+            target = index(ring.add(x, ring.mul(y, delta)))
+            if target not in removed_set:
+                parity = new_id[target]
+            else:
+                parity = -1  # orphan: resolved by the matching below
+                orphan_candidates.append(list(surviving))
+                orphan_stripe_ids.append(len(stripes))
+        stripes.append((surviving, parity))
+
+    # Pass 2: match orphans to distinct surviving disks.
+    survivors = list(range(v - i))
+    for sid, disk in zip(
+        orphan_stripe_ids, _match_orphans(orphan_candidates, survivors)
+    ):
+        stripes[sid] = (stripes[sid][0], disk)
+
+    return materialize(
+        v - i,
+        stripes,
+        name=f"removal(v={v}->{v - i},k={k})",
+    )
+
+
+def theorem8_layout(v: int, k: int) -> Layout:
+    """Theorem 8: a perfectly balanced layout for ``v-1`` disks from the
+    ``(v, k)`` ring layout, size ``k(v-1)``, parity overhead
+    ``(1/k)·(v/(v-1))``, reconstruction workload ``(k-1)/(v-1)``."""
+    return remove_disks(ring_design(v, k), [v - 1])
+
+
+def theorem9_layout(v: int, k: int, i: int) -> Layout:
+    """Theorem 9: an approximately balanced layout for ``v-i`` disks,
+    per-disk parity counts in ``{v+i-1, v+i}``."""
+    return remove_disks(ring_design(v, k), list(range(v - i, v)))

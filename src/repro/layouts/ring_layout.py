@@ -1,0 +1,52 @@
+"""Ring-based layouts (Section 3 intro): single-copy, perfectly balanced.
+
+The paper's first improvement over the Holland–Gibson method: for a
+Theorem 1 ring design, assign the parity unit of the stripe indexed by
+``(x, y)`` to its unit on disk ``x``.  Each disk ``x`` is the parity
+disk of exactly the ``v-1`` stripes ``(x, ·)``, so parity is perfectly
+balanced with *no replication*, and the layout size is ``k(v-1)``
+instead of Holland–Gibson's ``k·r = k²(v-1)``.
+"""
+
+from __future__ import annotations
+
+from ..designs import RingDesign, ring_design
+from .layout import Layout, materialize
+
+__all__ = ["ring_disk_stripes", "ring_layout", "ring_layout_from_design"]
+
+
+def ring_disk_stripes(design: RingDesign) -> list[tuple[tuple[int, ...], int]]:
+    """Disk-level stripes of the ring layout: ``(disks, parity_disk)``
+    per block, with the parity on disk ``x`` for pair ``(x, y)``.
+
+    Disk tuples are in generator order — position ``j`` is the
+    ``g_j``-th element — because the removal theorems address units by
+    generator position.
+    """
+    index = design.ring.index
+    out: list[tuple[tuple[int, ...], int]] = []
+    for (x, _y), elems in zip(design.pairs, design.block_elements):
+        out.append((tuple(index(e) for e in elems), index(x)))
+    return out
+
+
+def ring_layout_from_design(design: RingDesign) -> Layout:
+    """Materialize the ring layout of an existing :class:`RingDesign`."""
+    return materialize(
+        design.v,
+        ring_disk_stripes(design),
+        name=f"ring_layout(v={design.v},k={design.k})",
+    )
+
+
+def ring_layout(v: int, k: int) -> Layout:
+    """Build the ring layout for ``(v, k)``.
+
+    Size ``k(v-1)``; parity overhead exactly ``1/k`` on every disk;
+    reconstruction workload exactly ``(k-1)/(v-1)`` for every pair.
+
+    Raises:
+        ValueError: if ``k`` exceeds the Theorem 2 capacity ``M(v)``.
+    """
+    return ring_layout_from_design(ring_design(v, k))

@@ -1,0 +1,86 @@
+"""Layout serialization: the on-disk form of the Condition 4 table.
+
+An array controller ships the layout as a resident lookup table; this
+module provides a stable JSON schema for that artifact, so layouts can
+be generated offline (where the flow solver and design search run) and
+loaded by a controller that only ever does table lookups.
+
+The schema stores stripes as unit lists plus the parity index — exactly
+the information the paper's mapping model requires — with a format
+version and the construction name for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .layout import Layout, LayoutError, Stripe
+
+__all__ = ["layout_to_dict", "layout_from_dict", "save_layout", "load_layout"]
+
+FORMAT_VERSION = 1
+
+
+def layout_to_dict(layout: Layout) -> dict[str, Any]:
+    """Serialize a layout to a JSON-compatible dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": layout.name,
+        "v": layout.v,
+        "size": layout.size,
+        "stripes": [
+            {
+                "units": [[d, off] for d, off in stripe.units],
+                "parity": stripe.parity_index,
+            }
+            for stripe in layout.stripes
+        ],
+    }
+
+
+def layout_from_dict(payload: dict[str, Any]) -> Layout:
+    """Deserialize a layout; the result is fully re-validated.
+
+    Raises:
+        LayoutError: if the payload is malformed or encodes an invalid
+            layout (corrupted tables must never reach a controller).
+    """
+    try:
+        if payload["format"] != FORMAT_VERSION:
+            raise LayoutError(
+                f"unsupported layout format {payload['format']!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        stripes = tuple(
+            Stripe(
+                units=tuple((int(d), int(off)) for d, off in s["units"]),
+                parity_index=int(s["parity"]),
+            )
+            for s in payload["stripes"]
+        )
+        layout = Layout(
+            v=int(payload["v"]),
+            size=int(payload["size"]),
+            stripes=stripes,
+            name=str(payload.get("name", "")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LayoutError(f"malformed layout payload: {exc}") from exc
+    layout.validate()
+    return layout
+
+
+def save_layout(layout: Layout, path: str | Path) -> None:
+    """Write a layout to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(layout_to_dict(layout), indent=1))
+
+
+def load_layout(path: str | Path) -> Layout:
+    """Read and validate a layout from a JSON file.
+
+    Raises:
+        LayoutError: if the file does not encode a valid layout.
+    """
+    return layout_from_dict(json.loads(Path(path).read_text()))

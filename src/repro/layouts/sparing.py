@@ -1,0 +1,104 @@
+"""Distributed sparing (Section 5 open problem, after Holland–Gibson [8]).
+
+Instead of rebuilding a failed disk onto a dedicated spare, reserve one
+*spare unit* per stripe, spread across the array like parity.  A rebuild
+then writes each recovered unit to its stripe's spare unit, parallelizing
+the write traffic over all surviving disks and removing the
+single-spare-disk bottleneck.
+
+The paper points out (end of Section 4) that its Theorem 14 flow method
+generalizes to selecting any number of distinguished units per stripe.
+We use exactly that: spares are chosen by a second Theorem-14 pass over
+the non-parity units, so *both* the parity units and the spare units are
+balanced to within one unit per disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flow import assign_parity
+from .layout import Layout
+
+__all__ = ["DistributedSparing", "choose_spare_units", "with_distributed_sparing"]
+
+
+@dataclass(frozen=True)
+class DistributedSparing:
+    """A layout plus one reserved spare unit per stripe.
+
+    Attributes:
+        layout: the underlying layout (spare units are drawn from its
+            data units; they hold no live data).
+        spare_units: per stripe, the ``(disk, offset)`` reserved as its
+            spare.
+    """
+
+    layout: Layout
+    spare_units: tuple[tuple[int, int], ...]
+
+    def spare_counts(self) -> list[int]:
+        """Spare units per disk (balanced within 1 by construction)."""
+        counts = [0] * self.layout.v
+        for d, _ in self.spare_units:
+            counts[d] += 1
+        return counts
+
+    def data_fraction(self) -> float:
+        """Fraction of the array still holding live data (the cost of
+        sparing: one more unit per stripe is reserved)."""
+        total = self.layout.total_units()
+        reserved = 2 * self.layout.b  # parity + spare per stripe
+        return (total - reserved) / total
+
+    def validate(self) -> None:
+        """Check spare units are distinct stripe members and not parity.
+
+        Raises:
+            ValueError: on any violation.
+        """
+        for sid, (stripe, spare) in enumerate(
+            zip(self.layout.stripes, self.spare_units)
+        ):
+            if spare not in stripe.units:
+                raise ValueError(f"stripe {sid}: spare {spare} not a member")
+            if spare == stripe.parity_unit:
+                raise ValueError(f"stripe {sid}: spare coincides with parity")
+
+
+def choose_spare_units(layout: Layout) -> list[tuple[int, int]]:
+    """Choose one spare unit per stripe, balanced across disks.
+
+    Runs the Theorem 14 flow assignment over the stripes' *non-parity*
+    disks, so per-disk spare counts land in ``{⌊L'(d)⌋, ⌈L'(d)⌉}`` where
+    ``L'`` is the load over (k_s - 1)-unit candidate sets.
+
+    Raises:
+        ValueError: if some stripe has fewer than 3 units (no room for
+            data + parity + spare).
+    """
+    candidates: list[tuple[int, ...]] = []
+    for sid, stripe in enumerate(layout.stripes):
+        if stripe.size < 3:
+            raise ValueError(
+                f"stripe {sid} has size {stripe.size}; distributed sparing "
+                "needs at least data + parity + spare"
+            )
+        parity_disk = stripe.parity_unit[0]
+        candidates.append(tuple(d for d in stripe.disks if d != parity_disk))
+
+    spare_disks = assign_parity(candidates, layout.v)
+    spares: list[tuple[int, int]] = []
+    for stripe, sd in zip(layout.stripes, spare_disks):
+        unit = next(u for u in stripe.units if u[0] == sd)
+        spares.append(unit)
+    return spares
+
+
+def with_distributed_sparing(layout: Layout) -> DistributedSparing:
+    """Attach balanced distributed spare units to a layout."""
+    sparing = DistributedSparing(
+        layout=layout, spare_units=tuple(choose_spare_units(layout))
+    )
+    sparing.validate()
+    return sparing

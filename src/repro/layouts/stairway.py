@@ -1,0 +1,280 @@
+"""The stairway transformation (Section 3.2, Theorems 10-12, Figs. 4-6).
+
+Takes a perfectly balanced ring layout for ``q`` disks and perturbs it
+into an approximately balanced layout for ``v > q`` disks: stack ``c``
+copies of the ``q``-disk layout, cut along a staircase whose steps are
+``d = v - q`` (or ``d+1``) columns wide, and shift the top part right by
+``d`` and down by one copy.  Each disk of the new layout is a stack of
+``c - 1`` *pieces* — single-disk columns of the original copies.
+
+When some steps must be one column wider (``w`` of them, with
+``v = c·d + w`` and ``w < c`` — the paper's conditions (8) and (9)),
+the shift makes one column of copy ``t`` overlap per wide step ``t``;
+the paper resolves it by deleting that column from that copy with the
+Theorem 8 removal, which keeps the copy perfectly balanced.
+
+Our indexing (0-based; step of new column ``j`` is ``t(j)``):
+
+* new column ``j``, piece-row ``i``: comes from old column ``j - d`` of
+  copy ``i`` when ``i < t(j)`` (the shifted top part), else from old
+  column ``j`` of copy ``i + 1`` (the bottom part);
+* equivalently old column ``y`` of copy ``r`` lands on new column
+  ``y + d`` if ``r < t(y+d)``, on new column ``y`` if ``r > t(y)``, and
+  is the removed/overlap column when ``r == t(y) == t(y+d)`` (possible
+  only for ``y = B_t``, the first column of a wide step ``t = r``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..algebra import Element, is_prime_power, prime_powers_upto
+from ..designs import RingDesign, ring_design
+from .layout import Layout, materialize
+
+__all__ = [
+    "StairwayPlan",
+    "stairway_params",
+    "find_stairway_plan",
+    "find_smallest_stairway_plan",
+    "iter_stairway_plans",
+    "stairway_layout",
+    "theorem10_layout",
+    "theorem11_layout",
+]
+
+
+@dataclass(frozen=True)
+class StairwayPlan:
+    """Resolved parameters of a stairway transformation.
+
+    Attributes:
+        v: target number of disks.
+        q: base prime-power array size (a ring layout for ``(q, k)``).
+        c: number of copies of the base layout (condition (8)).
+        w: number of wide steps (condition (9): ``w < c``).
+    """
+
+    v: int
+    q: int
+    c: int
+    w: int
+
+    @property
+    def d(self) -> int:
+        """Normal step width ``v - q`` (the horizontal shift)."""
+        return self.v - self.q
+
+    def predicted_size(self, k: int) -> int:
+        """Layout size ``k(c-1)(q-1)`` (Theorems 11/12)."""
+        return k * (self.c - 1) * (self.q - 1)
+
+
+def stairway_params(v: int, q: int) -> tuple[int, int] | None:
+    """Solve conditions (8)-(9): ``v = c·d + w`` with ``0 <= w < c``.
+
+    Since ``w ≡ v (mod d)`` and raising ``w`` only lowers ``c``, the
+    smallest residue ``w = v mod d`` is the only candidate; it also
+    maximizes ``c``, i.e. minimizes the parity imbalance ``w/(c-1)(q-1)``.
+    Returns ``(c, w)``, or ``None`` if the conditions are unsatisfiable
+    (or the resulting layout would be degenerate, ``c < 2``).
+    """
+    d = v - q
+    if d <= 0 or q < 2:
+        return None
+    w = v % d
+    c = v // d
+    if w >= c or c < 2:
+        return None
+    return c, w
+
+
+def find_stairway_plan(v: int, k: int | None = None) -> StairwayPlan | None:
+    """Find the largest prime power ``q < v`` admitting a stairway to
+    ``v`` (and supporting stripe size ``k``, when given).
+
+    The largest feasible ``q`` minimizes the step width ``d`` and the
+    balance perturbation.  This is the search behind the paper's claim
+    that every ``v <= 10,000`` is covered.
+    """
+    for plan in iter_stairway_plans(v, k):
+        return plan
+    return None
+
+
+def iter_stairway_plans(v: int, k: int | None = None):
+    """Yield every valid stairway plan for ``v`` in decreasing-``q``
+    order (decreasing layout size, increasing imbalance)."""
+    for q in reversed(prime_powers_upto(v - 1)):
+        if k is not None and k > q:
+            break  # q only shrinks from here; the ring layout needs k <= q
+        params = stairway_params(v, q)
+        if params is None:
+            continue
+        if params[1] > 0 and k is not None and k < 3:
+            continue  # wide steps need k >= 3 (see stairway_layout)
+        yield StairwayPlan(v=v, q=q, c=params[0], w=params[1])
+
+
+def find_smallest_stairway_plan(v: int, k: int) -> StairwayPlan | None:
+    """The stairway plan minimizing layout size ``k(c-1)(q-1)``.
+
+    The paper's size/imbalance trade-off: large perturbations (small
+    ``q``, few copies ``c``) give much smaller layouts at the cost of a
+    (still small, for large ``q``) parity/workload imbalance.  This is
+    the plan a size-constrained array controller wants.
+    """
+    best: StairwayPlan | None = None
+    for plan in iter_stairway_plans(v, k):
+        if best is None or plan.predicted_size(k) < best.predicted_size(k):
+            best = plan
+    return best
+
+
+def _step_widths(plan: StairwayPlan, wide_steps: Sequence[int] | None) -> list[int]:
+    """Widths of the ``c`` steps; ``w`` of them are ``d+1``.
+
+    Default arrangement spreads the wide steps evenly (Bresenham rule);
+    the bounds of Theorem 12 hold for any arrangement, which the test
+    suite exercises via the override.
+    """
+    c, w, d = plan.c, plan.w, plan.d
+    if wide_steps is None:
+        wide = {t for t in range(c) if (t + 1) * w // c > t * w // c}
+    else:
+        wide = set(wide_steps)
+        if len(wide) != w or not all(0 <= t < c for t in wide):
+            raise ValueError(f"need exactly {w} wide steps within 0..{c - 1}")
+    return [d + 1 if t in wide else d for t in range(c)]
+
+
+def _removed_copy_stripes(
+    design: RingDesign, removed: int
+) -> list[tuple[tuple[int, ...], int]]:
+    """Theorem 8 removal of one column from a copy of the ring layout,
+    *without* renumbering the surviving columns (the stairway placement
+    maps original column ids)."""
+    ring = design.ring
+    index = ring.index
+    delta = ring.sub(design.gens[1], design.gens[0])
+    out: list[tuple[tuple[int, ...], int]] = []
+    for (x, y), elems in zip(design.pairs, design.block_elements):
+        disks = tuple(index(e) for e in elems)
+        surviving = tuple(dd for dd in disks if dd != removed)
+        parity = index(x)
+        if parity == removed:
+            parity = index(ring.add(x, ring.mul(y, delta)))
+        out.append((surviving, parity))
+    return out
+
+
+def stairway_layout(
+    v: int,
+    q: int,
+    k: int,
+    *,
+    wide_steps: Sequence[int] | None = None,
+) -> Layout:
+    """Build the stairway layout for ``v`` disks from the ``(q, k)``
+    ring layout.
+
+    Covers Theorem 10 (``v = q+1``), Theorem 11 (``(v-q) | v``, i.e.
+    ``w = 0``), and Theorem 12 (``w > 0`` wide steps with the overlap
+    removed per Theorem 8).  Size ``k(c-1)(q-1)``.
+
+    Args:
+        wide_steps: optional explicit positions of the ``w`` wide steps
+            (default: spread evenly).
+
+    Raises:
+        ValueError: if ``q`` is not a prime power, ``k > q``, or
+            conditions (8)-(9) have no solution for ``(v, q)``.
+    """
+    if not is_prime_power(q):
+        raise ValueError(f"base array size q={q} must be a prime power")
+    if k > q:
+        raise ValueError(f"stripe size k={k} exceeds base array size q={q}")
+    params = stairway_params(v, q)
+    if params is None:
+        raise ValueError(
+            f"no stairway from q={q} to v={v}: conditions (8)-(9) unsatisfiable"
+        )
+    plan = StairwayPlan(v=v, q=q, c=params[0], w=params[1])
+    if plan.w > 0 and k < 3:
+        raise ValueError(
+            f"wide steps (w={plan.w}) remove a disk per affected copy, "
+            f"leaving (k-1)-unit stripes; k={k} would create single-unit stripes"
+        )
+    c, d = plan.c, plan.d
+
+    widths = _step_widths(plan, wide_steps)
+    bounds: list[int] = [0]
+    for wd in widths:
+        bounds.append(bounds[-1] + wd)
+    if bounds[-1] != v:
+        raise AssertionError("step widths must sum to v")
+    step_of = [0] * v
+    for t in range(c):
+        for j in range(bounds[t], bounds[t + 1]):
+            step_of[j] = t
+
+    base = ring_design(q, k)
+    normal_stripes = None  # built lazily; shared by all non-wide copies
+
+    def placement(r: int, y: int) -> int:
+        """New column of old column ``y`` in copy ``r`` (see module doc)."""
+        if r > step_of[y]:
+            return y
+        if r < step_of[y + d]:
+            return y + d
+        raise AssertionError(
+            f"old column {y} of copy {r} is the removed overlap column"
+        )
+
+    all_stripes: list[tuple[tuple[int, ...], int]] = []
+    for r in range(c):
+        if widths[r] == d + 1:
+            removed = bounds[r]
+            if removed >= q:
+                raise AssertionError("overlap column must be a valid old column")
+            copy_stripes = _removed_copy_stripes(base, removed)
+        else:
+            if normal_stripes is None:
+                from .ring_layout import ring_disk_stripes
+
+                normal_stripes = ring_disk_stripes(base)
+            copy_stripes = normal_stripes
+        for disks, parity in copy_stripes:
+            all_stripes.append(
+                (
+                    tuple(placement(r, y) for y in disks),
+                    placement(r, parity),
+                )
+            )
+
+    return materialize(
+        v,
+        all_stripes,
+        name=f"stairway(v={v},q={q},k={k},c={c},w={plan.w})",
+    )
+
+
+def theorem10_layout(q: int, k: int) -> Layout:
+    """Theorem 10: layout for ``v = q+1`` disks; size ``kq(q-1)``, parity
+    overhead exactly ``1/k``, reconstruction workload exactly
+    ``(k-1)/q``."""
+    return stairway_layout(q + 1, q, k)
+
+
+def theorem11_layout(v: int, q: int, k: int) -> Layout:
+    """Theorem 11: layout for ``v`` disks when ``(v-q)`` divides ``v``;
+    size ``k(c-1)(q-1)``, parity overhead ``1/k``, workload within
+    ``[((c-2)/(c-1))·(k-1)/(q-1), (k-1)/(q-1)]``.
+
+    Raises:
+        ValueError: if ``(v - q)`` does not divide ``v``.
+    """
+    if v % (v - q) != 0:
+        raise ValueError(f"Theorem 11 needs (v-q) | v; got v={v}, q={q}")
+    return stairway_layout(v, q, k)

@@ -1,0 +1,217 @@
+"""Array controller: executes logical reads/writes against a layout.
+
+Timing semantics:
+
+* normal read — one disk IO;
+* small write — read-modify-write: read old data and old parity in
+  parallel, then write new data and new parity in parallel (the classic
+  4-IO RAID small write; parity-disk contention is exactly what the
+  paper's Condition 2 is about);
+* degraded read (failed data disk) — read every surviving unit of the
+  stripe and XOR (the Condition 3 reconstruction path);
+* degraded write — if the *data* disk failed, read the other data units
+  and write parity only; if the *parity* disk failed, write data only.
+
+Content semantics are delegated to an optional :class:`DataPlane` and
+applied atomically per request, keeping the timing engine and the
+correctness oracle independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..layouts import AddressMapper, Layout
+from .dataplane import DataPlane
+from .disk import Disk, DiskIO, DiskParameters
+from .events import Simulator
+from .stats import LatencyStats
+
+__all__ = ["ArrayController", "RequestKind"]
+
+
+RequestKind = str  # "read" | "write" | "degraded_read" | "degraded_write"
+
+
+@dataclass
+class _Request:
+    """In-flight logical request (possibly multiple phases of disk IOs)."""
+
+    kind: RequestKind
+    start: float
+    on_done: Callable[[float], None] | None
+    remaining: int = 0
+    phases: list[list[tuple[int, int, bool]]] = field(default_factory=list)
+
+
+class ArrayController:
+    """Maps logical unit requests onto disk IOs through a layout.
+
+    Args:
+        layout: the data layout to execute.
+        sim: event engine (a fresh one is created if omitted).
+        disk_params: service-time model for all disks.
+        dataplane: attach a byte-level data plane (enables content
+            verification at simulation cost).
+        seed: data-plane fill seed.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        *,
+        sim: Simulator | None = None,
+        disk_params: DiskParameters | None = None,
+        dataplane: bool = False,
+        seed: int = 0,
+    ):
+        layout.validate()
+        self.layout = layout
+        self.sim = sim if sim is not None else Simulator()
+        self.params = disk_params if disk_params is not None else DiskParameters()
+        self.disks = [Disk(self.sim, d, self.params) for d in range(layout.v)]
+        self.mapper = AddressMapper(layout)
+        self.data = DataPlane(layout, seed=seed) if dataplane else None
+        self.failed_disk: int | None = None
+        self.latency: dict[RequestKind, LatencyStats] = {}
+        self.rejected_requests = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def fail_disk(self, disk: int) -> None:
+        """Fail one disk (single-fault model, like the paper's arrays).
+
+        Raises:
+            ValueError: if a disk has already failed or ``disk`` invalid.
+        """
+        if self.failed_disk is not None:
+            raise ValueError("the single-parity array tolerates one failure")
+        if not 0 <= disk < self.layout.v:
+            raise ValueError(f"no disk {disk} in a {self.layout.v}-disk array")
+        self.failed_disk = disk
+        self.disks[disk].fail()
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    def _record(self, req: _Request, when: float) -> None:
+        self.latency.setdefault(req.kind, LatencyStats()).record(when - req.start)
+        if req.on_done is not None:
+            req.on_done(when)
+
+    def _issue_phase(self, req: _Request) -> None:
+        if not req.phases:
+            self._record(req, self.sim.now)
+            return
+        phase = req.phases.pop(0)
+        req.remaining = len(phase)
+
+        def one_done(_when: float) -> None:
+            req.remaining -= 1
+            if req.remaining == 0:
+                self._issue_phase(req)
+
+        for disk, offset, is_write in phase:
+            self.disks[disk].submit(
+                DiskIO(offset=offset, is_write=is_write, on_complete=one_done)
+            )
+
+    def submit_read(
+        self, lba: int, on_done: Callable[[float], None] | None = None
+    ) -> RequestKind:
+        """Issue a logical read; returns the request kind used."""
+        pu = self.mapper.logical_to_physical(lba)
+        stripe = self.layout.stripes[pu.stripe % self.layout.b]
+        if pu.disk != self.failed_disk:
+            kind: RequestKind = "read"
+            phases = [[(pu.disk, pu.offset, False)]]
+        else:
+            kind = "degraded_read"
+            phases = [
+                [
+                    (d, off, False)
+                    for d, off in stripe.units
+                    if d != self.failed_disk
+                ]
+            ]
+        req = _Request(kind=kind, start=self.sim.now, on_done=on_done, phases=phases)
+        self._issue_phase(req)
+        return kind
+
+    def submit_write(
+        self,
+        lba: int,
+        data: np.ndarray | None = None,
+        on_done: Callable[[float], None] | None = None,
+    ) -> RequestKind:
+        """Issue a logical write (read-modify-write); returns the kind."""
+        pu = self.mapper.logical_to_physical(lba)
+        stripe = self.layout.stripes[pu.stripe % self.layout.b]
+        parity_disk, parity_off = stripe.parity_unit
+
+        if self.failed_disk is None or (
+            pu.disk != self.failed_disk and parity_disk != self.failed_disk
+        ):
+            kind: RequestKind = "write"
+            phases = [
+                [(pu.disk, pu.offset, False), (parity_disk, parity_off, False)],
+                [(pu.disk, pu.offset, True), (parity_disk, parity_off, True)],
+            ]
+        elif pu.disk == self.failed_disk:
+            kind = "degraded_write"
+            other_data = [
+                (d, off, False)
+                for d, off in stripe.data_units()
+                if d != self.failed_disk
+            ]
+            phases = (
+                [other_data, [(parity_disk, parity_off, True)]]
+                if other_data
+                else [[(parity_disk, parity_off, True)]]
+            )
+        else:  # parity disk failed: no parity to maintain
+            kind = "degraded_write"
+            phases = [[(pu.disk, pu.offset, True)]]
+
+        if self.data is not None:
+            payload = (
+                data
+                if data is not None
+                else np.full(self.data.unit_words, lba + 1, dtype=np.uint64)
+            )
+            sid = pu.stripe % self.layout.b
+            if self.failed_disk is None or (
+                pu.disk != self.failed_disk and parity_disk != self.failed_disk
+            ):
+                self.data.small_write(sid, pu.disk, pu.offset, payload)
+            elif parity_disk == self.failed_disk:
+                self.data.write_unit(pu.disk, pu.offset, payload)
+            else:
+                # Data disk failed: fold the new value into parity so a
+                # later rebuild recovers it.
+                self.data.write_unit(pu.disk, pu.offset, payload)
+                pdisk, poff = parity_disk, parity_off
+                self.data.write_unit(pdisk, poff, self.data.stripe_parity(sid))
+
+        req = _Request(kind=kind, start=self.sim.now, on_done=on_done, phases=phases)
+        self._issue_phase(req)
+        return kind
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def per_disk_completed(self) -> list[int]:
+        """Completed IOs per disk."""
+        return [d.completed_ios for d in self.disks]
+
+    def utilizations(self, elapsed: float | None = None) -> list[float]:
+        """Per-disk busy fraction over ``elapsed`` (default: now)."""
+        t = elapsed if elapsed is not None else self.sim.now
+        return [d.utilization(t) for d in self.disks]

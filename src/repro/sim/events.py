@@ -1,0 +1,79 @@
+"""Discrete-event simulation core.
+
+A minimal but real event engine: a time-ordered heap of callbacks with
+a monotonic tie-breaking sequence number (equal-time events fire in
+schedule order, which keeps runs deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event queue + simulation clock.
+
+    Time is in milliseconds throughout the simulator (matching the
+    disk-model parameters).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``now + delay``.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute time ``time`` (``>= now``)."""
+        self.schedule(time - self.now, fn)
+
+    def step(self) -> bool:
+        """Fire the next event; return False if the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, fn = heapq.heappop(self._heap)
+        self.now = time
+        self._processed += 1
+        fn()
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> None:
+        """Drain the queue, optionally stopping at simulated time
+        ``until`` (the clock is left at ``until`` if events remain).
+
+        Raises:
+            RuntimeError: if ``max_events`` fire without draining
+                (runaway-simulation guard).
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired so far."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Events currently queued."""
+        return len(self._heap)

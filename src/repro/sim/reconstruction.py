@@ -1,0 +1,166 @@
+"""On-line reconstruction of a failed disk (the paper's Section 1 story).
+
+The rebuild process sweeps every stripe that crossed the failed disk:
+read the stripe's surviving units, XOR them, write the recovered unit to
+a spare disk.  A bounded number of stripes rebuild concurrently
+(``parallelism``), competing with any foreground workload on the same
+disk queues — exactly the contention trade-off parity declustering
+addresses by shrinking the fraction ``(k-1)/(v-1)`` of each surviving
+disk that must be read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .controller import ArrayController
+from .disk import Disk, DiskIO
+
+__all__ = ["RebuildProcess", "RebuildReport"]
+
+
+@dataclass
+class RebuildReport:
+    """Outcome of a completed rebuild."""
+
+    failed_disk: int
+    duration_ms: float
+    stripes_rebuilt: int
+    units_read_per_disk: list[int]
+    spare_units_written: int
+    data_verified: bool | None = None
+
+    def read_fractions(self, size: int) -> list[float]:
+        """Fraction of each surviving disk read during rebuild (the
+        Condition 3 measurement)."""
+        return [reads / size for reads in self.units_read_per_disk]
+
+
+@dataclass
+class RebuildProcess:
+    """Drives the reconstruction of ``controller.failed_disk``.
+
+    Call :meth:`start` after failing a disk, then run the simulator; the
+    report is available once :attr:`done` is set.
+    """
+
+    controller: ArrayController
+    parallelism: int = 4
+    on_complete: Callable[[RebuildReport], None] | None = None
+    #: Optional distributed sparing: per stripe id, the (disk, offset)
+    #: spare unit to rebuild into.  When None, a dedicated spare disk
+    #: absorbs all writes.
+    spare_units: dict[int, tuple[int, int]] | None = None
+
+    done: bool = field(default=False, init=False)
+    report: RebuildReport | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+
+    def start(self) -> None:
+        """Begin the rebuild sweep.
+
+        Raises:
+            RuntimeError: if no disk has failed.
+        """
+        ctrl = self.controller
+        if ctrl.failed_disk is None:
+            raise RuntimeError("fail a disk before starting a rebuild")
+        failed = ctrl.failed_disk
+        layout = ctrl.layout
+
+        self._queue = [
+            sid
+            for sid, stripe in enumerate(layout.stripes)
+            if any(d == failed for d, _ in stripe.units)
+        ]
+        self._next = 0
+        self._outstanding = 0
+        self._start_time = ctrl.sim.now
+        self._units_read = [0] * layout.v
+        self._spare = Disk(ctrl.sim, layout.v, ctrl.params)
+        self._spare_writes = 0
+        self._spare_image: dict[int, np.ndarray] = {}
+
+        for _ in range(min(self.parallelism, len(self._queue))):
+            self._launch_next()
+        if not self._queue:
+            self._finish()
+
+    def _launch_next(self) -> None:
+        if self._next >= len(self._queue):
+            return
+        sid = self._queue[self._next]
+        self._next += 1
+        self._outstanding += 1
+
+        ctrl = self.controller
+        failed = ctrl.failed_disk
+        stripe = ctrl.layout.stripes[sid]
+        survivors = [(d, off) for d, off in stripe.units if d != failed]
+        failed_offset = next(off for d, off in stripe.units if d == failed)
+        remaining = len(survivors)
+
+        def read_done(_when: float) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self._write_spare(sid, failed_offset)
+
+        for d, off in survivors:
+            self._units_read[d] += 1
+            ctrl.disks[d].submit(DiskIO(offset=off, is_write=False, on_complete=read_done))
+
+    def _write_spare(self, sid: int, failed_offset: int) -> None:
+        ctrl = self.controller
+        if ctrl.data is not None:
+            self._spare_image[failed_offset] = ctrl.data.reconstruct_unit(
+                sid, ctrl.failed_disk
+            )
+
+        def write_done(_when: float) -> None:
+            self._spare_writes += 1
+            self._outstanding -= 1
+            if self._next < len(self._queue):
+                self._launch_next()
+            elif self._outstanding == 0:
+                self._finish()
+
+        if self.spare_units is not None:
+            # Distributed sparing: the recovered unit lands on its
+            # stripe's reserved spare unit, sharing the survivors' queues.
+            sdisk, soff = self.spare_units[sid]
+            ctrl.disks[sdisk].submit(
+                DiskIO(offset=soff, is_write=True, on_complete=write_done)
+            )
+        else:
+            self._spare.submit(
+                DiskIO(offset=failed_offset, is_write=True, on_complete=write_done)
+            )
+
+    def _finish(self) -> None:
+        ctrl = self.controller
+        verified: bool | None = None
+        if ctrl.data is not None:
+            original = ctrl.data.snapshot_disk(ctrl.failed_disk)
+            verified = all(
+                np.array_equal(original[off], img)
+                for off, img in self._spare_image.items()
+            ) and len(self._spare_image) == ctrl.layout.size
+
+        self.report = RebuildReport(
+            failed_disk=ctrl.failed_disk,
+            duration_ms=ctrl.sim.now - self._start_time,
+            stripes_rebuilt=len(self._queue),
+            units_read_per_disk=self._units_read,
+            spare_units_written=self._spare_writes,
+            data_verified=verified,
+        )
+        self.done = True
+        if self.on_complete is not None:
+            self.on_complete(self.report)

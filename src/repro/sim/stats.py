@@ -1,0 +1,51 @@
+"""Simulation statistics helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyStats", "summarize"]
+
+
+@dataclass
+class LatencyStats:
+    """Streaming collection of request latencies (milliseconds)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, latency: float) -> None:
+        """Add one sample."""
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+def summarize(stats: LatencyStats) -> dict[str, float]:
+    """Mean / p50 / p95 / max summary dict."""
+    return {
+        "count": float(stats.count),
+        "mean": stats.mean,
+        "p50": stats.percentile(50),
+        "p95": stats.percentile(95),
+        "max": stats.max,
+    }

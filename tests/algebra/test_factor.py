@@ -1,0 +1,139 @@
+"""Tests for integer factorization and prime-power utilities."""
+
+import pytest
+
+from repro.algebra import (
+    divisors,
+    is_prime,
+    is_prime_power,
+    largest_prime_power_leq,
+    min_prime_power_factor,
+    prime_factorization,
+    prime_power_decomposition,
+    prime_powers_upto,
+    primes_upto,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (1, 4, 6, 9, 15, 91, 1001, 7917):
+            assert not is_prime(n)
+
+    def test_non_positive(self):
+        assert not is_prime(0)
+        assert not is_prime(-7)
+
+    def test_agrees_with_sieve(self):
+        sieve = set(primes_upto(500))
+        for n in range(500 + 1):
+            assert is_prime(n) == (n in sieve)
+
+
+class TestPrimeFactorization:
+    def test_small_cases(self):
+        assert prime_factorization(360) == ((2, 3), (3, 2), (5, 1))
+        assert prime_factorization(97) == ((97, 1),)
+        assert prime_factorization(1) == ()
+
+    def test_reconstruction(self):
+        for n in range(2, 300):
+            prod = 1
+            for p, e in prime_factorization(n):
+                assert is_prime(p)
+                prod *= p**e
+            assert prod == n
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factorization(0)
+
+    def test_increasing_prime_order(self):
+        facs = prime_factorization(2 * 3 * 5 * 7 * 11)
+        primes = [p for p, _ in facs]
+        assert primes == sorted(primes)
+
+
+class TestPrimePower:
+    def test_prime_powers(self):
+        for n in (2, 3, 4, 8, 9, 16, 25, 27, 32, 121, 128, 243):
+            assert is_prime_power(n)
+
+    def test_non_prime_powers(self):
+        for n in (1, 6, 10, 12, 15, 36, 100):
+            assert not is_prime_power(n)
+
+    def test_decomposition(self):
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(121) == (11, 2)
+        assert prime_power_decomposition(7) == (7, 1)
+
+    def test_decomposition_rejects_composite(self):
+        with pytest.raises(ValueError):
+            prime_power_decomposition(12)
+
+
+class TestMinPrimePowerFactor:
+    """M(v) of Theorem 2."""
+
+    def test_prime_power_is_itself(self):
+        for q in (2, 3, 4, 9, 16, 27):
+            assert min_prime_power_factor(q) == q
+
+    def test_composites(self):
+        assert min_prime_power_factor(12) == 3  # 12 = 4 * 3
+        assert min_prime_power_factor(6) == 2
+        assert min_prime_power_factor(100) == 4  # 4 * 25
+        assert min_prime_power_factor(72) == 8  # 8 * 9
+        assert min_prime_power_factor(1000) == 8  # 8 * 125
+
+    def test_paper_example_bad_v(self):
+        # v divisible once by a small prime caps k hard.
+        assert min_prime_power_factor(2 * 101) == 2
+
+
+class TestDivisors:
+    def test_examples(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(49) == [1, 7, 49]
+
+    def test_each_divides(self):
+        for n in (30, 64, 97, 360):
+            for d in divisors(n):
+                assert n % d == 0
+
+    def test_count_matches_formula(self):
+        for n in range(1, 200):
+            expected = 1
+            for _, e in prime_factorization(n):
+                expected *= e + 1
+            assert len(divisors(n)) == expected
+
+
+class TestEnumerations:
+    def test_primes_upto(self):
+        assert primes_upto(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+        assert primes_upto(1) == []
+
+    def test_prime_powers_upto(self):
+        assert prime_powers_upto(16) == [2, 3, 4, 5, 7, 8, 9, 11, 13, 16]
+
+    def test_prime_powers_sorted_and_complete(self):
+        pps = prime_powers_upto(200)
+        assert pps == sorted(pps)
+        assert set(pps) == {n for n in range(2, 201) if is_prime_power(n)}
+
+    def test_largest_prime_power_leq(self):
+        assert largest_prime_power_leq(10) == 9
+        assert largest_prime_power_leq(16) == 16
+        assert largest_prime_power_leq(2) == 2
+        assert largest_prime_power_leq(100) == 97
+
+    def test_largest_prime_power_rejects_below_two(self):
+        with pytest.raises(ValueError):
+            largest_prime_power_leq(1)

@@ -1,0 +1,147 @@
+"""Tests for finite fields GF(p) and GF(p^m)."""
+
+import itertools
+
+import pytest
+
+from repro.algebra import GF, ExtensionField, NotInvertible, PrimeField
+from tests.algebra.test_rings import check_ring_axioms
+
+
+class TestGFFactory:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7, 11])
+    def test_prime_orders(self, q):
+        f = GF(q)
+        assert isinstance(f, PrimeField)
+        assert f.order == q and f.m == 1
+
+    @pytest.mark.parametrize("q,p,m", [(4, 2, 2), (8, 2, 3), (9, 3, 2), (16, 2, 4), (25, 5, 2), (27, 3, 3)])
+    def test_prime_power_orders(self, q, p, m):
+        f = GF(q)
+        assert isinstance(f, ExtensionField)
+        assert (f.order, f.p, f.m) == (q, p, m)
+
+    @pytest.mark.parametrize("q", [1, 6, 12, 100])
+    def test_rejects_non_prime_powers(self, q):
+        with pytest.raises(ValueError):
+            GF(q)
+
+
+class TestFieldAxioms:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 8, 9])
+    def test_ring_axioms(self, q):
+        check_ring_axioms(GF(q))
+
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 16, 25, 27])
+    def test_every_nonzero_invertible(self, q):
+        f = GF(q)
+        for a in f.elements():
+            if a == f.zero:
+                with pytest.raises(NotInvertible):
+                    f.inverse(a)
+            else:
+                assert f.mul(a, f.inverse(a)) == f.one
+
+    @pytest.mark.parametrize("q", [4, 8, 9, 16])
+    def test_no_zero_divisors(self, q):
+        f = GF(q)
+        for a, b in itertools.product(f.elements(), repeat=2):
+            if a != 0 and b != 0:
+                assert f.mul(a, b) != 0
+
+    @pytest.mark.parametrize("q", [4, 9, 8])
+    def test_characteristic(self, q):
+        f = GF(q)
+        # Adding 1 to itself p times gives 0.
+        acc = f.zero
+        for _ in range(f.p):
+            acc = f.add(acc, f.one)
+        assert acc == f.zero
+
+
+class TestPrimitiveElements:
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8, 9, 13, 16, 25, 27, 32])
+    def test_primitive_generates_all_nonzero(self, q):
+        f = GF(q)
+        g = f.primitive_element()
+        seen = set()
+        x = f.one
+        for _ in range(q - 1):
+            seen.add(x)
+            x = f.mul(x, g)
+        assert len(seen) == q - 1
+
+    def test_element_of_order(self):
+        f = GF(16)
+        for d in (1, 3, 5, 15):
+            a = f.element_of_order(d)
+            assert f.multiplicative_order(a) == d
+
+    def test_element_of_order_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            GF(16).element_of_order(7)
+
+    @pytest.mark.parametrize("q", [8, 9, 27])
+    def test_multiplicative_order_consistency(self, q):
+        f = GF(q)
+        for a in f.elements():
+            if a == f.zero:
+                continue
+            d = f.multiplicative_order(a)
+            assert f.pow(a, d) == f.one
+            assert (q - 1) % d == 0
+
+
+class TestSubfields:
+    def test_gf9_prime_subfield(self):
+        assert GF(9).subfield_elements(3) == [0, 1, 2]
+
+    @pytest.mark.parametrize("q,sub", [(4, 2), (16, 4), (16, 2), (64, 8), (64, 4), (64, 2), (81, 9), (81, 3), (27, 3)])
+    def test_subfield_is_closed_field(self, q, sub):
+        f = GF(q)
+        g = f.subfield_elements(sub)
+        assert len(g) == sub
+        gset = set(g)
+        assert f.zero in gset and f.one in gset
+        for a, b in itertools.product(g, repeat=2):
+            assert f.add(a, b) in gset
+            assert f.mul(a, b) in gset
+        for a in g:
+            if a != f.zero:
+                assert f.inverse(a) in gset
+
+    def test_no_such_subfield(self):
+        with pytest.raises(ValueError):
+            GF(16).subfield_elements(8)  # 8 = 2^3, 3 does not divide 4
+        with pytest.raises(ValueError):
+            GF(9).subfield_elements(2)  # wrong characteristic
+
+
+class TestExtensionFieldInternals:
+    def test_add_is_carryless(self):
+        f = GF(4)  # GF(2^m): addition is XOR
+        for a, b in itertools.product(f.elements(), repeat=2):
+            assert f.add(a, b) == a ^ b
+
+    def test_poly_codec_roundtrip(self):
+        f = GF(27)
+        for a in f.elements():
+            assert f.from_poly(f.to_poly(a)) == a
+
+    def test_rejects_degree_one(self):
+        with pytest.raises(ValueError):
+            ExtensionField(7, 1)
+
+    def test_rejects_composite_characteristic(self):
+        with pytest.raises(ValueError):
+            ExtensionField(6, 2)
+
+    def test_rejects_wrong_modulus_degree(self):
+        with pytest.raises(ValueError):
+            ExtensionField(2, 3, modulus=(1, 1, 1))  # degree 2, m = 3
+
+    def test_custom_modulus(self):
+        # x^3 + x^2 + 1 is the other irreducible cubic over GF(2).
+        f = ExtensionField(2, 3, modulus=(1, 0, 1, 1))
+        check_ring_axioms(f)
+        assert f.order == 8

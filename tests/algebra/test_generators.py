@@ -1,0 +1,95 @@
+"""Tests for generator sets and the Theorem 2 characterization."""
+
+import pytest
+
+from repro.algebra import (
+    GF,
+    CrossProductRing,
+    Zmod,
+    generator_capacity,
+    is_generator_set,
+    max_generator_set_size,
+    ring_with_generators,
+)
+
+
+class TestGeneratorCapacity:
+    """M(v) values used throughout the paper."""
+
+    def test_prime_powers(self):
+        for q in (2, 3, 4, 5, 8, 9, 16):
+            assert generator_capacity(q) == q
+
+    def test_composites(self):
+        assert generator_capacity(6) == 2
+        assert generator_capacity(12) == 3
+        assert generator_capacity(15) == 3
+        assert generator_capacity(45) == 5  # 9 * 5
+        assert generator_capacity(72) == 8  # 8 * 9
+
+
+class TestIsGeneratorSet:
+    def test_field_any_subset(self):
+        f = GF(7)
+        assert is_generator_set(f, [0, 1, 3, 5])
+        assert is_generator_set(f, list(f.elements()))
+
+    def test_repeats_rejected(self):
+        assert not is_generator_set(GF(7), [0, 1, 1])
+
+    def test_zmod_bad_difference(self):
+        r = Zmod(6)
+        assert is_generator_set(r, [0, 1])
+        assert not is_generator_set(r, [0, 2])  # 2 not a unit mod 6
+        assert not is_generator_set(r, [0, 1, 2])  # 2 - 1 = 1 ok, 2 - 0 = 2 bad
+
+    def test_cross_product(self):
+        r = CrossProductRing([GF(4), GF(3)])
+        gens = [(j, j) for j in range(3)]
+        assert is_generator_set(r, gens)
+
+
+class TestRingWithGenerators:
+    @pytest.mark.parametrize("v,k", [(5, 3), (8, 8), (9, 4), (12, 3), (15, 3), (45, 5), (100, 4)])
+    def test_valid_construction(self, v, k):
+        ring, gens = ring_with_generators(v, k)
+        assert ring.order == v
+        assert len(gens) == k
+        assert is_generator_set(ring, gens)
+
+    def test_g0_is_zero_for_fields(self):
+        ring, gens = ring_with_generators(9, 3)
+        assert gens[0] == ring.zero
+
+    @pytest.mark.parametrize("v,k", [(6, 3), (12, 4), (10, 3), (2 * 101, 3)])
+    def test_rejects_k_above_capacity(self, v, k):
+        with pytest.raises(ValueError):
+            ring_with_generators(v, k)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            ring_with_generators(9, 0)
+
+
+class TestTheorem2UpperBound:
+    """Exhaustive confirmation that no ring beats M(v) on small orders."""
+
+    @pytest.mark.parametrize("n", [6, 10, 12, 15])
+    def test_zmod_within_bound(self, n):
+        assert max_generator_set_size(Zmod(n)) <= generator_capacity(n)
+
+    @pytest.mark.parametrize("v", [6, 12, 15])
+    def test_cross_product_achieves_bound(self, v):
+        ring, gens = ring_with_generators(v, generator_capacity(v))
+        assert max_generator_set_size(ring) == generator_capacity(v)
+
+    def test_field_achieves_v(self):
+        assert max_generator_set_size(GF(5)) == 5
+        assert max_generator_set_size(GF(4)) == 4
+
+    def test_zmod12_is_suboptimal(self):
+        # Z_12 only reaches 2, but M(12) = 3 — the Lemma 3 cross product
+        # is genuinely needed.
+        assert max_generator_set_size(Zmod(12)) == 2
+        ring, _ = ring_with_generators(12, 3)
+        assert max_generator_set_size(ring) == 3

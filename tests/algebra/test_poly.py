@@ -1,0 +1,183 @@
+"""Tests for polynomial arithmetic over GF(p)."""
+
+import pytest
+
+from repro.algebra.poly import (
+    find_irreducible,
+    is_irreducible,
+    poly_add,
+    poly_divmod,
+    poly_from_int,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_neg,
+    poly_powmod,
+    poly_sub,
+    poly_to_int,
+    poly_trim,
+)
+
+
+class TestBasicOps:
+    def test_trim(self):
+        assert poly_trim([1, 2, 0, 0]) == (1, 2)
+        assert poly_trim([0, 0]) == ()
+        assert poly_trim([]) == ()
+
+    def test_add_mod2(self):
+        # (1 + x) + (1 + x^2) = x + x^2 over GF(2)
+        assert poly_add((1, 1), (1, 0, 1), 2) == (0, 1, 1)
+
+    def test_add_cancellation(self):
+        assert poly_add((2, 1), (1, 2), 3) == ()
+
+    def test_neg_sub(self):
+        a, b = (1, 2, 1), (2, 2)
+        p = 5
+        assert poly_add(a, poly_neg(a, p), p) == ()
+        assert poly_add(poly_sub(a, b, p), b, p) == a
+
+    def test_mul_known(self):
+        # (1+x)(1+x) = 1 + 2x + x^2 over GF(5); over GF(2) = 1 + x^2
+        assert poly_mul((1, 1), (1, 1), 5) == (1, 2, 1)
+        assert poly_mul((1, 1), (1, 1), 2) == (1, 0, 1)
+
+    def test_mul_zero(self):
+        assert poly_mul((), (1, 1), 3) == ()
+        assert poly_mul((1, 1), (), 3) == ()
+
+
+class TestDivMod:
+    def test_divmod_identity(self):
+        p = 7
+        a = (3, 0, 2, 5)
+        b = (1, 4, 1)
+        q, r = poly_divmod(a, b, p)
+        recombined = poly_add(poly_mul(q, b, p), r, p)
+        assert recombined == a
+        assert len(r) < len(b)
+
+    def test_exact_division(self):
+        p = 3
+        b = (1, 1)
+        q = (2, 0, 1)
+        a = poly_mul(b, q, p)
+        quot, rem = poly_divmod(a, b, p)
+        assert quot == q and rem == ()
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod((1, 1), (), 3)
+
+    def test_divmod_nonmonic_divisor(self):
+        p = 5
+        a = (1, 2, 3, 4)
+        b = (2, 3)  # leading coefficient 3, not monic
+        q, r = poly_divmod(a, b, p)
+        assert poly_add(poly_mul(q, b, p), r, p) == a
+
+
+class TestGcd:
+    def test_gcd_of_multiples(self):
+        p = 5
+        g = (1, 1)
+        a = poly_mul(g, (2, 3, 1), p)
+        b = poly_mul(g, (4, 1), p)
+        got = poly_gcd(a, b, p)
+        # gcd is monic and divisible by (1 + x)
+        assert got[-1] == 1
+        _, rem = poly_divmod(got, g, p)
+        assert rem == ()
+
+    def test_gcd_coprime(self):
+        p = 2
+        # x and x+1 are coprime
+        assert poly_gcd((0, 1), (1, 1), p) == (1,)
+
+
+class TestPowMod:
+    def test_powmod_small(self):
+        p = 3
+        mod = (1, 0, 1)  # 1 + x^2
+        x = (0, 1)
+        direct = poly_mod(poly_mul(poly_mul(x, x, p), x, p), mod, p)
+        assert poly_powmod(x, 3, mod, p) == direct
+
+    def test_powmod_zero_exponent(self):
+        assert poly_powmod((0, 1), 0, (1, 1, 1), 2) == (1,)
+
+    def test_fermat_in_field(self):
+        # x^(p^n) == x mod f for irreducible f of degree n.
+        p, n = 2, 4
+        f = find_irreducible(p, n)
+        assert poly_powmod((0, 1), p**n, f, p) == (0, 1)
+
+
+class TestIrreducibility:
+    def test_known_irreducible_gf2(self):
+        assert is_irreducible((1, 1, 0, 1), 2)  # x^3 + x + 1
+        assert is_irreducible((1, 1, 1), 2)  # x^2 + x + 1
+
+    def test_known_reducible_gf2(self):
+        assert not is_irreducible((1, 0, 1), 2)  # x^2 + 1 = (x+1)^2
+        assert not is_irreducible((0, 1, 1), 2)  # x(1 + x)
+
+    def test_degree_one_always_irreducible(self):
+        assert is_irreducible((2, 1), 5)
+
+    def test_constants_not_irreducible(self):
+        assert not is_irreducible((1,), 3)
+        assert not is_irreducible((), 3)
+
+    def test_counts_gf2_degree4(self):
+        # There are exactly 3 monic irreducible quartics over GF(2).
+        count = 0
+        for code in range(16):
+            coeffs = list(poly_from_int(code, 2))
+            coeffs += [0] * (4 - len(coeffs))
+            coeffs.append(1)
+            if is_irreducible(tuple(coeffs), 2):
+                count += 1
+        assert count == 3
+
+    def test_counts_gf3_degree2(self):
+        # (p^2 - p)/2 = 3 monic irreducible quadratics over GF(3).
+        count = 0
+        for code in range(9):
+            coeffs = list(poly_from_int(code, 3))
+            coeffs += [0] * (2 - len(coeffs))
+            coeffs.append(1)
+            if is_irreducible(tuple(coeffs), 3):
+                count += 1
+        assert count == 3
+
+
+class TestFindIrreducible:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 3), (2, 8), (3, 2), (3, 3), (5, 2), (7, 2)])
+    def test_returns_monic_irreducible(self, p, m):
+        f = find_irreducible(p, m)
+        assert len(f) - 1 == m
+        assert f[-1] == 1
+        assert is_irreducible(f, p)
+
+    def test_deterministic(self):
+        assert find_irreducible(2, 5) == find_irreducible(2, 5)
+
+    def test_degree_one(self):
+        assert find_irreducible(7, 1) == (0, 1)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            find_irreducible(3, 0)
+
+
+class TestIntCodec:
+    def test_roundtrip(self):
+        for p in (2, 3, 5):
+            for code in range(p**3):
+                assert poly_to_int(poly_from_int(code, p), p) == code
+
+    def test_zero(self):
+        assert poly_from_int(0, 2) == ()
+        assert poly_to_int((), 2) == 0

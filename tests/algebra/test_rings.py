@@ -1,0 +1,137 @@
+"""Tests for the ring abstraction, Zmod, and cross products."""
+
+import itertools
+
+import pytest
+
+from repro.algebra import GF, CrossProductRing, NotInvertible, Zmod
+
+
+def check_ring_axioms(ring, sample=None):
+    """Exhaustively (or on a sample) verify the commutative-ring-with-unit
+    axioms the paper's Section 2 relies on."""
+    elems = list(ring.elements()) if sample is None else sample
+    assert ring.zero in ring.elements()
+    assert ring.one in ring.elements()
+    assert ring.zero != ring.one
+    for a in elems:
+        assert ring.add(a, ring.zero) == a
+        assert ring.mul(a, ring.one) == a
+        assert ring.add(a, ring.neg(a)) == ring.zero
+    for a, b in itertools.product(elems, repeat=2):
+        assert ring.add(a, b) == ring.add(b, a)
+        assert ring.mul(a, b) == ring.mul(b, a)
+    for a, b, c in itertools.islice(itertools.product(elems, repeat=3), 3000):
+        assert ring.add(ring.add(a, b), c) == ring.add(a, ring.add(b, c))
+        assert ring.mul(ring.mul(a, b), c) == ring.mul(a, ring.mul(b, c))
+        assert ring.mul(a, ring.add(b, c)) == ring.add(ring.mul(a, b), ring.mul(a, c))
+
+
+class TestZmod:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 9, 12])
+    def test_axioms(self, n):
+        check_ring_axioms(Zmod(n))
+
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            Zmod(1)
+
+    def test_units(self):
+        r = Zmod(12)
+        units = {a for a in r.elements() if r.is_unit(a)}
+        assert units == {1, 5, 7, 11}
+
+    def test_inverse_roundtrip(self):
+        r = Zmod(35)
+        for a in r.elements():
+            if r.is_unit(a):
+                assert r.mul(a, r.inverse(a)) == 1
+
+    def test_inverse_of_nonunit_raises(self):
+        with pytest.raises(NotInvertible):
+            Zmod(12).inverse(4)
+
+    def test_index_element_roundtrip(self):
+        r = Zmod(10)
+        for i in range(10):
+            assert r.index(r.element(i)) == i
+
+
+class TestDerivedOps:
+    def test_sub(self):
+        r = Zmod(7)
+        assert r.sub(3, 5) == 5
+
+    def test_nsmul(self):
+        r = Zmod(10)
+        assert r.nsmul(7, 3) == 1
+        assert r.nsmul(0, 3) == 0
+
+    def test_pow(self):
+        r = Zmod(11)
+        assert r.pow(2, 10) == 1  # Fermat
+        assert r.pow(5, 0) == 1
+
+    def test_additive_order_divides_ring_order(self):
+        # Algebra Fact (1) from the paper.
+        for n in (6, 8, 12):
+            r = Zmod(n)
+            for a in r.elements():
+                assert n % r.additive_order(a) == 0
+
+    def test_additive_order_zmod(self):
+        r = Zmod(12)
+        assert r.additive_order(0) == 1
+        assert r.additive_order(1) == 12
+        assert r.additive_order(4) == 3
+        assert r.additive_order(6) == 2
+
+    def test_multiplicative_order(self):
+        r = Zmod(7)
+        assert r.multiplicative_order(1) == 1
+        assert r.multiplicative_order(6) == 2
+        assert r.multiplicative_order(3) == 6
+
+    def test_multiplicative_order_nonunit_raises(self):
+        with pytest.raises(NotInvertible):
+            Zmod(8).multiplicative_order(2)
+
+
+class TestCrossProduct:
+    def test_axioms_z2_x_z3(self):
+        check_ring_axioms(CrossProductRing([Zmod(2), Zmod(3)]))
+
+    def test_order(self):
+        r = CrossProductRing([Zmod(4), Zmod(3), Zmod(5)])
+        assert r.order == 60
+        assert len(r.elements()) == 60
+
+    def test_componentwise_ops(self):
+        r = CrossProductRing([Zmod(4), Zmod(3)])
+        assert r.add((1, 2), (3, 2)) == (0, 1)
+        assert r.mul((2, 2), (2, 2)) == (0, 1)
+        assert r.neg((1, 1)) == (3, 2)
+
+    def test_unit_iff_all_components_units(self):
+        r = CrossProductRing([Zmod(4), Zmod(3)])
+        assert r.is_unit((1, 1))
+        assert r.is_unit((3, 2))
+        assert not r.is_unit((2, 1))  # 2 not a unit mod 4
+        assert not r.is_unit((1, 0))
+
+    def test_cross_product_of_fields_is_not_field(self):
+        # The paper's remark after Lemma 3.
+        r = CrossProductRing([GF(2), GF(3)])
+        nonzero_nonunits = [
+            a for a in r.elements() if a != r.zero and not r.is_unit(a)
+        ]
+        assert nonzero_nonunits  # a field would have none
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            CrossProductRing([])
+
+    def test_identity_elements(self):
+        r = CrossProductRing([Zmod(2), Zmod(5)])
+        assert r.zero == (0, 0)
+        assert r.one == (1, 1)

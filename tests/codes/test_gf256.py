@@ -1,0 +1,63 @@
+"""Tests for vectorized GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.codes import GF256
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return GF256()
+
+
+class TestGF256:
+    def test_mul_matches_field(self, gf):
+        f = gf.field
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            assert int(gf.mul(a, b)) == f.mul(a, b)
+
+    def test_mul_vectorized(self, gf):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 256, size=100, dtype=np.uint8)
+        b = rng.integers(0, 256, size=100, dtype=np.uint8)
+        out = gf.mul(a, b)
+        for i in range(100):
+            assert int(out[i]) == gf.field.mul(int(a[i]), int(b[i]))
+
+    def test_mul_by_zero(self, gf):
+        a = np.arange(256, dtype=np.uint8)
+        assert np.all(gf.mul(a, 0) == 0)
+        assert np.all(gf.mul(0, a) == 0)
+
+    def test_mul_by_one_identity(self, gf):
+        a = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(gf.mul(a, 1), a)
+
+    def test_inverse(self, gf):
+        for a in range(1, 256):
+            assert int(gf.mul(a, gf.inverse(a))) == 1
+
+    def test_inverse_of_zero_raises(self, gf):
+        with pytest.raises(ZeroDivisionError):
+            gf.inverse(0)
+
+    def test_div_roundtrip(self, gf):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, size=64, dtype=np.uint8)
+        for b in (1, 2, 77, 255):
+            assert np.array_equal(gf.mul(gf.div(a, b), b), a)
+
+    def test_powers_distinct(self, gf):
+        # g^0..g^254 are the 255 distinct nonzero elements.
+        powers = {gf.power(i) for i in range(255)}
+        assert len(powers) == 255
+        assert 0 not in powers
+
+    def test_broadcast_scalar_with_matrix(self, gf):
+        m = np.full((4, 8), 7, dtype=np.uint8)
+        out = gf.mul(3, m)
+        assert out.shape == (4, 8)
+        assert np.all(out == gf.field.mul(3, 7))

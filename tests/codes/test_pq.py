@@ -1,0 +1,123 @@
+"""Tests for the P+Q double-erasure code."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import PQCode
+
+
+def random_data(m, width=24, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(m, width), dtype=np.uint8)
+
+
+class TestEncode:
+    def test_p_is_xor(self):
+        code = PQCode(4)
+        data = random_data(4)
+        p, _ = code.encode(data)
+        assert np.array_equal(p, np.bitwise_xor.reduce(data, axis=0))
+
+    def test_single_unit_stripe(self):
+        code = PQCode(1)
+        data = random_data(1)
+        p, q = code.encode(data)
+        assert np.array_equal(p, data[0])
+        assert np.array_equal(q, data[0])  # c_0 = g^0 = 1
+
+    def test_shape_validation(self):
+        code = PQCode(3)
+        with pytest.raises(ValueError, match="shape"):
+            code.encode(random_data(4))
+        with pytest.raises(ValueError, match="shape"):
+            code.encode(random_data(3).astype(np.uint16))
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            PQCode(256)
+        with pytest.raises(ValueError):
+            PQCode(0)
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("m", [2, 3, 5, 8])
+    def test_all_double_data_erasures(self, m):
+        code = PQCode(m)
+        data = random_data(m, seed=m)
+        p, q = code.encode(data)
+        for i, j in itertools.combinations(range(m), 2):
+            broken = data.copy()
+            broken[[i, j]] = 0
+            repaired = code.reconstruct(broken, p, q, [i, j])
+            assert np.array_equal(repaired, data), (i, j)
+
+    @pytest.mark.parametrize("m", [2, 5])
+    def test_single_data_erasure_via_p(self, m):
+        code = PQCode(m)
+        data = random_data(m, seed=1)
+        p, q = code.encode(data)
+        for i in range(m):
+            broken = data.copy()
+            broken[i] = 0
+            assert np.array_equal(code.reconstruct(broken, p, q, [i]), data)
+
+    def test_data_plus_p_lost(self):
+        code = PQCode(4)
+        data = random_data(4, seed=2)
+        _, q = code.encode(data)
+        broken = data.copy()
+        broken[2] = 0
+        assert np.array_equal(code.reconstruct(broken, None, q, [2]), data)
+
+    def test_data_plus_q_lost(self):
+        code = PQCode(4)
+        data = random_data(4, seed=3)
+        p, _ = code.encode(data)
+        broken = data.copy()
+        broken[0] = 0
+        assert np.array_equal(code.reconstruct(broken, p, None, [0]), data)
+
+    def test_p_and_q_lost_is_trivial(self):
+        code = PQCode(3)
+        data = random_data(3, seed=4)
+        assert np.array_equal(code.reconstruct(data, None, None, []), data)
+
+    def test_three_erasures_rejected(self):
+        code = PQCode(5)
+        data = random_data(5)
+        p, _ = code.encode(data)
+        with pytest.raises(ValueError, match="exceed"):
+            code.reconstruct(data, p, None, [0, 1])
+        with pytest.raises(ValueError, match="exceed"):
+            code.reconstruct(data, None, None, [0])
+
+    def test_two_data_without_p_rejected(self):
+        # Two data rows plus a missing P is three erasures in total.
+        code = PQCode(5)
+        data = random_data(5)
+        _, q = code.encode(data)
+        with pytest.raises(ValueError, match="exceed"):
+            code.reconstruct(data, None, q, [0, 1])
+
+    def test_invalid_missing_rows(self):
+        code = PQCode(3)
+        data = random_data(3)
+        p, q = code.encode(data)
+        with pytest.raises(ValueError, match="invalid"):
+            code.reconstruct(data, p, q, [0, 0])
+        with pytest.raises(ValueError, match="invalid"):
+            code.reconstruct(data, p, q, [9])
+
+    def test_corrupted_q_detected_by_mismatch(self):
+        # Not a correction guarantee — just that reconstruction uses Q.
+        code = PQCode(3)
+        data = random_data(3, seed=5)
+        p, q = code.encode(data)
+        broken = data.copy()
+        broken[[0, 1]] = 0
+        bad_q = q.copy()
+        bad_q[0] ^= 0xFF
+        repaired = code.reconstruct(broken, p, bad_q, [0, 1])
+        assert not np.array_equal(repaired, data)

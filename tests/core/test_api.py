@@ -1,0 +1,35 @@
+"""Tests for the top-level API."""
+
+import pytest
+
+import repro
+
+
+class TestApi:
+    def test_build_design(self):
+        d = repro.build_design(9, 3)
+        d.verify()
+        assert (d.v, d.k) == (9, 3)
+
+    def test_build_layout_and_evaluate(self):
+        lay = repro.build_layout(13, 4)
+        lay.validate()
+        m = repro.evaluate(lay)
+        assert m.v == 13
+        assert "v=13" in m.summary()
+
+    def test_plan_without_building(self):
+        p = repro.plan(10, 4)
+        assert p.v == 10 and p.k == 4
+        assert p.predicted_size > 0
+
+    def test_build_layout_unsatisfiable(self):
+        with pytest.raises(ValueError):
+            repro.build_layout(9, 3, max_size=1)
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,36 @@
+"""Tests for the feasibility census."""
+
+from repro.core import census
+
+
+class TestCensus:
+    def test_counts_consistent(self):
+        c = census(list(range(5, 30)), list(range(2, 8)))
+        assert c.total_pairs > 0
+        for n in c.per_method.values():
+            assert 0 < n <= c.total_pairs
+        assert c.any_method <= c.total_pairs
+        assert c.any_method >= max(c.per_method.values())
+
+    def test_stairway_dominates_coverage(self):
+        # The paper's claim: approximate layouts cover far more (v, k)
+        # pairs than exact BIBD methods.
+        c = census(list(range(20, 80)), list(range(2, 10)))
+        assert c.per_method["stairway"] > c.per_method.get("ring", 0)
+        assert c.per_method["stairway"] > c.per_method.get("hg_complete", 0)
+
+    def test_tight_limit_shrinks_counts(self):
+        vs, ks = list(range(5, 40)), list(range(2, 8))
+        generous = census(vs, ks, limit=10_000)
+        tight = census(vs, ks, limit=100)
+        for m, n in tight.per_method.items():
+            assert n <= generous.per_method.get(m, 0)
+
+    def test_k_ge_v_excluded(self):
+        c = census([5], [2, 3, 4, 5, 6])
+        assert c.total_pairs == 3  # k in {2, 3, 4} only
+
+    def test_table_renders(self):
+        c = census(list(range(5, 15)), [2, 3])
+        text = c.table()
+        assert "ANY" in text and "method" in text

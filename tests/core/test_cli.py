@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_plan(self, capsys):
+        assert main(["plan", "9", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ring" in out and "flow_single" in out
+
+    def test_build(self, capsys):
+        assert main(["build", "9", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "v=9" in out
+
+    def test_build_renders_small_layouts(self, capsys):
+        assert main(["build", "7", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "D0" in out  # the rendered table header
+
+    def test_design(self, capsys):
+        assert main(["design", "9", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda=1" in out
+
+    def test_design_with_blocks(self, capsys):
+        assert main(["design", "7", "3", "--blocks"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(") >= 7
+
+    def test_census(self, capsys):
+        assert main(["census", "30", "--kmax", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ANY" in out
+
+    def test_rebuild(self, capsys):
+        assert main(["rebuild", "9", "3", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified bit-for-bit: True" in out
+        assert "0.250" in out
+
+    def test_error_reported(self, capsys):
+        assert main(["build", "9", "3", "--max-size", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

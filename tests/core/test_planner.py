@@ -1,0 +1,70 @@
+"""Tests for the layout planner."""
+
+import pytest
+
+from repro.core import enumerate_plans, plan_layout
+from repro.layouts import evaluate_layout
+
+
+class TestEnumeratePlans:
+    def test_sorted_by_size(self):
+        plans = enumerate_plans(9, 3)
+        sizes = [p.predicted_size for p in plans]
+        assert sizes == sorted(sizes)
+
+    def test_prime_power_v_has_ring(self):
+        methods = {p.method for p in enumerate_plans(9, 3)}
+        assert "ring" in methods
+
+    def test_composite_v_big_k_uses_perturbations(self):
+        # v=33=3*11, k=5 > M(33)=3: only stairway/removal/complete apply.
+        methods = {p.method for p in enumerate_plans(33, 5)}
+        assert "ring" not in methods
+        assert "stairway" in methods
+
+    def test_removal_candidate_when_v_plus_one_prime_power(self):
+        plans = {p.method: p for p in enumerate_plans(24, 5)}
+        assert plans["removal"].detail == {"source_v": 25, "removed": 1}
+        assert plans["removal"].balanced
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            enumerate_plans(5, 1)
+        with pytest.raises(ValueError):
+            enumerate_plans(5, 6)
+
+
+class TestPlanLayout:
+    @pytest.mark.parametrize("v,k", [(9, 3), (10, 4), (11, 4), (12, 3), (13, 4), (24, 5), (33, 5)])
+    def test_plan_builds_and_validates(self, v, k):
+        p = plan_layout(v, k)
+        lay = p.build()
+        lay.validate()
+        assert lay.v == v
+        assert lay.size <= p.predicted_size
+        m = evaluate_layout(lay)
+        assert m.k_max <= k  # stripes never exceed the requested size
+
+    def test_balanced_plan_is_balanced(self):
+        p = plan_layout(9, 3, require_balanced=True)
+        assert p.balanced
+        assert evaluate_layout(p.build()).parity_balanced
+
+    def test_max_size_respected(self):
+        p = plan_layout(9, 3, max_size=100)
+        assert p.predicted_size <= 100
+
+    def test_unsatisfiable_budget(self):
+        with pytest.raises(ValueError, match="no feasible layout"):
+            plan_layout(9, 3, max_size=1)
+
+    def test_smaller_budget_changes_method(self):
+        generous = plan_layout(33, 5, max_size=100_000)
+        # Budget below the stairway size forces a different (or no) method.
+        assert generous.predicted_size <= 100_000
+
+    def test_balanced_requirement_can_change_choice(self):
+        free = plan_layout(9, 3)
+        balanced = plan_layout(9, 3, require_balanced=True)
+        assert balanced.balanced
+        assert balanced.predicted_size >= free.predicted_size

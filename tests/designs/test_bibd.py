@@ -1,0 +1,123 @@
+"""Tests for the BIBD type, verifier, and redundancy reduction."""
+
+import pytest
+
+from repro.designs import BlockDesign, DesignError, fano_plane
+
+
+def make(v, k, blocks, name=""):
+    return BlockDesign(v=v, k=k, blocks=tuple(tuple(sorted(b)) for b in blocks), name=name)
+
+
+class TestParameters:
+    def test_fano_parameters(self):
+        f = fano_plane()
+        assert (f.v, f.k, f.b, f.r, f.lambda_) == (7, 3, 7, 3, 1)
+
+    def test_bk_equals_vr(self):
+        f = fano_plane()
+        assert f.b * f.k == f.v * f.r
+
+    def test_parameter_string(self):
+        assert "v=7" in fano_plane().parameter_string()
+
+
+class TestVerify:
+    def test_fano_verifies(self):
+        fano_plane().verify()
+
+    def test_wrong_block_size(self):
+        d = make(4, 3, [(0, 1, 2), (0, 1)])
+        with pytest.raises(DesignError, match="size"):
+            d.verify()
+
+    def test_repeated_element_in_block(self):
+        d = BlockDesign(v=4, k=3, blocks=((0, 1, 1),))
+        with pytest.raises(DesignError, match="repeated|sorted"):
+            d.verify()
+
+    def test_unsorted_block(self):
+        d = BlockDesign(v=4, k=3, blocks=((2, 0, 1),))
+        with pytest.raises(DesignError, match="sorted"):
+            d.verify()
+
+    def test_out_of_range(self):
+        d = make(3, 2, [(0, 5)])
+        with pytest.raises(DesignError):
+            d.verify()
+
+    def test_element_imbalance(self):
+        d = make(4, 2, [(0, 1), (0, 2), (0, 3)])
+        with pytest.raises(DesignError, match="element counts"):
+            d.verify()
+
+    def test_pair_imbalance(self):
+        # Element-balanced but pair-unbalanced.
+        d = make(4, 2, [(0, 1), (2, 3), (0, 1), (2, 3)])
+        with pytest.raises(DesignError, match="pair counts"):
+            d.verify()
+
+    def test_empty_design(self):
+        d = BlockDesign(v=4, k=3, blocks=())
+        with pytest.raises(DesignError, match="no blocks"):
+            d.verify()
+
+    def test_invalid_parameters(self):
+        d = BlockDesign(v=3, k=4, blocks=((0, 1, 2, 3),))
+        with pytest.raises(DesignError):
+            d.verify()
+
+    def test_is_bibd(self):
+        assert fano_plane().is_bibd()
+        assert not make(4, 2, [(0, 1)]).is_bibd()
+
+
+class TestCounts:
+    def test_element_counts(self):
+        d = make(3, 2, [(0, 1), (0, 2), (1, 2)])
+        assert d.element_counts() == [2, 2, 2]
+
+    def test_pair_counts_complete(self):
+        d = make(3, 2, [(0, 1), (0, 2), (1, 2)])
+        assert set(d.pair_counts().values()) == {1}
+
+    def test_pair_counts_include_absent_pairs(self):
+        d = make(4, 2, [(0, 1)])
+        counts = d.pair_counts()
+        assert counts[(2, 3)] == 0
+
+
+class TestRedundancy:
+    def test_multiplicities(self):
+        d = make(3, 2, [(0, 1), (0, 1), (0, 2), (0, 2), (1, 2), (1, 2)])
+        assert set(d.multiplicities().values()) == {2}
+        assert d.redundancy_factor() == 2
+
+    def test_reduce_default_factor(self):
+        d = make(3, 2, [(0, 1)] * 4 + [(0, 2)] * 4 + [(1, 2)] * 4)
+        reduced = d.reduce_redundancy()
+        assert reduced.b == 3
+        reduced.verify()
+        assert (reduced.r, reduced.lambda_) == (2, 1)
+
+    def test_reduce_partial_factor(self):
+        d = make(3, 2, [(0, 1)] * 4 + [(0, 2)] * 4 + [(1, 2)] * 4)
+        reduced = d.reduce_redundancy(2)
+        assert reduced.b == 6
+
+    def test_reduce_factor_one_is_identity(self):
+        f = fano_plane()
+        assert f.reduce_redundancy(1) is f
+
+    def test_reduce_invalid_factor(self):
+        d = make(3, 2, [(0, 1), (0, 1), (0, 2), (0, 2), (1, 2), (1, 2), (1, 2)])
+        with pytest.raises(DesignError, match="divisible"):
+            d.reduce_redundancy(2)
+
+    def test_reduced_design_is_still_bibd(self):
+        f = fano_plane()
+        doubled = BlockDesign(v=7, k=3, blocks=f.blocks + f.blocks)
+        doubled.verify()
+        reduced = doubled.reduce_redundancy()
+        assert reduced.b == 7
+        reduced.verify()

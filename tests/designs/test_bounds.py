@@ -1,0 +1,55 @@
+"""Tests for Theorem 7 and classical BIBD bounds."""
+
+import math
+
+from repro.designs import (
+    admissible_parameters,
+    bibd_lower_bound_b,
+    complete_design,
+    fano_plane,
+    fisher_inequality_holds,
+    meets_lower_bound,
+    ring_design,
+    theorem4_design,
+)
+
+
+class TestLowerBound:
+    def test_formula(self):
+        assert bibd_lower_bound_b(9, 3) == 9 * 8 // math.gcd(72, 6)
+        assert bibd_lower_bound_b(7, 3) == 7
+
+    def test_fano_meets_bound(self):
+        assert meets_lower_bound(7, 3, fano_plane().b)
+
+    def test_every_constructed_design_respects_bound(self):
+        for v, k in [(5, 3), (7, 3), (8, 4), (9, 3), (11, 5), (13, 4)]:
+            lb = bibd_lower_bound_b(v, k)
+            assert ring_design(v, k).to_block_design().b >= lb
+            assert theorem4_design(v, k).b >= lb
+            assert complete_design(v, k).b >= lb
+
+    def test_bound_divides_every_valid_b(self):
+        # The proof shows b is a *multiple* of the bound.
+        for v, k in [(7, 3), (9, 3), (13, 4), (6, 3)]:
+            lb = bibd_lower_bound_b(v, k)
+            assert complete_design(v, k).b % lb == 0
+
+
+class TestClassicalConditions:
+    def test_admissible_for_real_designs(self):
+        f = fano_plane()
+        assert admissible_parameters(f.v, f.k, f.b, f.r, f.lambda_)
+
+    def test_inadmissible(self):
+        assert not admissible_parameters(7, 3, 7, 3, 2)
+
+    def test_fisher_holds_for_designs(self):
+        f = fano_plane()
+        assert fisher_inequality_holds(f.v, f.b, f.k)
+
+    def test_fisher_violation_detected(self):
+        assert not fisher_inequality_holds(10, 5, 3)
+
+    def test_fisher_vacuous_for_k_equal_v(self):
+        assert fisher_inequality_holds(4, 1, 4)

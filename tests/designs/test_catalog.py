@@ -1,0 +1,88 @@
+"""Tests for the design catalog and best-design selection."""
+
+import pytest
+
+from repro.designs import (
+    best_design,
+    candidate_constructions,
+    difference_set_design,
+    fano_plane,
+    theorem6_parameters,
+)
+
+
+class TestDifferenceSets:
+    def test_fano(self):
+        f = fano_plane()
+        f.verify()
+        assert (f.v, f.k, f.lambda_) == (7, 3, 1)
+
+    def test_13_4_projective_plane(self):
+        d = difference_set_design(13, (0, 1, 3, 9))
+        d.verify()
+        assert (d.b, d.lambda_) == (13, 1)
+
+    def test_21_5(self):
+        d = difference_set_design(21, (0, 1, 6, 8, 18))
+        d.verify()
+        assert d.lambda_ == 1
+
+    def test_11_5_biplane(self):
+        d = difference_set_design(11, (0, 1, 2, 4, 7))  # λ = 2 biplane
+        d.verify()
+        assert d.lambda_ == 2
+
+
+class TestCandidateConstructions:
+    def test_sorted_by_size(self):
+        cands = candidate_constructions(9, 3)
+        sizes = [b for _, b in cands]
+        assert sizes == sorted(sizes)
+
+    def test_thm6_applies_when_v_power_of_k(self):
+        cands = dict(candidate_constructions(9, 3))
+        assert cands["thm6"] == theorem6_parameters(9, 3)["b"]
+
+    def test_composite_v_limits_methods(self):
+        methods = {m for m, _ in candidate_constructions(12, 4)}
+        # k=4 > M(12)=3: no ring design, no field theorems.
+        assert methods == {"complete"}
+
+    def test_composite_v_small_k(self):
+        methods = {m for m, _ in candidate_constructions(12, 3)}
+        assert "ring" in methods and "complete" in methods
+
+    def test_no_candidates_out_of_range(self):
+        assert candidate_constructions(5, 7) == []
+
+
+class TestBestDesign:
+    @pytest.mark.parametrize("v,k", [(7, 3), (8, 4), (9, 3), (11, 4), (13, 4), (6, 3), (12, 3), (10, 2)])
+    def test_best_design_is_valid(self, v, k):
+        d = best_design(v, k)
+        d.verify()
+        assert (d.v, d.k) == (v, k)
+
+    def test_best_design_at_least_as_small_as_candidates(self):
+        d = best_design(9, 3)
+        predicted = min(b for _, b in candidate_constructions(9, 3))
+        assert d.b <= predicted
+
+    def test_max_blocks_respected(self):
+        d = best_design(9, 3, max_blocks=20)
+        assert d.b <= 20
+
+    def test_max_blocks_unsatisfiable(self):
+        with pytest.raises(ValueError, match="max_blocks"):
+            best_design(12, 4, max_blocks=10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            best_design(5, 7)
+
+    def test_gcd_reduction_applied(self):
+        # Raw thm4 for (8, 4) has b=56, but a further 4x redundancy is
+        # removable; best_design must shed it.
+        d = best_design(8, 4)
+        assert d.b == 14
+        assert d.redundancy_factor() == 1

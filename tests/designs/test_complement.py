@@ -1,0 +1,70 @@
+"""Tests for complement designs."""
+
+import pytest
+
+from repro.designs import (
+    best_design,
+    candidate_constructions,
+    complement_design,
+    complement_parameters,
+    complete_design,
+    fano_plane,
+    theorem6_design,
+)
+
+
+class TestComplementDesign:
+    @pytest.mark.parametrize(
+        "design",
+        [fano_plane(), theorem6_design(9, 3), complete_design(6, 3), best_design(13, 4)],
+        ids=["fano", "thm6-9-3", "complete-6-3", "13-4"],
+    )
+    def test_complement_is_bibd(self, design):
+        comp = complement_design(design)
+        comp.verify()
+        expected = complement_parameters(
+            design.v, design.k, design.b, design.r, design.lambda_
+        )
+        assert comp.k == expected["k"]
+        assert comp.b == expected["b"]
+        assert comp.r == expected["r"]
+        assert comp.lambda_ == expected["lambda"]
+
+    def test_fano_complement_parameters(self):
+        # Complement of (7,3,1) is the (7,4,2) biplane.
+        comp = complement_design(fano_plane())
+        assert (comp.v, comp.k, comp.b, comp.r, comp.lambda_) == (7, 4, 7, 4, 2)
+
+    def test_double_complement_is_identity(self):
+        f = fano_plane()
+        back = complement_design(complement_design(f))
+        assert sorted(back.blocks) == sorted(f.blocks)
+
+    def test_rejects_tiny_complement(self):
+        with pytest.raises(ValueError, match="block size"):
+            complement_design(complete_design(4, 3))
+
+
+class TestCatalogIntegration:
+    def test_complement_candidate_for_large_k(self):
+        # v=9, k=6: direct field theorems apply, but the complement of
+        # the optimal (9, 3) thm6 design (b=12) is far smaller.
+        cands = dict(candidate_constructions(9, 6))
+        assert "complement:thm6" in cands
+        assert cands["complement:thm6"] == 12
+
+    def test_best_design_uses_complement(self):
+        d = best_design(9, 6)
+        d.verify()
+        assert d.b <= 12
+        assert (d.v, d.k) == (9, 6)
+
+    def test_no_complement_for_small_k(self):
+        cands = dict(candidate_constructions(9, 3))
+        assert not any(name.startswith("complement") for name in cands)
+
+    @pytest.mark.parametrize("v,k", [(9, 6), (13, 9), (8, 5), (16, 12)])
+    def test_large_k_best_designs_valid(self, v, k):
+        d = best_design(v, k)
+        d.verify()
+        assert (d.v, d.k) == (v, k)

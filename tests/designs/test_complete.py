@@ -1,0 +1,38 @@
+"""Tests for complete block designs."""
+
+import math
+
+import pytest
+
+from repro.designs import complete_design, complete_design_b
+
+
+class TestCompleteDesign:
+    @pytest.mark.parametrize("v,k", [(4, 2), (4, 3), (5, 3), (6, 3), (7, 4), (8, 2)])
+    def test_is_bibd(self, v, k):
+        d = complete_design(v, k)
+        d.verify()
+        assert d.b == math.comb(v, k)
+        assert d.r == math.comb(v - 1, k - 1)
+        assert d.lambda_ == math.comb(v - 2, k - 2)
+
+    def test_k_equals_v(self):
+        d = complete_design(4, 4)
+        assert d.b == 1
+
+    def test_b_formula_without_materialization(self):
+        assert complete_design_b(40, 5) == math.comb(40, 5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            complete_design(4, 1)
+        with pytest.raises(ValueError):
+            complete_design(4, 5)
+
+    def test_refuses_explosion(self):
+        with pytest.raises(ValueError, match="refusing"):
+            complete_design(40, 10)
+
+    def test_blocks_are_distinct(self):
+        d = complete_design(6, 3)
+        assert len(set(d.blocks)) == d.b

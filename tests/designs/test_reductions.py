@@ -1,0 +1,122 @@
+"""Tests for Theorems 4 and 5 redundancy-reduced designs."""
+
+import math
+
+import pytest
+
+from repro.algebra import GF
+from repro.designs import (
+    affine_orbits,
+    multiplicative_orbits,
+    theorem4_design,
+    theorem4_parameters,
+    theorem5_design,
+    theorem5_parameters,
+)
+
+PRIME_POWERS = [4, 5, 7, 8, 9, 11, 13, 16]
+
+
+class TestOrbits:
+    def test_multiplicative_orbit_sizes(self):
+        f = GF(13)
+        a = f.element_of_order(4)
+        orbits = multiplicative_orbits(f, a)
+        assert all(len(o) == 4 for o in orbits)
+        assert sum(len(o) for o in orbits) == 12
+
+    def test_multiplicative_orbits_partition(self):
+        f = GF(9)
+        a = f.element_of_order(2)
+        seen = [e for o in multiplicative_orbits(f, a) for e in o]
+        assert sorted(seen) == sorted(e for e in f.elements() if e != f.zero)
+
+    def test_affine_orbits_partition_with_fixed_point(self):
+        f = GF(9)
+        a = f.element_of_order(4)
+        z = f.one
+        orbits = affine_orbits(f, a, z)
+        assert [z] in orbits
+        sizes = sorted(len(o) for o in orbits)
+        assert sizes == [1, 4, 4]
+        seen = [e for o in orbits for e in o]
+        assert sorted(seen) == sorted(f.elements())
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("v", PRIME_POWERS)
+    def test_all_k(self, v):
+        for k in range(2, v + 1):
+            d = theorem4_design(v, k)
+            d.verify()
+            expected = theorem4_parameters(v, k)
+            assert (d.b, d.r, d.lambda_) == (
+                expected["b"],
+                expected["r"],
+                expected["lambda"],
+            )
+
+    def test_reduction_factor_visible(self):
+        # v=13, k=5: gcd(12, 4) = 4 — a 4x saving over Theorem 1.
+        d = theorem4_design(13, 5)
+        assert d.b == 13 * 12 // 4
+
+    def test_rejects_composite_v(self):
+        with pytest.raises(ValueError, match="prime"):
+            theorem4_design(12, 3)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            theorem4_design(9, 1)
+        with pytest.raises(ValueError):
+            theorem4_design(9, 10)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("v", PRIME_POWERS)
+    def test_all_k(self, v):
+        for k in range(2, v):
+            d = theorem5_design(v, k)
+            d.verify()
+            expected = theorem5_parameters(v, k)
+            assert (d.b, d.r, d.lambda_) == (
+                expected["b"],
+                expected["r"],
+                expected["lambda"],
+            )
+
+    def test_reduction_factor_visible(self):
+        # v=13, k=4: gcd(12, 4) = 4.
+        d = theorem5_design(13, 4)
+        assert d.b == 13 * 12 // 4
+
+    def test_rejects_k_equal_v(self):
+        with pytest.raises(ValueError):
+            theorem5_design(9, 9)
+
+    def test_rejects_composite_v(self):
+        with pytest.raises(ValueError, match="prime"):
+            theorem5_design(10, 3)
+
+
+class TestTheorem4vs5:
+    """The two theorems trade off differently with k; both beat Theorem 1
+    whenever their gcd exceeds 1."""
+
+    def test_sizes_divide_theorem1(self):
+        for v in (8, 9, 13):
+            for k in range(2, v):
+                b1 = v * (v - 1)
+                assert b1 % theorem4_parameters(v, k)["b"] == 0
+                assert b1 % theorem5_parameters(v, k)["b"] == 0
+
+    def test_complementary_strengths(self):
+        # k=5, v=13: thm5 divides by gcd(12,5)=1, thm4 by gcd(12,4)=4.
+        assert theorem4_parameters(13, 5)["b"] < theorem5_parameters(13, 5)["b"]
+        # k=4, v=13: thm5 divides by gcd(12,4)=4, thm4 by gcd(12,3)=3.
+        assert theorem5_parameters(13, 4)["b"] < theorem4_parameters(13, 4)["b"]
+
+    def test_gcd_formulas(self):
+        for v, k in [(9, 3), (13, 4), (16, 6)]:
+            assert theorem4_parameters(v, k)["b"] == v * (v - 1) // math.gcd(v - 1, k - 1)
+            assert theorem5_parameters(v, k)["b"] == v * (v - 1) // math.gcd(v - 1, k)

@@ -1,0 +1,88 @@
+"""Tests for Theorem 1 ring-based block designs."""
+
+import pytest
+
+from repro.algebra import GF, Zmod, ring_with_generators
+from repro.designs import ring_design, theorem1_parameters
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize(
+        "v,k",
+        [(4, 2), (4, 3), (4, 4), (5, 3), (5, 5), (7, 3), (8, 4), (9, 3), (9, 5), (11, 4), (16, 4), (25, 5)],
+    )
+    def test_field_designs_are_bibds(self, v, k):
+        rd = ring_design(v, k)
+        d = rd.to_block_design()
+        d.verify()
+        expected = theorem1_parameters(v, k)
+        assert d.b == expected["b"]
+        assert d.r == expected["r"]
+        assert d.lambda_ == expected["lambda"]
+
+    @pytest.mark.parametrize("v,k", [(6, 2), (12, 3), (15, 3), (20, 4), (45, 5)])
+    def test_composite_v_designs_are_bibds(self, v, k):
+        d = ring_design(v, k).to_block_design()
+        d.verify()
+        assert d.b == v * (v - 1)
+
+    def test_pair_count(self):
+        rd = ring_design(7, 3)
+        assert len(rd.pairs) == 7 * 6
+        assert all(y != rd.ring.zero for _, y in rd.pairs)
+
+    def test_block_elements_in_generator_order(self):
+        rd = ring_design(7, 3)
+        ring = rd.ring
+        g0 = rd.gens[0]
+        for (x, y), elems in zip(rd.pairs, rd.block_elements):
+            for g, e in zip(rd.gens, elems):
+                assert e == ring.add(x, ring.mul(y, ring.sub(g, g0)))
+            # The g0-th element is always x itself.
+            assert elems[0] == x
+
+    def test_block_disks(self):
+        rd = ring_design(5, 3)
+        for i in range(rd.b):
+            disks = rd.block_disks(i)
+            assert len(set(disks)) == 3
+
+    def test_rejects_k_above_capacity(self):
+        with pytest.raises(ValueError):
+            ring_design(6, 3)
+
+    def test_explicit_ring_and_gens(self):
+        f = GF(8)
+        d = ring_design(8, 3, ring=f, gens=[0, 1, 2]).to_block_design()
+        d.verify()
+
+    def test_explicit_args_must_be_consistent(self):
+        f = GF(8)
+        with pytest.raises(ValueError, match="both"):
+            ring_design(8, 3, ring=f)
+        with pytest.raises(ValueError, match="order"):
+            ring_design(9, 3, ring=f, gens=[0, 1, 2])
+        with pytest.raises(ValueError, match="expected k"):
+            ring_design(8, 3, ring=f, gens=[0, 1])
+
+    def test_invalid_generator_set_rejected(self):
+        r = Zmod(9)
+        with pytest.raises(ValueError, match="invertible"):
+            ring_design(9, 3, ring=r, gens=[0, 3, 6])  # 3 not a unit mod 9
+
+    def test_zmod_prime_matches_field(self):
+        # Zmod(p) and GF(p) are the same ring; designs must agree.
+        a = ring_design(5, 3, ring=Zmod(5), gens=[0, 1, 2]).to_block_design()
+        b = ring_design(5, 3).to_block_design()
+        assert sorted(a.blocks) == sorted(b.blocks)
+
+    def test_each_tuple_k_distinct_elements(self):
+        # First claim in the proof of Theorem 1.
+        rd = ring_design(12, 3)
+        for elems in rd.block_elements:
+            assert len(set(elems)) == 3
+
+    def test_deterministic(self):
+        a = ring_design(9, 4).to_block_design()
+        b = ring_design(9, 4).to_block_design()
+        assert a.blocks == b.blocks

@@ -1,0 +1,69 @@
+"""Tests for Theorem 6 subfield designs (λ = 1, optimally small)."""
+
+import pytest
+
+from repro.designs import (
+    bibd_lower_bound_b,
+    is_theorem6_applicable,
+    theorem6_design,
+    theorem6_parameters,
+)
+
+CASES = [(4, 2), (9, 3), (16, 4), (25, 5), (8, 2), (27, 3), (64, 8), (16, 2), (81, 9), (49, 7)]
+
+
+class TestApplicability:
+    def test_applicable_cases(self):
+        for v, k in CASES:
+            assert is_theorem6_applicable(v, k)
+
+    def test_inapplicable_cases(self):
+        assert not is_theorem6_applicable(9, 2)  # 9 not a power of 2
+        assert not is_theorem6_applicable(12, 3)
+        assert not is_theorem6_applicable(36, 6)  # 6 not a prime power
+        assert not is_theorem6_applicable(9, 9)  # need m >= 2
+        assert not is_theorem6_applicable(3, 9)
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("v,k", CASES)
+    def test_is_bibd_with_lambda_one(self, v, k):
+        d = theorem6_design(v, k)
+        d.verify()
+        expected = theorem6_parameters(v, k)
+        assert (d.b, d.r, d.lambda_) == (expected["b"], expected["r"], 1)
+
+    @pytest.mark.parametrize("v,k", CASES)
+    def test_optimally_small(self, v, k):
+        """Theorem 6 designs meet the Theorem 7 lower bound exactly."""
+        d = theorem6_design(v, k)
+        assert d.b == bibd_lower_bound_b(v, k)
+
+    @pytest.mark.parametrize("v,k", CASES)
+    def test_no_repeated_blocks(self, v, k):
+        d = theorem6_design(v, k)
+        assert len(set(d.blocks)) == d.b
+
+    def test_k_prime_power_not_just_prime(self):
+        # The paper notes this generalizes Pietracaprina-Preparata, which
+        # needed k prime; k = 4 and k = 8 are the new ground.
+        theorem6_design(16, 4).verify()
+        theorem6_design(64, 8).verify()
+
+    def test_rejects_inapplicable(self):
+        with pytest.raises(ValueError):
+            theorem6_design(12, 3)
+        with pytest.raises(ValueError):
+            theorem6_design(36, 6)
+
+    def test_blocks_are_lines(self):
+        # λ = 1 means any two elements determine a unique block.
+        d = theorem6_design(9, 3)
+        pairs = {}
+        for blk in d.blocks:
+            for i in range(len(blk)):
+                for j in range(i + 1, len(blk)):
+                    key = (blk[i], blk[j])
+                    assert key not in pairs
+                    pairs[key] = blk
+        assert len(pairs) == 9 * 8 // 2

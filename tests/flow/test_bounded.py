@@ -1,0 +1,88 @@
+"""Tests for max flow with edge lower bounds."""
+
+import pytest
+
+from repro.flow import BoundedEdge, InfeasibleFlow, max_flow_with_lower_bounds
+from repro.flow.dinic import edmonds_karp_max_flow
+
+
+class TestBoundedEdge:
+    def test_valid(self):
+        e = BoundedEdge(0, 1, 2, 5)
+        assert (e.lo, e.hi) == (2, 5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedEdge(0, 1, 3, 2)
+        with pytest.raises(ValueError):
+            BoundedEdge(0, 1, -1, 2)
+
+
+class TestMaxFlowWithLowerBounds:
+    def test_no_lower_bounds_is_plain_max_flow(self):
+        edges = [
+            BoundedEdge(0, 1, 0, 3),
+            BoundedEdge(0, 2, 0, 2),
+            BoundedEdge(1, 2, 0, 1),
+            BoundedEdge(1, 3, 0, 2),
+            BoundedEdge(2, 3, 0, 3),
+        ]
+        value, flows = max_flow_with_lower_bounds(4, edges, 0, 3)
+        assert value == 5
+        for f, e in zip(flows, edges):
+            assert e.lo <= f <= e.hi
+
+    def test_lower_bounds_respected(self):
+        # Force at least 2 units down the "long" branch.
+        edges = [
+            BoundedEdge(0, 1, 2, 5),
+            BoundedEdge(1, 2, 2, 5),
+            BoundedEdge(2, 3, 0, 5),
+            BoundedEdge(0, 3, 0, 5),
+        ]
+        value, flows = max_flow_with_lower_bounds(4, edges, 0, 3)
+        assert flows[0] >= 2 and flows[1] >= 2
+        assert value == 10
+
+    def test_conservation_with_bounds(self):
+        edges = [
+            BoundedEdge(0, 1, 1, 3),
+            BoundedEdge(0, 2, 0, 3),
+            BoundedEdge(1, 3, 1, 2),
+            BoundedEdge(1, 2, 0, 2),
+            BoundedEdge(2, 3, 1, 4),
+        ]
+        value, flows = max_flow_with_lower_bounds(4, edges, 0, 3)
+        balance = [0] * 4
+        for f, e in zip(flows, edges):
+            assert e.lo <= f <= e.hi
+            balance[e.u] -= f
+            balance[e.v] += f
+        assert balance[1] == 0 and balance[2] == 0
+        assert balance[3] == value == -balance[0]
+
+    def test_infeasible_detected(self):
+        # Lower bound 3 into a node whose only exit has capacity 1.
+        edges = [
+            BoundedEdge(0, 1, 3, 5),
+            BoundedEdge(1, 2, 0, 1),
+        ]
+        with pytest.raises(InfeasibleFlow):
+            max_flow_with_lower_bounds(3, edges, 0, 2)
+
+    def test_tight_bounds_forced_flow(self):
+        # lo == hi pins the flow exactly.
+        edges = [
+            BoundedEdge(0, 1, 4, 4),
+            BoundedEdge(1, 2, 0, 10),
+        ]
+        value, flows = max_flow_with_lower_bounds(3, edges, 0, 2)
+        assert value == 4
+        assert flows == [4, 4]
+
+    def test_alternate_max_flow_algorithm(self):
+        edges = [BoundedEdge(0, 1, 1, 3), BoundedEdge(1, 2, 1, 3)]
+        value, flows = max_flow_with_lower_bounds(
+            3, edges, 0, 2, max_flow=edmonds_karp_max_flow
+        )
+        assert value == 3

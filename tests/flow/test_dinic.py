@@ -1,0 +1,106 @@
+"""Tests for the max-flow algorithms (Dinic and Edmonds–Karp)."""
+
+import itertools
+
+import pytest
+
+from repro.flow import FlowNetwork, dinic_max_flow, edmonds_karp_max_flow
+
+ALGOS = [dinic_max_flow, edmonds_karp_max_flow]
+
+
+def build(n, edges):
+    net = FlowNetwork(n)
+    ids = [net.add_edge(u, v, c) for u, v, c in edges]
+    return net, ids
+
+
+def brute_force_max_flow(n, edges, s, t):
+    """Exponential-time reference: max flow = min cut (enumerate cuts)."""
+    best = None
+    others = [x for x in range(n) if x not in (s, t)]
+    for mask in range(1 << len(others)):
+        side = {s}
+        for i, x in enumerate(others):
+            if mask >> i & 1:
+                side.add(x)
+        cut = sum(c for u, v, c in edges if u in side and v not in side)
+        best = cut if best is None else min(best, cut)
+    return best
+
+
+CLASSIC = [
+    # (n, edges, s, t, expected)
+    (4, [(0, 1, 3), (0, 2, 2), (1, 2, 1), (1, 3, 2), (2, 3, 3)], 0, 3, 5),
+    (6, [(0, 1, 16), (0, 2, 13), (1, 2, 10), (2, 1, 4), (1, 3, 12), (3, 2, 9), (2, 4, 14), (4, 3, 7), (3, 5, 20), (4, 5, 4)], 0, 5, 23),
+    (2, [(0, 1, 7)], 0, 1, 7),
+    (3, [(0, 1, 5)], 0, 2, 0),  # disconnected sink
+]
+
+
+class TestMaxFlowAlgorithms:
+    @pytest.mark.parametrize("algo", ALGOS)
+    @pytest.mark.parametrize("n,edges,s,t,expected", CLASSIC)
+    def test_classic_instances(self, algo, n, edges, s, t, expected):
+        net, _ = build(n, edges)
+        assert algo(net, s, t) == expected
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_source_equals_sink_rejected(self, algo):
+        net, _ = build(2, [(0, 1, 1)])
+        with pytest.raises(ValueError):
+            algo(net, 0, 0)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_flow_conservation(self, algo):
+        n, edges, s, t = 6, CLASSIC[1][1], 0, 5
+        net, ids = build(n, edges)
+        algo(net, s, t)
+        balance = [0] * n
+        for eid, (u, v, _c) in zip(ids, edges):
+            f = net.flow(eid)
+            balance[u] -= f
+            balance[v] += f
+        for x in range(n):
+            if x not in (s, t):
+                assert balance[x] == 0
+        assert -balance[s] == balance[t]
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_capacity_respected(self, algo):
+        n, edges, s, t = 6, CLASSIC[1][1], 0, 5
+        net, ids = build(n, edges)
+        algo(net, s, t)
+        for eid, (_u, _v, c) in zip(ids, edges):
+            assert 0 <= net.flow(eid) <= c
+
+    def test_agreement_on_random_graphs(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(30):
+            n = rng.randint(4, 7)
+            edges = []
+            for u, v in itertools.permutations(range(n), 2):
+                if rng.random() < 0.45:
+                    edges.append((u, v, rng.randint(1, 9)))
+            if not edges:
+                continue
+            net1, _ = build(n, edges)
+            net2, _ = build(n, edges)
+            f1 = dinic_max_flow(net1, 0, n - 1)
+            f2 = edmonds_karp_max_flow(net2, 0, n - 1)
+            ref = brute_force_max_flow(n, edges, 0, n - 1)
+            assert f1 == f2 == ref, f"trial {trial}: {f1} {f2} {ref}"
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_bipartite_matching(self, algo):
+        # 3x3 bipartite complete graph: perfect matching of size 3.
+        net = FlowNetwork(8)
+        for i in range(3):
+            net.add_edge(0, 1 + i, 1)
+            net.add_edge(4 + i, 7, 1)
+        for i in range(3):
+            for j in range(3):
+                net.add_edge(1 + i, 4 + j, 1)
+        assert algo(net, 0, 7) == 3

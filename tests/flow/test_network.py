@@ -1,0 +1,49 @@
+"""Tests for the flow-network data structure."""
+
+import pytest
+
+from repro.flow import FlowNetwork
+
+
+class TestFlowNetwork:
+    def test_add_edge_ids_are_even(self):
+        net = FlowNetwork(3)
+        e0 = net.add_edge(0, 1, 5)
+        e1 = net.add_edge(1, 2, 4)
+        assert e0 == 0 and e1 == 2
+
+    def test_residual_twin(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        assert net.residual(e) == 5
+        assert net.flow(e) == 0
+        net.push(e, 3)
+        assert net.residual(e) == 2
+        assert net.flow(e) == 3
+
+    def test_push_reversible(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5)
+        net.push(e, 5)
+        net.push(e ^ 1, 2)  # cancel 2 units along the residual
+        assert net.flow(e) == 3
+
+    def test_edge_count(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 1)
+        assert net.edge_count() == 2
+
+    def test_rejects_bad_nodes(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 5, 1)
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(1)

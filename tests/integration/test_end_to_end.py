@@ -1,0 +1,89 @@
+"""End-to-end integration: plan → build → map → simulate → verify."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.layouts import AddressMapper, evaluate_layout
+from repro.sim import (
+    ArrayController,
+    RebuildProcess,
+    WorkloadConfig,
+    simulate_rebuild,
+    simulate_workload,
+)
+
+GRID = [(9, 3), (10, 4), (11, 4), (12, 3), (13, 4), (24, 5)]
+
+
+class TestPlanBuildSimulate:
+    @pytest.mark.parametrize("v,k", GRID)
+    def test_full_pipeline(self, v, k):
+        layout = repro.build_layout(v, k)
+        layout.validate()
+
+        # Metrics respect the requested stripe size and balance claims.
+        m = evaluate_layout(layout)
+        assert m.k_max <= k
+        assert m.parity_spread <= 1 or m.parity_overhead_max <= 1 / (k - 1)
+
+        # The mapping is a bijection on data units.
+        am = AddressMapper(layout)
+        seen = set()
+        for lba in range(am.capacity):
+            pu = am.logical_to_physical(lba)
+            seen.add((pu.disk, pu.offset))
+        assert len(seen) == am.capacity
+
+        # A failed disk rebuilds bit-for-bit.
+        rep = simulate_rebuild(layout, failed_disk=v // 2, verify_data=True)
+        assert rep.data_verified is True
+
+    @pytest.mark.parametrize("v,k", [(9, 3), (13, 4)])
+    def test_rebuild_under_load_still_correct(self, v, k):
+        layout = repro.build_layout(v, k)
+        ctrl = ArrayController(layout, dataplane=True)
+        rng = np.random.default_rng(3)
+        for lba in rng.integers(0, ctrl.mapper.capacity, size=30):
+            ctrl.submit_write(int(lba))
+        ctrl.sim.run()
+        ctrl.fail_disk(0)
+        # Degraded traffic concurrent with the rebuild.
+        from repro.sim import drive_workload
+
+        drive_workload(ctrl, WorkloadConfig(interarrival_ms=12.0, seed=4), 400.0)
+        rb = RebuildProcess(ctrl, parallelism=2)
+        rb.start()
+        ctrl.sim.run()
+        assert rb.report.data_verified is True
+
+
+class TestCrossMethodConsistency:
+    def test_all_plans_for_one_target_respect_their_workload_bound(self):
+        # Each method has an analytic worst-case reconstruction workload:
+        # (k-1)/(v-1) for exact methods, (k-1)/(q-1) for stairway plans
+        # built from a q-disk base (the paper's size/imbalance trade-off).
+        from repro.core import enumerate_plans
+
+        v, k = 9, 3
+        for plan in enumerate_plans(v, k):
+            if plan.predicted_size > 3000:
+                continue
+            layout = plan.build()
+            layout.validate()
+            m = evaluate_layout(layout)
+            base = plan.detail.get("q", plan.detail.get("source_v", v))
+            bound = (k - 1) / (base - 1)
+            assert m.workload_max <= bound + 1e-9, plan.method
+
+    def test_degraded_reads_cost_k_minus_1(self):
+        layout = repro.build_layout(9, 3)
+        rep = simulate_workload(
+            layout,
+            duration_ms=2000.0,
+            config=WorkloadConfig(interarrival_ms=8.0, read_fraction=1.0, seed=6),
+            failed_disk=0,
+        )
+        # Degraded reads exist and are slower than normal reads.
+        if "degraded_read" in rep.latency:
+            assert rep.latency["degraded_read"]["mean"] >= rep.latency["read"]["mean"] * 0.9

@@ -1,0 +1,52 @@
+"""Integration: the §5 extension features composed with planned layouts."""
+
+import pytest
+
+import repro
+from repro.layouts import (
+    sequential_metrics,
+    verify_double_fault_tolerance,
+    with_distributed_sparing,
+    with_dual_parity,
+)
+from repro.sim import simulate_rebuild
+
+
+class TestExtensionsOnPlannedLayouts:
+    @pytest.mark.parametrize("v,k", [(9, 4), (13, 4), (10, 4)])
+    def test_dual_parity_on_planner_output(self, v, k):
+        layout = repro.build_layout(v, k)
+        dual = with_dual_parity(layout)
+        dual.validate()
+        assert verify_double_fault_tolerance(dual, failure_pairs=[(0, 1)])
+
+    def test_sparing_on_planner_output(self):
+        layout = repro.build_layout(9, 4)
+        sparing = with_distributed_sparing(layout)
+        rep = simulate_rebuild(layout, failed_disk=3, sparing=sparing, verify_data=True)
+        assert rep.data_verified is True
+
+    def test_sequential_metrics_on_planner_output(self):
+        layout = repro.build_layout(9, 3)
+        m = sequential_metrics(layout)
+        assert 0.0 <= m.large_write_fraction <= 1.0
+        assert 1 <= m.min_parallelism <= layout.v
+
+    def test_compact_stairway_plan_builds(self):
+        from repro.core import enumerate_plans
+
+        plans = {p.method: p for p in enumerate_plans(33, 5)}
+        assert "stairway_compact" in plans
+        compact = plans["stairway_compact"]
+        assert compact.predicted_size < plans["stairway"].predicted_size
+        layout = compact.build()
+        layout.validate()
+        assert layout.size == compact.predicted_size  # geometric: exact
+
+    def test_serialization_of_planned_layout(self, tmp_path):
+        from repro.layouts import load_layout, save_layout
+
+        layout = repro.build_layout(11, 4)
+        path = tmp_path / "layout.json"
+        save_layout(layout, path)
+        assert load_layout(path) == layout

@@ -1,0 +1,89 @@
+"""The paper's concrete examples, reproduced exactly."""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.designs import complete_design, ring_design
+from repro.layouts import (
+    evaluate_layout,
+    holland_gibson_layout,
+    raid5_layout,
+    reconstruction_workloads,
+    ring_layout,
+)
+
+
+class TestFigure1:
+    """One parity stripe across all disks: RAID5 with k = v."""
+
+    def test_single_stripe_geometry(self):
+        lay = raid5_layout(5)
+        stripe = lay.stripes[0]
+        assert stripe.size == 5
+        assert len({d for d, _ in stripe.units}) == 5
+
+
+class TestFigure2:
+    """Parity-declustered layout for v=4, k=3 (complete design)."""
+
+    def test_fig2_layout(self):
+        design = complete_design(4, 3)
+        assert design.b == 4  # the four 3-subsets of {0,1,2,3}
+        lay = holland_gibson_layout(design)
+        lay.validate()
+        m = evaluate_layout(lay)
+        # Parity overhead 1/3, workload 2/3 — the Fig. 2 numbers.
+        assert m.parity_overhead_max == Fraction(1, 3)
+        assert abs(m.workload_max - 2 / 3) < 1e-12
+        assert m.parity_balanced and m.workload_balanced
+
+
+class TestFigure3:
+    """BIBD-based layout for v=4, k=3: k copies, rotated parity."""
+
+    def test_fig3_layout(self):
+        design = complete_design(4, 3)
+        lay = holland_gibson_layout(design)
+        # k copies of b=4 blocks, size k*r = 3*3 = 9.
+        assert lay.b == 12
+        assert lay.size == 9
+        # Each copy places parity at a different tuple position, so each
+        # disk holds exactly r = 3 parity units.
+        from repro.layouts import parity_counts
+
+        assert parity_counts(lay) == [3, 3, 3, 3]
+
+
+class TestSection3RingLayout:
+    """v disks, parity of stripe (x, y) on disk x: size k(v-1)."""
+
+    def test_paper_parameters(self):
+        v, k = 4, 3
+        lay = ring_layout(v, k)
+        assert lay.size == k * (v - 1)
+        m = evaluate_layout(lay)
+        assert m.parity_balanced
+        # Reconstruction workload (k-1)/(v-1) = 2/3 for every pair.
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(v, dtype=bool)]
+        assert np.allclose(off, 2 / 3)
+
+    def test_against_holland_gibson_size(self):
+        # Same design family, k-fold smaller layout.
+        v, k = 9, 3
+        ring = ring_layout(v, k)
+        hg = holland_gibson_layout(ring_design(v, k).to_block_design())
+        assert hg.size == k * ring.size
+
+
+class TestTheorem1Worked:
+    """b = v(v-1), r = k(v-1), λ = k(k-1) on the paper's favourite sizes."""
+
+    def test_parameters_table(self):
+        for v, k in [(4, 3), (5, 3), (8, 4), (9, 3)]:
+            d = ring_design(v, k).to_block_design()
+            d.verify()
+            assert d.b == v * (v - 1)
+            assert d.r == k * (v - 1)
+            assert d.lambda_ == k * (k - 1)

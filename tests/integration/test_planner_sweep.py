@@ -1,0 +1,42 @@
+"""Broad planner sweep: every planned layout on a wide grid builds,
+validates, and honours its plan's predictions."""
+
+import pytest
+
+from repro.core import plan_layout
+from repro.layouts import evaluate_layout
+
+# A grid mixing prime powers, composites with large/small M(v), and
+# awkward values with no exact BIBD.
+SWEEP = [
+    (7, 3), (8, 3), (9, 4), (10, 3), (11, 3), (12, 4), (14, 4), (15, 4),
+    (16, 5), (17, 4), (18, 3), (20, 4), (21, 5), (22, 4), (26, 5), (28, 4),
+]
+
+
+@pytest.mark.parametrize("v,k", SWEEP)
+def test_planned_layout_end_to_end(v, k):
+    plan = plan_layout(v, k)
+    layout = plan.build()
+    layout.validate()
+    assert layout.v == v
+    assert layout.size <= plan.predicted_size
+
+    m = evaluate_layout(layout)
+    # Stripes never exceed the requested size (approximate methods may
+    # shrink some stripes to k-1 or k-i, never grow them).
+    assert m.k_max <= k
+    # Balance promise: perfect when claimed, within the approximate
+    # bands otherwise (overhead at most 1/(k-1), which every Theorem
+    # 8-12 band respects for the planner's candidates).
+    if plan.balanced:
+        assert m.parity_spread == 0
+    else:
+        assert float(m.parity_overhead_max) <= 1 / (k - 1) + 1e-9
+
+
+@pytest.mark.parametrize("v,k", [(9, 3), (13, 4), (25, 5)])
+def test_balanced_plans_available_for_prime_powers(v, k):
+    plan = plan_layout(v, k, require_balanced=True)
+    assert plan.balanced
+    assert evaluate_layout(plan.build()).parity_balanced

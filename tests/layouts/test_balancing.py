@@ -1,0 +1,94 @@
+"""Tests for flow-balanced layouts (Section 4 applications)."""
+
+import pytest
+
+from repro.designs import best_design, complete_design, fano_plane
+from repro.flow import copies_for_perfect_balance
+from repro.layouts import (
+    evaluate_layout,
+    holland_gibson_layout,
+    minimum_balanced_layout,
+    parity_counts,
+    rebalance_parity,
+    single_copy_layout,
+    theorem9_layout,
+)
+
+
+class TestSingleCopy:
+    @pytest.mark.parametrize(
+        "design",
+        [fano_plane(), best_design(9, 3), complete_design(6, 3), best_design(13, 4)],
+        ids=["fano", "9-3", "complete-6-3", "13-4"],
+    )
+    def test_spread_at_most_one(self, design):
+        lay = single_copy_layout(design)
+        lay.validate()
+        counts = parity_counts(lay)
+        assert max(counts) - min(counts) <= 1
+
+    def test_size_is_r(self):
+        design = fano_plane()
+        lay = single_copy_layout(design)
+        assert lay.size == design.r
+
+    def test_k_times_smaller_than_hg(self):
+        design = fano_plane()
+        assert holland_gibson_layout(design).size == design.k * single_copy_layout(design).size
+
+
+class TestMinimumBalanced:
+    @pytest.mark.parametrize(
+        "design",
+        [best_design(9, 3), complete_design(6, 3), fano_plane()],
+        ids=["9-3", "complete-6-3", "fano"],
+    )
+    def test_perfectly_balanced(self, design):
+        lay = minimum_balanced_layout(design)
+        lay.validate()
+        assert evaluate_layout(lay).parity_balanced
+
+    def test_uses_lcm_copies(self):
+        design = best_design(9, 3)  # b=12, v=9 -> 3 copies
+        copies = copies_for_perfect_balance(design.b, design.v)
+        assert copies == 3
+        lay = minimum_balanced_layout(design)
+        assert lay.b == design.b * copies
+
+    def test_fewer_copies_cannot_balance(self):
+        # Corollary 17's "only if": any parity choice over < lcm/b
+        # copies leaves b*copies not divisible by v.
+        design = best_design(9, 3)
+        from repro.layouts import layout_from_design
+
+        lay2 = layout_from_design(design, copies=2, parity="flow")
+        assert not evaluate_layout(lay2).parity_balanced
+
+
+class TestRebalance:
+    def test_rebalance_keeps_data_placement(self):
+        lay = theorem9_layout(16, 9, 3)
+        re = rebalance_parity(lay)
+        re.validate()
+        for a, b in zip(lay.stripes, re.stripes):
+            assert a.units == b.units
+
+    def test_rebalance_mixed_stripe_sizes(self):
+        # Theorem 9 layouts have stripes of k-i..k; Theorem 14 still
+        # bounds per-disk counts by floor/ceil of the parity load.
+        from math import ceil, floor
+
+        from repro.flow import parity_loads
+
+        lay = theorem9_layout(16, 9, 3)
+        re = rebalance_parity(lay)
+        loads = parity_loads([s.disks for s in re.stripes], re.v)
+        counts = parity_counts(re)
+        for d in range(re.v):
+            assert floor(loads[d]) <= counts[d] <= ceil(loads[d])
+
+    def test_rebalance_no_worse_than_original(self):
+        lay = theorem9_layout(16, 9, 2)
+        before = evaluate_layout(lay).parity_spread
+        after = evaluate_layout(rebalance_parity(lay)).parity_spread
+        assert after <= before

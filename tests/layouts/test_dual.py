@@ -1,0 +1,84 @@
+"""Tests for dual-parity (P+Q) declustered layouts."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.flow import parity_loads
+from repro.layouts import (
+    parity_counts,
+    raid5_layout,
+    ring_layout,
+    theorem10_layout,
+    verify_double_fault_tolerance,
+    with_dual_parity,
+)
+
+
+class TestWithDualParity:
+    @pytest.mark.parametrize(
+        "layout",
+        [ring_layout(9, 4), ring_layout(7, 3), raid5_layout(6), theorem10_layout(5, 3)],
+        ids=["ring-9-4", "ring-7-3", "raid5-6", "thm10-5-3"],
+    )
+    def test_valid_and_balanced(self, layout):
+        dual = with_dual_parity(layout)
+        dual.validate()
+        counts = dual.q_counts()
+        loads = parity_loads(
+            [tuple(d for d in s.disks if d != s.parity_unit[0]) for s in layout.stripes],
+            layout.v,
+        )
+        for d in range(layout.v):
+            assert math.floor(loads[d]) <= counts[d] <= math.ceil(loads[d])
+
+    def test_p_untouched(self):
+        lay = ring_layout(9, 4)
+        before = parity_counts(lay)
+        with_dual_parity(lay)
+        assert parity_counts(lay) == before
+
+    def test_q_never_equals_p(self):
+        dual = with_dual_parity(ring_layout(9, 4))
+        for stripe, q in zip(dual.layout.stripes, dual.q_units):
+            assert q != stripe.parity_unit
+
+    def test_data_units_exclude_checks(self):
+        dual = with_dual_parity(ring_layout(9, 4))
+        for sid, stripe in enumerate(dual.layout.stripes):
+            data = dual.data_units(sid)
+            assert len(data) == stripe.size - 2
+            assert stripe.parity_unit not in data
+            assert dual.q_units[sid] not in data
+
+    def test_storage_efficiency(self):
+        dual = with_dual_parity(ring_layout(9, 4))
+        assert dual.storage_efficiency() == pytest.approx(1 - 2 / 4)
+
+    def test_rejects_two_unit_stripes(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            with_dual_parity(raid5_layout(2))
+
+
+class TestDoubleFaultTolerance:
+    def test_ring_layout_sampled_pairs(self):
+        dual = with_dual_parity(ring_layout(9, 4))
+        assert verify_double_fault_tolerance(dual) is True
+
+    def test_all_pairs_small_array(self):
+        dual = with_dual_parity(ring_layout(7, 4))
+        pairs = list(itertools.combinations(range(7), 2))
+        assert verify_double_fault_tolerance(dual, failure_pairs=pairs) is True
+
+    def test_mixed_stripe_sizes(self):
+        # Theorem 8 layouts mix k and k-1 stripes; P+Q must still hold.
+        from repro.layouts import theorem8_layout
+
+        dual = with_dual_parity(theorem8_layout(9, 4))
+        assert verify_double_fault_tolerance(dual) is True
+
+    def test_deterministic_given_seed(self):
+        dual = with_dual_parity(ring_layout(7, 4))
+        assert verify_double_fault_tolerance(dual, seed=5) is True
+        assert verify_double_fault_tolerance(dual, seed=6) is True

@@ -1,0 +1,71 @@
+"""Tests for extendible layouts (Section 5 extension)."""
+
+import pytest
+
+from repro.layouts import (
+    evaluate_layout,
+    extendible_family,
+    movement_cost,
+    raid5_layout,
+    ring_layout,
+)
+
+
+class TestMovementCost:
+    def test_identical_layouts_cost_nothing(self):
+        lay = ring_layout(9, 3)
+        cost = movement_cost(lay, lay)
+        assert cost["data_moved"] == 0
+        assert cost["role_changed"] == 0
+        assert cost["common_units"] == lay.total_units()
+
+    def test_unrelated_layouts_cost_plenty(self):
+        a = ring_layout(9, 3)
+        b = raid5_layout(9, rotations=8)
+        cost = movement_cost(a, b)
+        assert cost["data_moved"] > 0
+
+    def test_rebalanced_parity_is_role_change_only(self):
+        from repro.layouts import rebalance_parity, theorem9_layout
+
+        lay = theorem9_layout(16, 9, 2)
+        re = rebalance_parity(lay)
+        cost = movement_cost(lay, re)
+        assert cost["data_moved"] == 0
+        # Any difference is parity-role only.
+        assert cost["role_changed"] >= 0
+
+
+class TestExtendibleFamily:
+    def test_zero_data_movement(self):
+        family = extendible_family(16, 9, steps=3)
+        assert [s.v for s in family] == [13, 14, 15, 16]
+        for step in family:
+            step.layout.validate()
+            assert step.data_moved == 0  # the headline property
+
+    def test_role_changes_are_linear_not_global(self):
+        family = extendible_family(16, 9, steps=3)
+        for step in family[1:]:
+            # Re-adding a disk re-routes O(v) parity units, a vanishing
+            # fraction of the v * k(v-1) units in the layout.
+            assert 0 < step.role_changed <= 2 * step.v
+            assert step.role_changed < step.layout.total_units() // 10
+
+    def test_family_members_are_proper_layouts(self):
+        family = extendible_family(13, 4, steps=1)
+        for step in family:
+            m = evaluate_layout(step.layout)
+            assert m.size == 4 * 12  # constant size across the family
+
+    def test_rejects_composite_v_max(self):
+        with pytest.raises(ValueError, match="prime power"):
+            extendible_family(12, 3, steps=1)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError, match="at least one"):
+            extendible_family(13, 4, steps=0)
+
+    def test_too_many_steps_rejected_by_theorem9(self):
+        with pytest.raises(ValueError, match="precondition"):
+            extendible_family(13, 4, steps=3)

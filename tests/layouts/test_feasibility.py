@@ -1,0 +1,78 @@
+"""Tests for Condition 4 feasibility predictions."""
+
+import math
+
+from repro.layouts import (
+    FEASIBLE_SIZE_LIMIT,
+    best_feasible_method,
+    holland_gibson_layout,
+    is_feasible_size,
+    predicted_sizes,
+    ring_layout,
+    single_copy_layout,
+    stairway_layout,
+    theorem10_layout,
+)
+from repro.designs import best_design
+
+
+class TestIsFeasible:
+    def test_limit(self):
+        assert is_feasible_size(FEASIBLE_SIZE_LIMIT)
+        assert not is_feasible_size(FEASIBLE_SIZE_LIMIT + 1)
+
+    def test_custom_limit(self):
+        assert is_feasible_size(50, limit=50)
+        assert not is_feasible_size(51, limit=50)
+
+
+class TestPredictedSizes:
+    def test_predictions_match_built_layouts(self):
+        v, k = 9, 3
+        sizes = predicted_sizes(v, k)
+        assert sizes["ring"] == ring_layout(v, k).size
+        design = best_design(v, k)
+        assert sizes["hg_best"] == holland_gibson_layout(design).size
+        assert sizes["flow_best"] == single_copy_layout(design).size
+
+    def test_stairway_prediction_matches(self):
+        v, k = 11, 4
+        sizes = predicted_sizes(v, k)
+        assert sizes["stairway"] == stairway_layout(11, 9, 4).size
+
+    def test_thm10_prediction(self):
+        sizes = predicted_sizes(6, 3)
+        assert sizes["stairway"] == theorem10_layout(5, 3).size
+
+    def test_hg_complete_formula(self):
+        sizes = predicted_sizes(10, 4)
+        assert sizes["hg_complete"] == 4 * math.comb(9, 3)
+
+    def test_ring_absent_when_k_exceeds_capacity(self):
+        assert "ring" not in predicted_sizes(12, 4)
+        assert "ring" in predicted_sizes(12, 3)
+
+    def test_flow_smaller_than_hg(self):
+        for v, k in [(9, 3), (13, 4), (8, 4)]:
+            sizes = predicted_sizes(v, k)
+            assert sizes["flow_best"] * k == sizes["hg_best"]
+
+
+class TestBestFeasibleMethod:
+    def test_picks_smallest(self):
+        method, size = best_feasible_method(9, 3)
+        sizes = predicted_sizes(9, 3)
+        assert size == min(sizes.values())
+        assert sizes[method] == size
+
+    def test_none_when_everything_too_big(self):
+        assert best_feasible_method(9, 3, limit=1) is None
+
+    def test_large_v_complete_infeasible_but_paper_methods_ok(self):
+        # The paper's motivating case: complete designs explode, the new
+        # constructions stay tiny.
+        v, k = 101, 5
+        sizes = predicted_sizes(v, k)
+        assert sizes["hg_complete"] > FEASIBLE_SIZE_LIMIT
+        assert sizes["ring"] <= FEASIBLE_SIZE_LIMIT
+        assert best_feasible_method(v, k) is not None

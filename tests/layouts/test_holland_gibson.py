@@ -1,0 +1,74 @@
+"""Tests for Holland–Gibson BIBD layouts (Fig. 3 construction)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.designs import best_design, complete_design, fano_plane
+from repro.layouts import (
+    evaluate_layout,
+    holland_gibson_layout,
+    layout_from_design,
+    parity_counts,
+)
+
+
+class TestHollandGibson:
+    @pytest.mark.parametrize(
+        "design",
+        [fano_plane(), complete_design(4, 3), best_design(9, 3), best_design(8, 4)],
+        ids=["fano", "complete-4-3", "thm6-9-3", "thm4-8-4"],
+    )
+    def test_valid_and_sized_kr(self, design):
+        lay = holland_gibson_layout(design)
+        lay.validate()
+        assert lay.size == design.k * design.r
+        assert lay.b == design.k * design.b
+
+    def test_parity_perfectly_balanced(self):
+        design = fano_plane()
+        lay = holland_gibson_layout(design)
+        assert parity_counts(lay) == [design.r] * design.v
+
+    def test_workload_balanced(self):
+        m = evaluate_layout(holland_gibson_layout(fano_plane()))
+        assert m.workload_balanced
+        assert abs(m.workload_max - (3 - 1) / (7 - 1)) < 1e-12
+
+    def test_fig2_complete_design_layout(self):
+        # The paper's Fig. 2: v=4, k=3 from the complete design.
+        lay = holland_gibson_layout(complete_design(4, 3))
+        lay.validate()
+        m = evaluate_layout(lay)
+        assert m.parity_balanced
+        assert abs(m.workload_max - 2 / 3) < 1e-12
+
+
+class TestLayoutFromDesign:
+    def test_rotate_needs_k_copies_for_balance(self):
+        design = fano_plane()
+        lay1 = layout_from_design(design, copies=1, parity="rotate")
+        # One copy, parity always at position 0: element-0-heavy.
+        counts = Counter(s.parity_unit[0] for s in lay1.stripes)
+        assert max(counts.values()) > design.r // design.k + 1 or len(counts) < design.v
+
+    def test_flow_single_copy_within_one(self):
+        design = best_design(9, 3)  # b=12, v=9: no perfect balance
+        lay = layout_from_design(design, copies=1, parity="flow")
+        counts = parity_counts(lay)
+        assert max(counts) - min(counts) == 1
+
+    def test_copies_scale_size(self):
+        design = fano_plane()
+        lay = layout_from_design(design, copies=2, parity="flow")
+        lay.validate()
+        assert lay.size == 2 * design.r
+        assert lay.b == 2 * design.b
+
+    def test_rejects_bad_copies(self):
+        with pytest.raises(ValueError):
+            layout_from_design(fano_plane(), copies=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            layout_from_design(fano_plane(), parity="random")

@@ -1,0 +1,130 @@
+"""Tests for the Layout type, validation, and materialization."""
+
+import pytest
+
+from repro.layouts import Layout, LayoutError, Stripe, materialize
+
+
+def tiny_layout():
+    """2 stripes over 2 disks, 2 units each."""
+    return Layout(
+        v=2,
+        size=2,
+        stripes=(
+            Stripe(units=((0, 0), (1, 0)), parity_index=0),
+            Stripe(units=((0, 1), (1, 1)), parity_index=1),
+        ),
+    )
+
+
+class TestStripe:
+    def test_accessors(self):
+        s = Stripe(units=((0, 0), (1, 3), (2, 1)), parity_index=1)
+        assert s.size == 3
+        assert s.parity_unit == (1, 3)
+        assert s.disks == (0, 1, 2)
+        assert s.data_units() == ((0, 0), (2, 1))
+
+
+class TestValidate:
+    def test_valid(self):
+        tiny_layout().validate()
+
+    def test_stripe_crossing_disk_twice(self):
+        lay = Layout(
+            v=2,
+            size=2,
+            stripes=(
+                Stripe(units=((0, 0), (0, 1)), parity_index=0),
+                Stripe(units=((1, 0), (1, 1)), parity_index=0),
+            ),
+        )
+        with pytest.raises(LayoutError, match="Condition 1"):
+            lay.validate()
+
+    def test_unit_in_two_stripes(self):
+        lay = Layout(
+            v=2,
+            size=1,
+            stripes=(
+                Stripe(units=((0, 0), (1, 0)), parity_index=0),
+                Stripe(units=((0, 0), (1, 0)), parity_index=1),
+            ),
+        )
+        with pytest.raises(LayoutError, match="more than one"):
+            lay.validate()
+
+    def test_uncovered_units(self):
+        lay = Layout(
+            v=2,
+            size=2,
+            stripes=(Stripe(units=((0, 0), (1, 0)), parity_index=0),),
+        )
+        with pytest.raises(LayoutError, match="covers"):
+            lay.validate()
+
+    def test_out_of_bounds_unit(self):
+        lay = Layout(
+            v=2,
+            size=1,
+            stripes=(Stripe(units=((0, 0), (1, 5)), parity_index=0),),
+        )
+        with pytest.raises(LayoutError, match="out of bounds"):
+            lay.validate()
+
+    def test_bad_parity_index(self):
+        lay = Layout(
+            v=2,
+            size=1,
+            stripes=(Stripe(units=((0, 0), (1, 0)), parity_index=7),),
+        )
+        with pytest.raises(LayoutError, match="parity index"):
+            lay.validate()
+
+    def test_single_unit_stripe_rejected(self):
+        lay = Layout(v=2, size=1, stripes=(Stripe(units=((0, 0),), parity_index=0),))
+        with pytest.raises(LayoutError, match="fewer than 2"):
+            lay.validate()
+
+
+class TestAccessors:
+    def test_totals(self):
+        lay = tiny_layout()
+        assert lay.b == 2
+        assert lay.total_units() == 4
+        assert lay.stripe_sizes() == (2, 2)
+
+    def test_unit_to_stripe(self):
+        table = tiny_layout().unit_to_stripe()
+        assert table[(0, 0)] == (0, True)
+        assert table[(1, 1)] == (1, True)
+        assert table[(1, 0)] == (0, False)
+
+    def test_grid(self):
+        grid = tiny_layout().grid()
+        assert grid[0][0] == (0, True)
+        assert grid[1][1] == (1, True)
+
+    def test_render_mentions_parity(self):
+        text = tiny_layout().render()
+        assert "P0" in text and "S1" in text
+
+
+class TestMaterialize:
+    def test_offsets_assigned_in_order(self):
+        lay = materialize(3, [((0, 1, 2), 0), ((0, 1, 2), 1), ((0, 1, 2), 2)])
+        lay.validate()
+        assert lay.size == 3
+        assert lay.stripes[1].units == ((0, 1), (1, 1), (2, 1))
+
+    def test_parity_disk_must_be_member(self):
+        with pytest.raises(LayoutError, match="parity disk"):
+            materialize(3, [((0, 1), 2)])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(LayoutError, match="ragged"):
+            materialize(3, [((0, 1), 0), ((0, 1), 1), ((0, 2), 0)])
+
+    def test_disk_out_of_range(self):
+        with pytest.raises(LayoutError, match="out of range"):
+            materialize(2, [((0, 5), 0)])

@@ -1,0 +1,74 @@
+"""Tests for the logical/physical address mapping (Condition 4)."""
+
+import pytest
+
+from repro.designs import fano_plane
+from repro.layouts import AddressMapper, raid5_layout, ring_layout, single_copy_layout
+
+
+class TestAddressMapper:
+    def test_capacity(self):
+        lay = ring_layout(5, 3)
+        am = AddressMapper(lay)
+        # v*size total units minus b parity units.
+        assert am.capacity == 5 * 12 - 20
+
+    def test_roundtrip_single_iteration(self):
+        am = AddressMapper(ring_layout(5, 3))
+        for lba in range(am.capacity):
+            pu = am.logical_to_physical(lba)
+            assert not pu.is_parity
+            back, is_par = am.physical_to_logical(pu.disk, pu.offset)
+            assert (back, is_par) == (lba, False)
+
+    def test_roundtrip_multiple_iterations(self):
+        am = AddressMapper(raid5_layout(4), iterations=3)
+        assert am.capacity == 3 * (4 * 4 - 4)
+        for lba in range(am.capacity):
+            pu = am.logical_to_physical(lba)
+            back, _ = am.physical_to_logical(pu.disk, pu.offset)
+            assert back == lba
+
+    def test_parity_units_have_no_lba(self):
+        lay = raid5_layout(4)
+        am = AddressMapper(lay)
+        for stripe in lay.stripes:
+            d, off = stripe.parity_unit
+            lba, is_par = am.physical_to_logical(d, off)
+            assert is_par and lba == -1
+
+    def test_out_of_range(self):
+        am = AddressMapper(raid5_layout(4))
+        with pytest.raises(IndexError):
+            am.logical_to_physical(am.capacity)
+        with pytest.raises(IndexError):
+            am.logical_to_physical(-1)
+        with pytest.raises(IndexError):
+            am.physical_to_logical(0, 99)
+
+    def test_table_rows_is_layout_size(self):
+        lay = ring_layout(7, 3)
+        assert AddressMapper(lay).table_rows() == lay.size
+
+    def test_stripe_units(self):
+        lay = single_copy_layout(fano_plane())
+        am = AddressMapper(lay, iterations=2)
+        for gs in range(lay.b * 2):
+            units = am.stripe_units(gs)
+            assert len(units) == 3
+            assert sum(u.is_parity for u in units) == 1
+            for u in units:
+                assert am.stripe_of(u.disk, u.offset) == gs
+
+    def test_iteration_offset_shift(self):
+        lay = raid5_layout(4)
+        am = AddressMapper(lay, iterations=2)
+        per_iter = am.data_units_per_iteration
+        pu0 = am.logical_to_physical(0)
+        pu1 = am.logical_to_physical(per_iter)
+        assert pu1.disk == pu0.disk
+        assert pu1.offset == pu0.offset + lay.size
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            AddressMapper(raid5_layout(4), iterations=0)

@@ -1,0 +1,95 @@
+"""Tests for layout metrics (Conditions 2-3 measurements)."""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.designs import fano_plane
+from repro.layouts import (
+    cocrossing_matrix,
+    evaluate_layout,
+    holland_gibson_layout,
+    parity_counts,
+    parity_overheads,
+    raid5_layout,
+    reconstruction_workloads,
+    ring_layout,
+)
+
+
+class TestParityCounts:
+    def test_raid5_rotation(self):
+        lay = raid5_layout(4)
+        assert parity_counts(lay) == [1, 1, 1, 1]
+
+    def test_ring_layout_v_minus_one_each(self):
+        lay = ring_layout(7, 3)
+        assert parity_counts(lay) == [6] * 7
+
+    def test_overheads(self):
+        lay = ring_layout(5, 3)
+        assert parity_overheads(lay) == [Fraction(1, 3)] * 5
+
+
+class TestCocrossing:
+    def test_raid5_all_stripes_cross_all(self):
+        lay = raid5_layout(4)
+        c = cocrossing_matrix(lay)
+        assert np.all(c == 4)
+
+    def test_ring_layout_lambda(self):
+        # Every pair co-crosses in exactly λ = k(k-1) stripes.
+        lay = ring_layout(7, 3)
+        c = cocrossing_matrix(lay)
+        off = c[~np.eye(7, dtype=bool)]
+        assert np.all(off == 6)
+        assert np.all(np.diag(c) == 3 * 6)  # r = k(v-1)
+
+    def test_symmetric(self):
+        lay = holland_gibson_layout(fano_plane())
+        c = cocrossing_matrix(lay)
+        assert np.array_equal(c, c.T)
+
+
+class TestWorkloads:
+    def test_raid5_reads_everything(self):
+        lay = raid5_layout(5)
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(5, dtype=bool)]
+        assert np.allclose(off, 1.0)
+
+    def test_ring_layout_declustering_ratio(self):
+        lay = ring_layout(9, 3)
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(9, dtype=bool)]
+        assert np.allclose(off, (3 - 1) / (9 - 1))
+
+    def test_diagonal_zero(self):
+        w = reconstruction_workloads(ring_layout(5, 3))
+        assert np.all(np.diag(w) == 0)
+
+
+class TestEvaluate:
+    def test_summary_fields(self):
+        m = evaluate_layout(ring_layout(7, 3))
+        assert m.v == 7
+        assert m.size == 3 * 6
+        assert m.b == 42
+        assert (m.k_min, m.k_max) == (3, 3)
+        assert m.parity_balanced
+        assert m.workload_balanced
+        assert m.parity_overhead_max == Fraction(1, 3)
+
+    def test_summary_string(self):
+        text = evaluate_layout(raid5_layout(4)).summary()
+        assert "v=4" in text and "workload" in text
+
+    def test_imbalance_detected(self):
+        from repro.designs import best_design
+        from repro.layouts import layout_from_design
+
+        # Single copy of a design with v∤b: spread must be 1.
+        lay = layout_from_design(best_design(9, 3), copies=1, parity="flow")
+        m = evaluate_layout(lay)
+        assert m.parity_spread == 1
+        assert not m.parity_balanced

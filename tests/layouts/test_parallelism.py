@@ -1,0 +1,50 @@
+"""Tests for Conditions 5-6 (Stockmeyer's sequential metrics)."""
+
+from repro.designs import fano_plane
+from repro.layouts import (
+    raid5_layout,
+    ring_layout,
+    sequential_metrics,
+    single_copy_layout,
+)
+
+
+class TestCondition5:
+    def test_raid5_large_write_optimal(self):
+        # Stripe-major numbering puts each stripe's data contiguously.
+        m = sequential_metrics(raid5_layout(5))
+        assert m.large_write_fraction == 1.0
+        assert m.large_write_optimal
+
+    def test_ring_layout_large_write_optimal(self):
+        m = sequential_metrics(ring_layout(9, 3))
+        assert m.large_write_optimal
+
+    def test_fraction_bounds(self):
+        m = sequential_metrics(single_copy_layout(fano_plane()))
+        assert 0.0 <= m.large_write_fraction <= 1.0
+
+
+class TestCondition6:
+    def test_raid5_nearly_maximal(self):
+        m = sequential_metrics(raid5_layout(5))
+        # v consecutive units span at least v-1 disks under rotation.
+        assert m.min_parallelism >= 4
+        assert m.max_parallelism == 5
+
+    def test_declustered_tradeoff(self):
+        # Stockmeyer's observation: declustered layouts sacrifice some
+        # sequential parallelism — a v-window need not hit all v disks.
+        m = sequential_metrics(ring_layout(9, 3))
+        assert m.min_parallelism < 9
+        assert m.min_parallelism >= 3
+
+    def test_bounds_consistent(self):
+        for lay in (raid5_layout(4), ring_layout(7, 3)):
+            m = sequential_metrics(lay)
+            assert 1 <= m.min_parallelism <= m.max_parallelism <= lay.v
+
+    def test_tiny_capacity_handled(self):
+        m = sequential_metrics(single_copy_layout(fano_plane()))
+        assert m.v == 7
+        assert m.min_parallelism >= 1

@@ -1,0 +1,36 @@
+"""Tests for the RAID5 baseline layout (Fig. 1)."""
+
+import pytest
+
+from repro.layouts import evaluate_layout, raid5_layout
+
+
+class TestRaid5:
+    @pytest.mark.parametrize("v", [2, 3, 4, 5, 8])
+    def test_valid_and_balanced(self, v):
+        lay = raid5_layout(v)
+        lay.validate()
+        m = evaluate_layout(lay)
+        assert m.parity_balanced
+        assert (m.k_min, m.k_max) == (v, v)
+
+    def test_workload_is_total(self):
+        m = evaluate_layout(raid5_layout(5))
+        assert m.workload_max == 1.0  # rebuild reads all of every disk
+
+    def test_rotations(self):
+        lay = raid5_layout(4, rotations=3)
+        lay.validate()
+        assert lay.size == 12
+        assert evaluate_layout(lay).parity_balanced
+
+    def test_parity_walks_all_disks(self):
+        lay = raid5_layout(4)
+        parity_disks = {s.parity_unit[0] for s in lay.stripes}
+        assert parity_disks == set(range(4))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            raid5_layout(1)
+        with pytest.raises(ValueError):
+            raid5_layout(4, rotations=0)

@@ -1,0 +1,60 @@
+"""Tests for the randomized layout baseline."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import (
+    cocrossing_matrix,
+    evaluate_layout,
+    parity_counts,
+    random_layout,
+    ring_layout,
+)
+
+
+class TestRandomLayout:
+    @pytest.mark.parametrize("v,k,r", [(8, 4, 16), (12, 4, 40), (9, 3, 24), (10, 5, 20)])
+    def test_valid_and_rectangular(self, v, k, r):
+        lay = random_layout(v, k, stripes_per_disk=r, seed=7)
+        lay.validate()
+        assert lay.size == r
+        assert lay.b == v * r // k
+
+    def test_deterministic_given_seed(self):
+        a = random_layout(8, 4, stripes_per_disk=16, seed=3)
+        b = random_layout(8, 4, stripes_per_disk=16, seed=3)
+        assert a.stripes == b.stripes
+
+    def test_different_seeds_differ(self):
+        a = random_layout(8, 4, stripes_per_disk=16, seed=3)
+        b = random_layout(8, 4, stripes_per_disk=16, seed=4)
+        assert a.stripes != b.stripes
+
+    def test_parity_flow_balanced(self):
+        lay = random_layout(12, 4, stripes_per_disk=40, seed=2)
+        counts = parity_counts(lay)
+        assert max(counts) - min(counts) <= 1
+
+    def test_rejects_non_dividing(self):
+        with pytest.raises(ValueError, match="divide"):
+            random_layout(9, 4, stripes_per_disk=10)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            random_layout(4, 5, stripes_per_disk=5)
+
+    def test_workload_fluctuates_around_expectation(self):
+        # The structural contrast with BIBD layouts: random placement has
+        # nonzero workload spread; the exact layout has none.
+        v, k = 13, 4
+        exact = ring_layout(v, k)
+        rand = random_layout(v, k, stripes_per_disk=exact.size, seed=1)
+        me = evaluate_layout(exact)
+        mr = evaluate_layout(rand)
+        assert me.workload_balanced
+        assert mr.workload_max > mr.workload_min
+        # But the mean co-crossing matches λ in expectation.
+        c = cocrossing_matrix(rand).astype(float)
+        off = c[~np.eye(v, dtype=bool)]
+        expected_lambda = exact.b * k * (k - 1) / (v * (v - 1))
+        assert abs(off.mean() - expected_lambda) / expected_lambda < 0.05

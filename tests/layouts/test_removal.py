@@ -1,0 +1,105 @@
+"""Tests for disk removal (Theorems 8 and 9)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.designs import ring_design
+from repro.layouts import (
+    evaluate_layout,
+    parity_counts,
+    reconstruction_workloads,
+    remove_disks,
+    theorem8_layout,
+    theorem9_layout,
+)
+
+
+class TestTheorem8:
+    @pytest.mark.parametrize("v,k", [(5, 3), (7, 3), (8, 4), (9, 3), (9, 5), (13, 4)])
+    def test_exact_metrics(self, v, k):
+        lay = theorem8_layout(v, k)
+        lay.validate()
+        m = evaluate_layout(lay)
+        assert lay.v == v - 1
+        assert m.size == k * (v - 1)
+        # Parity overhead (1/k)(v/(v-1)), perfectly balanced.
+        assert m.parity_balanced
+        assert m.parity_overhead_max == Fraction(v, k * (v - 1))
+        # Workload (k-1)/(v-1) for every pair.
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(v - 1, dtype=bool)]
+        assert np.allclose(off, (k - 1) / (v - 1))
+        # Stripe sizes k and k-1.
+        assert m.k_min == k - 1 and m.k_max == k
+
+    def test_every_disk_gains_exactly_one_parity(self):
+        v, k = 9, 3
+        lay = theorem8_layout(v, k)
+        assert parity_counts(lay) == [v] * (v - 1)
+
+    def test_any_disk_removable(self):
+        design = ring_design(7, 3)
+        for victim in range(7):
+            lay = remove_disks(design, [victim])
+            lay.validate()
+            assert evaluate_layout(lay).parity_balanced
+
+
+class TestTheorem9:
+    @pytest.mark.parametrize("v,k,i", [(16, 9, 2), (16, 9, 3), (13, 9, 2), (17, 16, 3), (25, 16, 4)])
+    def test_parity_counts_within_band(self, v, k, i):
+        lay = theorem9_layout(v, k, i)
+        lay.validate()
+        assert lay.v == v - i
+        counts = parity_counts(lay)
+        assert set(counts) <= {v + i - 1, v + i}, sorted(set(counts))
+        m = evaluate_layout(lay)
+        assert m.size == k * (v - 1)
+        # "parity stripes of size between k and k-i" — when k = v-1 every
+        # stripe misses only one disk, so the top of the band may not be
+        # attained.
+        assert k - i <= m.k_min <= m.k_max <= k
+
+    def test_orphan_count_matches_paper(self):
+        # i removed disks leave exactly i(i-1) orphans; total parity is
+        # conserved: (v-i) disks share v(v-1) stripes... each stripe has
+        # exactly one parity unit.
+        v, k, i = 16, 9, 3
+        lay = theorem9_layout(v, k, i)
+        assert sum(parity_counts(lay)) == lay.b == v * (v - 1)
+
+    def test_workload_unchanged_by_removal(self):
+        v, k, i = 16, 9, 2
+        lay = theorem9_layout(v, k, i)
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(v - i, dtype=bool)]
+        assert np.allclose(off, (k - 1) / (v - 1))
+
+    def test_precondition_enforced(self):
+        # i(i-1) > k-i must be rejected.
+        with pytest.raises(ValueError, match="precondition"):
+            theorem9_layout(9, 3, 2)  # 2*1 > 3-2
+
+    def test_i_leq_sqrt_k_always_accepted(self):
+        # The paper's sufficient condition: i <= sqrt(k) implies the
+        # matching precondition i(i-1) <= k-i.
+        for k in (4, 9, 16, 25):
+            i = math.isqrt(k)
+            assert i * (i - 1) <= k - i
+
+
+class TestRemoveDisksValidation:
+    def test_duplicate_removed(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            remove_disks(ring_design(9, 3), [1, 1])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            remove_disks(ring_design(9, 3), [9])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="no disks"):
+            remove_disks(ring_design(9, 3), [])

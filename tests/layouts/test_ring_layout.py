@@ -1,0 +1,62 @@
+"""Tests for ring-based layouts (Section 3 intro)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.designs import ring_design
+from repro.layouts import (
+    evaluate_layout,
+    parity_counts,
+    reconstruction_workloads,
+    ring_disk_stripes,
+    ring_layout,
+    ring_layout_from_design,
+)
+
+
+class TestRingLayout:
+    @pytest.mark.parametrize("v,k", [(4, 3), (5, 3), (7, 3), (8, 4), (9, 3), (9, 5), (13, 4), (12, 3)])
+    def test_valid_with_exact_metrics(self, v, k):
+        lay = ring_layout(v, k)
+        lay.validate()
+        m = evaluate_layout(lay)
+        assert m.size == k * (v - 1)
+        assert m.parity_overhead_max == Fraction(1, k)
+        assert m.parity_balanced
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(v, dtype=bool)]
+        assert np.allclose(off, (k - 1) / (v - 1))
+
+    def test_no_replication(self):
+        # b = v(v-1): one copy of the design, unlike HG's k copies.
+        lay = ring_layout(7, 3)
+        assert lay.b == 7 * 6
+
+    def test_parity_on_disk_x(self):
+        design = ring_design(5, 3)
+        stripes = ring_disk_stripes(design)
+        index = design.ring.index
+        for (x, _y), (_disks, parity) in zip(design.pairs, stripes):
+            assert parity == index(x)
+
+    def test_each_disk_parity_v_minus_1(self):
+        lay = ring_layout(8, 4)
+        assert parity_counts(lay) == [7] * 8
+
+    def test_from_design_equivalent(self):
+        design = ring_design(7, 3)
+        a = ring_layout_from_design(design)
+        b = ring_layout(7, 3)
+        assert a.stripes == b.stripes
+
+    def test_k_above_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ring_layout(6, 3)
+
+    def test_smaller_than_holland_gibson_by_factor_k(self):
+        # HG on the raw ring design would be k * r = k^2 (v-1).
+        v, k = 9, 3
+        lay = ring_layout(v, k)
+        assert lay.size * k == k * k * (v - 1)

@@ -1,0 +1,64 @@
+"""Tests for layout serialization."""
+
+import json
+
+import pytest
+
+from repro.layouts import LayoutError, ring_layout, theorem9_layout
+from repro.layouts.serialization import (
+    layout_from_dict,
+    layout_to_dict,
+    load_layout,
+    save_layout,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "layout",
+        [ring_layout(7, 3), theorem9_layout(16, 9, 2)],
+        ids=["ring", "thm9-mixed-k"],
+    )
+    def test_dict_roundtrip(self, layout):
+        back = layout_from_dict(layout_to_dict(layout))
+        assert back == layout
+
+    def test_file_roundtrip(self, tmp_path):
+        layout = ring_layout(7, 3)
+        path = tmp_path / "layout.json"
+        save_layout(layout, path)
+        assert load_layout(path) == layout
+
+    def test_json_is_plain(self, tmp_path):
+        layout = ring_layout(5, 3)
+        path = tmp_path / "layout.json"
+        save_layout(layout, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert payload["v"] == 5
+
+
+class TestRejection:
+    def test_wrong_format_version(self):
+        payload = layout_to_dict(ring_layout(5, 3))
+        payload["format"] = 99
+        with pytest.raises(LayoutError, match="format"):
+            layout_from_dict(payload)
+
+    def test_missing_key(self):
+        payload = layout_to_dict(ring_layout(5, 3))
+        del payload["stripes"]
+        with pytest.raises(LayoutError, match="malformed"):
+            layout_from_dict(payload)
+
+    def test_corrupted_layout_rejected(self):
+        payload = layout_to_dict(ring_layout(5, 3))
+        payload["stripes"][0]["units"][0] = [0, 999]  # out of bounds
+        with pytest.raises(LayoutError):
+            layout_from_dict(payload)
+
+    def test_duplicate_unit_rejected(self):
+        payload = layout_to_dict(ring_layout(5, 3))
+        payload["stripes"][0]["units"][0] = payload["stripes"][1]["units"][0]
+        with pytest.raises(LayoutError):
+            layout_from_dict(payload)

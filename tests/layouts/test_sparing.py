@@ -1,0 +1,94 @@
+"""Tests for distributed sparing (Section 5 extension)."""
+
+import math
+
+import pytest
+
+from repro.flow import parity_loads
+from repro.layouts import (
+    parity_counts,
+    raid5_layout,
+    ring_layout,
+    single_copy_layout,
+    with_distributed_sparing,
+)
+from repro.designs import best_design
+
+
+class TestDistributedSparing:
+    @pytest.mark.parametrize(
+        "layout",
+        [ring_layout(9, 3), ring_layout(8, 4), raid5_layout(6), single_copy_layout(best_design(13, 4))],
+        ids=["ring-9-3", "ring-8-4", "raid5-6", "flow-13-4"],
+    )
+    def test_valid_and_balanced(self, layout):
+        sp = with_distributed_sparing(layout)
+        sp.validate()
+        counts = sp.spare_counts()
+        # Theorem 14 bound over the (k-1)-unit candidate sets.
+        loads = parity_loads(
+            [tuple(d for d in s.disks if d != s.parity_unit[0]) for s in layout.stripes],
+            layout.v,
+        )
+        for d in range(layout.v):
+            assert math.floor(loads[d]) <= counts[d] <= math.ceil(loads[d])
+
+    def test_spare_never_parity(self):
+        sp = with_distributed_sparing(ring_layout(9, 3))
+        for stripe, spare in zip(sp.layout.stripes, sp.spare_units):
+            assert spare != stripe.parity_unit
+            assert spare in stripe.units
+
+    def test_parity_untouched(self):
+        lay = ring_layout(9, 3)
+        before = parity_counts(lay)
+        with_distributed_sparing(lay)
+        assert parity_counts(lay) == before
+
+    def test_data_fraction(self):
+        lay = ring_layout(9, 3)
+        sp = with_distributed_sparing(lay)
+        # k=3: one data unit left per stripe -> 1/3 of the array.
+        assert sp.data_fraction() == pytest.approx(1 / 3)
+
+    def test_rejects_two_unit_stripes(self):
+        with pytest.raises(ValueError, match="at least"):
+            with_distributed_sparing(raid5_layout(2))
+
+
+class TestSparingRebuild:
+    def test_distributed_faster_than_dedicated(self):
+        from repro.sim import simulate_rebuild
+
+        lay = ring_layout(9, 4)
+        sp = with_distributed_sparing(lay)
+        dedicated = simulate_rebuild(lay, failed_disk=0, parallelism=8)
+        distributed = simulate_rebuild(lay, failed_disk=0, parallelism=8, sparing=sp)
+        # The dedicated spare disk is the write bottleneck; spreading the
+        # writes must not be slower.
+        assert distributed.duration_ms < dedicated.duration_ms
+
+    def test_distributed_rebuild_verified(self):
+        from repro.sim import simulate_rebuild
+
+        lay = ring_layout(9, 4)
+        sp = with_distributed_sparing(lay)
+        rep = simulate_rebuild(lay, failed_disk=2, sparing=sp, verify_data=True)
+        assert rep.data_verified is True
+
+    def test_spare_map_avoids_failed_disk(self):
+        from repro.sim import spare_map_for_failure
+
+        lay = ring_layout(9, 4)
+        sp = with_distributed_sparing(lay)
+        for failed in range(9):
+            smap = spare_map_for_failure(sp, failed)
+            crossing = {
+                sid for sid, s in enumerate(lay.stripes) if failed in s.disks
+            }
+            assert set(smap) == crossing
+            for sid, (d, _off) in smap.items():
+                assert d != failed
+            # Each borrowed spare is used at most once.
+            targets = list(smap.values())
+            assert len(targets) == len(set(targets))

@@ -1,0 +1,160 @@
+"""Tests for the stairway transformation (Theorems 10-12)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.layouts import (
+    evaluate_layout,
+    find_stairway_plan,
+    reconstruction_workloads,
+    stairway_layout,
+    stairway_params,
+    theorem10_layout,
+    theorem11_layout,
+)
+
+
+class TestStairwayParams:
+    def test_plus_one(self):
+        # v = q+1: d=1, w=0, c=v.
+        assert stairway_params(6, 5) == (6, 0)
+
+    def test_dividing(self):
+        # v=12, q=9: d=3 divides 12 -> c=4, w=0.
+        assert stairway_params(12, 9) == (4, 0)
+
+    def test_wide_steps(self):
+        # v=11, q=9: d=2, 11 = 5*2 + 1 -> c=5, w=1.
+        assert stairway_params(11, 9) == (5, 1)
+
+    def test_unsatisfiable(self):
+        # v=15, q=8: d=7, 15 = 2*7 + 1 -> c=2, w=1 < 2 OK actually.
+        assert stairway_params(15, 8) == (2, 1)
+        # v=9, q=4: d=5 > v/2 -> c=1 < 2: degenerate.
+        assert stairway_params(9, 4) is None
+
+    def test_q_not_below_v(self):
+        assert stairway_params(9, 9) is None
+        assert stairway_params(9, 10) is None
+
+    def test_conditions_8_and_9(self):
+        for v in range(6, 120):
+            for q in range(2, v):
+                params = stairway_params(v, q)
+                if params is not None:
+                    c, w = params
+                    d = v - q
+                    assert v == c * d + w  # condition (8)
+                    assert 0 <= w < c  # condition (9)
+
+
+class TestFindStairwayPlan:
+    def test_prefers_largest_q(self):
+        plan = find_stairway_plan(33, 5)
+        assert plan is not None
+        assert plan.q == 32
+
+    def test_respects_k(self):
+        plan = find_stairway_plan(33, 20)
+        assert plan is None or plan.q >= 20
+
+    def test_k_too_big(self):
+        assert find_stairway_plan(10, 10) is None
+
+    def test_coverage_small(self):
+        # Every v in a small sweep has a plan — both as pure existence
+        # (the paper's claim) and for a realistic stripe size.
+        for v in range(6, 300):
+            assert find_stairway_plan(v) is not None, v
+            assert find_stairway_plan(v, 3) is not None, v
+
+
+class TestTheorem10:
+    @pytest.mark.parametrize("q,k", [(4, 3), (5, 3), (7, 3), (8, 4), (9, 3), (9, 4)])
+    def test_exact_metrics(self, q, k):
+        lay = theorem10_layout(q, k)
+        lay.validate()
+        assert lay.v == q + 1
+        m = evaluate_layout(lay)
+        assert m.size == k * q * (q - 1)
+        assert m.parity_balanced
+        assert m.parity_overhead_max == Fraction(1, k)
+        # Workload exactly (k-1)/q for every pair.
+        w = reconstruction_workloads(lay)
+        off = w[~np.eye(q + 1, dtype=bool)]
+        assert np.allclose(off, (k - 1) / q)
+
+
+class TestTheorem11:
+    @pytest.mark.parametrize("v,q,k", [(8, 4, 3), (12, 9, 4), (16, 8, 4), (10, 5, 3), (18, 9, 3)])
+    def test_metrics_within_band(self, v, q, k):
+        lay = theorem11_layout(v, q, k)
+        lay.validate()
+        assert lay.v == v
+        c = v // (v - q)
+        m = evaluate_layout(lay)
+        assert m.size == k * (c - 1) * (q - 1)
+        assert m.parity_balanced
+        assert m.parity_overhead_max == Fraction(1, k)
+        lo = (c - 2) / (c - 1) * (k - 1) / (q - 1)
+        hi = (k - 1) / (q - 1)
+        assert lo - 1e-12 <= m.workload_min
+        assert m.workload_max <= hi + 1e-12
+
+    def test_rejects_non_dividing(self):
+        with pytest.raises(ValueError, match="divides|Theorem 11"):
+            theorem11_layout(11, 9, 3)
+
+
+class TestTheorem12:
+    @pytest.mark.parametrize("v,q,k", [(11, 9, 4), (13, 9, 3), (23, 19, 5), (14, 11, 4), (29, 25, 5)])
+    def test_metrics_within_bands(self, v, q, k):
+        lay = stairway_layout(v, q, k)
+        lay.validate()
+        assert lay.v == v
+        c, w = stairway_params(v, q)
+        assert w > 0, "these cases must exercise wide steps"
+        m = evaluate_layout(lay)
+        assert m.size == k * (c - 1) * (q - 1)
+        denom = k * (c - 1) * (q - 1)
+        lo_p = Fraction(1, k) + Fraction(w - 1, denom)
+        hi_p = Fraction(1, k) + Fraction(w, denom)
+        assert lo_p <= m.parity_overhead_min
+        assert m.parity_overhead_max <= hi_p
+        lo_w = (c - 2) / (c - 1) * (k - 1) / (q - 1)
+        hi_w = (k - 1) / (q - 1)
+        assert lo_w - 1e-12 <= m.workload_min
+        assert m.workload_max <= hi_w + 1e-12
+        # Stripe sizes k and k-1 (wide-step copies lost one disk).
+        assert (m.k_min, m.k_max) == (k - 1, k)
+
+    def test_wide_step_arrangement_is_free(self):
+        # Theorem 12's bounds hold for any placement of the wide steps.
+        v, q, k = 13, 9, 4
+        c, w = stairway_params(v, q)
+        for wide in ([0], [2], [c - 1]):
+            lay = stairway_layout(v, q, k, wide_steps=wide)
+            lay.validate()
+            m = evaluate_layout(lay)
+            denom = k * (c - 1) * (q - 1)
+            assert m.parity_overhead_max <= Fraction(1, k) + Fraction(w, denom)
+
+    def test_bad_wide_steps_rejected(self):
+        with pytest.raises(ValueError, match="wide steps"):
+            stairway_layout(11, 9, 4, wide_steps=[0, 1])  # w=1, not 2
+
+
+class TestStairwayValidation:
+    def test_rejects_composite_q(self):
+        with pytest.raises(ValueError, match="prime power"):
+            stairway_layout(13, 12, 3)
+
+    def test_rejects_k_above_q(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            stairway_layout(10, 9, 11)
+
+    def test_rejects_unsatisfiable(self):
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            stairway_layout(9, 4, 3)

@@ -1,0 +1,122 @@
+"""Property-based tests for the algebra substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    GF,
+    Zmod,
+    divisors,
+    is_prime_power,
+    min_prime_power_factor,
+    prime_factorization,
+    ring_with_generators,
+)
+from repro.algebra.poly import (
+    poly_add,
+    poly_divmod,
+    poly_from_int,
+    poly_mul,
+    poly_to_int,
+)
+
+PRIME_POWERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+PRIMES = [2, 3, 5, 7]
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_factorization_reconstructs(n):
+    prod = 1
+    for p, e in prime_factorization(n):
+        prod *= p**e
+    assert prod == n
+
+
+@given(st.integers(min_value=2, max_value=5_000))
+def test_min_prime_power_factor_divides(v):
+    m = min_prime_power_factor(v)
+    assert is_prime_power(m)
+    assert v % m == 0
+
+
+@given(st.integers(min_value=1, max_value=2_000))
+def test_divisors_closed_under_complement(n):
+    ds = divisors(n)
+    assert set(ds) == {n // d for d in ds}
+
+
+@given(
+    st.sampled_from(PRIMES),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+)
+def test_poly_codec_and_ring_laws(p, ca, cb):
+    a, b = poly_from_int(ca, p), poly_from_int(cb, p)
+    assert poly_to_int(a, p) == ca or ca >= p ** len(a)  # codec sanity below
+    assert poly_add(a, b, p) == poly_add(b, a, p)
+    assert poly_mul(a, b, p) == poly_mul(b, a, p)
+
+
+@given(
+    st.sampled_from(PRIMES),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=500),
+)
+def test_poly_divmod_invariant(p, ca, cb):
+    a, b = poly_from_int(ca, p), poly_from_int(cb, p)
+    if not b:
+        return
+    q, r = poly_divmod(a, b, p)
+    assert poly_add(poly_mul(q, b, p), r, p) == a
+    assert len(r) < len(b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(PRIME_POWERS), st.data())
+def test_field_inverse_and_distributivity(q, data):
+    f = GF(q)
+    elems = st.integers(min_value=0, max_value=q - 1)
+    a = f.element(data.draw(elems))
+    b = f.element(data.draw(elems))
+    c = f.element(data.draw(elems))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    if a != f.zero:
+        assert f.mul(a, f.inverse(a)) == f.one
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(PRIME_POWERS), st.data())
+def test_frobenius_is_additive(q, data):
+    # (a + b)^p = a^p + b^p in characteristic p.
+    f = GF(q)
+    elems = st.integers(min_value=0, max_value=q - 1)
+    a = f.element(data.draw(elems))
+    b = f.element(data.draw(elems))
+    lhs = f.pow(f.add(a, b), f.p)
+    rhs = f.add(f.pow(a, f.p), f.pow(b, f.p))
+    assert lhs == rhs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=120), st.data())
+def test_ring_with_generators_always_valid(v, data):
+    cap = min_prime_power_factor(v)
+    k = data.draw(st.integers(min_value=1, max_value=cap))
+    ring, gens = ring_with_generators(v, k)
+    assert ring.order == v and len(gens) == k
+    for i in range(k):
+        for j in range(i + 1, k):
+            assert ring.is_unit(ring.sub(gens[i], gens[j]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.data())
+def test_zmod_units_form_group(n, data):
+    r = Zmod(n)
+    units = [a for a in r.elements() if math.gcd(a, n) == 1]
+    a = data.draw(st.sampled_from(units))
+    b = data.draw(st.sampled_from(units))
+    assert r.is_unit(r.mul(a, b))
+    assert r.mul(r.inverse(a), a) == r.one

@@ -1,0 +1,63 @@
+"""Property-based tests for the GF(256) P+Q code and serialization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import GF256, PQCode
+from repro.layouts import layout_from_dict, layout_to_dict, ring_layout
+
+_GF = GF256()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_gf256_field_laws(a, b, c):
+    mul = lambda x, y: int(_GF.mul(x, y))
+    assert mul(a, b) == mul(b, a)
+    assert mul(mul(a, b), c) == mul(a, mul(b, c))
+    assert mul(a, b ^ c) == mul(a, b) ^ mul(a, c)  # distributes over XOR
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.data(),
+)
+def test_pq_recovers_any_two_erasures(m, width, seed, data_strategy):
+    code = PQCode(m)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(m, width), dtype=np.uint8)
+    p, q = code.encode(data)
+
+    # Erase any 2 of the m+2 units (data rows, P, Q).
+    targets = data_strategy.draw(
+        st.lists(st.integers(min_value=0, max_value=m + 1), min_size=2, max_size=2, unique=True)
+    )
+    missing_rows = [t for t in targets if t < m]
+    lost_p = m in targets
+    lost_q = (m + 1) in targets
+
+    broken = data.copy()
+    for i in missing_rows:
+        broken[i] = 0
+    repaired = code.reconstruct(
+        broken, None if lost_p else p, None if lost_q else q, missing_rows
+    )
+    assert np.array_equal(repaired, data)
+    p2, q2 = code.encode(repaired)
+    assert np.array_equal(p2, p) and np.array_equal(q2, q)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([(5, 3), (7, 3), (8, 4), (9, 3)]))
+def test_serialization_roundtrip_property(vk):
+    v, k = vk
+    layout = ring_layout(v, k)
+    assert layout_from_dict(layout_to_dict(layout)) == layout

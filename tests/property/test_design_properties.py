@@ -1,0 +1,59 @@
+"""Property-based tests for block-design constructions."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import min_prime_power_factor
+from repro.designs import (
+    bibd_lower_bound_b,
+    best_design,
+    ring_design,
+    theorem4_design,
+    theorem5_design,
+)
+
+PRIME_POWERS = [4, 5, 7, 8, 9, 11, 13]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=4, max_value=30), st.data())
+def test_ring_design_is_always_bibd(v, data):
+    cap = min(min_prime_power_factor(v), 6)
+    if cap < 2:
+        return
+    k = data.draw(st.integers(min_value=2, max_value=cap))
+    d = ring_design(v, k).to_block_design()
+    d.verify()
+    assert d.b == v * (v - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from(PRIME_POWERS), st.data())
+def test_theorem4_parameters_hold(v, data):
+    k = data.draw(st.integers(min_value=2, max_value=v))
+    d = theorem4_design(v, k)
+    d.verify()
+    assert d.b == v * (v - 1) // math.gcd(v - 1, k - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from(PRIME_POWERS), st.data())
+def test_theorem5_parameters_hold(v, data):
+    k = data.draw(st.integers(min_value=2, max_value=v - 1))
+    d = theorem5_design(v, k)
+    d.verify()
+    assert d.b == v * (v - 1) // math.gcd(v - 1, k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=4, max_value=16), st.data())
+def test_best_design_respects_lower_bound(v, data):
+    k = data.draw(st.integers(min_value=2, max_value=v))
+    d = best_design(v, k)
+    d.verify()
+    assert d.b >= bibd_lower_bound_b(v, k)
+    # Identities every BIBD satisfies.
+    assert d.b * d.k == d.v * d.r
+    assert d.lambda_ * (d.v - 1) == d.r * (d.k - 1)

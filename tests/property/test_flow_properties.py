@@ -1,0 +1,78 @@
+"""Property-based tests for the flow substrate."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    BoundedEdge,
+    FlowNetwork,
+    InfeasibleFlow,
+    dinic_max_flow,
+    edmonds_karp_max_flow,
+    max_flow_with_lower_bounds,
+)
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=3, max_value=6))
+    edges = []
+    for u, v in itertools.permutations(range(n), 2):
+        if draw(st.booleans()):
+            edges.append((u, v, draw(st.integers(min_value=1, max_value=8))))
+    return n, edges
+
+
+def brute_force_min_cut(n, edges, s, t):
+    best = None
+    others = [x for x in range(n) if x not in (s, t)]
+    for mask in range(1 << len(others)):
+        side = {s} | {x for i, x in enumerate(others) if mask >> i & 1}
+        cut = sum(c for u, v, c in edges if u in side and v not in side)
+        best = cut if best is None else min(best, cut)
+    return best
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graph())
+def test_dinic_equals_mincut_and_edmonds_karp(graph):
+    n, edges = graph
+    net1 = FlowNetwork(n)
+    net2 = FlowNetwork(n)
+    for u, v, c in edges:
+        net1.add_edge(u, v, c)
+        net2.add_edge(u, v, c)
+    f1 = dinic_max_flow(net1, 0, n - 1)
+    f2 = edmonds_karp_max_flow(net2, 0, n - 1)
+    ref = brute_force_min_cut(n, edges, 0, n - 1)
+    assert f1 == f2 == ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph(), st.data())
+def test_lower_bounds_solution_is_valid_when_feasible(graph, data):
+    n, edges = graph
+    bounded = []
+    for u, v, c in edges:
+        lo = data.draw(st.integers(min_value=0, max_value=min(2, c)))
+        bounded.append(BoundedEdge(u, v, lo, c))
+    try:
+        value, flows = max_flow_with_lower_bounds(n, bounded, 0, n - 1)
+    except InfeasibleFlow:
+        return  # infeasibility is a legal outcome for random bounds
+    balance = [0] * n
+    for f, e in zip(flows, bounded):
+        assert e.lo <= f <= e.hi
+        balance[e.u] -= f
+        balance[e.v] += f
+    for x in range(1, n - 1):
+        assert balance[x] == 0
+    assert balance[n - 1] == value == -balance[0]
+    # Maximality: the plain max flow with capacities hi is an upper bound,
+    # and dropping lower bounds can only increase the optimum.
+    net = FlowNetwork(n)
+    for e in bounded:
+        net.add_edge(e.u, e.v, e.hi)
+    assert value <= dinic_max_flow(net, 0, n - 1)

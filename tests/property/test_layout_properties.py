@@ -1,0 +1,89 @@
+"""Property-based tests for layout constructions."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import is_prime_power, min_prime_power_factor
+from repro.layouts import (
+    evaluate_layout,
+    parity_counts,
+    remove_disks,
+    ring_layout,
+    stairway_layout,
+    stairway_params,
+)
+from repro.designs import ring_design
+
+PRIME_POWERS = [4, 5, 7, 8, 9, 11, 13, 16]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=4, max_value=20), st.data())
+def test_ring_layout_invariants(v, data):
+    cap = min(min_prime_power_factor(v), 6)
+    if cap < 2:
+        return
+    k = data.draw(st.integers(min_value=2, max_value=cap))
+    lay = ring_layout(v, k)
+    lay.validate()
+    m = evaluate_layout(lay)
+    assert m.size == k * (v - 1)
+    assert m.parity_overhead_max == Fraction(1, k)
+    assert m.parity_balanced and m.workload_balanced
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from(PRIME_POWERS), st.data())
+def test_single_removal_any_victim(v, data):
+    k = data.draw(st.integers(min_value=3, max_value=min(v, 5)))
+    victim = data.draw(st.integers(min_value=0, max_value=v - 1))
+    lay = remove_disks(ring_design(v, k), [victim])
+    lay.validate()
+    counts = parity_counts(lay)
+    assert set(counts) == {v}  # each survivor gains exactly one
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([9, 16, 25]), st.data())
+def test_multi_removal_band(v, data):
+    k = data.draw(st.sampled_from([kk for kk in (9, 16) if kk <= v]))
+    max_i = 1
+    while (max_i + 1) * max_i <= k - (max_i + 1):
+        max_i += 1
+    i = data.draw(st.integers(min_value=2, max_value=max(2, max_i)))
+    victims = data.draw(
+        st.lists(st.integers(min_value=0, max_value=v - 1), min_size=i, max_size=i, unique=True)
+    )
+    if i * (i - 1) > k - i:
+        return
+    lay = remove_disks(ring_design(v, k), victims)
+    lay.validate()
+    counts = parity_counts(lay)
+    assert set(counts) <= {v + i - 1, v + i}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=5, max_value=40), st.data())
+def test_stairway_always_valid_when_params_exist(v, data):
+    qs = [q for q in range(3, v) if is_prime_power(q) and stairway_params(v, q)]
+    if not qs:
+        return
+    q = data.draw(st.sampled_from(qs))
+    k = data.draw(st.integers(min_value=3, max_value=max(3, min(q, 5))))
+    if k > q:
+        return
+    if stairway_params(v, q)[1] > 0 and k < 3:
+        return
+    lay = stairway_layout(v, q, k)
+    lay.validate()
+    c, w = stairway_params(v, q)
+    m = evaluate_layout(lay)
+    assert m.size == k * (c - 1) * (q - 1)
+    denom = k * (c - 1) * (q - 1)
+    hi_p = Fraction(1, k) + Fraction(w, denom)
+    lo_p = Fraction(1, k) + Fraction(max(0, w - 1), denom) if w else Fraction(1, k)
+    assert lo_p <= m.parity_overhead_min
+    assert m.parity_overhead_max <= hi_p
+    assert m.workload_max <= (k - 1) / (q - 1) + 1e-12

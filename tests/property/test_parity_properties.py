@@ -1,0 +1,51 @@
+"""Property-based tests for the Theorem 14 parity assignment."""
+
+import math
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import assign_parity, parity_loads
+
+
+@st.composite
+def stripe_partition(draw):
+    """A random valid stripe set: each stripe distinct disks."""
+    v = draw(st.integers(min_value=3, max_value=10))
+    n_stripes = draw(st.integers(min_value=1, max_value=25))
+    stripes = []
+    for _ in range(n_stripes):
+        k = draw(st.integers(min_value=2, max_value=v))
+        disks = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=v - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        stripes.append(tuple(disks))
+    return v, stripes
+
+
+@settings(max_examples=60, deadline=None)
+@given(stripe_partition())
+def test_theorem14_bounds_always_hold(partition):
+    v, stripes = partition
+    parity = assign_parity(stripes, v)
+    assert len(parity) == len(stripes)
+    for p, s in zip(parity, stripes):
+        assert p in s
+    loads = parity_loads(stripes, v)
+    counts = Counter(parity)
+    for d in range(v):
+        assert math.floor(loads[d]) <= counts.get(d, 0) <= math.ceil(loads[d])
+
+
+@settings(max_examples=40, deadline=None)
+@given(stripe_partition())
+def test_total_parity_equals_stripe_count(partition):
+    v, stripes = partition
+    parity = assign_parity(stripes, v)
+    assert sum(Counter(parity).values()) == len(stripes)

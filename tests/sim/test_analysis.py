@@ -1,0 +1,91 @@
+"""Tests for the Muntz–Lui-style analytic load model."""
+
+import pytest
+
+from repro.layouts import raid5_layout, ring_layout
+from repro.sim import WorkloadConfig, simulate_workload
+from repro.sim.analysis import analyze_load, declustering_ratio
+
+
+class TestDeclusteringRatio:
+    def test_values(self):
+        assert declustering_ratio(9, 3) == pytest.approx(0.25)
+        assert declustering_ratio(9, 9) == 1.0  # RAID5
+
+    def test_monotone_in_k(self):
+        ratios = [declustering_ratio(10, k) for k in range(2, 11)]
+        assert ratios == sorted(ratios)
+
+
+class TestAnalyzeLoad:
+    def test_normal_mode_scales_with_rate(self):
+        lay = ring_layout(9, 3)
+        light = analyze_load(lay, arrival_per_ms=0.05)
+        heavy = analyze_load(lay, arrival_per_ms=0.15)
+        assert heavy.utilization > light.utilization
+        assert heavy.response_ms > light.response_ms
+
+    def test_degraded_mode_loads_more(self):
+        lay = ring_layout(9, 3)
+        normal = analyze_load(lay, arrival_per_ms=0.1, mode="normal")
+        degraded = analyze_load(lay, arrival_per_ms=0.1, mode="degraded")
+        assert degraded.utilization > normal.utilization
+
+    def test_rebuild_mode_loads_most(self):
+        lay = ring_layout(9, 3)
+        degraded = analyze_load(lay, arrival_per_ms=0.1, mode="degraded")
+        rebuild = analyze_load(
+            lay, arrival_per_ms=0.1, mode="rebuild", rebuild_parallelism=2
+        )
+        assert rebuild.utilization > degraded.utilization
+
+    def test_declustering_degrades_more_gracefully(self):
+        # The Muntz–Lui point: degraded-mode overload shrinks with k.
+        small_k = ring_layout(9, 3)
+        raid5 = raid5_layout(9, rotations=8)
+        rate, rf = 0.08, 1.0
+        deg_small = analyze_load(small_k, arrival_per_ms=rate, read_fraction=rf, mode="degraded")
+        deg_raid5 = analyze_load(raid5, arrival_per_ms=rate, read_fraction=rf, mode="degraded")
+        assert deg_small.utilization < deg_raid5.utilization
+
+    def test_saturation_reported(self):
+        est = analyze_load(ring_layout(5, 3), arrival_per_ms=10.0)
+        assert est.saturated
+        assert est.response_ms == float("inf")
+
+    def test_validation(self):
+        lay = ring_layout(5, 3)
+        with pytest.raises(ValueError, match="mode"):
+            analyze_load(lay, arrival_per_ms=0.1, mode="weird")
+        with pytest.raises(ValueError):
+            analyze_load(lay, arrival_per_ms=-1.0)
+        with pytest.raises(ValueError):
+            analyze_load(lay, arrival_per_ms=0.1, read_fraction=2.0)
+
+
+class TestAgainstSimulator:
+    def test_normal_mode_utilization_tracks_simulation(self):
+        # At moderate load the analytic estimate must land near the
+        # simulator's measured max utilization.
+        lay = ring_layout(9, 3)
+        interarrival = 4.0
+        rep = simulate_workload(
+            lay,
+            duration_ms=30_000.0,
+            config=WorkloadConfig(interarrival_ms=interarrival, read_fraction=0.7, seed=17),
+        )
+        measured = max(rep.utilizations)
+        est = analyze_load(lay, arrival_per_ms=1 / interarrival, read_fraction=0.7)
+        assert est.utilization == pytest.approx(measured, rel=0.35)
+
+    def test_read_only_agreement_is_tight(self):
+        lay = ring_layout(9, 3)
+        interarrival = 3.0
+        rep = simulate_workload(
+            lay,
+            duration_ms=30_000.0,
+            config=WorkloadConfig(interarrival_ms=interarrival, read_fraction=1.0, seed=18),
+        )
+        measured = max(rep.utilizations)
+        est = analyze_load(lay, arrival_per_ms=1 / interarrival, read_fraction=1.0)
+        assert est.utilization == pytest.approx(measured, rel=0.2)

@@ -1,0 +1,121 @@
+"""Tests for the array controller."""
+
+import pytest
+
+from repro.layouts import raid5_layout, ring_layout
+from repro.sim import ArrayController
+
+
+class TestNormalMode:
+    def test_read_is_one_io(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        ctrl.submit_read(0)
+        ctrl.sim.run()
+        assert sum(ctrl.per_disk_completed()) == 1
+        assert ctrl.latency["read"].count == 1
+
+    def test_write_is_four_ios_two_disks(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        kind = ctrl.submit_write(0)
+        ctrl.sim.run()
+        assert kind == "write"
+        per_disk = ctrl.per_disk_completed()
+        assert sum(per_disk) == 4
+        assert sorted(c for c in per_disk if c) == [2, 2]
+
+    def test_write_latency_exceeds_read(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        ctrl.submit_read(0)
+        ctrl.submit_write(1)
+        ctrl.sim.run()
+        assert ctrl.latency["write"].mean > ctrl.latency["read"].mean
+
+    def test_write_keeps_parity_consistent(self):
+        ctrl = ArrayController(ring_layout(5, 3), dataplane=True)
+        for lba in range(10):
+            ctrl.submit_write(lba)
+        ctrl.sim.run()
+        assert ctrl.data.all_parity_consistent()
+
+
+class TestDegradedMode:
+    def test_degraded_read_fans_out(self):
+        lay = ring_layout(5, 3)
+        ctrl = ArrayController(lay)
+        ctrl.fail_disk(0)
+        # Find an lba on the failed disk.
+        lba = next(
+            i for i in range(ctrl.mapper.capacity)
+            if ctrl.mapper.logical_to_physical(i).disk == 0
+        )
+        kind = ctrl.submit_read(lba)
+        ctrl.sim.run()
+        assert kind == "degraded_read"
+        assert sum(ctrl.per_disk_completed()) == 2  # k-1 survivors
+
+    def test_read_of_surviving_disk_unaffected(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        ctrl.fail_disk(0)
+        lba = next(
+            i for i in range(ctrl.mapper.capacity)
+            if ctrl.mapper.logical_to_physical(i).disk != 0
+        )
+        assert ctrl.submit_read(lba) == "read"
+
+    def test_degraded_write_data_disk(self):
+        lay = ring_layout(5, 3)
+        ctrl = ArrayController(lay, dataplane=True)
+        ctrl.fail_disk(1)
+        lba = next(
+            i for i in range(ctrl.mapper.capacity)
+            if ctrl.mapper.logical_to_physical(i).disk == 1
+        )
+        kind = ctrl.submit_write(lba)
+        ctrl.sim.run()
+        assert kind == "degraded_write"
+        # Parity folded the write in: reconstruction recovers new value.
+        pu = ctrl.mapper.logical_to_physical(lba)
+        sid = pu.stripe % lay.b
+        import numpy as np
+
+        rebuilt = ctrl.data.reconstruct_unit(sid, 1)
+        assert np.array_equal(rebuilt, ctrl.data.read_unit(1, pu.offset))
+
+    def test_degraded_write_parity_disk(self):
+        lay = ring_layout(5, 3)
+        ctrl = ArrayController(lay)
+        ctrl.fail_disk(2)
+        # Find an lba whose stripe has parity on the failed disk.
+        for i in range(ctrl.mapper.capacity):
+            pu = ctrl.mapper.logical_to_physical(i)
+            stripe = lay.stripes[pu.stripe % lay.b]
+            if stripe.parity_unit[0] == 2 and pu.disk != 2:
+                kind = ctrl.submit_write(i)
+                break
+        else:
+            pytest.fail("no suitable lba found")
+        ctrl.sim.run()
+        assert kind == "degraded_write"
+        assert sum(ctrl.per_disk_completed()) == 1  # data write only
+
+    def test_double_fault_rejected(self):
+        ctrl = ArrayController(raid5_layout(4))
+        ctrl.fail_disk(0)
+        with pytest.raises(ValueError, match="one failure"):
+            ctrl.fail_disk(1)
+
+    def test_invalid_disk_rejected(self):
+        ctrl = ArrayController(raid5_layout(4))
+        with pytest.raises(ValueError):
+            ctrl.fail_disk(4)
+
+
+class TestReporting:
+    def test_utilizations(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        for lba in range(20):
+            ctrl.submit_read(lba)
+        ctrl.sim.run()
+        utils = ctrl.utilizations()
+        assert len(utils) == 5
+        assert all(0.0 <= u <= 1.0 for u in utils)

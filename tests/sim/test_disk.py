@@ -1,0 +1,90 @@
+"""Tests for the disk service model."""
+
+import pytest
+
+from repro.sim import Disk, DiskFailedError, DiskIO, DiskParameters, Simulator
+
+
+def make_disk(**kw):
+    sim = Simulator()
+    return sim, Disk(sim, 0, DiskParameters(**kw))
+
+
+class TestServiceTime:
+    def test_random_access(self):
+        p = DiskParameters()
+        t = p.service_time(None, 100)
+        assert t == p.average_seek_ms + p.rotational_latency_ms + p.transfer_ms_per_unit
+
+    def test_sequential_discount(self):
+        p = DiskParameters()
+        seq = p.service_time(100, 101)
+        rand = p.service_time(100, 500)
+        assert seq < rand
+        assert seq == p.sequential_seek_ms + p.rotational_latency_ms + p.transfer_ms_per_unit
+
+    def test_same_offset_counts_sequential(self):
+        p = DiskParameters()
+        assert p.service_time(7, 7) == p.service_time(7, 8)
+
+
+class TestDisk:
+    def test_single_io_completion_time(self):
+        sim, disk = make_disk()
+        done = []
+        disk.submit(DiskIO(offset=10, is_write=False, on_complete=done.append))
+        sim.run()
+        expected = DiskParameters().service_time(None, 10)
+        assert done == [expected]
+        assert disk.completed_reads == 1
+
+    def test_fifo_queueing(self):
+        sim, disk = make_disk()
+        order = []
+        for off in (5, 500, 50):
+            disk.submit(DiskIO(offset=off, is_write=False,
+                               on_complete=lambda t, off=off: order.append(off)))
+        sim.run()
+        assert order == [5, 500, 50]
+        assert disk.completed_ios == 3
+
+    def test_busy_time_accumulates(self):
+        sim, disk = make_disk()
+        for off in (1, 100):
+            disk.submit(DiskIO(offset=off, is_write=True))
+        sim.run()
+        assert disk.busy_time == pytest.approx(sim.now)
+        assert disk.completed_writes == 2
+        assert disk.utilization(sim.now) == pytest.approx(1.0)
+
+    def test_queue_delay_tracked(self):
+        sim, disk = make_disk()
+        disk.submit(DiskIO(offset=1, is_write=False))
+        disk.submit(DiskIO(offset=999, is_write=False))
+        sim.run()
+        assert disk.total_queue_delay > 0
+
+    def test_failed_disk_rejects(self):
+        _sim, disk = make_disk()
+        disk.fail()
+        with pytest.raises(DiskFailedError):
+            disk.submit(DiskIO(offset=0, is_write=False))
+
+    def test_fail_drops_queue(self):
+        sim, disk = make_disk()
+        done = []
+        for off in range(5):
+            disk.submit(DiskIO(offset=off, is_write=False,
+                               on_complete=lambda t: done.append(t)))
+        sim.step()  # let the first IO complete
+        disk.fail()
+        sim.run()
+        # Only the in-service IO completed; the queue was dropped.
+        assert len(done) == 1
+
+    def test_queue_length(self):
+        _sim, disk = make_disk()
+        assert disk.queue_length == 0
+        disk.submit(DiskIO(offset=0, is_write=False))
+        disk.submit(DiskIO(offset=1, is_write=False))
+        assert disk.queue_length == 2

@@ -1,0 +1,80 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_equal_times_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+        sim.run()
+        assert log == [1, 10]
+
+    def test_at_absolute(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        hit = []
+        sim.at(7.0, lambda: hit.append(sim.now))
+        sim.run()
+        assert hit == [7.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=1000)
+
+    def test_step_and_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.step()
+        assert not sim.step()
+        assert sim.events_processed == 1

@@ -1,0 +1,83 @@
+"""Tests for the rebuild process."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import raid5_layout, ring_layout
+from repro.sim import ArrayController, RebuildProcess
+
+
+def run_rebuild(layout, failed=0, parallelism=4, dataplane=False):
+    ctrl = ArrayController(layout, dataplane=dataplane)
+    ctrl.fail_disk(failed)
+    rb = RebuildProcess(ctrl, parallelism=parallelism)
+    rb.start()
+    ctrl.sim.run()
+    assert rb.done
+    return ctrl, rb.report
+
+
+class TestRebuild:
+    def test_rebuilds_every_crossing_stripe(self):
+        lay = ring_layout(7, 3)
+        _, rep = run_rebuild(lay, failed=3)
+        expected = sum(1 for s in lay.stripes if 3 in s.disks)
+        assert rep.stripes_rebuilt == expected
+        assert rep.spare_units_written == lay.size
+
+    def test_read_fractions_match_analytic(self):
+        v, k = 9, 3
+        lay = ring_layout(v, k)
+        _, rep = run_rebuild(lay, failed=0)
+        fractions = rep.read_fractions(lay.size)
+        for d in range(1, v):
+            assert fractions[d] == pytest.approx((k - 1) / (v - 1))
+        assert fractions[0] == 0  # failed disk reads nothing
+
+    def test_raid5_reads_full_disks(self):
+        lay = raid5_layout(6, rotations=4)
+        _, rep = run_rebuild(lay, failed=2)
+        fractions = rep.read_fractions(lay.size)
+        for d in range(6):
+            if d != 2:
+                assert fractions[d] == pytest.approx(1.0)
+
+    def test_data_verified(self):
+        lay = ring_layout(7, 3)
+        _, rep = run_rebuild(lay, failed=1, dataplane=True)
+        assert rep.data_verified is True
+
+    def test_data_verification_skipped_without_dataplane(self):
+        _, rep = run_rebuild(ring_layout(5, 3))
+        assert rep.data_verified is None
+
+    def test_parallelism_speeds_rebuild(self):
+        lay = ring_layout(9, 3)
+        _, slow = run_rebuild(lay, parallelism=1)
+        _, fast = run_rebuild(lay, parallelism=8)
+        assert fast.duration_ms < slow.duration_ms
+
+    def test_requires_failed_disk(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        rb = RebuildProcess(ctrl)
+        with pytest.raises(RuntimeError, match="fail a disk"):
+            rb.start()
+
+    def test_rejects_bad_parallelism(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        with pytest.raises(ValueError):
+            RebuildProcess(ctrl, parallelism=0)
+
+    def test_rebuild_with_dirty_data(self):
+        # Writes before the failure must be recovered faithfully.
+        lay = ring_layout(7, 3)
+        ctrl = ArrayController(lay, dataplane=True)
+        rng = np.random.default_rng(1)
+        for lba in rng.integers(0, ctrl.mapper.capacity, size=40):
+            ctrl.submit_write(int(lba))
+        ctrl.sim.run()
+        ctrl.fail_disk(4)
+        rb = RebuildProcess(ctrl)
+        rb.start()
+        ctrl.sim.run()
+        assert rb.report.data_verified is True

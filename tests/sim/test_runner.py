@@ -1,0 +1,72 @@
+"""Tests for the high-level simulation runners."""
+
+import pytest
+
+from repro.layouts import raid5_layout, ring_layout
+from repro.sim import WorkloadConfig, simulate_rebuild, simulate_workload
+
+
+class TestSimulateRebuild:
+    def test_basic(self):
+        lay = ring_layout(7, 3)
+        rep = simulate_rebuild(lay, failed_disk=0)
+        assert rep.duration_ms > 0
+        assert rep.spare_units_written == lay.size
+
+    def test_verified(self):
+        rep = simulate_rebuild(ring_layout(5, 3), failed_disk=1, verify_data=True)
+        assert rep.data_verified is True
+
+    def test_with_foreground_workload_slower(self):
+        lay = ring_layout(9, 3)
+        quiet = simulate_rebuild(lay, failed_disk=0)
+        busy = simulate_rebuild(
+            lay,
+            failed_disk=0,
+            workload=WorkloadConfig(interarrival_ms=3.0, seed=5),
+            workload_duration_ms=10_000.0,
+        )
+        assert busy.duration_ms > quiet.duration_ms
+
+    def test_declustering_reduces_survivor_reads(self):
+        # The paper's core claim: smaller k reads a smaller fraction.
+        v = 9
+        small_k = simulate_rebuild(ring_layout(v, 3), failed_disk=0)
+        raid5 = simulate_rebuild(raid5_layout(v, rotations=6), failed_disk=0)
+        f_small = max(small_k.read_fractions(ring_layout(v, 3).size))
+        f_raid5 = max(raid5.read_fractions(raid5_layout(v, rotations=6).size))
+        assert f_small == pytest.approx(2 / 8)
+        assert f_raid5 == pytest.approx(1.0)
+
+
+class TestSimulateWorkload:
+    def test_report_fields(self):
+        rep = simulate_workload(
+            ring_layout(5, 3),
+            duration_ms=3000.0,
+            config=WorkloadConfig(interarrival_ms=6.0, seed=2),
+        )
+        assert rep.scheduled > 0
+        assert "read" in rep.latency
+        assert len(rep.per_disk_ios) == 5
+        assert rep.max_min_io_ratio >= 1.0
+
+    def test_degraded_mode(self):
+        rep = simulate_workload(
+            ring_layout(5, 3),
+            duration_ms=3000.0,
+            config=WorkloadConfig(interarrival_ms=6.0, seed=2),
+            failed_disk=0,
+        )
+        assert rep.per_disk_ios[0] == 0
+        assert "degraded_read" in rep.latency or "degraded_write" in rep.latency
+
+    def test_saturation_raises_latency(self):
+        lay = ring_layout(5, 3)
+        light = simulate_workload(
+            lay, duration_ms=3000.0, config=WorkloadConfig(interarrival_ms=30.0, seed=3)
+        )
+        heavy = simulate_workload(
+            lay, duration_ms=3000.0, config=WorkloadConfig(interarrival_ms=4.0, seed=3)
+        )
+        assert heavy.latency["read"]["mean"] > light.latency["read"]["mean"]
