@@ -1,0 +1,27 @@
+# Repo tooling: `make check` is the pre-merge gate.
+#
+# Targets:
+#   check   - tier-1 pytest suite + the Conditions 1-4 conformance sweep
+#   test    - tier-1 pytest suite only
+#   verify  - conformance sweep over every construction family
+#   bench   - batched-mapping benchmark; writes BENCH_mapping.json
+#   bench-all - every pytest-benchmark file under benchmarks/
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test verify bench bench-all
+
+check: test verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+verify:
+	$(PYTHON) -m repro verify --all
+
+bench:
+	$(PYTHON) benchmarks/bench_mapping.py
+
+bench-all:
+	$(PYTHON) -m pytest benchmarks -q

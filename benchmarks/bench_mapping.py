@@ -1,0 +1,124 @@
+"""BATCH-MAP: the batched mapping engine vs the scalar per-address loop.
+
+Condition 4 says address translation is one table lookup; this
+benchmark measures what that lookup costs when a controller translates
+bulk traffic.  The scalar loop pays Python call overhead per address;
+:meth:`AddressMapper.map_batch` translates the whole vector through the
+NumPy views of the same flat tables.  The acceptance bar is a >= 5x
+throughput gain on a 100k-address workload.
+
+Runnable two ways:
+
+* ``pytest benchmarks/bench_mapping.py`` — pytest-benchmark timings;
+* ``python benchmarks/bench_mapping.py`` — standalone run that writes
+  ``BENCH_mapping.json`` next to the repo root (the ``make bench``
+  artifact).
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import get_layout, get_mapper
+from repro.layouts import AddressMapper
+
+BATCH = 100_000
+CASES = [(9, 3), (13, 4), (33, 5)]
+
+
+def _workload(mapper: AddressMapper, n: int = BATCH) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.integers(0, mapper.capacity, size=n, dtype=np.int64)
+
+
+def _scalar_map(mapper: AddressMapper, lbas: list[int]):
+    to_phys = mapper.logical_to_physical
+    return [(pu.disk, pu.offset) for pu in map(to_phys, lbas)]
+
+
+def _bench_pair(v: int, k: int) -> dict:
+    """Time both paths once and cross-check element-wise agreement."""
+    mapper = get_mapper(get_layout(v, k), iterations=4)
+    lbas = _workload(mapper)
+    lba_list = lbas.tolist()
+
+    t0 = time.perf_counter()
+    scalar = _scalar_map(mapper, lba_list)
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    disks, offsets = mapper.map_batch(lbas)
+    t_batch = time.perf_counter() - t0
+
+    assert scalar == list(zip(disks.tolist(), offsets.tolist()))
+    return {
+        "v": v,
+        "k": k,
+        "layout_size": mapper.layout.size,
+        "addresses": BATCH,
+        "scalar_s": t_scalar,
+        "batch_s": t_batch,
+        "scalar_maps_per_s": BATCH / t_scalar,
+        "batch_maps_per_s": BATCH / t_batch,
+        "speedup": t_scalar / t_batch,
+    }
+
+
+def test_batch_vs_scalar_speedup(benchmark):
+    mapper = get_mapper(get_layout(33, 5), iterations=4)
+    lbas = _workload(mapper)
+
+    benchmark(mapper.map_batch, lbas)
+
+    lba_list = lbas.tolist()
+    t0 = time.perf_counter()
+    scalar = _scalar_map(mapper, lba_list)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    disks, offsets = mapper.map_batch(lbas)
+    t_batch = time.perf_counter() - t0
+
+    assert scalar == list(zip(disks.tolist(), offsets.tolist()))
+    speedup = t_scalar / t_batch
+    assert speedup >= 5.0, f"batch path only {speedup:.1f}x over scalar"
+    print(f"\n[BATCH-MAP] 100k addresses on build(33,5): scalar "
+          f"{t_scalar*1e3:.1f} ms, batch {t_batch*1e3:.1f} ms "
+          f"({speedup:.0f}x)")
+
+
+def test_batch_roundtrip_throughput(benchmark):
+    """Reverse direction: physical->logical over the same batch."""
+    mapper = get_mapper(get_layout(13, 4), iterations=4)
+    lbas = _workload(mapper)
+    disks, offsets = mapper.map_batch(lbas)
+
+    back, is_par = benchmark(mapper.physical_to_logical_batch, disks, offsets)
+    assert not is_par.any()
+    assert (back == lbas).all()
+
+
+def main() -> int:
+    rows = [_bench_pair(v, k) for v, k in CASES]
+    worst = min(r["speedup"] for r in rows)
+    payload = {
+        "benchmark": "mapping",
+        "batch_addresses": BATCH,
+        "cases": rows,
+        "min_speedup": worst,
+        "passed": worst >= 5.0,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_mapping.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    for r in rows:
+        print(f"build({r['v']},{r['k']}) size={r['layout_size']:>4}: "
+              f"scalar {r['scalar_s']*1e3:7.1f} ms, "
+              f"batch {r['batch_s']*1e3:6.2f} ms  -> {r['speedup']:6.1f}x")
+    print(f"min speedup {worst:.1f}x (bar: 5x)  -> wrote {out}")
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

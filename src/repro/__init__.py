@@ -31,28 +31,41 @@ Subpackages:
 from .core import (
     FeasibilityCensus,
     LayoutPlan,
+    NoFeasiblePlanError,
     build_design,
     build_layout,
     census,
+    clear_registry,
     enumerate_plans,
     evaluate,
+    get_layout,
+    get_mapper,
+    get_plan,
     plan,
     plan_layout,
+    registry_stats,
 )
-from .layouts import Layout, LayoutMetrics
+from .layouts import AddressMapper, Layout, LayoutMetrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FeasibilityCensus",
     "LayoutPlan",
+    "NoFeasiblePlanError",
     "build_design",
     "build_layout",
     "census",
+    "clear_registry",
     "enumerate_plans",
     "evaluate",
+    "get_layout",
+    "get_mapper",
+    "get_plan",
     "plan",
     "plan_layout",
+    "registry_stats",
+    "AddressMapper",
     "Layout",
     "LayoutMetrics",
     "__version__",

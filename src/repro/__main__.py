@@ -8,6 +8,9 @@ Commands:
 * ``design V K``     — build the smallest BIBD, print its parameters.
 * ``census VMAX``    — feasibility census over v <= VMAX (paper headline).
 * ``rebuild V K``    — simulate a disk failure + rebuild.
+* ``verify [V K]``   — conformance-check constructions against the
+                       paper's Conditions 1-4 (``--all``: the full
+                       construction-family sweep).
 """
 
 from __future__ import annotations
@@ -79,6 +82,43 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import default_scenarios, run_conformance_sweep, scenarios_for_pair
+
+    if args.v is not None and args.k is not None:
+        scenarios = scenarios_for_pair(args.v, args.k, max_size=args.max_size)
+        if not scenarios:
+            print(
+                f"error: no construction for v={args.v}, k={args.k} fits "
+                f"size {args.max_size}",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.all:
+        scenarios = default_scenarios(max_size=args.max_size)
+    else:
+        print("error: give V K or --all", file=sys.stderr)
+        return 2
+
+    results = run_conformance_sweep(scenarios)
+    failures = 0
+    for sc, rep in results:
+        if rep.passed and not args.verbose:
+            print(
+                f"PASS {sc.family:<14} {sc.name:<24} v={rep.v} size={rep.size} b={rep.b}"
+            )
+        else:
+            if not rep.passed:
+                failures += 1
+            print(("PASS " if rep.passed else "FAIL ") + f"{sc.family:<14} {sc.name}")
+            print(rep.summary())
+    print(
+        f"{len(results)} scenarios checked, {failures} with violations "
+        f"(Conditions 1-4)"
+    )
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -117,6 +157,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-size", type=int, default=10_000)
     p.add_argument("--verify", action="store_true")
     p.set_defaults(fn=_cmd_rebuild)
+
+    p = sub.add_parser(
+        "verify", help="conformance-check constructions (Conditions 1-4)"
+    )
+    p.add_argument("v", nargs="?", type=int, default=None)
+    p.add_argument("k", nargs="?", type=int, default=None)
+    p.add_argument(
+        "--all", action="store_true", help="sweep every construction family"
+    )
+    p.add_argument("--max-size", type=int, default=10_000)
+    p.add_argument(
+        "--verbose", action="store_true", help="full per-condition rows"
+    )
+    p.set_defaults(fn=_cmd_verify)
 
     args = parser.parse_args(argv)
     try:

@@ -1,8 +1,21 @@
-"""Public API: planning, building, and evaluating layouts."""
+"""Public API: planning, building, evaluating, and caching layouts."""
 
 from .api import build_design, build_layout, evaluate, plan
 from .feasibility import FeasibilityCensus, census
-from .planner import LayoutPlan, enumerate_plans, plan_layout
+from .planner import (
+    LayoutPlan,
+    NoFeasiblePlanError,
+    enumerate_plans,
+    nearest_feasible,
+    plan_layout,
+)
+from .registry import (
+    clear_registry,
+    get_layout,
+    get_mapper,
+    get_plan,
+    registry_stats,
+)
 
 __all__ = [
     "build_design",
@@ -12,6 +25,13 @@ __all__ = [
     "FeasibilityCensus",
     "census",
     "LayoutPlan",
+    "NoFeasiblePlanError",
     "enumerate_plans",
+    "nearest_feasible",
     "plan_layout",
+    "clear_registry",
+    "get_layout",
+    "get_mapper",
+    "get_plan",
+    "registry_stats",
 ]

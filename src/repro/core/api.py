@@ -46,7 +46,8 @@ def build_layout(
     ``v``-disk array with stripe size ``k``.
 
     Raises:
-        ValueError: if no construction fits the size budget.
+        NoFeasiblePlanError: if no construction fits the size budget;
+            the error lists the nearest feasible ``(v, k)`` alternatives.
     """
     return plan(
         v, k, max_size=max_size, require_balanced=require_balanced

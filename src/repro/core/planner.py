@@ -41,7 +41,61 @@ from ..layouts import (
 )
 from ..designs.ring_design import ring_design
 
-__all__ = ["LayoutPlan", "plan_layout", "enumerate_plans"]
+__all__ = [
+    "LayoutPlan",
+    "NoFeasiblePlanError",
+    "nearest_feasible",
+    "plan_layout",
+    "enumerate_plans",
+]
+
+
+class NoFeasiblePlanError(ValueError):
+    """No construction for ``(v, k)`` fits the size budget.
+
+    Carries the request and the nearest feasible alternatives so
+    callers (and the CLI) can point users at parameters that *do* work.
+
+    Attributes:
+        v, k: the requested array and stripe size.
+        max_size: the Condition 4 budget that was exceeded.
+        require_balanced: whether perfect balance was demanded.
+        smallest: the cheapest candidate plan, if any applied at all.
+        alternatives: nearby feasible ``(v, k, method, size)`` tuples,
+            closest first.
+    """
+
+    def __init__(
+        self,
+        v: int,
+        k: int,
+        max_size: int,
+        require_balanced: bool,
+        smallest: "LayoutPlan | None",
+        alternatives: list[tuple[int, int, str, int]],
+    ):
+        self.v = v
+        self.k = k
+        self.max_size = max_size
+        self.require_balanced = require_balanced
+        self.smallest = smallest
+        self.alternatives = alternatives
+        msg = (
+            f"no feasible layout for v={v}, k={k} within size {max_size}"
+            + (" requiring perfect balance" if require_balanced else "")
+            + "; smallest candidate: "
+            + (
+                f"{smallest.method} at {smallest.predicted_size}"
+                if smallest is not None
+                else "none"
+            )
+        )
+        if alternatives:
+            msg += "; nearest feasible: " + ", ".join(
+                f"(v={av}, k={ak}) via {m} at size {s}"
+                for av, ak, m, s in alternatives
+            )
+        super().__init__(msg)
 
 
 @dataclass(frozen=True)
@@ -204,6 +258,61 @@ def enumerate_plans(v: int, k: int) -> list[LayoutPlan]:
     return plans
 
 
+def _first_feasible(
+    v: int, k: int, max_size: int, require_balanced: bool
+) -> "LayoutPlan | None":
+    """Cheapest plan for ``(v, k)`` within the budget, or ``None``."""
+    try:
+        plans = enumerate_plans(v, k)
+    except ValueError:
+        return None
+    for plan in plans:
+        if plan.predicted_size > max_size:
+            continue
+        if require_balanced and not plan.balanced:
+            continue
+        return plan
+    return None
+
+
+def nearest_feasible(
+    v: int,
+    k: int,
+    *,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    require_balanced: bool = False,
+    limit: int = 3,
+    max_distance: int = 4,
+) -> list[tuple[int, int, str, int]]:
+    """Feasible ``(v, k)`` neighbors of an infeasible request.
+
+    Scans parameter pairs in increasing Chebyshev distance from
+    ``(v, k)`` (the request itself excluded) and returns up to
+    ``limit`` tuples ``(v', k', method, predicted_size)`` that fit the
+    same budget — the payload of :class:`NoFeasiblePlanError`.
+    """
+    found: list[tuple[int, int, str, int]] = []
+    for dist in range(1, max_distance + 1):
+        ring = sorted(
+            {
+                (v + dv, k + dk)
+                for dv in range(-dist, dist + 1)
+                for dk in range(-dist, dist + 1)
+                if max(abs(dv), abs(dk)) == dist
+            },
+            key=lambda p: (abs(p[0] - v) + abs(p[1] - k), p),
+        )
+        for av, ak in ring:
+            if not 2 <= ak <= av:
+                continue
+            plan = _first_feasible(av, ak, max_size, require_balanced)
+            if plan is not None:
+                found.append((av, ak, plan.method, plan.predicted_size))
+                if len(found) >= limit:
+                    return found
+    return found
+
+
 def plan_layout(
     v: int,
     k: int,
@@ -218,7 +327,8 @@ def plan_layout(
         require_balanced: restrict to perfectly parity-balanced methods.
 
     Raises:
-        ValueError: if no applicable construction fits the budget.
+        NoFeasiblePlanError: if no applicable construction fits the
+            budget; the error lists the nearest feasible alternatives.
     """
     plans = enumerate_plans(v, k)
     for plan in plans:
@@ -227,13 +337,13 @@ def plan_layout(
         if require_balanced and not plan.balanced:
             continue
         return plan
-    raise ValueError(
-        f"no feasible layout for v={v}, k={k} within size {max_size}"
-        + (" requiring perfect balance" if require_balanced else "")
-        + f"; smallest candidate: "
-        + (
-            f"{plans[0].method} at {plans[0].predicted_size}"
-            if plans
-            else "none"
-        )
+    raise NoFeasiblePlanError(
+        v,
+        k,
+        max_size,
+        require_balanced,
+        plans[0] if plans else None,
+        nearest_feasible(
+            v, k, max_size=max_size, require_balanced=require_balanced
+        ),
     )

@@ -1,0 +1,88 @@
+"""LRU-cached layout and mapping-table registry.
+
+Planning a layout runs design search and a flow solve; building its
+mapping tables is another full pass over the stripes.  A controller
+serving traffic does neither on the hot path: it asks the registry,
+which memoizes plans, built layouts, and :class:`AddressMapper` tables
+so repeated ``(v, k)`` requests — the common case for a fleet of
+identical arrays — cost one dict probe.
+
+All entries are immutable (frozen dataclasses over tuples), so sharing
+cached instances across callers is safe.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..layouts import FEASIBLE_SIZE_LIMIT, AddressMapper, Layout
+from .planner import LayoutPlan, plan_layout
+
+__all__ = [
+    "get_plan",
+    "get_layout",
+    "get_mapper",
+    "registry_stats",
+    "clear_registry",
+]
+
+
+@lru_cache(maxsize=256)
+def get_plan(
+    v: int,
+    k: int,
+    *,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    require_balanced: bool = False,
+) -> LayoutPlan:
+    """Cached :func:`repro.core.planner.plan_layout`."""
+    return plan_layout(v, k, max_size=max_size, require_balanced=require_balanced)
+
+
+@lru_cache(maxsize=64)
+def get_layout(
+    v: int,
+    k: int,
+    *,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    require_balanced: bool = False,
+) -> Layout:
+    """Cached build of the best feasible layout for ``(v, k)``.
+
+    The layout is validated once here; callers can use it directly.
+
+    Raises:
+        NoFeasiblePlanError: if no construction fits the budget.
+    """
+    layout = get_plan(
+        v, k, max_size=max_size, require_balanced=require_balanced
+    ).build()
+    layout.validate()
+    return layout
+
+
+@lru_cache(maxsize=64)
+def get_mapper(layout: Layout, *, iterations: int = 1) -> AddressMapper:
+    """Cached :class:`AddressMapper` (flat lookup tables) for a layout.
+
+    Layouts are hashable value objects, so two equal layouts share one
+    table set regardless of how they were constructed.
+    """
+    return AddressMapper(layout, iterations=iterations)
+
+
+def registry_stats() -> dict[str, tuple[int, int, int, int]]:
+    """Cache statistics per registry level, as ``(hits, misses,
+    maxsize, currsize)``."""
+    return {
+        "plan": tuple(get_plan.cache_info()),
+        "layout": tuple(get_layout.cache_info()),
+        "mapper": tuple(get_mapper.cache_info()),
+    }
+
+
+def clear_registry() -> None:
+    """Drop every cached plan, layout, and mapping table."""
+    get_plan.cache_clear()
+    get_layout.cache_clear()
+    get_mapper.cache_clear()

@@ -5,14 +5,29 @@ table lookup plus constant arithmetic, exactly the paper's efficiency
 model.  Disks larger than one layout iteration tile the layout
 vertically ("multiple copies of the layout can be used as needed").
 
-The lookup table is the per-iteration list of data-unit positions (and
-the reverse grid); its row count — the layout size — is the paper's
+The lookup tables are flat, array-backed (``array``/``bytes``, no
+per-call dict hops), built once per mapper:
+
+* forward — indexed by logical address within one iteration, giving
+  ``(disk, offset, stripe)``;
+* reverse — indexed by ``disk * size + offset``, giving
+  ``(stripe, logical-or-minus-one)`` plus a parity flag byte;
+* parity — indexed by stripe, giving the parity unit's position.
+
+NumPy views over the same buffers power :meth:`AddressMapper.map_batch`,
+which translates whole address vectors in a handful of vectorized
+operations — the hot path for bulk I/O submission and the data plane.
+The forward table's row count — the layout size — is the paper's
 feasibility measure.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from .layout import Layout
 
@@ -46,23 +61,57 @@ class AddressMapper:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         self.layout = layout
         self.iterations = iterations
-        # Forward table: logical data unit -> (disk, offset, stripe).
-        self._data_units: list[tuple[int, int, int]] = []
-        for si, stripe in enumerate(layout.stripes):
-            for d, off in stripe.data_units():
-                self._data_units.append((d, off, si))
-        # Reverse grid: (disk, offset) -> (stripe, is_parity, logical or -1).
-        self._reverse: dict[tuple[int, int], tuple[int, bool, int]] = {}
+
+        # Forward tables: logical data unit -> disk / offset / stripe.
+        fwd_disk = array("q")
+        fwd_off = array("q")
+        fwd_stripe = array("q")
+        # Parity tables: stripe -> parity unit position.
+        par_disk = array("q")
+        par_off = array("q")
+        # Reverse tables, indexed by disk * size + offset.
+        cells = layout.v * layout.size
+        rev_stripe = array("q", bytes(8 * cells))
+        rev_lba = array("q", [-1]) * cells
+        rev_parity = bytearray(cells)
+
         for si, stripe in enumerate(layout.stripes):
             pd, poff = stripe.parity_unit
-            self._reverse[(pd, poff)] = (si, True, -1)
-        for lba, (d, off, si) in enumerate(self._data_units):
-            self._reverse[(d, off)] = (si, False, lba)
+            par_disk.append(pd)
+            par_off.append(poff)
+            rev_stripe[pd * layout.size + poff] = si
+            rev_parity[pd * layout.size + poff] = 1
+            for d, off in stripe.data_units():
+                cell = d * layout.size + off
+                rev_stripe[cell] = si
+                rev_lba[cell] = len(fwd_disk)
+                fwd_disk.append(d)
+                fwd_off.append(off)
+                fwd_stripe.append(si)
+
+        self._fwd_disk = fwd_disk
+        self._fwd_off = fwd_off
+        self._fwd_stripe = fwd_stripe
+        self._par_disk = par_disk
+        self._par_off = par_off
+        self._rev_stripe = rev_stripe
+        self._rev_lba = rev_lba
+        self._rev_parity = bytes(rev_parity)
+
+        # NumPy views sharing the table buffers — the batch path.
+        self._np_fwd_disk = np.frombuffer(fwd_disk, dtype=np.int64)
+        self._np_fwd_off = np.frombuffer(fwd_off, dtype=np.int64)
+        self._np_fwd_stripe = np.frombuffer(fwd_stripe, dtype=np.int64)
+        self._np_par_disk = np.frombuffer(par_disk, dtype=np.int64)
+        self._np_par_off = np.frombuffer(par_off, dtype=np.int64)
+        self._np_rev_stripe = np.frombuffer(rev_stripe, dtype=np.int64)
+        self._np_rev_lba = np.frombuffer(rev_lba, dtype=np.int64)
+        self._np_rev_parity = np.frombuffer(self._rev_parity, dtype=np.uint8)
 
     @property
     def data_units_per_iteration(self) -> int:
         """Data units in one layout iteration (``v*size - b``)."""
-        return len(self._data_units)
+        return len(self._fwd_disk)
 
     @property
     def capacity(self) -> int:
@@ -73,6 +122,10 @@ class AddressMapper:
         """Condition 4 metric: rows in the resident lookup table (the
         layout size — units per disk per iteration)."""
         return self.layout.size
+
+    # ------------------------------------------------------------------
+    # Scalar path
+    # ------------------------------------------------------------------
 
     def logical_to_physical(self, lba: int) -> PhysicalUnit:
         """Map a logical data-unit address to its physical unit.
@@ -86,11 +139,10 @@ class AddressMapper:
         if not 0 <= lba < self.capacity:
             raise IndexError(f"lba {lba} outside capacity {self.capacity}")
         iteration, within = divmod(lba, self.data_units_per_iteration)
-        disk, offset, stripe = self._data_units[within]
         return PhysicalUnit(
-            disk=disk,
-            offset=offset + iteration * self.layout.size,
-            stripe=stripe + iteration * self.layout.b,
+            disk=self._fwd_disk[within],
+            offset=self._fwd_off[within] + iteration * self.layout.size,
+            stripe=self._fwd_stripe[within] + iteration * self.layout.b,
             is_parity=False,
         )
 
@@ -105,34 +157,135 @@ class AddressMapper:
         iteration, within = divmod(offset, self.layout.size)
         if not (0 <= disk < self.layout.v and 0 <= iteration < self.iterations):
             raise IndexError(f"physical address ({disk},{offset}) out of range")
-        stripe, is_parity, lba = self._reverse[(disk, within)]
-        if is_parity:
+        cell = disk * self.layout.size + within
+        if self._rev_parity[cell]:
             return -1, True
-        return lba + iteration * self.data_units_per_iteration, False
+        return (
+            self._rev_lba[cell] + iteration * self.data_units_per_iteration,
+            False,
+        )
 
     def stripe_of(self, disk: int, offset: int) -> int:
         """Global stripe id of a physical unit (across iterations)."""
         iteration, within = divmod(offset, self.layout.size)
-        stripe, _, _ = self._reverse[(disk, within)]
-        return stripe + iteration * self.layout.b
+        return (
+            self._rev_stripe[disk * self.layout.size + within]
+            + iteration * self.layout.b
+        )
+
+    def parity_unit_of_stripe(self, global_stripe: int) -> tuple[int, int]:
+        """``(disk, offset)`` of a (global) stripe's parity unit."""
+        iteration, si = divmod(global_stripe, self.layout.b)
+        return self._par_disk[si], self._par_off[si] + iteration * self.layout.size
 
     def stripe_units(self, global_stripe: int) -> list[PhysicalUnit]:
         """All physical units of a (global) stripe."""
         iteration, si = divmod(global_stripe, self.layout.b)
         stripe = self.layout.stripes[si]
         shift = iteration * self.layout.size
-        out = []
-        for ui, (d, off) in enumerate(stripe.units):
-            is_par = ui == stripe.parity_index
-            lba = -1
-            if not is_par:
-                _, _, lba = self._reverse[(d, off)]
-            out.append(
-                PhysicalUnit(
-                    disk=d,
-                    offset=off + shift,
-                    stripe=global_stripe,
-                    is_parity=is_par,
-                )
+        return [
+            PhysicalUnit(
+                disk=d,
+                offset=off + shift,
+                stripe=global_stripe,
+                is_parity=ui == stripe.parity_index,
             )
-        return out
+            for ui, (d, off) in enumerate(stripe.units)
+        ]
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+
+    def _as_lba_array(self, lbas: Sequence[int] | np.ndarray) -> np.ndarray:
+        a = np.ascontiguousarray(lbas, dtype=np.int64)
+        if a.ndim != 1:
+            raise ValueError(f"address batch must be 1-D, got shape {a.shape}")
+        if a.size and (a.min() < 0 or a.max() >= self.capacity):
+            raise IndexError(
+                f"address batch outside capacity {self.capacity}: "
+                f"range [{a.min()}, {a.max()}]"
+            )
+        return a
+
+    def map_batch(
+        self,
+        lbas: Sequence[int] | np.ndarray,
+        *,
+        with_stripes: bool = False,
+    ) -> tuple[np.ndarray, ...]:
+        """Vectorized :meth:`logical_to_physical` for a whole batch.
+
+        Args:
+            lbas: 1-D vector of logical data-unit addresses.
+            with_stripes: also return the global stripe ids.
+
+        Returns:
+            ``(disks, offsets)`` int64 vectors, or ``(disks, offsets,
+            stripes)`` with ``with_stripes=True`` — element-wise equal
+            to the scalar mapping.
+
+        Raises:
+            IndexError: if any address is outside the address space.
+            ValueError: if the batch is not one-dimensional.
+        """
+        a = self._as_lba_array(lbas)
+        iteration, within = np.divmod(a, self.data_units_per_iteration)
+        disks = self._np_fwd_disk[within]
+        offsets = self._np_fwd_off[within] + iteration * self.layout.size
+        if with_stripes:
+            stripes = self._np_fwd_stripe[within] + iteration * self.layout.b
+            return disks, offsets, stripes
+        return disks, offsets
+
+    def map_batch_parity(
+        self, lbas: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Batch-map addresses together with their stripes' parity units.
+
+        Returns ``(disks, offsets, stripes, parity_disks,
+        parity_offsets)`` — everything a controller needs to issue
+        read-modify-writes without touching the scalar path.
+        """
+        a = self._as_lba_array(lbas)
+        iteration, within = np.divmod(a, self.data_units_per_iteration)
+        disks = self._np_fwd_disk[within]
+        offsets = self._np_fwd_off[within] + iteration * self.layout.size
+        si = self._np_fwd_stripe[within]
+        stripes = si + iteration * self.layout.b
+        par_disks = self._np_par_disk[si]
+        par_offsets = self._np_par_off[si] + iteration * self.layout.size
+        return disks, offsets, stripes, par_disks, par_offsets
+
+    def physical_to_logical_batch(
+        self,
+        disks: Sequence[int] | np.ndarray,
+        offsets: Sequence[int] | np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`physical_to_logical`.
+
+        Returns ``(lbas, is_parity)``; parity units get lba ``-1``.
+
+        Raises:
+            IndexError: if any physical address is out of range.
+            ValueError: on shape mismatch.
+        """
+        d = np.ascontiguousarray(disks, dtype=np.int64)
+        off = np.ascontiguousarray(offsets, dtype=np.int64)
+        if d.shape != off.shape or d.ndim != 1:
+            raise ValueError(
+                f"disk/offset batches must be equal 1-D, got {d.shape}/{off.shape}"
+            )
+        iteration, within = np.divmod(off, self.layout.size)
+        if d.size and not (
+            (d >= 0).all()
+            and (d < self.layout.v).all()
+            and (iteration >= 0).all()
+            and (iteration < self.iterations).all()
+        ):
+            raise IndexError("physical address batch out of range")
+        cell = d * self.layout.size + within
+        is_parity = self._np_rev_parity[cell].astype(bool)
+        lbas = self._np_rev_lba[cell] + iteration * self.data_units_per_iteration
+        lbas[is_parity] = -1
+        return lbas, is_parity

@@ -12,19 +12,27 @@ Timing semantics:
 * degraded write — if the *data* disk failed, read the other data units
   and write parity only; if the *parity* disk failed, write data only.
 
+Address translation goes through the mapping engine's flat tables.
+Scalar submissions take the one-lookup path; :meth:`submit_read_batch`
+and :meth:`submit_write_batch` translate whole address vectors with one
+:meth:`AddressMapper.map_batch` call before fanning out disk IOs, which
+is how bulk traffic (workload replay, rebuild scans) should enter the
+controller.
+
 Content semantics are delegated to an optional :class:`DataPlane` and
-applied atomically per request, keeping the timing engine and the
-correctness oracle independent.
+applied atomically per request (batched writes on the healthy path),
+keeping the timing engine and the correctness oracle independent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..layouts import AddressMapper, Layout
+from ..core.registry import get_mapper
+from ..layouts import Layout
 from .dataplane import DataPlane
 from .disk import Disk, DiskIO, DiskParameters
 from .events import Simulator
@@ -73,7 +81,9 @@ class ArrayController:
         self.sim = sim if sim is not None else Simulator()
         self.params = disk_params if disk_params is not None else DiskParameters()
         self.disks = [Disk(self.sim, d, self.params) for d in range(layout.v)]
-        self.mapper = AddressMapper(layout)
+        # Registry-shared mapping tables: a fleet of controllers over
+        # equal layouts builds the flat tables once.
+        self.mapper = get_mapper(layout)
         self.data = DataPlane(layout, seed=seed) if dataplane else None
         self.failed_disk: int | None = None
         self.latency: dict[RequestKind, LatencyStats] = {}
@@ -122,24 +132,90 @@ class ArrayController:
                 DiskIO(offset=offset, is_write=is_write, on_complete=one_done)
             )
 
+    # ------------------------------------------------------------------
+    # Request planning (shared by the scalar and batch paths)
+    # ------------------------------------------------------------------
+
+    def _plan_read(
+        self, disk: int, offset: int, stripe_id: int
+    ) -> tuple[RequestKind, list[list[tuple[int, int, bool]]]]:
+        if disk != self.failed_disk:
+            return "read", [[(disk, offset, False)]]
+        stripe = self.layout.stripes[stripe_id]
+        return "degraded_read", [
+            [(d, off, False) for d, off in stripe.units if d != self.failed_disk]
+        ]
+
+    def _write_mode(self, disk: int, parity_disk: int) -> str:
+        """Classify a write against the failure state — the single
+        source of truth for both IO-phase planning and data-plane
+        content semantics: ``"normal"`` | ``"data_failed"`` |
+        ``"parity_failed"``."""
+        if self.failed_disk is None or (
+            disk != self.failed_disk and parity_disk != self.failed_disk
+        ):
+            return "normal"
+        return "data_failed" if disk == self.failed_disk else "parity_failed"
+
+    def _plan_write(
+        self, disk: int, offset: int, stripe_id: int
+    ) -> tuple[RequestKind, list[list[tuple[int, int, bool]]]]:
+        stripe = self.layout.stripes[stripe_id]
+        parity_disk, parity_off = stripe.parity_unit
+        mode = self._write_mode(disk, parity_disk)
+        if mode == "normal":
+            return "write", [
+                [(disk, offset, False), (parity_disk, parity_off, False)],
+                [(disk, offset, True), (parity_disk, parity_off, True)],
+            ]
+        if mode == "data_failed":
+            other_data = [
+                (d, off, False)
+                for d, off in stripe.data_units()
+                if d != self.failed_disk
+            ]
+            phases = (
+                [other_data, [(parity_disk, parity_off, True)]]
+                if other_data
+                else [[(parity_disk, parity_off, True)]]
+            )
+            return "degraded_write", phases
+        # Parity disk failed: no parity to maintain.
+        return "degraded_write", [[(disk, offset, True)]]
+
+    def _apply_write_dataplane(
+        self, stripe_id: int, disk: int, offset: int, payload: np.ndarray
+    ) -> None:
+        assert self.data is not None
+        stripe = self.layout.stripes[stripe_id]
+        parity_disk, parity_off = stripe.parity_unit
+        mode = self._write_mode(disk, parity_disk)
+        if mode == "normal":
+            self.data.small_write(stripe_id, disk, offset, payload)
+        elif mode == "parity_failed":
+            self.data.write_unit(disk, offset, payload)
+        else:
+            # Data disk failed: fold the new value into parity so a
+            # later rebuild recovers it.
+            self.data.write_unit(disk, offset, payload)
+            self.data.write_unit(
+                parity_disk, parity_off, self.data.stripe_parity(stripe_id)
+            )
+
+    def _default_payload(self, lba: int) -> np.ndarray:
+        assert self.data is not None
+        return np.full(self.data.unit_words, lba + 1, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Scalar submission
+    # ------------------------------------------------------------------
+
     def submit_read(
         self, lba: int, on_done: Callable[[float], None] | None = None
     ) -> RequestKind:
         """Issue a logical read; returns the request kind used."""
         pu = self.mapper.logical_to_physical(lba)
-        stripe = self.layout.stripes[pu.stripe % self.layout.b]
-        if pu.disk != self.failed_disk:
-            kind: RequestKind = "read"
-            phases = [[(pu.disk, pu.offset, False)]]
-        else:
-            kind = "degraded_read"
-            phases = [
-                [
-                    (d, off, False)
-                    for d, off in stripe.units
-                    if d != self.failed_disk
-                ]
-            ]
+        kind, phases = self._plan_read(pu.disk, pu.offset, pu.stripe % self.layout.b)
         req = _Request(kind=kind, start=self.sim.now, on_done=on_done, phases=phases)
         self._issue_phase(req)
         return kind
@@ -152,56 +228,99 @@ class ArrayController:
     ) -> RequestKind:
         """Issue a logical write (read-modify-write); returns the kind."""
         pu = self.mapper.logical_to_physical(lba)
-        stripe = self.layout.stripes[pu.stripe % self.layout.b]
-        parity_disk, parity_off = stripe.parity_unit
-
-        if self.failed_disk is None or (
-            pu.disk != self.failed_disk and parity_disk != self.failed_disk
-        ):
-            kind: RequestKind = "write"
-            phases = [
-                [(pu.disk, pu.offset, False), (parity_disk, parity_off, False)],
-                [(pu.disk, pu.offset, True), (parity_disk, parity_off, True)],
-            ]
-        elif pu.disk == self.failed_disk:
-            kind = "degraded_write"
-            other_data = [
-                (d, off, False)
-                for d, off in stripe.data_units()
-                if d != self.failed_disk
-            ]
-            phases = (
-                [other_data, [(parity_disk, parity_off, True)]]
-                if other_data
-                else [[(parity_disk, parity_off, True)]]
-            )
-        else:  # parity disk failed: no parity to maintain
-            kind = "degraded_write"
-            phases = [[(pu.disk, pu.offset, True)]]
-
+        sid = pu.stripe % self.layout.b
+        kind, phases = self._plan_write(pu.disk, pu.offset, sid)
         if self.data is not None:
-            payload = (
-                data
-                if data is not None
-                else np.full(self.data.unit_words, lba + 1, dtype=np.uint64)
-            )
-            sid = pu.stripe % self.layout.b
-            if self.failed_disk is None or (
-                pu.disk != self.failed_disk and parity_disk != self.failed_disk
-            ):
-                self.data.small_write(sid, pu.disk, pu.offset, payload)
-            elif parity_disk == self.failed_disk:
-                self.data.write_unit(pu.disk, pu.offset, payload)
-            else:
-                # Data disk failed: fold the new value into parity so a
-                # later rebuild recovers it.
-                self.data.write_unit(pu.disk, pu.offset, payload)
-                pdisk, poff = parity_disk, parity_off
-                self.data.write_unit(pdisk, poff, self.data.stripe_parity(sid))
-
+            payload = data if data is not None else self._default_payload(lba)
+            self._apply_write_dataplane(sid, pu.disk, pu.offset, payload)
         req = _Request(kind=kind, start=self.sim.now, on_done=on_done, phases=phases)
         self._issue_phase(req)
         return kind
+
+    # ------------------------------------------------------------------
+    # Batched submission (one map_batch call per vector of addresses)
+    # ------------------------------------------------------------------
+
+    def submit_read_batch(
+        self,
+        lbas: Sequence[int] | np.ndarray,
+        on_done: Callable[[float], None] | None = None,
+    ) -> list[RequestKind]:
+        """Issue a vector of logical reads through the batch mapper.
+
+        Each address still becomes its own request (latency is tracked
+        per request), but address translation is a single vectorized
+        pass.  Returns the request kinds in order.
+        """
+        disks, offsets, stripes = self.mapper.map_batch(lbas, with_stripes=True)
+        b = self.layout.b
+        kinds: list[RequestKind] = []
+        for disk, offset, gs in zip(
+            disks.tolist(), offsets.tolist(), stripes.tolist()
+        ):
+            kind, phases = self._plan_read(disk, offset, gs % b)
+            req = _Request(
+                kind=kind, start=self.sim.now, on_done=on_done, phases=phases
+            )
+            self._issue_phase(req)
+            kinds.append(kind)
+        return kinds
+
+    def submit_write_batch(
+        self,
+        lbas: Sequence[int] | np.ndarray,
+        data: np.ndarray | None = None,
+        on_done: Callable[[float], None] | None = None,
+    ) -> list[RequestKind]:
+        """Issue a vector of logical writes through the batch mapper.
+
+        With a data plane attached and a healthy array, contents are
+        applied with one batched read-modify-write scatter; degraded
+        arrays fall back to the per-request content path.  Returns the
+        request kinds in order.
+
+        Raises:
+            ValueError: if ``data`` is given with the wrong shape.
+        """
+        disks, offsets, stripes = self.mapper.map_batch(lbas, with_stripes=True)
+        b = self.layout.b
+        n = len(disks)
+        if data is not None and (
+            self.data is not None and data.shape != (n, self.data.unit_words)
+        ):
+            raise ValueError(
+                f"batch data must have shape ({n}, {self.data.unit_words}), "
+                f"got {data.shape}"
+            )
+        if self.data is not None:
+            payloads = (
+                data
+                if data is not None
+                else (
+                    np.asarray(lbas, dtype=np.uint64).reshape(n, 1) + 1
+                ).repeat(self.data.unit_words, axis=1)
+            )
+            if self.failed_disk is None:
+                self.data.write_logical_batch(self.mapper, lbas, payloads)
+            else:
+                for i in range(n):
+                    self._apply_write_dataplane(
+                        int(stripes[i]) % b,
+                        int(disks[i]),
+                        int(offsets[i]),
+                        payloads[i],
+                    )
+        kinds: list[RequestKind] = []
+        for disk, offset, gs in zip(
+            disks.tolist(), offsets.tolist(), stripes.tolist()
+        ):
+            kind, phases = self._plan_write(disk, offset, gs % b)
+            req = _Request(
+                kind=kind, start=self.sim.now, on_done=on_done, phases=phases
+            )
+            self._issue_phase(req)
+            kinds.append(kind)
+        return kinds
 
     # ------------------------------------------------------------------
     # Reporting

@@ -5,6 +5,13 @@ Holds actual (random) contents for every unit of every disk as NumPy
 tests verify bit-for-bit that a layout can reconstruct a failed disk —
 Condition 1 made executable.
 
+The unit store is one flat ``(v*size, words)`` buffer, so physical
+units address it by ``disk * size + offset`` — the same flat-cell
+convention as :class:`repro.layouts.AddressMapper`'s reverse tables —
+and whole batches of logical reads/writes and full-array parity
+rebuilds run as vectorized gathers/scatters instead of per-unit Python
+loops.
+
 Timing and data are deliberately decoupled: the controller performs
 data-plane operations atomically while the event engine accounts for
 the IO time.  Interleaving semantics (e.g. torn RMW under concurrency)
@@ -13,9 +20,11 @@ are outside the paper's scope.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from ..layouts import Layout
+from ..layouts import AddressMapper, Layout
 
 __all__ = ["DataPlane"]
 
@@ -39,6 +48,25 @@ class DataPlane:
             size=(layout.v, layout.size, unit_words),
             dtype=np.uint64,
         )
+        # Flat (v*size, words) view sharing the store's memory: cell
+        # ``disk * size + offset``.  Grouping stripes by size lets the
+        # full-parity pass run as one XOR-reduce per group.
+        self._flat = self.store.reshape(layout.v * layout.size, unit_words)
+        self._stripe_groups: list[tuple[np.ndarray, np.ndarray]] = []
+        by_size: dict[int, tuple[list[list[int]], list[int]]] = {}
+        for stripe in layout.stripes:
+            pd, poff = stripe.parity_unit
+            cells = [d * layout.size + off for d, off in stripe.data_units()]
+            data_rows, parity_cells = by_size.setdefault(len(cells), ([], []))
+            data_rows.append(cells)
+            parity_cells.append(pd * layout.size + poff)
+        for data_rows, parity_cells in by_size.values():
+            self._stripe_groups.append(
+                (
+                    np.asarray(data_rows, dtype=np.int64),
+                    np.asarray(parity_cells, dtype=np.int64),
+                )
+            )
         self.recompute_all_parity()
 
     # ------------------------------------------------------------------
@@ -77,10 +105,12 @@ class DataPlane:
 
     def recompute_all_parity(self) -> None:
         """Write correct parity into every stripe (initialization /
-        after bulk loads)."""
-        for sid, stripe in enumerate(self.layout.stripes):
-            pd, poff = stripe.parity_unit
-            self.store[pd, poff] = self.stripe_parity(sid)
+        after bulk loads) — one vectorized XOR-reduce per stripe-size
+        group."""
+        for data_rows, parity_cells in self._stripe_groups:
+            self._flat[parity_cells] = np.bitwise_xor.reduce(
+                self._flat[data_rows], axis=1
+            )
 
     def parity_consistent(self, stripe_id: int) -> bool:
         """Check one stripe's parity invariant."""
@@ -89,8 +119,12 @@ class DataPlane:
         return bool(np.array_equal(self.store[pd, poff], self.stripe_parity(stripe_id)))
 
     def all_parity_consistent(self) -> bool:
-        """Check every stripe's parity invariant."""
-        return all(self.parity_consistent(s) for s in range(self.layout.b))
+        """Check every stripe's parity invariant (vectorized)."""
+        for data_rows, parity_cells in self._stripe_groups:
+            expect = np.bitwise_xor.reduce(self._flat[data_rows], axis=1)
+            if not np.array_equal(self._flat[parity_cells], expect):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Writes and reconstruction
@@ -104,6 +138,88 @@ class DataPlane:
         delta = self.store[disk, offset] ^ data
         self.store[disk, offset] = data
         self.store[pd, poff] ^= delta
+
+    # ------------------------------------------------------------------
+    # Batched logical access (through the mapping engine)
+    # ------------------------------------------------------------------
+
+    def _check_mapper(self, mapper: AddressMapper) -> None:
+        """The store models exactly one layout iteration.
+
+        Raises:
+            ValueError: if the mapper tiles multiple iterations (its
+                offsets would fall outside the store) or belongs to a
+                different geometry.
+        """
+        if mapper.iterations != 1:
+            raise ValueError(
+                f"data plane holds one layout iteration; mapper has "
+                f"{mapper.iterations}"
+            )
+        if (mapper.layout.v, mapper.layout.size) != (
+            self.layout.v,
+            self.layout.size,
+        ):
+            raise ValueError("mapper geometry does not match the data plane")
+
+    def read_logical_batch(
+        self, mapper: AddressMapper, lbas: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Contents of a batch of logical data units, one gather.
+
+        Returns a ``(len(lbas), unit_words)`` array in request order.
+
+        Raises:
+            ValueError: if the mapper does not match the store (see
+                :meth:`_check_mapper`).
+        """
+        self._check_mapper(mapper)
+        disks, offsets = mapper.map_batch(lbas)
+        cells = disks * self.layout.size + offsets
+        return self._flat[cells].copy()
+
+    def write_logical_batch(
+        self,
+        mapper: AddressMapper,
+        lbas: Sequence[int] | np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        """Batched read-modify-write of logical data units.
+
+        Applies ``data[i]`` to ``lbas[i]`` and patches every affected
+        parity unit with the XOR delta — a scatter when all target
+        units are distinct, falling back to sequential small writes
+        when a batch writes the same unit twice (so last-write-wins
+        semantics and parity stay exact).
+
+        Raises:
+            ValueError: if ``data`` is not ``uint64[len(lbas), words]``
+                or the mapper does not match the store.
+        """
+        self._check_mapper(mapper)
+        disks, offsets, stripes, par_disks, par_offsets = mapper.map_batch_parity(
+            lbas
+        )
+        if data.shape != (len(disks), self.unit_words) or data.dtype != np.uint64:
+            raise ValueError(
+                f"batch data must be uint64[{len(disks)}, {self.unit_words}], "
+                f"got {data.dtype}[{data.shape}]"
+            )
+        size = self.layout.size
+        cells = disks * size + offsets
+        if len(np.unique(cells)) != len(cells):
+            for i, cell in enumerate(cells.tolist()):
+                self.small_write(
+                    int(stripes[i]),
+                    cell // size,
+                    cell % size,
+                    data[i],
+                )
+            return
+        par_cells = par_disks * size + par_offsets
+        delta = self._flat[cells] ^ data
+        self._flat[cells] = data
+        np.bitwise_xor.at(self._flat, par_cells, delta)
 
     def reconstruct_unit(self, stripe_id: int, disk: int) -> np.ndarray:
         """Recover disk ``disk``'s unit of a stripe by XOR of the

@@ -1,0 +1,270 @@
+"""The Conditions 1-4 conformance checker.
+
+:func:`check_layout` is construction-agnostic: it takes any
+:class:`Layout` plus the tolerances the construction's theorems entitle
+it to (perfect balance, the one-unit band, a stairway workload bound)
+and returns a :class:`ConformanceReport` with one
+:class:`ConditionResult` per condition.  Violations carry the measured
+value and the bound it broke, so a failing refactor points straight at
+the broken invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..flow.parity import parity_loads
+from ..layouts import (
+    FEASIBLE_SIZE_LIMIT,
+    AddressMapper,
+    Layout,
+    LayoutError,
+    parity_counts,
+    reconstruction_workloads,
+)
+
+__all__ = ["ConditionResult", "ConformanceReport", "check_layout"]
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """Outcome of one condition check.
+
+    Attributes:
+        condition: paper condition number (1-4).
+        name: short label for reports.
+        passed: whether the layout conforms.
+        measured: the observed quantity, rendered.
+        bound: the limit it was held to, rendered.
+        detail: failure specifics (empty on pass).
+    """
+
+    condition: int
+    name: str
+    passed: bool
+    measured: str
+    bound: str
+    detail: str = ""
+
+    def row(self) -> str:
+        """One line for the CLI table."""
+        mark = "ok " if self.passed else "FAIL"
+        out = f"  C{self.condition} {self.name:<24} {mark}  {self.measured} (bound {self.bound})"
+        if self.detail:
+            out += f"  [{self.detail}]"
+        return out
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Full Conditions 1-4 verdict for one layout."""
+
+    layout_name: str
+    v: int
+    size: int
+    b: int
+    results: tuple[ConditionResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every condition holds."""
+        return all(r.passed for r in self.results)
+
+    def violations(self) -> tuple[ConditionResult, ...]:
+        """The failed condition results."""
+        return tuple(r for r in self.results if not r.passed)
+
+    def summary(self) -> str:
+        """Multi-line report: header plus one row per condition."""
+        head = (
+            f"{self.layout_name or '(unnamed)'}: v={self.v} size={self.size} "
+            f"b={self.b} -> {'PASS' if self.passed else 'FAIL'}"
+        )
+        return "\n".join([head] + [r.row() for r in self.results])
+
+
+def _check_structure(layout: Layout) -> ConditionResult:
+    """Condition 1 plus full coverage, via the layout's own validator."""
+    try:
+        layout.validate()
+    except LayoutError as exc:
+        return ConditionResult(
+            condition=1,
+            name="single-unit-per-disk",
+            passed=False,
+            measured="invalid",
+            bound="valid layout",
+            detail=str(exc),
+        )
+    return ConditionResult(
+        condition=1,
+        name="single-unit-per-disk",
+        passed=True,
+        measured=f"{layout.total_units()} units / {layout.b} stripes",
+        bound="one unit per disk per stripe",
+    )
+
+
+def _check_parity_balance(
+    layout: Layout, spread_allowance: int
+) -> ConditionResult:
+    """Condition 2: parity counts within the allowed band, and each
+    disk's count within the theorem's floor/ceil of its parity load
+    (relaxed by the same allowance)."""
+    counts = parity_counts(layout)
+    spread = max(counts) - min(counts)
+    loads = parity_loads([s.disks for s in layout.stripes], layout.v)
+    off_band = [
+        d
+        for d, (c, load) in enumerate(zip(counts, loads))
+        if not (
+            np.floor(float(load)) - spread_allowance
+            <= c
+            <= np.ceil(float(load)) + spread_allowance
+        )
+    ]
+    passed = spread <= spread_allowance and not off_band
+    detail = ""
+    if spread > spread_allowance:
+        detail = f"per-disk parity counts range {min(counts)}..{max(counts)}"
+    elif off_band:
+        detail = f"disks {off_band} outside floor/ceil load band"
+    return ConditionResult(
+        condition=2,
+        name="parity balance",
+        passed=passed,
+        measured=f"spread {spread}",
+        bound=f"spread <= {spread_allowance}",
+        detail=detail,
+    )
+
+
+def _check_reconstruction_balance(
+    layout: Layout, workload_bound: float | None
+) -> ConditionResult:
+    """Condition 3: the maximum pairwise reconstruction workload stays
+    within the construction's analytic bound."""
+    _, k_max = layout.stripe_sizes()
+    bound = (
+        workload_bound
+        if workload_bound is not None
+        else (k_max - 1) / (layout.v - 1)
+    )
+    w = reconstruction_workloads(layout)
+    offdiag = w[~np.eye(layout.v, dtype=bool)]
+    w_max = float(offdiag.max())
+    passed = w_max <= bound + 1e-9
+    return ConditionResult(
+        condition=3,
+        name="reconstruction balance",
+        passed=passed,
+        measured=f"max workload {w_max:.4f}",
+        bound=f"<= {bound:.4f}",
+        detail="" if passed else "some surviving disk is over-read on rebuild",
+    )
+
+
+def _check_mapping(
+    layout: Layout, max_size: int, mapper_samples: int, seed: int
+) -> ConditionResult:
+    """Condition 4: the lookup table fits the budget, round-trips, and
+    the batched engine agrees with the scalar path."""
+    if layout.size > max_size:
+        return ConditionResult(
+            condition=4,
+            name="mapping efficiency",
+            passed=False,
+            measured=f"size {layout.size}",
+            bound=f"<= {max_size}",
+            detail="layout exceeds the lookup-table budget",
+        )
+    mapper = AddressMapper(layout)
+    expected = layout.v * layout.size - layout.b
+    if mapper.capacity != expected:
+        return ConditionResult(
+            condition=4,
+            name="mapping efficiency",
+            passed=False,
+            measured=f"capacity {mapper.capacity}",
+            bound=f"v*size - b = {expected}",
+            detail="mapper address space does not match the layout",
+        )
+    rng = np.random.default_rng(seed)
+    n = min(mapper_samples, mapper.capacity)
+    sample = rng.choice(mapper.capacity, size=n, replace=False)
+    disks, offsets = mapper.map_batch(sample)
+    for i, lba in enumerate(sample.tolist()):
+        pu = mapper.logical_to_physical(lba)
+        if (pu.disk, pu.offset) != (int(disks[i]), int(offsets[i])):
+            return ConditionResult(
+                condition=4,
+                name="mapping efficiency",
+                passed=False,
+                measured=f"batch ({int(disks[i])},{int(offsets[i])}) at lba {lba}",
+                bound=f"scalar ({pu.disk},{pu.offset})",
+                detail="batched and scalar mappings disagree",
+            )
+        back, is_par = mapper.physical_to_logical(pu.disk, pu.offset)
+        if is_par or back != lba:
+            return ConditionResult(
+                condition=4,
+                name="mapping efficiency",
+                passed=False,
+                measured=f"round-trip {lba} -> {back}",
+                bound="identity",
+                detail="logical/physical round-trip failed",
+            )
+    return ConditionResult(
+        condition=4,
+        name="mapping efficiency",
+        passed=True,
+        measured=f"size {layout.size}, {n} addresses round-tripped",
+        bound=f"size <= {max_size}",
+    )
+
+
+def check_layout(
+    layout: Layout,
+    *,
+    parity_spread_allowance: int = 1,
+    workload_bound: float | None = None,
+    max_size: int = FEASIBLE_SIZE_LIMIT,
+    mapper_samples: int = 256,
+    seed: int = 0,
+    extra_results: tuple[ConditionResult, ...] = (),
+) -> ConformanceReport:
+    """Evaluate a layout against the paper's Conditions 1-4.
+
+    Args:
+        layout: any layout, from any construction.
+        parity_spread_allowance: Condition 2 band — 0 for perfectly
+            balanced constructions, 1 for the theorems' one-unit band.
+        workload_bound: Condition 3 cap on the maximum pairwise
+            reconstruction workload; default is the declustering ideal
+            ``(k_max - 1)/(v - 1)``.
+        max_size: Condition 4 lookup-table budget.
+        mapper_samples: number of addresses to round-trip through the
+            mapping engine (scalar vs batch).
+        seed: sampling seed.
+        extra_results: construction-specific results (e.g. dual-parity
+            Q balance) appended to the report.
+
+    Returns:
+        A :class:`ConformanceReport`; ``report.passed`` is the verdict.
+    """
+    structure = _check_structure(layout)
+    results = [structure]
+    if structure.passed:
+        results.append(_check_parity_balance(layout, parity_spread_allowance))
+        results.append(_check_reconstruction_balance(layout, workload_bound))
+        results.append(_check_mapping(layout, max_size, mapper_samples, seed))
+    results.extend(extra_results)
+    return ConformanceReport(
+        layout_name=layout.name,
+        v=layout.v,
+        size=layout.size,
+        b=layout.b,
+        results=tuple(results),
+    )

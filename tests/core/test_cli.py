@@ -42,9 +42,38 @@ class TestCli:
         assert "verified bit-for-bit: True" in out
         assert "0.250" in out
 
+    def test_verify_pair(self, capsys):
+        assert main(["verify", "9", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 with violations" in out
+        assert "flow_single" in out and "ring" in out
+
+    def test_verify_all_sweep(self, capsys):
+        assert main(["verify", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 with violations" in out
+        for family in ("catalog", "removal", "dual", "randomized"):
+            assert family in out
+
+    def test_verify_verbose_shows_conditions(self, capsys):
+        assert main(["verify", "7", "3", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        for row in ("C1", "C2", "C3", "C4"):
+            assert row in out
+
+    def test_verify_requires_target(self, capsys):
+        assert main(["verify"]) == 2
+        assert "give V K or --all" in capsys.readouterr().err
+
+    def test_verify_infeasible_pair(self, capsys):
+        assert main(["verify", "9", "3", "--max-size", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_error_reported(self, capsys):
         assert main(["build", "9", "3", "--max-size", "1"]) == 2
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "nearest feasible" in err  # structured plan error surfaced
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -68,3 +68,49 @@ class TestPlanLayout:
         balanced = plan_layout(9, 3, require_balanced=True)
         assert balanced.balanced
         assert balanced.predicted_size >= free.predicted_size
+
+
+class TestNoFeasiblePlanError:
+    def test_structured_error_payload(self):
+        from repro.core import NoFeasiblePlanError
+
+        with pytest.raises(NoFeasiblePlanError) as exc_info:
+            plan_layout(33, 5, max_size=50)
+        err = exc_info.value
+        assert isinstance(err, ValueError)  # callers catching ValueError still work
+        assert (err.v, err.k, err.max_size) == (33, 5, 50)
+        assert err.smallest is not None
+        assert err.smallest.predicted_size > 50
+
+    def test_error_lists_nearest_feasible_alternatives(self):
+        from repro.core import NoFeasiblePlanError
+
+        with pytest.raises(NoFeasiblePlanError) as exc_info:
+            plan_layout(33, 5, max_size=50)
+        err = exc_info.value
+        assert err.alternatives, "expected nearby feasible (v, k) suggestions"
+        for av, ak, method, size in err.alternatives:
+            assert (av, ak) != (33, 5)
+            assert abs(av - 33) <= 4 and abs(ak - 5) <= 4
+            assert size <= 50
+            # Each suggestion really is feasible under the same budget.
+            alt = plan_layout(av, ak, max_size=50)
+            assert alt.predicted_size <= size
+        assert "nearest feasible" in str(err)
+
+    def test_impossible_budget_reports_no_alternatives(self):
+        from repro.core import NoFeasiblePlanError
+
+        # Every layout has size >= 1, so a zero budget has no neighbors.
+        with pytest.raises(NoFeasiblePlanError) as exc_info:
+            plan_layout(9, 3, max_size=0)
+        assert exc_info.value.alternatives == []
+
+    def test_nearest_feasible_direct_query(self):
+        from repro.core import nearest_feasible
+
+        alts = nearest_feasible(33, 5, max_size=50, limit=2)
+        assert 0 < len(alts) <= 2
+        # Sorted closest-first by parameter distance.
+        dists = [abs(av - 33) + abs(ak - 5) for av, ak, _, _ in alts]
+        assert dists == sorted(dists)

@@ -1,0 +1,62 @@
+"""Tests for the LRU-cached layout/mapper registry."""
+
+import pytest
+
+from repro.core import (
+    NoFeasiblePlanError,
+    clear_registry,
+    get_layout,
+    get_mapper,
+    get_plan,
+    plan_layout,
+    registry_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+class TestRegistry:
+    def test_repeat_requests_share_one_layout(self):
+        first = get_layout(9, 3)
+        second = get_layout(9, 3)
+        assert first is second
+        hits, misses, _, size = registry_stats()["layout"]
+        assert (hits, misses, size) == (1, 1, 1)
+
+    def test_cached_plan_matches_uncached(self):
+        cached = get_plan(13, 4)
+        direct = plan_layout(13, 4)
+        assert (cached.method, cached.predicted_size) == (
+            direct.method,
+            direct.predicted_size,
+        )
+
+    def test_mappers_keyed_by_layout_value(self):
+        lay = get_layout(9, 3)
+        assert get_mapper(lay) is get_mapper(lay)
+        assert get_mapper(lay, iterations=2) is not get_mapper(lay)
+        assert get_mapper(lay, iterations=2).capacity == 2 * get_mapper(lay).capacity
+
+    def test_distinct_budgets_are_distinct_entries(self):
+        small = get_layout(9, 3, max_size=10)
+        default = get_layout(9, 3)
+        assert small.size <= 10
+        assert registry_stats()["layout"][3] == 2 or small is default
+
+    def test_layouts_come_validated(self):
+        get_layout(24, 5).validate()  # second validate stays cheap/true
+
+    def test_infeasible_request_propagates_structured_error(self):
+        with pytest.raises(NoFeasiblePlanError):
+            get_layout(33, 5, max_size=50)
+
+    def test_clear_registry_resets_stats(self):
+        get_layout(9, 3)
+        clear_registry()
+        for hits, misses, _, size in registry_stats().values():
+            assert (hits, misses, size) == (0, 0, 0)

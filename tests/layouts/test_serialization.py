@@ -4,7 +4,16 @@ import json
 
 import pytest
 
-from repro.layouts import LayoutError, ring_layout, theorem9_layout
+from repro.designs import best_design
+from repro.layouts import (
+    LayoutError,
+    holland_gibson_layout,
+    raid5_layout,
+    random_layout,
+    ring_layout,
+    stairway_layout,
+    theorem9_layout,
+)
 from repro.layouts.serialization import (
     layout_from_dict,
     layout_to_dict,
@@ -16,12 +25,27 @@ from repro.layouts.serialization import (
 class TestRoundTrip:
     @pytest.mark.parametrize(
         "layout",
-        [ring_layout(7, 3), theorem9_layout(16, 9, 2)],
-        ids=["ring", "thm9-mixed-k"],
+        [
+            ring_layout(7, 3),
+            theorem9_layout(16, 9, 2),
+            raid5_layout(5),
+            stairway_layout(10, 5, 4),
+            holland_gibson_layout(best_design(9, 3)),
+            random_layout(8, 4, stripes_per_disk=6, seed=3),
+        ],
+        ids=[
+            "ring",
+            "thm9-mixed-k",
+            "raid5",
+            "stairway",
+            "holland_gibson",
+            "randomized",
+        ],
     )
     def test_dict_roundtrip(self, layout):
         back = layout_from_dict(layout_to_dict(layout))
         assert back == layout
+        back.validate()
 
     def test_file_roundtrip(self, tmp_path):
         layout = ring_layout(7, 3)
@@ -62,3 +86,21 @@ class TestRejection:
         payload["stripes"][0]["units"][0] = payload["stripes"][1]["units"][0]
         with pytest.raises(LayoutError):
             layout_from_dict(payload)
+
+    def test_non_numeric_units_rejected(self):
+        payload = layout_to_dict(ring_layout(5, 3))
+        payload["stripes"][0]["units"][0] = ["zero", "one"]
+        with pytest.raises(LayoutError, match="malformed"):
+            layout_from_dict(payload)
+
+    def test_stripes_of_wrong_shape_rejected(self):
+        payload = layout_to_dict(ring_layout(5, 3))
+        payload["stripes"] = [{"wrong": "schema"}]
+        with pytest.raises(LayoutError, match="malformed"):
+            layout_from_dict(payload)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "layout.json"
+        path.write_text('{"format": 1, "v": 5}')
+        with pytest.raises(LayoutError, match="malformed"):
+            load_layout(path)

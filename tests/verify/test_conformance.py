@@ -1,0 +1,112 @@
+"""Tests for the Conditions 1-4 conformance subsystem."""
+
+import pytest
+
+from repro.layouts import Layout, Stripe, raid5_layout, ring_layout
+from repro.verify import (
+    check_layout,
+    default_scenarios,
+    run_conformance_sweep,
+    run_scenario,
+    scenarios_for_pair,
+)
+
+
+class TestCheckLayout:
+    def test_balanced_layout_passes_strict(self):
+        report = check_layout(ring_layout(7, 3), parity_spread_allowance=0)
+        assert report.passed
+        assert [r.condition for r in report.results] == [1, 2, 3, 4]
+        assert report.violations() == ()
+
+    def test_summary_mentions_verdict(self):
+        report = check_layout(raid5_layout(5), parity_spread_allowance=0)
+        assert "PASS" in report.summary()
+        assert "C4" in report.summary()
+
+    def test_invalid_layout_fails_condition_1(self):
+        # Two stripes claim the same unit: Condition 3 coverage broken.
+        bad = Layout(
+            v=3,
+            size=2,
+            stripes=(
+                Stripe(units=((0, 0), (1, 0), (2, 0)), parity_index=0),
+                Stripe(units=((0, 0), (1, 1), (2, 1)), parity_index=0),
+            ),
+        )
+        report = check_layout(bad)
+        assert not report.passed
+        assert report.results[0].condition == 1
+        assert not report.results[0].passed
+        # Structure failed: the downstream conditions are not evaluated.
+        assert len(report.results) == 1
+
+    def test_parity_imbalance_detected(self):
+        # All parity on disk 0 of a RAID4-ish layout: spread = size.
+        v, size = 4, 3
+        stripes = tuple(
+            Stripe(
+                units=tuple((d, off) for d in range(v)),
+                parity_index=0,
+            )
+            for off in range(size)
+        )
+        report = check_layout(Layout(v=v, size=size, stripes=stripes))
+        c2 = report.results[1]
+        assert c2.condition == 2 and not c2.passed
+        assert "spread" in c2.measured
+
+    def test_workload_bound_enforced(self):
+        # RAID5 reads every survivor fully: workload 1.0 > a 0.5 cap.
+        report = check_layout(raid5_layout(5), workload_bound=0.5)
+        c3 = report.results[2]
+        assert c3.condition == 3 and not c3.passed
+
+    def test_size_budget_enforced(self):
+        lay = ring_layout(7, 3)  # size 18
+        report = check_layout(lay, max_size=lay.size - 1)
+        c4 = next(r for r in report.results if r.condition == 4)
+        assert not c4.passed
+        assert not report.passed
+
+
+class TestScenarios:
+    def test_full_sweep_has_zero_violations(self):
+        results = run_conformance_sweep()
+        assert len(results) >= 25
+        for sc, report in results:
+            assert report.passed, f"{sc.name}:\n{report.summary()}"
+
+    def test_sweep_covers_every_family(self):
+        families = {sc.family for sc in default_scenarios()}
+        assert families >= {
+            "catalog",
+            "raid5",
+            "ring",
+            "holland_gibson",
+            "reduction",
+            "complement",
+            "removal",
+            "dual",
+            "randomized",
+        }
+
+    def test_scenarios_for_pair_lists_all_methods(self):
+        scenarios = scenarios_for_pair(9, 3)
+        methods = {sc.name.split(":")[0] for sc in scenarios}
+        assert "ring" in methods and "flow_single" in methods
+        for sc in scenarios:
+            assert run_scenario(sc).passed
+
+    def test_scenarios_for_pair_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            scenarios_for_pair(5, 9)
+
+    def test_dual_scenario_adds_extra_check(self):
+        dual_sc = next(
+            sc for sc in default_scenarios() if sc.family == "dual"
+        )
+        report = run_scenario(dual_sc)
+        names = [r.name for r in report.results]
+        assert "dual-parity Q balance" in names
+        assert report.passed

@@ -1,0 +1,95 @@
+"""Golden-corpus regression tests for the layout constructions.
+
+``golden_corpus.json`` pins the planner's chosen method and the full
+metric fingerprint (stripe count, layout size, parity overhead,
+reconstruction read fraction, mapper capacity) for every catalog
+``(v, k)`` pair.  A refactor that silently changes any construction's
+output — a different method winning, a shifted parity assignment, a
+resized table — fails here loudly instead of drifting.
+
+Regenerate deliberately (after an *intentional* layout change) with::
+
+    PYTHONPATH=src python tests/verify/test_golden_corpus.py --regenerate
+"""
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core import plan_layout
+from repro.layouts import AddressMapper, evaluate_layout
+from repro.verify import catalog_pairs
+
+CORPUS_PATH = Path(__file__).parent / "golden_corpus.json"
+
+
+def fingerprint(v: int, k: int) -> dict:
+    """The golden metric set for one catalog pair."""
+    plan = plan_layout(v, k)
+    layout = plan.build()
+    layout.validate()
+    m = evaluate_layout(layout)
+    mapper = AddressMapper(layout)
+    return {
+        "v": v,
+        "k": k,
+        "method": plan.method,
+        "size": m.size,
+        "b": m.b,
+        "k_min": m.k_min,
+        "k_max": m.k_max,
+        "parity_overhead_max": str(m.parity_overhead_max),
+        "parity_spread": m.parity_spread,
+        "workload_max": round(m.workload_max, 12),
+        "capacity": mapper.capacity,
+    }
+
+
+def load_corpus() -> list[dict]:
+    # Missing corpus -> empty parametrization; test_corpus_covers_the_
+    # catalog still fails, pointing at --regenerate.
+    if not CORPUS_PATH.exists():
+        return []
+    return json.loads(CORPUS_PATH.read_text())["entries"]
+
+
+class TestGoldenCorpus:
+    def test_corpus_covers_the_catalog(self):
+        pairs = {(e["v"], e["k"]) for e in load_corpus()}
+        assert pairs == set(catalog_pairs())
+        assert len(pairs) >= 20
+
+    @pytest.mark.parametrize(
+        "entry", load_corpus(), ids=lambda e: f"v{e['v']}k{e['k']}"
+    )
+    def test_layout_matches_golden_fingerprint(self, entry):
+        got = fingerprint(entry["v"], entry["k"])
+        assert got == entry, (
+            f"layout for (v={entry['v']}, k={entry['k']}) drifted from the "
+            f"golden corpus; if the change is intentional, regenerate with "
+            f"python tests/verify/test_golden_corpus.py --regenerate"
+        )
+
+    def test_overheads_are_valid_fractions(self):
+        for e in load_corpus():
+            frac = Fraction(e["parity_overhead_max"])
+            assert 0 < frac <= Fraction(1, 2)
+
+
+def _regenerate() -> None:
+    entries = [fingerprint(v, k) for v, k in catalog_pairs()]
+    CORPUS_PATH.write_text(
+        json.dumps({"format": 1, "entries": entries}, indent=1) + "\n"
+    )
+    print(f"wrote {len(entries)} entries to {CORPUS_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
