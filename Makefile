@@ -4,7 +4,7 @@
 #   check   - tier-1 pytest suite + the Conditions 1-4 conformance sweep
 #   test    - tier-1 pytest suite only
 #   verify  - conformance sweep over every construction family
-#   bench   - batched-mapping benchmark; writes BENCH_mapping.json
+#   bench   - benchmark suites; writes BENCH_mapping.json + BENCH_sim.json
 #   bench-all - every pytest-benchmark file under benchmarks/
 
 PYTHON ?= python
@@ -21,7 +21,7 @@ verify:
 	$(PYTHON) -m repro verify --all
 
 bench:
-	$(PYTHON) benchmarks/bench_mapping.py
+	$(PYTHON) -m repro bench
 
 bench-all:
 	$(PYTHON) -m pytest benchmarks -q

@@ -15,7 +15,6 @@ Runnable two ways:
   artifact).
 """
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -37,34 +36,6 @@ def _workload(mapper: AddressMapper, n: int = BATCH) -> np.ndarray:
 def _scalar_map(mapper: AddressMapper, lbas: list[int]):
     to_phys = mapper.logical_to_physical
     return [(pu.disk, pu.offset) for pu in map(to_phys, lbas)]
-
-
-def _bench_pair(v: int, k: int) -> dict:
-    """Time both paths once and cross-check element-wise agreement."""
-    mapper = get_mapper(get_layout(v, k), iterations=4)
-    lbas = _workload(mapper)
-    lba_list = lbas.tolist()
-
-    t0 = time.perf_counter()
-    scalar = _scalar_map(mapper, lba_list)
-    t_scalar = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    disks, offsets = mapper.map_batch(lbas)
-    t_batch = time.perf_counter() - t0
-
-    assert scalar == list(zip(disks.tolist(), offsets.tolist()))
-    return {
-        "v": v,
-        "k": k,
-        "layout_size": mapper.layout.size,
-        "addresses": BATCH,
-        "scalar_s": t_scalar,
-        "batch_s": t_batch,
-        "scalar_maps_per_s": BATCH / t_scalar,
-        "batch_maps_per_s": BATCH / t_batch,
-        "speedup": t_scalar / t_batch,
-    }
 
 
 def test_batch_vs_scalar_speedup(benchmark):
@@ -101,22 +72,12 @@ def test_batch_roundtrip_throughput(benchmark):
 
 
 def main() -> int:
-    rows = [_bench_pair(v, k) for v, k in CASES]
-    worst = min(r["speedup"] for r in rows)
-    payload = {
-        "benchmark": "mapping",
-        "batch_addresses": BATCH,
-        "cases": rows,
-        "min_speedup": worst,
-        "passed": worst >= 5.0,
-    }
-    out = Path(__file__).resolve().parent.parent / "BENCH_mapping.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    for r in rows:
-        print(f"build({r['v']},{r['k']}) size={r['layout_size']:>4}: "
-              f"scalar {r['scalar_s']*1e3:7.1f} ms, "
-              f"batch {r['batch_s']*1e3:6.2f} ms  -> {r['speedup']:6.1f}x")
-    print(f"min speedup {worst:.1f}x (bar: 5x)  -> wrote {out}")
+    # The artifact writer lives in repro.bench (shared with the
+    # ``python -m repro bench`` CLI); this entry point is kept for
+    # ``python benchmarks/bench_mapping.py`` muscle memory.
+    from repro.bench import run_mapping_bench
+
+    payload = run_mapping_bench(Path(__file__).resolve().parent.parent)
     return 0 if payload["passed"] else 1
 
 

@@ -11,6 +11,8 @@ Commands:
 * ``verify [V K]``   — conformance-check constructions against the
                        paper's Conditions 1-4 (``--all``: the full
                        construction-family sweep).
+* ``bench``          — run the benchmark suites and write the
+                       ``BENCH_*.json`` artifacts.
 """
 
 from __future__ import annotations
@@ -119,6 +121,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_bench_suite
+
+    return 0 if run_bench_suite(args.suite, args.out_dir) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -171,6 +179,22 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="full per-condition rows"
     )
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "bench", help="run benchmark suites, write BENCH_*.json artifacts"
+    )
+    p.add_argument(
+        "--suite",
+        choices=("all", "mapping", "sim"),
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    p.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for the JSON artifacts (default: cwd)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     try:

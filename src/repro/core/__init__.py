@@ -11,6 +11,7 @@ from .planner import (
 )
 from .registry import (
     clear_registry,
+    get_incidence,
     get_layout,
     get_mapper,
     get_plan,
@@ -30,6 +31,7 @@ __all__ = [
     "nearest_feasible",
     "plan_layout",
     "clear_registry",
+    "get_incidence",
     "get_layout",
     "get_mapper",
     "get_plan",

@@ -15,13 +15,20 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from ..layouts import FEASIBLE_SIZE_LIMIT, AddressMapper, Layout
+from ..layouts import (
+    FEASIBLE_SIZE_LIMIT,
+    AddressMapper,
+    Layout,
+    StripeIncidence,
+    stripe_incidence,
+)
 from .planner import LayoutPlan, plan_layout
 
 __all__ = [
     "get_plan",
     "get_layout",
     "get_mapper",
+    "get_incidence",
     "registry_stats",
     "clear_registry",
 ]
@@ -71,6 +78,17 @@ def get_mapper(layout: Layout, *, iterations: int = 1) -> AddressMapper:
     return AddressMapper(layout, iterations=iterations)
 
 
+def get_incidence(layout: Layout) -> StripeIncidence:
+    """Cached CSR stripe-disk incidence for a layout.
+
+    Shared by the metrics kernels, the conformance checks, and the
+    simulator's batched rebuild scans — one build per layout.  (The
+    cache lives in :func:`repro.layouts.stripe_incidence`; this alias
+    keeps the registry the single entry point for cached tables.)
+    """
+    return stripe_incidence(layout)
+
+
 def registry_stats() -> dict[str, tuple[int, int, int, int]]:
     """Cache statistics per registry level, as ``(hits, misses,
     maxsize, currsize)``."""
@@ -78,11 +96,13 @@ def registry_stats() -> dict[str, tuple[int, int, int, int]]:
         "plan": tuple(get_plan.cache_info()),
         "layout": tuple(get_layout.cache_info()),
         "mapper": tuple(get_mapper.cache_info()),
+        "incidence": tuple(stripe_incidence.cache_info()),
     }
 
 
 def clear_registry() -> None:
-    """Drop every cached plan, layout, and mapping table."""
+    """Drop every cached plan, layout, mapping table, and incidence."""
     get_plan.cache_clear()
     get_layout.cache_clear()
     get_mapper.cache_clear()
+    stripe_incidence.cache_clear()

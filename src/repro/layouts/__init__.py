@@ -23,11 +23,13 @@ from .layout import Layout, LayoutError, Stripe, materialize
 from .mapping import AddressMapper, PhysicalUnit
 from .metrics import (
     LayoutMetrics,
+    StripeIncidence,
     cocrossing_matrix,
     evaluate_layout,
     parity_counts,
     parity_overheads,
     reconstruction_workloads,
+    stripe_incidence,
 )
 from .raid5 import raid5_layout
 from .serialization import (
@@ -84,11 +86,13 @@ __all__ = [
     "AddressMapper",
     "PhysicalUnit",
     "LayoutMetrics",
+    "StripeIncidence",
     "cocrossing_matrix",
     "evaluate_layout",
     "parity_counts",
     "parity_overheads",
     "reconstruction_workloads",
+    "stripe_incidence",
     "raid5_layout",
     "layout_from_dict",
     "layout_to_dict",

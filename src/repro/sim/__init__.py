@@ -9,16 +9,28 @@ for end-to-end correctness checks.
 """
 
 from .analysis import LoadEstimate, analyze_load, declustering_ratio
+from .compile import (
+    CompiledTrace,
+    compile_stream,
+    compile_trace,
+    compile_workload,
+    generate_request_stream,
+    schedule_compiled,
+    schedule_compiled_scalar,
+    solve_compiled,
+)
 from .controller import ArrayController
 from .dataplane import DataPlane
 from .disk import Disk, DiskFailedError, DiskIO, DiskParameters
 from .events import Simulator
 from .reconstruction import RebuildProcess, RebuildReport
 from .runner import (
+    SparePlan,
     WorkloadReport,
     simulate_rebuild,
     simulate_workload,
     spare_map_for_failure,
+    spare_plan_for_failure,
 )
 from .stats import LatencyStats, summarize
 from .trace import (
@@ -34,6 +46,14 @@ __all__ = [
     "LoadEstimate",
     "analyze_load",
     "declustering_ratio",
+    "CompiledTrace",
+    "compile_stream",
+    "compile_trace",
+    "compile_workload",
+    "generate_request_stream",
+    "schedule_compiled",
+    "schedule_compiled_scalar",
+    "solve_compiled",
     "ArrayController",
     "DataPlane",
     "Disk",
@@ -43,10 +63,12 @@ __all__ = [
     "Simulator",
     "RebuildProcess",
     "RebuildReport",
+    "SparePlan",
     "WorkloadReport",
     "simulate_rebuild",
     "simulate_workload",
     "spare_map_for_failure",
+    "spare_plan_for_failure",
     "LatencyStats",
     "summarize",
     "TraceRecord",

@@ -1,0 +1,542 @@
+"""Trace compilation: turn a whole request stream into pre-mapped arrays.
+
+The scalar pipeline pays Python overhead per request three times —
+generating it, scheduling a closure for it, and translating its address
+when the closure fires.  This layer moves all of that ahead of the
+event loop:
+
+* :func:`generate_request_stream` draws a whole synthetic workload
+  (arrival times, read/write flags, addresses) as NumPy vectors — the
+  canonical generator shared by ``drive_workload`` and
+  ``synthesize_trace``, so live and replayed streams stay identical;
+* :func:`compile_workload` / :func:`compile_trace` translate the whole
+  stream through :meth:`AddressMapper.map_batch` into a
+  :class:`CompiledTrace` of physical coordinates;
+* :func:`schedule_compiled` executes a compiled trace with one *chained*
+  arrival event (requests sharing an arrival time submit as one epoch
+  batch) and per-request plans precomputed from the batch-mapped
+  arrays;
+* :func:`solve_compiled` skips the event engine entirely for
+  single-phase (read-only) traces: each disk's FIFO queue is solved
+  analytically with the exact same float arithmetic the event engine
+  would perform, so the resulting report is identical to the scalar
+  simulation at a fraction of the cost.
+
+:func:`schedule_compiled_scalar` is the thin wrapper that keeps the old
+per-event path alive: the same compiled stream, submitted through the
+controller's scalar entry points — the equivalence oracle for tests and
+the baseline for ``benchmarks/bench_sim.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.registry import get_incidence
+from ..layouts import AddressMapper
+from .controller import ArrayController, _Request
+from .disk import DiskIO
+from .stats import LatencyStats
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid cycles)
+    from .trace import TraceRecord
+    from .workload import WorkloadConfig
+
+__all__ = [
+    "CompiledTrace",
+    "generate_request_stream",
+    "compile_stream",
+    "compile_workload",
+    "compile_trace",
+    "schedule_compiled",
+    "schedule_compiled_scalar",
+    "solve_compiled",
+]
+
+
+# ----------------------------------------------------------------------
+# Stream generation (the canonical synthetic-workload sampler)
+# ----------------------------------------------------------------------
+
+
+def generate_request_stream(
+    config: "WorkloadConfig", duration_ms: float, capacity: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw a whole Poisson request stream as vectors.
+
+    Returns ``(times, is_read, lbas)``: arrival times (ms, ascending,
+    strictly below ``duration_ms``), read flags, and logical addresses.
+    The draw order is fixed — Zipf tables, then interarrivals, then
+    read flags, then addresses — so a seed always produces the same
+    stream regardless of which path consumes it.  (This vectorized
+    order replaced the original per-request interleaved draws, so a
+    seed's stream differs from pre-compile-pipeline versions; the
+    distributions are unchanged.)
+    """
+    rng = np.random.default_rng(config.seed)
+    cdf = perm = None
+    if config.zipf_theta > 0.0:
+        weights = 1.0 / np.power(
+            np.arange(1, capacity + 1, dtype=np.float64), config.zipf_theta
+        )
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        # Deterministic rank->address shuffle so the hot set is spread
+        # over stripes rather than clustered at low addresses.
+        perm = rng.permutation(capacity)
+
+    # Interarrival gaps come in chunks until the cumulative time passes
+    # the horizon; the chunk policy is deterministic, so the stream is a
+    # pure function of the seed.
+    chunk = max(64, int(duration_ms / config.interarrival_ms * 1.25) + 16)
+    gaps: list[np.ndarray] = []
+    total = 0.0
+    while True:
+        draw = rng.exponential(config.interarrival_ms, size=chunk)
+        gaps.append(draw)
+        total += float(draw.sum())
+        if total >= duration_ms:
+            break
+        chunk = max(64, chunk // 4)
+    times = np.cumsum(np.concatenate(gaps))
+    n = int(np.searchsorted(times, duration_ms, side="left"))
+    times = times[:n].copy()
+
+    is_read = rng.random(n) < config.read_fraction
+    if cdf is None:
+        lbas = rng.integers(0, capacity, size=n, dtype=np.int64)
+    else:
+        lbas = perm[np.searchsorted(cdf, rng.random(n))].astype(np.int64)
+    return times, is_read, lbas
+
+
+# ----------------------------------------------------------------------
+# Compilation (one map_batch for the whole stream)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A whole request stream, pre-mapped to physical coordinates.
+
+    Attributes:
+        times: arrival times (ms, ascending; ties keep stream order).
+        is_read: per-request read flag.
+        lbas: logical addresses (already wrapped to capacity).
+        disks / offsets / stripes: the ``map_batch`` translation —
+            ``stripes`` are *global* stripe ids (across iterations).
+    """
+
+    times: np.ndarray
+    is_read: np.ndarray
+    lbas: np.ndarray
+    disks: np.ndarray
+    offsets: np.ndarray
+    stripes: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of requests."""
+        return len(self.times)
+
+    def read_only(self) -> bool:
+        """True when every request is a read (single-phase trace)."""
+        return bool(self.is_read.all())
+
+
+def compile_stream(
+    mapper: AddressMapper,
+    times: np.ndarray,
+    is_read: np.ndarray,
+    lbas: np.ndarray,
+) -> CompiledTrace:
+    """Compile an explicit ``(times, is_read, lbas)`` stream.
+
+    Arrival order is normalized with a stable sort (ties keep stream
+    order — exactly the event engine's tie-breaking), and the whole
+    address vector is translated with one :meth:`AddressMapper.map_batch`
+    call.
+    """
+    times = np.ascontiguousarray(times, dtype=np.float64)
+    is_read = np.ascontiguousarray(is_read, dtype=bool)
+    lbas = np.ascontiguousarray(lbas, dtype=np.int64)
+    if not (len(times) == len(is_read) == len(lbas)):
+        raise ValueError("times/is_read/lbas must have equal lengths")
+    if len(times) > 1 and bool((np.diff(times) < 0).any()):
+        order = np.argsort(times, kind="stable")
+        times, is_read, lbas = times[order], is_read[order], lbas[order]
+    disks, offsets, stripes = mapper.map_batch(lbas, with_stripes=True)
+    return CompiledTrace(
+        times=times,
+        is_read=is_read,
+        lbas=lbas,
+        disks=disks,
+        offsets=offsets,
+        stripes=stripes,
+    )
+
+
+def compile_workload(
+    mapper: AddressMapper, config: "WorkloadConfig", duration_ms: float
+) -> CompiledTrace:
+    """Generate and compile a synthetic workload in one pass."""
+    times, is_read, lbas = generate_request_stream(
+        config, duration_ms, mapper.capacity
+    )
+    return compile_stream(mapper, times, is_read, lbas)
+
+
+def compile_trace(
+    mapper: AddressMapper, records: Sequence["TraceRecord"]
+) -> CompiledTrace:
+    """Compile an explicit trace (addresses wrapped modulo capacity, as
+    in :func:`repro.sim.trace.replay_trace`)."""
+    n = len(records)
+    times = np.fromiter((r.time_ms for r in records), dtype=np.float64, count=n)
+    is_read = np.fromiter((r.op == "r" for r in records), dtype=bool, count=n)
+    lbas = np.fromiter((r.lba for r in records), dtype=np.int64, count=n)
+    if n:
+        lbas %= mapper.capacity
+    return compile_stream(mapper, times, is_read, lbas)
+
+
+# ----------------------------------------------------------------------
+# Event-driven execution of a compiled trace
+# ----------------------------------------------------------------------
+
+
+class _CompiledRun:
+    """Chained-arrival pump: one pending event drives the whole trace.
+
+    Requests are pre-planned from the batch-mapped arrays; at each
+    distinct arrival time the pump submits every request of that epoch,
+    then re-arms itself for the next epoch.  Submission order and times
+    are identical to scheduling one closure per request — the heap just
+    never holds more than one arrival event.
+    """
+
+    __slots__ = (
+        "ctrl",
+        "times",
+        "single",
+        "plans",
+        "writes",
+        "n",
+        "_i",
+        "_read_rec",
+        "_planned_failed",
+        "_compiled",
+    )
+
+    def __init__(self, ctrl: ArrayController, compiled: CompiledTrace):
+        self.ctrl = ctrl
+        base = ctrl.sim.now
+        # Elementwise base + t is the same float op the scalar path's
+        # schedule(delay=t) performs, so absolute times agree bit-exactly.
+        self.times = (base + compiled.times).tolist()
+        self.n = compiled.n
+        self._i = 0
+        self._read_rec = None
+        # Plans are valid for this failure state; if a disk fails after
+        # scheduling but before an arrival fires, that request re-plans
+        # live (matching the scalar path's fire-time planning).
+        self._planned_failed = ctrl.failed_disk
+        self._compiled = compiled
+
+        b = ctrl.layout.b
+        disks = compiled.disks.tolist()
+        offsets = compiled.offsets.tolist()
+        is_read = compiled.is_read.tolist()
+        # Fast path: healthy single-IO reads carry just (disk, offset);
+        # everything else carries a full (kind, phases, write-info) plan.
+        self.single: list[tuple[int, int] | None] = [None] * self.n
+        self.plans: list[tuple[str, list[list[tuple[int, int, bool]]]] | None] = (
+            [None] * self.n
+        )
+        # Per-write dataplane context: (sid_local, disk, offset, lba).
+        self.writes: list[tuple[int, int, int, int] | None] = [None] * self.n
+
+        failed = ctrl.failed_disk
+        if failed is None:
+            write_idx = [i for i, r in enumerate(is_read) if not r]
+            if write_idx:
+                wl = compiled.lbas[write_idx]
+                wd, wo, ws, wpd, wpo = ctrl.mapper.map_batch_parity(wl)
+                for j, i in enumerate(write_idx):
+                    d, o = int(wd[j]), int(wo[j])
+                    pd, po = int(wpd[j]), int(wpo[j])
+                    self.plans[i] = (
+                        "write",
+                        ctrl.normal_write_phases(d, o, pd, po),
+                    )
+                    if ctrl.data is not None:
+                        self.writes[i] = (
+                            int(ws[j]) % b, d, o, int(compiled.lbas[i])
+                        )
+            for i, r in enumerate(is_read):
+                if r:
+                    self.single[i] = (disks[i], offsets[i])
+        else:
+            stripes = compiled.stripes.tolist()
+            lbas = compiled.lbas.tolist()
+            for i, r in enumerate(is_read):
+                d, o, sid = disks[i], offsets[i], stripes[i] % b
+                if r:
+                    kind, phases = ctrl.request_plan(True, d, o, sid)
+                    if kind == "read":
+                        self.single[i] = (d, o)
+                    else:
+                        self.plans[i] = (kind, phases)
+                else:
+                    self.plans[i] = ctrl.request_plan(False, d, o, sid)
+                    if ctrl.data is not None:
+                        self.writes[i] = (sid, d, o, lbas[i])
+
+    def schedule(self) -> None:
+        """Arm the pump (no-op for an empty trace)."""
+        if self.n:
+            self.ctrl.sim.at(self.times[0], self._fire)
+
+    def _fire(self) -> None:
+        ctrl = self.ctrl
+        sim = ctrl.sim
+        now = sim.now
+        times = self.times
+        i = self._i
+        n = self.n
+        while i < n and times[i] == now:
+            self._submit(i, now)
+            i += 1
+        self._i = i
+        if i < n:
+            sim.at(times[i], self._fire)
+
+    def _replan_live(self, i: int, now: float) -> None:
+        """Fire-time planning for a request whose compile-time plan went
+        stale (a disk failed mid-run) — exactly what the scalar path
+        does for every request."""
+        ctrl = self.ctrl
+        c = self._compiled
+        d, o = int(c.disks[i]), int(c.offsets[i])
+        sid = int(c.stripes[i]) % ctrl.layout.b
+        is_read = bool(c.is_read[i])
+        if not is_read and ctrl.data is not None:
+            ctrl._apply_write_dataplane(
+                sid, d, o, ctrl._default_payload(int(c.lbas[i]))
+            )
+        kind, phases = ctrl.request_plan(is_read, d, o, sid)
+        req = _Request(kind=kind, start=now, on_done=None, phases=phases)
+        ctrl._issue_phase(req)
+
+    def _submit(self, i: int, now: float) -> None:
+        ctrl = self.ctrl
+        if ctrl.failed_disk != self._planned_failed:
+            self._replan_live(i, now)
+            return
+        pos = self.single[i]
+        if pos is not None:
+            rec = self._read_rec
+            if rec is None:
+                rec = self._read_rec = ctrl.latency.setdefault(
+                    "read", LatencyStats()
+                ).record
+            d, off = pos
+            ctrl.disks[d].submit(
+                DiskIO(
+                    offset=off,
+                    is_write=False,
+                    on_complete=lambda when, _s=now, _r=rec: _r(when - _s),
+                )
+            )
+            return
+        winfo = self.writes[i]
+        if winfo is not None:
+            sid, d, off, lba = winfo
+            ctrl._apply_write_dataplane(
+                sid, d, off, ctrl._default_payload(lba)
+            )
+        kind, phases = self.plans[i]
+        req = _Request(kind=kind, start=now, on_done=None, phases=phases)
+        ctrl._issue_phase(req)
+
+
+def schedule_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
+    """Schedule a compiled trace for event-driven execution (batched
+    path).  Returns the request count; run ``ctrl.sim.run()`` to
+    execute."""
+    _CompiledRun(ctrl, compiled).schedule()
+    return compiled.n
+
+
+def schedule_compiled_scalar(
+    ctrl: ArrayController, compiled: CompiledTrace
+) -> int:
+    """Schedule a compiled trace through the scalar per-event path.
+
+    One closure per request, translated and planned when it fires —
+    the pre-PR pipeline, kept as the equivalence baseline.  Returns the
+    request count."""
+    sim = ctrl.sim
+    for t, r, lba in zip(
+        compiled.times.tolist(), compiled.is_read.tolist(), compiled.lbas.tolist()
+    ):
+        if r:
+            sim.schedule(t, lambda lba=lba: ctrl.submit_read(lba))
+        else:
+            sim.schedule(t, lambda lba=lba: ctrl.submit_write(lba))
+    return compiled.n
+
+
+# ----------------------------------------------------------------------
+# Analytic execution (single-phase traces, no event engine)
+# ----------------------------------------------------------------------
+
+
+def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
+    """Execute a single-phase (read-only) compiled trace analytically.
+
+    Reads never feed back into the arrival process (open loop) and
+    finish in one phase, so each disk's FIFO queue is an independent
+    recurrence ``completion = max(arrival, prev_completion) + service``
+    over a service vector that is computable up front.  This routine
+    evaluates that recurrence directly — same float operations, same
+    order as the event engine — then back-fills the controller's disk
+    counters, latency samples, and clock, so reports built on top are
+    indistinguishable from an event-driven run.
+
+    Raises:
+        ValueError: if the trace contains writes (multi-phase requests
+            genuinely need the event engine).
+        RuntimeError: if the simulator already has pending events (the
+            solver models a dedicated, otherwise-idle array).
+    """
+    if not compiled.read_only():
+        raise ValueError("solve_compiled handles read-only traces")
+    if ctrl.sim.pending():
+        raise RuntimeError("solve_compiled requires an idle simulator")
+    n = compiled.n
+    if n == 0:
+        return 0
+    sim = ctrl.sim
+    times = sim.now + compiled.times
+    failed = ctrl.failed_disk
+    disks = compiled.disks
+    offsets = compiled.offsets
+
+    # --- fan each logical request out to its disk IOs (request order,
+    # unit order within a degraded stripe — the submission order of the
+    # event-driven path).
+    if failed is None:
+        io_req = np.arange(n, dtype=np.int64)
+        io_disk = disks
+        io_off = offsets
+        block_start = io_req  # request i's IOs start at position i
+        deg = None
+    else:
+        layout = ctrl.layout
+        inc = get_incidence(layout)
+        lengths = inc.stripe_lengths()
+        sids = compiled.stripes % layout.b
+        deg = disks == failed
+        counts = np.ones(n, dtype=np.int64)
+        counts[deg] = lengths[sids[deg]] - 1
+        block_start = np.zeros(n, dtype=np.int64)
+        np.cumsum(counts[:-1], out=block_start[1:])
+        total = int(counts.sum())
+        io_req = np.repeat(np.arange(n, dtype=np.int64), counts)
+        io_disk = np.empty(total, dtype=np.int64)
+        io_off = np.empty(total, dtype=np.int64)
+        io_disk[block_start[~deg]] = disks[~deg]
+        io_off[block_start[~deg]] = offsets[~deg]
+        if deg.any():
+            dsids = sids[deg]
+            row_start = inc.indptr[dsids]
+            row_len = lengths[dsids]
+            m = int(row_len.sum())
+            run_end = np.cumsum(row_len)
+            intra = np.arange(m, dtype=np.int64) - np.repeat(
+                run_end - row_len, row_len
+            )
+            upos = np.repeat(row_start, row_len) + intra
+            udisks = inc.disks[upos]
+            uoffs = inc.offsets[upos]
+            keep = udisks != failed
+            klen = row_len - 1
+            kept = int(klen.sum())
+            kend = np.cumsum(klen)
+            kintra = np.arange(kept, dtype=np.int64) - np.repeat(
+                kend - klen, klen
+            )
+            kpos = np.repeat(block_start[deg], klen) + kintra
+            io_disk[kpos] = udisks[keep]
+            io_off[kpos] = uoffs[keep]
+
+    # --- solve each disk's FIFO queue.
+    io_time = times[io_req]
+    completion = np.empty(len(io_disk), dtype=np.float64)
+    p = ctrl.params
+    rot, xfer = p.rotational_latency_ms, p.transfer_ms_per_unit
+    avg, seqs = p.average_seek_ms, p.sequential_seek_ms
+    order = np.argsort(io_disk, kind="stable")
+    sorted_disk = io_disk[order]
+    group_bounds = np.flatnonzero(np.diff(sorted_disk)) + 1
+    for grp in np.split(order, group_bounds):
+        disk_obj = ctrl.disks[int(io_disk[grp[0]])]
+        offs = io_off[grp]
+        # Per-IO service time, mirroring DiskParameters.service_time
+        # element for element ((seek + rotation) + transfer).
+        seeks = np.empty(len(grp), dtype=np.float64)
+        last = disk_obj._last_offset
+        seeks[0] = (
+            seqs if last is not None and abs(int(offs[0]) - last) <= 1 else avg
+        )
+        seeks[1:] = np.where(np.abs(np.diff(offs)) <= 1, seqs, avg)
+        service = (seeks + rot) + xfer
+        arrivals = io_time[grp].tolist()
+        comp = []
+        busy = disk_obj.busy_time
+        delay = disk_obj.total_queue_delay
+        prev = -np.inf
+        for a, s in zip(arrivals, service.tolist()):
+            start = a if a > prev else prev
+            delay += start - a
+            busy += s
+            prev = start + s
+            comp.append(prev)
+        completion[grp] = comp
+        disk_obj.busy_time = busy
+        disk_obj.total_queue_delay = delay
+        disk_obj.completed_reads += len(grp)
+        disk_obj._last_offset = int(offs[-1])
+
+    # --- per-request completion (fan-in = max over the request's IOs)
+    # and latency samples, recorded in completion order like the event
+    # engine would.
+    if failed is None:
+        req_completion = completion
+    else:
+        req_completion = np.maximum.reduceat(completion, block_start)
+    latencies = req_completion - times
+    done_order = np.argsort(req_completion, kind="stable")
+    if deg is None or not deg.any():
+        ctrl.latency.setdefault("read", LatencyStats()).samples.extend(
+            latencies[done_order].tolist()
+        )
+    else:
+        deg_done = deg[done_order]
+        lat_done = latencies[done_order]
+        normal = lat_done[~deg_done]
+        if len(normal):
+            ctrl.latency.setdefault("read", LatencyStats()).samples.extend(
+                normal.tolist()
+            )
+        degraded = lat_done[deg_done]
+        if len(degraded):
+            ctrl.latency.setdefault(
+                "degraded_read", LatencyStats()
+            ).samples.extend(degraded.tolist())
+    sim.now = float(req_completion.max())
+    return n

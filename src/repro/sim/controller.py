@@ -15,9 +15,11 @@ Timing semantics:
 Address translation goes through the mapping engine's flat tables.
 Scalar submissions take the one-lookup path; :meth:`submit_read_batch`
 and :meth:`submit_write_batch` translate whole address vectors with one
-:meth:`AddressMapper.map_batch` call before fanning out disk IOs, which
-is how bulk traffic (workload replay, rebuild scans) should enter the
-controller.
+:meth:`AddressMapper.map_batch` call before fanning out disk IOs.  Bulk
+traffic with timing (workload replay, trace-driven runs) should instead
+be *compiled*: :mod:`repro.sim.compile` pre-maps a whole trace and
+feeds the controller pre-planned requests (via :meth:`request_plan`)
+with no per-event translation at all.
 
 Content semantics are delegated to an optional :class:`DataPlane` and
 applied atomically per request (batched writes on the healthy path),
@@ -88,6 +90,11 @@ class ArrayController:
         self.failed_disk: int | None = None
         self.latency: dict[RequestKind, LatencyStats] = {}
         self.rejected_requests = 0
+        # Content listeners for degraded writes that land on the failed
+        # disk — an in-flight rebuild registers here so units it has
+        # already recovered stay coherent with later foreground writes
+        # (a real array directs those writes to the replacement disk).
+        self._degraded_write_hooks: list[Callable[[int, np.ndarray], None]] = []
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -105,6 +112,25 @@ class ArrayController:
             raise ValueError(f"no disk {disk} in a {self.layout.v}-disk array")
         self.failed_disk = disk
         self.disks[disk].fail()
+
+    def add_degraded_write_hook(
+        self, hook: Callable[[int, np.ndarray], None]
+    ) -> None:
+        """Register ``hook(offset, new_contents)`` to observe every
+        degraded write that changes what the failed disk should hold at
+        ``offset`` — its data unit, or its parity unit when the stripe's
+        parity sat on the failed disk (content semantics only; timing
+        is unaffected)."""
+        self._degraded_write_hooks.append(hook)
+
+    def remove_degraded_write_hook(
+        self, hook: Callable[[int, np.ndarray], None]
+    ) -> None:
+        """Unregister a degraded-write hook (no-op if absent)."""
+        try:
+            self._degraded_write_hooks.remove(hook)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Request execution
@@ -157,6 +183,18 @@ class ArrayController:
             return "normal"
         return "data_failed" if disk == self.failed_disk else "parity_failed"
 
+    @staticmethod
+    def normal_write_phases(
+        disk: int, offset: int, parity_disk: int, parity_off: int
+    ) -> list[list[tuple[int, int, bool]]]:
+        """The healthy small-write plan (read-modify-write: read old
+        data and parity, then write both) — shared with the compiled
+        executor, which builds it from batch-mapped parity arrays."""
+        return [
+            [(disk, offset, False), (parity_disk, parity_off, False)],
+            [(disk, offset, True), (parity_disk, parity_off, True)],
+        ]
+
     def _plan_write(
         self, disk: int, offset: int, stripe_id: int
     ) -> tuple[RequestKind, list[list[tuple[int, int, bool]]]]:
@@ -164,10 +202,9 @@ class ArrayController:
         parity_disk, parity_off = stripe.parity_unit
         mode = self._write_mode(disk, parity_disk)
         if mode == "normal":
-            return "write", [
-                [(disk, offset, False), (parity_disk, parity_off, False)],
-                [(disk, offset, True), (parity_disk, parity_off, True)],
-            ]
+            return "write", self.normal_write_phases(
+                disk, offset, parity_disk, parity_off
+            )
         if mode == "data_failed":
             other_data = [
                 (d, off, False)
@@ -194,6 +231,14 @@ class ArrayController:
             self.data.small_write(stripe_id, disk, offset, payload)
         elif mode == "parity_failed":
             self.data.write_unit(disk, offset, payload)
+            # No parity IO is issued (the parity disk is gone), but the
+            # failed disk's *stored* parity is the rebuild oracle — keep
+            # it current so a concurrent rebuild recovers the stripe's
+            # true parity, not a pre-write snapshot.
+            new_parity = self.data.stripe_parity(stripe_id)
+            self.data.write_unit(parity_disk, parity_off, new_parity)
+            for hook in self._degraded_write_hooks:
+                hook(parity_off, new_parity)
         else:
             # Data disk failed: fold the new value into parity so a
             # later rebuild recovers it.
@@ -201,10 +246,26 @@ class ArrayController:
             self.data.write_unit(
                 parity_disk, parity_off, self.data.stripe_parity(stripe_id)
             )
+            for hook in self._degraded_write_hooks:
+                hook(offset, payload)
 
     def _default_payload(self, lba: int) -> np.ndarray:
         assert self.data is not None
         return np.full(self.data.unit_words, lba + 1, dtype=np.uint64)
+
+    def request_plan(
+        self, is_read: bool, disk: int, offset: int, stripe_id: int
+    ) -> tuple[RequestKind, list[list[tuple[int, int, bool]]]]:
+        """Plan one pre-mapped request against the current failure state.
+
+        The entry point for compiled traces: the caller already holds
+        the ``map_batch`` translation, so planning is pure phase
+        construction.  Returns ``(kind, phases)`` exactly as the scalar
+        submission path would execute them.
+        """
+        if is_read:
+            return self._plan_read(disk, offset, stripe_id)
+        return self._plan_write(disk, offset, stripe_id)
 
     # ------------------------------------------------------------------
     # Scalar submission

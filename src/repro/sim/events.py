@@ -38,8 +38,21 @@ class Simulator:
         self._seq += 1
 
     def at(self, time: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at absolute time ``time`` (``>= now``)."""
-        self.schedule(time - self.now, fn)
+        """Run ``fn`` at absolute time ``time`` (``>= now``).
+
+        The absolute time is pushed exactly (not via ``now + (time -
+        now)``, which can round), so precomputed timestamps — e.g. a
+        compiled trace's arrival vector — fire at bit-exact times.
+
+        Raises:
+            ValueError: if ``time`` is in the past.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time} < now={self.now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
 
     def step(self) -> bool:
         """Fire the next event; return False if the queue is empty."""
@@ -57,17 +70,25 @@ class Simulator:
 
         Raises:
             RuntimeError: if ``max_events`` fire without draining
-                (runaway-simulation guard).
+                (runaway-simulation guard).  The error reports how many
+                events this run processed, the lifetime total, and the
+                backlog, so a stuck simulation is diagnosable instead of
+                looking like a silent stop.
         """
         fired = 0
         while self._heap:
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events}: processed "
+                    f"{fired} events this run ({self._processed} in total), "
+                    f"{len(self._heap)} still pending at t={self.now:.3f} ms "
+                    "— likely a runaway event loop or an undersized budget"
+                )
             self.step()
             fired += 1
-            if fired > max_events:
-                raise RuntimeError(f"simulation exceeded {max_events} events")
 
     @property
     def events_processed(self) -> int:

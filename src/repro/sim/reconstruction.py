@@ -7,6 +7,14 @@ a spare disk.  A bounded number of stripes rebuild concurrently
 disk queues — exactly the contention trade-off parity declustering
 addresses by shrinking the fraction ``(k-1)/(v-1)`` of each surviving
 disk that must be read.
+
+By default the scan is *batched*: every read of the sweep is planned in
+one vectorized pass over the layout's sparse stripe incidence
+(:meth:`repro.layouts.StripeIncidence.rebuild_scan`) before the first
+IO issues, and the per-disk read tallies come from one ``bincount``.
+``batched=False`` keeps the original stripe-by-stripe Python walk; both
+modes issue identical IOs in identical order, so their reports match
+bit for bit.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.registry import get_incidence
 from .controller import ArrayController
 from .disk import Disk, DiskIO
 
@@ -50,10 +59,15 @@ class RebuildProcess:
     controller: ArrayController
     parallelism: int = 4
     on_complete: Callable[[RebuildReport], None] | None = None
-    #: Optional distributed sparing: per stripe id, the (disk, offset)
-    #: spare unit to rebuild into.  When None, a dedicated spare disk
-    #: absorbs all writes.
-    spare_units: dict[int, tuple[int, int]] | None = None
+    #: Optional distributed sparing: where each crossing stripe's
+    #: recovered unit lands.  Accepts a ``{stripe id: (disk, offset)}``
+    #: dict or a :class:`repro.sim.runner.SparePlan` (arrays aligned
+    #: with the ascending crossing-stripe scan).  When None, a dedicated
+    #: spare disk absorbs all writes.
+    spare_units: object | None = None
+    #: Plan the scan vectorized from the sparse incidence (default);
+    #: ``False`` walks the stripes in Python — same IOs, same order.
+    batched: bool = True
 
     done: bool = field(default=False, init=False)
     report: RebuildReport | None = field(default=None, init=False)
@@ -61,6 +75,81 @@ class RebuildProcess:
     def __post_init__(self) -> None:
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Scan planning
+    # ------------------------------------------------------------------
+
+    def _plan_scan_batched(self, failed: int) -> None:
+        """One vectorized pass: crossing stripes, failed offsets, and
+        every surviving unit to read, straight from the CSR incidence."""
+        layout = self.controller.layout
+        inc = get_incidence(layout)
+        sids, failed_offsets, surv_indptr, surv_disks, surv_offsets = (
+            inc.rebuild_scan(failed)
+        )
+        self._queue = sids.tolist()
+        self._failed_offsets = failed_offsets.tolist()
+        self._surv_indptr = surv_indptr.tolist()
+        self._surv_disks = surv_disks.tolist()
+        self._surv_offsets = surv_offsets.tolist()
+        self._units_read = np.bincount(surv_disks, minlength=layout.v).tolist()
+
+    def _plan_scan_scalar(self, failed: int) -> None:
+        """The original stripe-by-stripe walk (equivalence baseline)."""
+        layout = self.controller.layout
+        queue: list[int] = []
+        failed_offsets: list[int] = []
+        indptr = [0]
+        surv_disks: list[int] = []
+        surv_offsets: list[int] = []
+        units_read = [0] * layout.v
+        for sid, stripe in enumerate(layout.stripes):
+            if not any(d == failed for d, _ in stripe.units):
+                continue
+            queue.append(sid)
+            failed_offsets.append(
+                next(off for d, off in stripe.units if d == failed)
+            )
+            for d, off in stripe.units:
+                if d == failed:
+                    continue
+                surv_disks.append(d)
+                surv_offsets.append(off)
+                units_read[d] += 1
+            indptr.append(len(surv_disks))
+        self._queue = queue
+        self._failed_offsets = failed_offsets
+        self._surv_indptr = indptr
+        self._surv_disks = surv_disks
+        self._surv_offsets = surv_offsets
+        self._units_read = units_read
+
+    def _resolve_spares(self) -> None:
+        """Normalize ``spare_units`` to per-queue-index target arrays."""
+        self._spare_disk: list[int] | None = None
+        self._spare_off: list[int] | None = None
+        spares = self.spare_units
+        if spares is None:
+            return
+        if isinstance(spares, dict):
+            self._spare_disk = [spares[sid][0] for sid in self._queue]
+            self._spare_off = [spares[sid][1] for sid in self._queue]
+            return
+        # SparePlan-shaped: arrays aligned with the ascending scan.
+        sids = np.asarray(spares.stripe_ids)
+        if len(sids) != len(self._queue) or not np.array_equal(
+            sids, np.asarray(self._queue)
+        ):
+            raise ValueError(
+                "spare plan does not cover the failed disk's crossing stripes"
+            )
+        self._spare_disk = np.asarray(spares.disks).tolist()
+        self._spare_off = np.asarray(spares.offsets).tolist()
+
+    # ------------------------------------------------------------------
+    # Event-driven sweep
+    # ------------------------------------------------------------------
 
     def start(self) -> None:
         """Begin the rebuild sweep.
@@ -72,51 +161,58 @@ class RebuildProcess:
         if ctrl.failed_disk is None:
             raise RuntimeError("fail a disk before starting a rebuild")
         failed = ctrl.failed_disk
-        layout = ctrl.layout
 
-        self._queue = [
-            sid
-            for sid, stripe in enumerate(layout.stripes)
-            if any(d == failed for d, _ in stripe.units)
-        ]
+        if self.batched:
+            self._plan_scan_batched(failed)
+        else:
+            self._plan_scan_scalar(failed)
+        self._resolve_spares()
         self._next = 0
         self._outstanding = 0
         self._start_time = ctrl.sim.now
-        self._units_read = [0] * layout.v
-        self._spare = Disk(ctrl.sim, layout.v, ctrl.params)
+        self._spare = Disk(ctrl.sim, ctrl.layout.v, ctrl.params)
         self._spare_writes = 0
         self._spare_image: dict[int, np.ndarray] = {}
+        if ctrl.data is not None:
+            # Foreground degraded writes that land on a unit we already
+            # recovered must also reach the replacement copy, or the
+            # spare goes stale the moment traffic runs during a rebuild.
+            ctrl.add_degraded_write_hook(self._absorb_degraded_write)
 
         for _ in range(min(self.parallelism, len(self._queue))):
             self._launch_next()
         if not self._queue:
             self._finish()
 
+    def _absorb_degraded_write(self, offset: int, payload: np.ndarray) -> None:
+        if offset in self._spare_image:
+            self._spare_image[offset] = payload.copy()
+
     def _launch_next(self) -> None:
         if self._next >= len(self._queue):
             return
-        sid = self._queue[self._next]
+        idx = self._next
         self._next += 1
         self._outstanding += 1
 
         ctrl = self.controller
-        failed = ctrl.failed_disk
-        stripe = ctrl.layout.stripes[sid]
-        survivors = [(d, off) for d, off in stripe.units if d != failed]
-        failed_offset = next(off for d, off in stripe.units if d == failed)
-        remaining = len(survivors)
+        sid = self._queue[idx]
+        failed_offset = self._failed_offsets[idx]
+        lo, hi = self._surv_indptr[idx], self._surv_indptr[idx + 1]
+        remaining = hi - lo
 
         def read_done(_when: float) -> None:
             nonlocal remaining
             remaining -= 1
             if remaining == 0:
-                self._write_spare(sid, failed_offset)
+                self._write_spare(idx, sid, failed_offset)
 
-        for d, off in survivors:
-            self._units_read[d] += 1
-            ctrl.disks[d].submit(DiskIO(offset=off, is_write=False, on_complete=read_done))
+        for d, off in zip(self._surv_disks[lo:hi], self._surv_offsets[lo:hi]):
+            ctrl.disks[d].submit(
+                DiskIO(offset=off, is_write=False, on_complete=read_done)
+            )
 
-    def _write_spare(self, sid: int, failed_offset: int) -> None:
+    def _write_spare(self, idx: int, sid: int, failed_offset: int) -> None:
         ctrl = self.controller
         if ctrl.data is not None:
             self._spare_image[failed_offset] = ctrl.data.reconstruct_unit(
@@ -131,12 +227,15 @@ class RebuildProcess:
             elif self._outstanding == 0:
                 self._finish()
 
-        if self.spare_units is not None:
+        if self._spare_disk is not None:
             # Distributed sparing: the recovered unit lands on its
             # stripe's reserved spare unit, sharing the survivors' queues.
-            sdisk, soff = self.spare_units[sid]
-            ctrl.disks[sdisk].submit(
-                DiskIO(offset=soff, is_write=True, on_complete=write_done)
+            ctrl.disks[self._spare_disk[idx]].submit(
+                DiskIO(
+                    offset=self._spare_off[idx],
+                    is_write=True,
+                    on_complete=write_done,
+                )
             )
         else:
             self._spare.submit(
@@ -147,6 +246,9 @@ class RebuildProcess:
         ctrl = self.controller
         verified: bool | None = None
         if ctrl.data is not None:
+            # The rebuild is over: stop observing foreground writes (and
+            # let a long-lived controller drop this process entirely).
+            ctrl.remove_degraded_write_hook(self._absorb_degraded_write)
             original = ctrl.data.snapshot_disk(ctrl.failed_disk)
             verified = all(
                 np.array_equal(original[off], img)

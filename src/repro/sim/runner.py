@@ -9,14 +9,30 @@ Two canned experiments mirror the paper's evaluation story:
   degraded mode) and report latency and per-disk load, exposing the
   parity-contention effect Condition 2 bounds via the maximum parity
   overhead.
+
+Both follow the compile-then-execute model: the whole request stream /
+rebuild scan is planned as NumPy arrays before the event loop starts.
+Read-only workloads skip the event engine entirely (each disk queue is
+solved analytically by :func:`repro.sim.compile.solve_compiled`);
+``batched=False`` recovers the per-event scalar pipeline, which
+produces the identical report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..core.registry import get_incidence
 from ..layouts import Layout
 from ..layouts.sparing import DistributedSparing
+from .compile import (
+    compile_workload,
+    schedule_compiled,
+    schedule_compiled_scalar,
+    solve_compiled,
+)
 from .controller import ArrayController
 from .disk import DiskParameters
 from .reconstruction import RebuildProcess, RebuildReport
@@ -24,48 +40,82 @@ from .stats import summarize
 from .workload import WorkloadConfig, drive_workload
 
 __all__ = [
+    "SparePlan",
     "WorkloadReport",
     "simulate_rebuild",
     "simulate_workload",
     "spare_map_for_failure",
+    "spare_plan_for_failure",
 ]
 
 
-def spare_map_for_failure(
+@dataclass(frozen=True)
+class SparePlan:
+    """Vectorized rebuild-target plan under distributed sparing.
+
+    Row ``i`` says: crossing stripe ``stripe_ids[i]`` (ascending, the
+    rebuild scan order) writes its recovered unit to
+    ``(disks[i], offsets[i])``.
+    """
+
+    stripe_ids: np.ndarray
+    disks: np.ndarray
+    offsets: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.stripe_ids)
+
+    def as_dict(self) -> dict[int, tuple[int, int]]:
+        """The scalar ``{stripe id: (disk, offset)}`` view."""
+        return {
+            int(s): (int(d), int(o))
+            for s, d, o in zip(self.stripe_ids, self.disks, self.offsets)
+        }
+
+
+def spare_plan_for_failure(
     sparing: DistributedSparing, failed_disk: int
-) -> dict[int, tuple[int, int]]:
-    """Resolve each crossing stripe's rebuild target under distributed
-    sparing.
+) -> SparePlan:
+    """Resolve every crossing stripe's rebuild target in one vectorized
+    pass over the sparse incidence.
 
     A stripe whose own spare unit sits on the failed disk borrows the
     spare of a stripe that does *not* cross the failed disk (those
-    stripes need no rebuild, so their spares are free).
+    stripes need no rebuild, so their spares are free); donors are
+    drawn from the highest-numbered free stripes first, exactly like
+    the scalar pool.
 
     Raises:
         ValueError: if the free-spare pool runs out (cannot happen for
             declustered layouts, where non-crossing stripes abound).
     """
     layout = sparing.layout
-    spare_map: dict[int, tuple[int, int]] = {}
-    pool = [
-        spare
-        for sid, spare in enumerate(sparing.spare_units)
-        if failed_disk not in layout.stripes[sid].disks
-        and spare[0] != failed_disk
-    ]
-    for sid, stripe in enumerate(layout.stripes):
-        if failed_disk not in stripe.disks:
-            continue
-        spare = sparing.spare_units[sid]
-        if spare[0] != failed_disk:
-            spare_map[sid] = spare
-        else:
-            if not pool:
-                raise ValueError(
-                    "no free spare units left to absorb the failed disk"
-                )
-            spare_map[sid] = pool.pop()
-    return spare_map
+    b = layout.b
+    inc = get_incidence(layout)
+    spare_d = np.fromiter((d for d, _ in sparing.spare_units), np.int64, count=b)
+    spare_o = np.fromiter((o for _, o in sparing.spare_units), np.int64, count=b)
+    crossing = np.zeros(b, dtype=bool)
+    crossing[inc.stripe_of_unit()[inc.disks == failed_disk]] = True
+    pool_sids = np.flatnonzero(~crossing & (spare_d != failed_disk))
+    cross_sids = np.flatnonzero(crossing)
+    out_d = spare_d[cross_sids].copy()
+    out_o = spare_o[cross_sids].copy()
+    needy = out_d == failed_disk
+    n_needy = int(needy.sum())
+    if n_needy > len(pool_sids):
+        raise ValueError("no free spare units left to absorb the failed disk")
+    donors = pool_sids[::-1][:n_needy]
+    out_d[needy] = spare_d[donors]
+    out_o[needy] = spare_o[donors]
+    return SparePlan(stripe_ids=cross_sids, disks=out_d, offsets=out_o)
+
+
+def spare_map_for_failure(
+    sparing: DistributedSparing, failed_disk: int
+) -> dict[int, tuple[int, int]]:
+    """Scalar view of :func:`spare_plan_for_failure` — the same
+    assignment as a ``{stripe id: (disk, offset)}`` dict."""
+    return spare_plan_for_failure(sparing, failed_disk).as_dict()
 
 
 @dataclass
@@ -96,6 +146,7 @@ def simulate_rebuild(
     verify_data: bool = False,
     sparing: DistributedSparing | None = None,
     seed: int = 0,
+    batched: bool = True,
 ) -> RebuildReport:
     """Fail ``failed_disk`` and rebuild it to a spare.
 
@@ -104,18 +155,28 @@ def simulate_rebuild(
     ``workload_duration_ms``.  With ``verify_data=True``, a byte-level
     data plane checks the rebuilt image bit-for-bit.  With ``sparing``
     given, recovered units are written to the layout's distributed spare
-    units instead of a dedicated spare disk.
+    units instead of a dedicated spare disk.  ``batched`` selects the
+    vectorized scan/submission planning (the default) or the scalar
+    per-stripe walk; both produce the same report.
     """
     ctrl = ArrayController(
         layout, disk_params=disk_params, dataplane=verify_data, seed=seed
     )
     ctrl.fail_disk(failed_disk)
     if workload is not None and workload_duration_ms > 0:
-        drive_workload(ctrl, workload, workload_duration_ms)
-    spare_map = (
-        spare_map_for_failure(sparing, failed_disk) if sparing is not None else None
+        drive_workload(ctrl, workload, workload_duration_ms, batched=batched)
+    if sparing is None:
+        spare_units = None
+    elif batched:
+        spare_units = spare_plan_for_failure(sparing, failed_disk)
+    else:
+        spare_units = spare_map_for_failure(sparing, failed_disk)
+    rebuild = RebuildProcess(
+        ctrl,
+        parallelism=parallelism,
+        spare_units=spare_units,
+        batched=batched,
     )
-    rebuild = RebuildProcess(ctrl, parallelism=parallelism, spare_units=spare_map)
     rebuild.start()
     ctrl.sim.run()
     if not rebuild.done or rebuild.report is None:
@@ -132,11 +193,16 @@ def simulate_workload(
     failed_disk: int | None = None,
     verify_data: bool = False,
     seed: int = 0,
+    batched: bool = True,
 ) -> WorkloadReport:
     """Run a synthetic workload against a layout.
 
     ``failed_disk`` switches the array to degraded mode before traffic
-    starts.  Returns latency summaries keyed by request kind plus
+    starts.  The stream is compiled up front; read-only traces execute
+    through the analytic queue solver (no event loop at all), anything
+    with writes through the compiled executor, and ``batched=False``
+    through the scalar per-event path — all three produce the same
+    report.  Returns latency summaries keyed by request kind plus
     per-disk load.
     """
     cfg = config if config is not None else WorkloadConfig()
@@ -145,8 +211,15 @@ def simulate_workload(
     )
     if failed_disk is not None:
         ctrl.fail_disk(failed_disk)
-    scheduled = drive_workload(ctrl, cfg, duration_ms)
-    ctrl.sim.run()
+    compiled = compile_workload(ctrl.mapper, cfg, duration_ms)
+    if batched and compiled.read_only():
+        scheduled = solve_compiled(ctrl, compiled)
+    else:
+        if batched:
+            scheduled = schedule_compiled(ctrl, compiled)
+        else:
+            scheduled = schedule_compiled_scalar(ctrl, compiled)
+        ctrl.sim.run()
     return WorkloadReport(
         duration_ms=ctrl.sim.now,
         scheduled=scheduled,

@@ -16,10 +16,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-import numpy as np
-
+from .compile import (
+    compile_trace,
+    generate_request_stream,
+    schedule_compiled,
+    schedule_compiled_scalar,
+)
 from .controller import ArrayController
-from .workload import WorkloadConfig, _address_sampler
+from .workload import WorkloadConfig
 
 __all__ = [
     "TraceRecord",
@@ -50,20 +54,16 @@ def synthesize_trace(
 ) -> list[TraceRecord]:
     """Freeze a synthetic workload into an explicit trace.
 
-    Uses the same distributions as :func:`drive_workload`, so a
-    synthesized trace replayed on a controller reproduces the
-    equivalent live workload.
+    Uses the canonical vectorized generator
+    (:func:`repro.sim.compile.generate_request_stream`) — the same one
+    :func:`drive_workload` consumes — so a synthesized trace replayed on
+    a controller reproduces the equivalent live workload exactly.
     """
-    rng = np.random.default_rng(config.seed)
-    sample_addr = _address_sampler(rng, capacity, config.zipf_theta)
-    records: list[TraceRecord] = []
-    t = rng.exponential(config.interarrival_ms)
-    while t < duration_ms:
-        lba = sample_addr()
-        op = "r" if rng.random() < config.read_fraction else "w"
-        records.append(TraceRecord(time_ms=t, op=op, lba=lba))
-        t += rng.exponential(config.interarrival_ms)
-    return records
+    times, is_read, lbas = generate_request_stream(config, duration_ms, capacity)
+    return [
+        TraceRecord(time_ms=t, op="r" if r else "w", lba=lba)
+        for t, r, lba in zip(times.tolist(), is_read.tolist(), lbas.tolist())
+    ]
 
 
 def save_trace(records: Iterable[TraceRecord], path: str | Path) -> None:
@@ -98,7 +98,10 @@ def load_trace(path: str | Path) -> list[TraceRecord]:
 
 
 def replay_trace(
-    controller: ArrayController, records: Sequence[TraceRecord]
+    controller: ArrayController,
+    records: Sequence[TraceRecord],
+    *,
+    batched: bool = True,
 ) -> int:
     """Schedule every trace record on the controller's simulator.
 
@@ -106,18 +109,15 @@ def replay_trace(
     whose ``lba`` exceeds the layout's capacity are wrapped modulo
     capacity (so one trace can drive arrays of different sizes).
 
+    The trace is compiled (one ``map_batch`` for every address) and
+    pumped through the batched executor; ``batched=False`` replays the
+    same compiled stream through the scalar per-event path instead —
+    identical simulation, per-request overhead.
+
     Returns the number of requests scheduled; run
     ``controller.sim.run()`` to execute.
     """
-    capacity = controller.mapper.capacity
-    for rec in records:
-        lba = rec.lba % capacity
-        if rec.op == "r":
-            controller.sim.schedule(
-                rec.time_ms, lambda lba=lba: controller.submit_read(lba)
-            )
-        else:
-            controller.sim.schedule(
-                rec.time_ms, lambda lba=lba: controller.submit_write(lba)
-            )
-    return len(records)
+    compiled = compile_trace(controller.mapper, records)
+    if batched:
+        return schedule_compiled(controller, compiled)
+    return schedule_compiled_scalar(controller, compiled)

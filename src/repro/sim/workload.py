@@ -4,14 +4,20 @@ Open-loop Poisson arrivals over the logical data address space, with a
 configurable read fraction and either uniform or Zipf-skewed addresses
 (the paper's motivating OLTP workloads are small, random, and skewed).
 Everything is seeded for reproducibility.
+
+Generation and execution are decoupled: the stream is drawn as vectors
+by :func:`repro.sim.compile.generate_request_stream`, pre-mapped with
+one ``map_batch`` call, and then either pumped through the compiled
+executor (default) or submitted request-by-request through the
+controller's scalar path (``batched=False``) — both orderings are
+identical, so the two paths produce the same simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from .compile import compile_workload, schedule_compiled, schedule_compiled_scalar
 from .controller import ArrayController
 
 __all__ = ["WorkloadConfig", "drive_workload"]
@@ -43,45 +49,25 @@ class WorkloadConfig:
             raise ValueError("zipf_theta must be >= 0")
 
 
-def _address_sampler(
-    rng: np.random.Generator, capacity: int, theta: float
-):
-    """Return a function sampling logical addresses."""
-    if theta == 0.0:
-        return lambda: int(rng.integers(0, capacity))
-    weights = 1.0 / np.power(np.arange(1, capacity + 1, dtype=np.float64), theta)
-    cdf = np.cumsum(weights)
-    cdf /= cdf[-1]
-    # Deterministic rank->address shuffle so the hot set is spread over
-    # stripes rather than clustered at low addresses.
-    perm = rng.permutation(capacity)
-    return lambda: int(perm[np.searchsorted(cdf, rng.random())])
-
-
 def drive_workload(
     controller: ArrayController,
     config: WorkloadConfig,
     duration_ms: float,
+    *,
+    batched: bool = True,
 ) -> int:
     """Schedule Poisson arrivals on the controller's simulator.
 
     Arrivals are all pre-scheduled (open loop: request issue does not
-    wait for completions, so queueing shows up as latency).  Returns the
-    number of requests scheduled; run ``controller.sim.run()`` to
-    execute them.
+    wait for completions, so queueing shows up as latency), relative to
+    the current simulated time — a workload can start mid-simulation
+    (e.g. during a rebuild).  The whole stream is compiled (generated
+    and address-translated as vectors) up front; with ``batched=False``
+    the same stream is submitted through the scalar per-event path
+    instead of the compiled executor.  Returns the number of requests
+    scheduled; run ``controller.sim.run()`` to execute them.
     """
-    rng = np.random.default_rng(config.seed)
-    sample_addr = _address_sampler(rng, controller.mapper.capacity, config.zipf_theta)
-    scheduled = 0
-    # Arrival offsets are relative to the current simulated time, so a
-    # workload can start mid-simulation (e.g. during a rebuild).
-    t = rng.exponential(config.interarrival_ms)
-    while t < duration_ms:
-        lba = sample_addr()
-        if rng.random() < config.read_fraction:
-            controller.sim.schedule(t, lambda lba=lba: controller.submit_read(lba))
-        else:
-            controller.sim.schedule(t, lambda lba=lba: controller.submit_write(lba))
-        scheduled += 1
-        t += rng.exponential(config.interarrival_ms)
-    return scheduled
+    compiled = compile_workload(controller.mapper, config, duration_ms)
+    if batched:
+        return schedule_compiled(controller, compiled)
+    return schedule_compiled_scalar(controller, compiled)

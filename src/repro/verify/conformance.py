@@ -15,14 +15,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import get_incidence
 from ..flow.parity import parity_loads
 from ..layouts import (
     FEASIBLE_SIZE_LIMIT,
     AddressMapper,
     Layout,
     LayoutError,
-    parity_counts,
-    reconstruction_workloads,
 )
 
 __all__ = ["ConditionResult", "ConformanceReport", "check_layout"]
@@ -112,8 +111,12 @@ def _check_parity_balance(
 ) -> ConditionResult:
     """Condition 2: parity counts within the allowed band, and each
     disk's count within the theorem's floor/ceil of its parity load
-    (relaxed by the same allowance)."""
-    counts = parity_counts(layout)
+    (relaxed by the same allowance).
+
+    Counts come from the shared sparse incidence (one ``bincount`` over
+    the CSR parity pointers), so the check scales with ``nnz``, not
+    ``b × v``."""
+    counts = get_incidence(layout).parity_counts().tolist()
     spread = max(counts) - min(counts)
     loads = parity_loads([s.disks for s in layout.stripes], layout.v)
     off_band = [
@@ -145,15 +148,18 @@ def _check_reconstruction_balance(
     layout: Layout, workload_bound: float | None
 ) -> ConditionResult:
     """Condition 3: the maximum pairwise reconstruction workload stays
-    within the construction's analytic bound."""
-    _, k_max = layout.stripe_sizes()
+    within the construction's analytic bound.
+
+    The workload matrix is accumulated from the sparse co-crossing
+    path, so the sweep handles very large stripe sets."""
+    inc = get_incidence(layout)
+    k_max = int(inc.stripe_lengths().max())
     bound = (
         workload_bound
         if workload_bound is not None
         else (k_max - 1) / (layout.v - 1)
     )
-    w = reconstruction_workloads(layout)
-    offdiag = w[~np.eye(layout.v, dtype=bool)]
+    offdiag = inc.workloads()[~np.eye(layout.v, dtype=bool)]
     w_max = float(offdiag.max())
     passed = w_max <= bound + 1e-9
     return ConditionResult(

@@ -78,3 +78,34 @@ class TestSimulator:
         assert sim.step()
         assert not sim.step()
         assert sim.events_processed == 1
+
+    def test_runaway_guard_reports_progress(self):
+        # The budget error must be diagnosable: events processed this
+        # run, lifetime total, and the remaining backlog.
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.5, rearm)
+            sim.schedule(0.5, lambda: None)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError) as exc:
+            sim.run(max_events=100)
+        msg = str(exc.value)
+        assert "max_events=100" in msg
+        assert "processed 100 events this run" in msg
+        assert "still pending" in msg
+        # The guard stops *at* the budget, not one event past it.
+        assert sim.events_processed == 100
+
+    def test_at_exact_times_chain(self):
+        # at() must fire at the exact absolute float pushed, even when
+        # armed from a prior event at an "awkward" time.
+        sim = Simulator()
+        target = 0.1 + 0.2 + 7.3  # not exactly representable sums
+        hits = []
+        sim.schedule(0.1, lambda: sim.at(target, lambda: hits.append(sim.now)))
+        sim.run()
+        assert hits == [target]
+        with pytest.raises(ValueError):
+            sim.at(target - 1.0, lambda: None)
