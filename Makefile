@@ -1,24 +1,28 @@
 # Repo tooling: `make check` is the pre-merge gate.
 #
 # Targets:
-#   check   - tier-1 pytest suite + the Conditions 1-4 conformance sweep
+#   check   - tier-1 pytest suite + conformance sweep + fleet-serve smoke
 #   test    - tier-1 pytest suite only
 #   verify  - conformance sweep over every construction family
-#   bench   - benchmark suites; writes BENCH_mapping.json + BENCH_sim.json
+#   smoke   - quick fleet scenario (8 arrays, 2 concurrent verified rebuilds)
+#   bench   - benchmark suites; writes BENCH_{mapping,sim,service}.json
 #   bench-all - every pytest-benchmark file under benchmarks/
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test verify bench bench-all
+.PHONY: check test verify smoke bench bench-all
 
-check: test verify
+check: test verify smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 verify:
 	$(PYTHON) -m repro verify --all
+
+smoke:
+	$(PYTHON) -m repro serve --smoke --json BENCH_serve_smoke.json
 
 bench:
 	$(PYTHON) -m repro bench

@@ -1,0 +1,88 @@
+"""FLEET-SERVICE: sharded multi-array serving vs the single array.
+
+The service layer shards logical volumes over N arrays behind one
+process (consistent-hash routing, batched per-shard compilation, one
+shared event clock).  This suite pins the two fleet-level claims:
+
+* at a fixed offered load, achieved throughput scales with shard count
+  (the single-array row is the baseline — the acceptance bar is >=
+  2.5x at 8 shards);
+* with two arrays failing *simultaneously* and rebuilding concurrently
+  under admission control, the fleet keeps serving and every rebuilt
+  image verifies bit for bit.
+
+Runnable two ways:
+
+* ``pytest benchmarks/bench_service.py`` — pytest-benchmark timings;
+* ``python benchmarks/bench_service.py`` — standalone run that writes
+  ``BENCH_service.json`` next to the repo root (also available as
+  ``python -m repro bench --suite service``).
+"""
+
+import sys
+from pathlib import Path
+
+from repro.bench import run_service_bench
+from repro.service import (
+    Fleet,
+    FleetScenario,
+    default_failure_schedule,
+    run_fleet_scenario,
+)
+from repro.sim import WorkloadConfig
+
+OFFERED = WorkloadConfig(interarrival_ms=0.2, read_fraction=0.9, seed=7)
+DURATION_MS = 4_000.0
+
+
+def test_fleet_throughput_scales_with_shards(benchmark):
+    def serve(shards: int):
+        return Fleet(shards, 9, 3, seed=0).serve_workload(OFFERED, DURATION_MS)
+
+    eight = benchmark.pedantic(lambda: serve(8), rounds=1, iterations=1)
+    one = serve(1)
+    scaling = eight.throughput_rps / one.throughput_rps
+    assert eight.scheduled == one.scheduled
+    assert scaling >= 2.5, f"8-shard fleet only {scaling:.1f}x a single array"
+    print(
+        f"\n[FLEET-SERVICE] {one.scheduled} requests: 1 shard "
+        f"{one.throughput_rps:,.0f} req/s -> 8 shards "
+        f"{eight.throughput_rps:,.0f} req/s ({scaling:.1f}x)"
+    )
+
+
+def test_degraded_fleet_rebuilds_verified(benchmark):
+    scenario = FleetScenario(
+        shards=8,
+        v=9,
+        k=3,
+        duration_ms=DURATION_MS,
+        interarrival_ms=OFFERED.interarrival_ms,
+        read_fraction=OFFERED.read_fraction,
+        workload_seed=7,
+        failures=default_failure_schedule(8, 9, 2, DURATION_MS * 0.25),
+        admission=2,
+        verify_data=True,
+        seed=0,
+    )
+    report = benchmark.pedantic(
+        lambda: run_fleet_scenario(scenario), rounds=1, iterations=1
+    )
+    assert report.max_concurrent_rebuilds == 2
+    assert report.all_rebuilt_verified
+    assert report.passed
+    print(
+        f"\n[FLEET-SERVICE] degraded 8-shard fleet served "
+        f"{report.fleet.scheduled} requests at "
+        f"{report.fleet.throughput_rps:,.0f} req/s through 2 concurrent "
+        f"verified rebuilds"
+    )
+
+
+def main() -> int:
+    payload = run_service_bench(Path(__file__).resolve().parent.parent)
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ Subpackages:
   address mapping, and feasibility predictors.
 * :mod:`repro.sim` — discrete-event disk-array simulator with a
   byte-level XOR data plane.
+* :mod:`repro.service` — sharded multi-array fleet serving with
+  failure orchestration (``python -m repro serve``).
 * :mod:`repro.core` — planner and top-level API.
 """
 

@@ -11,6 +11,9 @@ Commands:
 * ``verify [V K]``   — conformance-check constructions against the
                        paper's Conditions 1-4 (``--all``: the full
                        construction-family sweep).
+* ``serve``          — run a sharded fleet scenario (workload mix +
+                       failure schedule + admission-controlled
+                       concurrent rebuilds) and emit a JSON report.
 * ``bench``          — run the benchmark suites and write the
                        ``BENCH_*.json`` artifacts.
 """
@@ -121,6 +124,123 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _parse_failure_spec(spec: str) -> tuple["FailureEvent", ...]:
+    """Parse ``time:array:disk[,time:array:disk...]`` failure specs."""
+    from .service import FailureEvent
+
+    events = []
+    for part in spec.split(","):
+        fields = part.split(":")
+        if len(fields) != 3:
+            raise ValueError(
+                f"bad failure spec {part!r} (want time:array:disk)"
+            )
+        events.append(
+            FailureEvent(
+                time_ms=float(fields[0]),
+                array=int(fields[1]),
+                disk=int(fields[2]),
+            )
+        )
+    return tuple(events)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import (
+        FleetScenario,
+        default_failure_schedule,
+        run_fleet_scenario,
+    )
+
+    if args.smoke:
+        # The CI/make-check quick mode: still a real fleet with a real
+        # concurrent failure pair, just a short horizon.
+        args.duration = min(args.duration, 400.0)
+        args.interarrival = max(args.interarrival, 1.0)
+
+    if args.failure_spec:
+        failures = _parse_failure_spec(args.failure_spec)
+    else:
+        failures = default_failure_schedule(
+            args.shards,
+            args.v,
+            args.failures,
+            args.duration * 0.25,
+        )
+
+    scenario = FleetScenario(
+        shards=args.shards,
+        v=args.v,
+        k=args.k,
+        duration_ms=args.duration,
+        interarrival_ms=args.interarrival,
+        read_fraction=args.read_fraction,
+        zipf_theta=args.zipf,
+        workload_seed=args.seed,
+        failures=failures,
+        admission=args.admission,
+        rebuild_parallelism=args.rebuild_parallelism,
+        verify_data=not args.no_verify,
+        check_conformance=not args.no_conformance,
+        seed=args.seed,
+    )
+    report = run_fleet_scenario(scenario)
+    payload = report.to_dict()
+
+    fleet = payload["fleet"]
+    lost = (
+        f", {fleet['lost_to_failures']} lost to failures"
+        if fleet["lost_to_failures"]
+        else ""
+    )
+    print(
+        f"fleet: {fleet['shards']} arrays of v={args.v} k={args.k}, "
+        f"{fleet['completed']}/{fleet['scheduled']} requests in "
+        f"{fleet['duration_ms']:.0f} ms "
+        f"({fleet['throughput_rps']:,.0f} req/s{lost})",
+        file=sys.stderr,
+    )
+    if payload["conformance"] is not None:
+        print(
+            f"conformance: {'PASS' if payload['conformance']['passed'] else 'FAIL'} "
+            f"(Conditions 1-4, {payload['conformance']['shards_checked']} shards)",
+            file=sys.stderr,
+        )
+    for r in payload["rebuilds"]:
+        verified = {True: "verified", False: "MISMATCH", None: "unverified"}[
+            r["data_verified"]
+        ]
+        print(
+            f"rebuild array {r['array']} disk {r['failed_disk']}: "
+            f"waited {r['admission_delay_ms']:.0f} ms, took "
+            f"{r['duration_ms']:.0f} ms, {r['stripes_rebuilt']} stripes, "
+            f"{verified}",
+            file=sys.stderr,
+        )
+    if payload["rebuilds"]:
+        verdict = (
+            f"all verified: {payload['all_rebuilt_verified']}"
+            if not args.no_verify
+            else "verification skipped (--no-verify)"
+        )
+        print(
+            f"concurrent rebuilds observed: {payload['max_concurrent_rebuilds']} "
+            f"(admission cap {args.admission}); {verdict}",
+            file=sys.stderr,
+        )
+    text = json.dumps(payload, indent=2)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(text + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if payload["passed"] else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import run_bench_suite
 
@@ -181,11 +301,68 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser(
+        "serve",
+        help="run a sharded fleet scenario (failures + rebuilds), emit JSON",
+    )
+    p.add_argument("--shards", type=int, default=8, help="arrays in the fleet")
+    p.add_argument("--v", type=int, default=9, help="disks per array")
+    p.add_argument("--k", type=int, default=3, help="stripe size")
+    p.add_argument(
+        "--duration", type=float, default=1500.0, help="workload horizon (ms)"
+    )
+    p.add_argument(
+        "--interarrival",
+        type=float,
+        default=0.5,
+        help="aggregate fleet mean interarrival (ms)",
+    )
+    p.add_argument("--read-fraction", type=float, default=0.7)
+    p.add_argument("--zipf", type=float, default=0.0, help="address skew theta")
+    p.add_argument(
+        "--failures",
+        type=int,
+        default=2,
+        help="simultaneous single-disk failures on distinct arrays",
+    )
+    p.add_argument(
+        "--failure-spec",
+        default=None,
+        help="explicit schedule time:array:disk[,...] (overrides --failures)",
+    )
+    p.add_argument(
+        "--admission",
+        type=int,
+        default=2,
+        help="max rebuilds running concurrently fleet-wide",
+    )
+    p.add_argument("--rebuild-parallelism", type=int, default=4)
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip data planes / bit-for-bit rebuild verification",
+    )
+    p.add_argument(
+        "--no-conformance",
+        action="store_true",
+        help="skip the Conditions 1-4 gate",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick mode for CI: short horizon, light load",
+    )
+    p.add_argument(
+        "--json", default=None, help="write the report here instead of stdout"
+    )
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
         "bench", help="run benchmark suites, write BENCH_*.json artifacts"
     )
     p.add_argument(
         "--suite",
-        choices=("all", "mapping", "sim"),
+        choices=("all", "mapping", "sim", "service"),
         default="all",
         help="which suite to run (default: all)",
     )

@@ -1,6 +1,6 @@
 """Benchmark suites behind ``python -m repro bench``.
 
-Two artifact-writing suites pin the scale story:
+Three artifact-writing suites pin the scale story:
 
 * **mapping** (``BENCH_mapping.json``) — batched address translation
   (:meth:`AddressMapper.map_batch`) vs the scalar per-address loop;
@@ -8,11 +8,17 @@ Two artifact-writing suites pin the scale story:
   workload events/sec (analytic solver and compiled executor vs the
   scalar per-event path), vectorized vs scalar rebuild-scan planning at
   10^4/10^5/10^6 stripes, and sparse-incidence ``evaluate_layout`` at
-  the same scales.
+  the same scales;
+* **service** (``BENCH_service.json``) — the fleet service: achieved
+  throughput vs shard count at fixed offered load (the single-array
+  row is the baseline), and degraded-mode throughput while two arrays
+  fail and rebuild concurrently under admission control.
 
 Each run cross-checks that the fast and scalar paths agree before
 timing is trusted, and each payload carries a ``passed`` verdict
-against its acceptance bar (mapping >= 5x, sim workload >= 10x).
+against its acceptance bar (mapping >= 5x, sim workload >= 10x, fleet
+scaling >= 2.5x at 8 shards with verified degraded-mode rebuilds); the
+mixed executor's before/after speedup is reported alongside.
 """
 
 from __future__ import annotations
@@ -28,14 +34,29 @@ from .layouts import Layout, evaluate_layout, ring_layout, stripe_incidence
 from .layouts.layout import Stripe
 from .sim import WorkloadConfig, simulate_rebuild, simulate_workload
 
-__all__ = ["run_mapping_bench", "run_sim_bench", "run_bench_suite", "tiled_layout"]
+__all__ = [
+    "run_mapping_bench",
+    "run_sim_bench",
+    "run_service_bench",
+    "run_bench_suite",
+    "tiled_layout",
+]
 
 MAPPING_BATCH = 100_000
 MAPPING_CASES = [(9, 3), (13, 4), (33, 5)]
 
 WORKLOAD_REQUESTS = 100_000
 MIXED_REQUESTS = 30_000
+#: The mixed executor's speedup over the scalar path before the heap
+#: churn work of the service PR (the committed BENCH_sim.json figure) —
+#: the "before" in the before/after comparison the suite reports.
+PRE_SERVICE_MIXED_SPEEDUP = 1.81
 REBUILD_STRIPES = [10_000, 100_000, 1_000_000]
+
+SERVICE_SHARD_COUNTS = [1, 2, 4, 8]
+SERVICE_OFFERED_INTERARRIVAL_MS = 0.2  # aggregate: ~5000 req/s offered
+SERVICE_DURATION_MS = 8_000.0
+SERVICE_READ_FRACTION = 0.9
 #: Full event-driven rebuilds are timed up to this stripe count; above
 #: it only the scan planning is compared (the event engine itself is
 #: identical between modes, so simulating 10^6 stripes twice would just
@@ -279,6 +300,9 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
     headline = max(
         r["speedup"] for r in workload_rows if r["read_fraction"] == 1.0
     )
+    mixed = max(
+        r["speedup"] for r in workload_rows if r["read_fraction"] < 1.0
+    )
     payload = {
         "benchmark": "sim",
         "workload": {
@@ -288,6 +312,13 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
         "rebuild": rebuild_rows,
         "metrics": metrics_rows,
         "workload_speedup": headline,
+        # Mixed read/write executor, before/after the heap-churn work
+        # (slotted requests, reusable completion callbacks, closure-free
+        # read recording, the inlined write pump).  Reported for the
+        # comparison, not gated: a ratio of two wall-clock timings is
+        # too machine-sensitive to be a pass/fail bar.
+        "mixed_speedup": mixed,
+        "mixed_speedup_pre_service_pr": PRE_SERVICE_MIXED_SPEEDUP,
         "passed": headline >= 10.0,
     }
     out = Path(out_dir) / "BENCH_sim.json"
@@ -316,7 +347,138 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
             f"(sparse; skips {r['dense_incidence_bytes_avoided'] / 1e6:.0f} MB dense)"
         )
     print(
-        f"workload speedup {headline:.1f}x (bar: 10x)  -> wrote {out}"
+        f"workload speedup {headline:.1f}x (bar: 10x), mixed executor "
+        f"{mixed:.2f}x (pre-service-PR: {PRE_SERVICE_MIXED_SPEEDUP}x)  "
+        f"-> wrote {out}"
+    )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Service suite (fleet throughput scaling + degraded mode)
+# ----------------------------------------------------------------------
+
+
+def _fleet_case(shards: int) -> dict:
+    """Serve the fixed offered load with ``shards`` arrays; report the
+    achieved throughput (the makespan includes the post-horizon queue
+    drain, so an overloaded fleet shows its true service rate)."""
+    from .service import Fleet
+
+    cfg = WorkloadConfig(
+        interarrival_ms=SERVICE_OFFERED_INTERARRIVAL_MS,
+        read_fraction=SERVICE_READ_FRACTION,
+        seed=7,
+    )
+    fleet = Fleet(shards, 9, 3, seed=0)
+    t0 = time.perf_counter()
+    rep = fleet.serve_workload(cfg, SERVICE_DURATION_MS)
+    wall = time.perf_counter() - t0
+    read_lat = rep.latency.get("read", {})
+    return {
+        "shards": shards,
+        "requests": rep.scheduled,
+        "completed": rep.completed,
+        "makespan_ms": rep.duration_ms,
+        "throughput_rps": rep.throughput_rps,
+        "shard_balance": rep.shard_balance,
+        "read_p95_ms": read_lat.get("p95", 0.0),
+        "wall_s": wall,
+        "requests_per_wall_s": rep.scheduled / wall if wall > 0 else 0.0,
+    }
+
+
+def _degraded_case(healthy_rps: float) -> dict:
+    """Eight shards, two simultaneous failures, admission-controlled
+    concurrent rebuilds, bit-for-bit verification — the degraded-mode
+    throughput relative to the healthy 8-shard fleet."""
+    from .service import (
+        FleetScenario,
+        default_failure_schedule,
+        run_fleet_scenario,
+    )
+
+    scenario = FleetScenario(
+        shards=8,
+        v=9,
+        k=3,
+        duration_ms=SERVICE_DURATION_MS,
+        interarrival_ms=SERVICE_OFFERED_INTERARRIVAL_MS,
+        read_fraction=SERVICE_READ_FRACTION,
+        workload_seed=7,
+        failures=default_failure_schedule(8, 9, 2, SERVICE_DURATION_MS * 0.25),
+        admission=2,
+        verify_data=True,
+        seed=0,
+    )
+    report = run_fleet_scenario(scenario)
+    # Verification or conformance failures surface through the payload
+    # (and flip the suite's "passed"), so the artifact always lands.
+    return {
+        "shards": 8,
+        "concurrent_failures": len(scenario.failures),
+        "admission": scenario.admission,
+        "requests": report.fleet.scheduled,
+        "completed": report.fleet.completed,
+        "lost_to_failures": report.fleet.lost,
+        "makespan_ms": report.fleet.duration_ms,
+        "throughput_rps": report.fleet.throughput_rps,
+        "throughput_vs_healthy": (
+            report.fleet.throughput_rps / healthy_rps if healthy_rps else 0.0
+        ),
+        "max_concurrent_rebuilds": report.max_concurrent_rebuilds,
+        "rebuild_admission_delays_ms": [
+            o.admission_delay_ms for o in report.rebuilds
+        ],
+        "all_rebuilt_verified": report.all_rebuilt_verified,
+        "conformance_passed": (
+            report.conformance is None or report.conformance.passed
+        ),
+        "wall_s": report.wall_s,
+    }
+
+
+def run_service_bench(out_dir: str | Path = ".") -> dict:
+    """Run the fleet service suite and write ``BENCH_service.json``."""
+    clear_registry()
+    rows = [_fleet_case(n) for n in SERVICE_SHARD_COUNTS]
+    baseline = rows[0]["throughput_rps"]
+    top = rows[-1]
+    scaling = top["throughput_rps"] / baseline if baseline else 0.0
+    degraded = _degraded_case(top["throughput_rps"])
+    payload = {
+        "benchmark": "service",
+        "offered_interarrival_ms": SERVICE_OFFERED_INTERARRIVAL_MS,
+        "duration_ms": SERVICE_DURATION_MS,
+        "read_fraction": SERVICE_READ_FRACTION,
+        "scaling": rows,
+        "degraded": degraded,
+        "single_array_rps": baseline,
+        "fleet_rps": top["throughput_rps"],
+        "throughput_scaling": scaling,
+        "passed": (
+            scaling >= 2.5
+            and degraded["all_rebuilt_verified"]
+            and degraded["conformance_passed"]
+        ),
+    }
+    out = Path(out_dir) / "BENCH_service.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    for r in rows:
+        print(
+            f"fleet shards={r['shards']}: {r['requests']:>6} reqs, "
+            f"throughput {r['throughput_rps']:7,.0f} req/s, "
+            f"read p95 {r['read_p95_ms']:8.1f} ms, wall {r['wall_s']:.2f} s"
+        )
+    print(
+        f"degraded 8-shard (2 concurrent rebuilds, admission 2): "
+        f"{degraded['throughput_rps']:,.0f} req/s "
+        f"({degraded['throughput_vs_healthy']:.2f}x of healthy), "
+        f"verified={degraded['all_rebuilt_verified']}"
+    )
+    print(
+        f"throughput scaling {scaling:.1f}x over single array "
+        f"(bar: 2.5x)  -> wrote {out}"
     )
     return payload
 
@@ -328,11 +490,13 @@ def run_bench_suite(suite: str = "all", out_dir: str | Path = ".") -> bool:
     Raises:
         ValueError: on an unknown suite name.
     """
-    if suite not in ("all", "mapping", "sim"):
+    if suite not in ("all", "mapping", "sim", "service"):
         raise ValueError(f"unknown benchmark suite {suite!r}")
     ok = True
     if suite in ("all", "mapping"):
         ok = run_mapping_bench(out_dir)["passed"] and ok
     if suite in ("all", "sim"):
         ok = run_sim_bench(out_dir)["passed"] and ok
+    if suite in ("all", "service"):
+        ok = run_service_bench(out_dir)["passed"] and ok
     return ok

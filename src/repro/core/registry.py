@@ -22,6 +22,7 @@ from ..layouts import (
     StripeIncidence,
     stripe_incidence,
 )
+from ..layouts.identity_cache import IdentityLRU
 from .planner import LayoutPlan, plan_layout
 
 __all__ = [
@@ -69,13 +70,33 @@ def get_layout(
 
 
 @lru_cache(maxsize=64)
+def _build_mapper(layout: Layout, iterations: int) -> AddressMapper:
+    """Value-keyed backing store: equal layouts share one table set."""
+    return AddressMapper(layout, iterations=iterations)
+
+
+_mapper_cache = IdentityLRU(_build_mapper, maxsize=64)
+
+
 def get_mapper(layout: Layout, *, iterations: int = 1) -> AddressMapper:
     """Cached :class:`AddressMapper` (flat lookup tables) for a layout.
 
-    Layouts are hashable value objects, so two equal layouts share one
-    table set regardless of how they were constructed.
+    Two levels: an identity-keyed front (repeat probes with the same
+    layout object never hash the stripe tuples — a fleet of controllers
+    over one registry-cached layout pays one dict lookup each, even at
+    10^6 stripes) over a value-keyed backing (equal-but-distinct
+    layout objects still share one table set, hashed once per object).
     """
-    return AddressMapper(layout, iterations=iterations)
+    return _mapper_cache(layout, iterations)
+
+
+def _mapper_cache_clear() -> None:
+    _mapper_cache.cache_clear()
+    _build_mapper.cache_clear()
+
+
+get_mapper.cache_info = _mapper_cache.cache_info
+get_mapper.cache_clear = _mapper_cache_clear
 
 
 def get_incidence(layout: Layout) -> StripeIncidence:

@@ -1,0 +1,100 @@
+"""Identity-keyed LRU caching for expensive-to-hash value objects.
+
+``functools.lru_cache`` hashes its key on every probe.  For a
+:class:`repro.layouts.Layout` that hash walks every stripe tuple — on a
+10^6-stripe layout the hash alone costs more than the lookup it guards,
+and it is paid again on *every* cache hit.  :class:`IdentityLRU` keys on
+``id(obj)`` instead: a hit is one dict probe regardless of object size.
+
+Identity keys are only sound while the keyed object is alive (ids are
+reused after collection), so each entry pins the key object for exactly
+as long as it stays cached — the same lifetime guarantee ``lru_cache``
+gives by holding its key tuple, here without the hashing.  Eviction is
+LRU on the bounded entry count.
+
+The trade-off versus value-keyed caching: two *equal but distinct*
+objects now build two entries.  The registry already canonicalizes
+layouts (``get_layout`` returns shared instances), so in practice the
+identity is the value.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, NamedTuple, TypeVar
+
+__all__ = ["CacheInfo", "IdentityLRU", "identity_lru_cache"]
+
+T = TypeVar("T")
+
+
+class CacheInfo(NamedTuple):
+    """``lru_cache``-shaped statistics tuple."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class IdentityLRU:
+    """An LRU cache keyed on ``(id(first_arg), *rest)``.
+
+    Args:
+        build: the builder; called as ``build(obj, *args)`` on a miss.
+        maxsize: bound on live entries (LRU eviction).
+
+    The instance is callable with the builder's signature and exposes
+    ``cache_info()`` / ``cache_clear()`` like an ``lru_cache`` wrapper.
+    """
+
+    def __init__(self, build: Callable[..., T], maxsize: int = 16):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self._build = build
+        self._maxsize = maxsize
+        # key -> (anchor, value): the anchor pins the keyed object so
+        # its id cannot be reused while the entry lives.
+        self._entries: OrderedDict[tuple, tuple[object, object]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(self, obj: object, *args: object):
+        key = (id(obj), *args)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self._misses += 1
+        value = self._build(obj, *args)
+        self._entries[key] = (obj, value)
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def cache_info(self) -> CacheInfo:
+        """Current ``(hits, misses, maxsize, currsize)``."""
+        return CacheInfo(
+            self._hits, self._misses, self._maxsize, len(self._entries)
+        )
+
+    def cache_clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+def identity_lru_cache(
+    maxsize: int = 16,
+) -> Callable[[Callable[..., T]], IdentityLRU]:
+    """Decorator form: ``@identity_lru_cache(maxsize=16)`` over a
+    builder function, preserving its docstring."""
+
+    def wrap(build: Callable[..., T]) -> IdentityLRU:
+        cache = IdentityLRU(build, maxsize=maxsize)
+        cache.__doc__ = build.__doc__
+        return cache
+
+    return wrap

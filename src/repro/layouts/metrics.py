@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from functools import lru_cache
 
 import numpy as np
 
+from .identity_cache import identity_lru_cache
 from .layout import Layout
 
 __all__ = [
@@ -161,11 +161,14 @@ class StripeIncidence:
         )
 
 
-@lru_cache(maxsize=16)
+@identity_lru_cache(maxsize=16)
 def stripe_incidence(layout: Layout) -> StripeIncidence:
     """Build (and memoize) the CSR incidence of a layout.
 
     One pass over the stripe tuples; everything downstream is NumPy.
+    The cache is keyed on layout *identity* (``id``), not value —
+    hashing a 10^6-stripe layout on every probe used to dominate
+    ``evaluate_layout``; an identity probe is O(1) regardless of size.
     """
     b = layout.b
     lengths = np.fromiter(

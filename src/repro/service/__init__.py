@@ -1,0 +1,38 @@
+"""Sharded multi-array fleet service.
+
+The serving layer over the simulator: a :class:`Fleet` shards logical
+volumes across N :class:`repro.sim.ArrayController` arrays on one
+shared event clock, routes request streams per shard with a
+consistent-hash :class:`ShardMap` and batched compilation, and a
+:class:`FailureOrchestrator` injects disk failures and schedules
+admission-controlled concurrent rebuilds.  :mod:`repro.service.scenario`
+scripts whole runs (``python -m repro serve``), and
+:func:`check_fleet` gates every scenario on the paper's Conditions 1-4.
+"""
+
+from .conformance import FleetConformance, check_fleet
+from .fleet import Fleet, FleetReport
+from .orchestrator import FailureEvent, FailureOrchestrator, RebuildOutcome
+from .scenario import (
+    FleetScenario,
+    FleetScenarioReport,
+    default_failure_schedule,
+    run_fleet_scenario,
+)
+from .sharding import ShardMap, splitmix64
+
+__all__ = [
+    "FleetConformance",
+    "check_fleet",
+    "Fleet",
+    "FleetReport",
+    "FailureEvent",
+    "FailureOrchestrator",
+    "RebuildOutcome",
+    "FleetScenario",
+    "FleetScenarioReport",
+    "default_failure_schedule",
+    "run_fleet_scenario",
+    "ShardMap",
+    "splitmix64",
+]

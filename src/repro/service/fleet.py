@@ -1,0 +1,326 @@
+"""A fleet of parity-declustered arrays served from one process.
+
+The :class:`Fleet` owns N :class:`ArrayController` shards over one
+registry-cached layout, all driven by a **single shared event clock**:
+disk IOs, foreground traffic, failure injections, and rebuilds across
+every array interleave on one simulator, which is what makes
+fleet-level statements ("two arrays rebuild concurrently while traffic
+continues") meaningful.
+
+Routing is batched end to end.  An incoming request stream (arrival
+times, read flags, fleet-global LBAs) is split per shard with one
+vectorized consistent-hash pass (:class:`ShardMap`), each shard's
+sub-stream is compiled with one ``map_batch`` call
+(:func:`repro.sim.compile.compile_stream`), and execution picks the
+cheapest engine per shard: the analytic queue solver when the whole
+fleet is healthy and read-only, the compiled executor otherwise.  No
+per-request Python happens between the socket (here: the stream
+vectors) and the disk queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.registry import get_layout
+from ..layouts import Layout
+from ..sim.compile import (
+    CompiledTrace,
+    compile_stream,
+    generate_request_stream,
+    schedule_compiled,
+    solve_compiled,
+)
+from ..sim.controller import ArrayController
+from ..sim.disk import DiskParameters
+from ..sim.events import Simulator
+from ..sim.stats import LatencyStats, summarize
+from ..sim.workload import WorkloadConfig
+from .sharding import ShardMap
+
+__all__ = ["Fleet", "FleetReport"]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate outcome of serving one stream through the fleet.
+
+    Attributes:
+        shards: number of arrays.
+        scheduled: total requests routed into the fleet.
+        completed: requests that finished (one latency sample each).
+            Requests in flight when a disk fails are lost — a real
+            controller would retry them degraded — so ``completed``
+            can trail ``scheduled`` in failure scenarios.
+        duration_ms: simulated time from stream start to last
+            completion (the makespan).
+        throughput_rps: *completed* requests per simulated second over
+            the makespan — the fleet's achieved service rate (lost
+            requests don't inflate it).
+        latency: fleet-level latency summaries keyed by request kind
+            (samples merged across shards).
+        per_shard_scheduled: requests routed to each shard.
+        per_shard_latency: per-shard latency summaries.
+        per_disk_ios: completed IOs per disk, per shard.
+    """
+
+    shards: int
+    scheduled: int
+    completed: int
+    duration_ms: float
+    throughput_rps: float
+    latency: dict[str, dict[str, float]]
+    per_shard_scheduled: list[int]
+    per_shard_latency: list[dict[str, dict[str, float]]]
+    per_disk_ios: list[list[int]]
+
+    @property
+    def lost(self) -> int:
+        """Requests dropped by mid-flight disk failures."""
+        return self.scheduled - self.completed
+
+    @property
+    def shard_balance(self) -> float:
+        """Busiest over least-busy shard by routed requests (1.0 is
+        perfect balance)."""
+        active = [c for c in self.per_shard_scheduled if c > 0]
+        return max(active) / min(active) if active else 1.0
+
+
+class Fleet:
+    """N array shards, one shared clock, batched request routing.
+
+    Args:
+        shards: number of arrays.
+        v: disks per array.
+        k: stripe size.
+        volumes: logical-volume count (routing granularity; default
+            ``16 * shards``).
+        disk_params: service-time model shared by every disk.
+        dataplane: attach byte-level data planes (enables bit-for-bit
+            rebuild verification at simulation cost).
+        seed: shard-ring seed and per-array data-plane fill seed base.
+        replicas: consistent-hash ring points per shard.
+
+    Raises:
+        ValueError: on a non-positive shard count.
+        NoFeasiblePlanError: if no layout construction fits ``(v, k)``.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        v: int,
+        k: int,
+        *,
+        volumes: int | None = None,
+        disk_params: DiskParameters | None = None,
+        dataplane: bool = False,
+        seed: int = 0,
+        replicas: int = 64,
+    ):
+        if shards < 1:
+            raise ValueError(f"a fleet needs >= 1 shard, got {shards}")
+        self.sim = Simulator()
+        self.layout: Layout = get_layout(v, k)
+        self.seed = seed
+        self.controllers = [
+            ArrayController(
+                self.layout,
+                sim=self.sim,
+                disk_params=disk_params,
+                dataplane=dataplane,
+                seed=seed + i,
+            )
+            for i in range(shards)
+        ]
+        self.shard_capacity = self.controllers[0].mapper.capacity
+        self.capacity = self.shard_capacity * shards
+        n_volumes = volumes if volumes is not None else 16 * shards
+        self.shard_map = ShardMap(
+            shards, n_volumes, seed=seed, replicas=replicas
+        )
+        # Volume extent: ceil so every global LBA falls in a volume.
+        self.volume_units = -(-self.capacity // n_volumes)
+
+    @property
+    def shards(self) -> int:
+        """Number of arrays in the fleet."""
+        return len(self.controllers)
+
+    def failed_arrays(self) -> list[int]:
+        """Indices of arrays currently running degraded."""
+        return [
+            i
+            for i, c in enumerate(self.controllers)
+            if c.failed_disk is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route_stream(
+        self,
+        times: np.ndarray,
+        is_read: np.ndarray,
+        lbas: np.ndarray,
+    ) -> tuple[list[CompiledTrace], np.ndarray]:
+        """Split and compile a fleet-global stream per shard.
+
+        One vectorized pass: global LBA → volume → shard (consistent
+        hash), then one ``map_batch``-backed compile per shard over its
+        sub-stream (global LBAs fold onto the shard's address space).
+        Relative arrival order within a shard is preserved.
+
+        Returns:
+            ``(compiled, shard_ids)`` — one :class:`CompiledTrace` per
+            shard plus each request's routed shard.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        is_read = np.asarray(is_read, dtype=bool)
+        lbas = np.ascontiguousarray(lbas, dtype=np.int64)
+        shard_ids = self.shard_map.shard_of_volume(lbas // self.volume_units)
+        compiled = []
+        for s, ctrl in enumerate(self.controllers):
+            mask = shard_ids == s
+            compiled.append(
+                compile_stream(
+                    ctrl.mapper,
+                    times[mask],
+                    is_read[mask],
+                    lbas[mask] % self.shard_capacity,
+                )
+            )
+        return compiled, shard_ids
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def _all_healthy(self) -> bool:
+        return all(c.failed_disk is None for c in self.controllers)
+
+    def _solve_all(self, compiled: list[CompiledTrace]) -> None:
+        """Analytic fast path: every shard healthy, every request a
+        read, simulator idle — each shard's queues solve independently
+        against the common start time, and the shared clock advances to
+        the fleet-wide makespan."""
+        base = self.sim.now
+        end = base
+        for ctrl, trace in zip(self.controllers, compiled):
+            self.sim.now = base
+            solve_compiled(ctrl, trace)
+            end = max(end, self.sim.now)
+        self.sim.now = end
+
+    def serve_stream(
+        self,
+        times: np.ndarray,
+        is_read: np.ndarray,
+        lbas: np.ndarray,
+    ) -> FleetReport:
+        """Serve one fleet-global stream to completion.
+
+        Routes, compiles, executes (analytic solver when the fleet is
+        healthy and the stream read-only, the compiled executor on the
+        shared clock otherwise), and aggregates per-shard reports.
+        Failure injections armed on the shared clock (see
+        :class:`repro.service.FailureOrchestrator`) fire mid-stream.
+        """
+        compiled, _ = self.route_stream(times, is_read, lbas)
+        return self.serve_compiled(compiled)
+
+    def serve_compiled(self, compiled: list[CompiledTrace]) -> FleetReport:
+        """Execute pre-routed per-shard traces (the
+        :meth:`route_stream` output) and report.
+
+        Raises:
+            ValueError: if the trace count does not match the fleet.
+        """
+        if len(compiled) != self.shards:
+            raise ValueError(
+                f"expected {self.shards} per-shard traces, got {len(compiled)}"
+            )
+        start = self.sim.now
+        # Snapshot cumulative controller state so the report covers this
+        # stream only — a long-lived fleet serves many streams and each
+        # report must stand alone.
+        lat_base = [
+            {kind: st.count for kind, st in ctrl.latency.items()}
+            for ctrl in self.controllers
+        ]
+        ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
+        read_only = all(t.read_only() for t in compiled)
+        if read_only and self._all_healthy() and not self.sim.pending():
+            self._solve_all(compiled)
+        else:
+            for ctrl, trace in zip(self.controllers, compiled):
+                schedule_compiled(ctrl, trace)
+            self.sim.run()
+        return self._report(
+            scheduled=[t.n for t in compiled],
+            start=start,
+            lat_base=lat_base,
+            ios_base=ios_base,
+        )
+
+    def serve_workload(
+        self, config: WorkloadConfig, duration_ms: float
+    ) -> FleetReport:
+        """Generate a fleet-level synthetic stream and serve it.
+
+        ``config.interarrival_ms`` is the *aggregate* fleet interarrival
+        — the offered load the shards split between them.  Addresses
+        are drawn over the whole fleet capacity.
+        """
+        times, is_read, lbas = generate_request_stream(
+            config, duration_ms, self.capacity
+        )
+        return self.serve_stream(times, is_read, lbas)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _report(
+        self,
+        scheduled: list[int],
+        start: float,
+        lat_base: list[dict[str, int]],
+        ios_base: list[list[int]],
+    ) -> FleetReport:
+        duration = self.sim.now - start
+        merged: dict[str, LatencyStats] = {}
+        per_shard_latency: list[dict[str, dict[str, float]]] = []
+        for ctrl, base in zip(self.controllers, lat_base):
+            shard: dict[str, dict[str, float]] = {}
+            for kind, st in ctrl.latency.items():
+                fresh = st.samples[base.get(kind, 0):]
+                if not fresh:
+                    continue
+                shard[kind] = summarize(LatencyStats(samples=list(fresh)))
+                merged.setdefault(kind, LatencyStats()).samples.extend(fresh)
+            per_shard_latency.append(shard)
+        total = int(sum(scheduled))
+        completed = int(
+            sum(st.count for st in merged.values())
+        )  # one sample per finished request; lost requests have none
+        return FleetReport(
+            shards=self.shards,
+            scheduled=total,
+            completed=completed,
+            duration_ms=duration,
+            throughput_rps=(
+                completed / (duration / 1000.0) if duration > 0 else 0.0
+            ),
+            latency={k: summarize(st) for k, st in merged.items()},
+            per_shard_scheduled=list(scheduled),
+            per_shard_latency=per_shard_latency,
+            per_disk_ios=[
+                [now - then for now, then in zip(c.per_disk_completed(), base)]
+                for c, base in zip(self.controllers, ios_base)
+            ],
+        )

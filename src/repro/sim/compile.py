@@ -222,11 +222,13 @@ class _CompiledRun:
         "ctrl",
         "times",
         "single",
+        "wfast",
         "plans",
         "writes",
         "n",
         "_i",
-        "_read_rec",
+        "_read_sink",
+        "_write_rec",
         "_planned_failed",
         "_compiled",
     )
@@ -239,7 +241,8 @@ class _CompiledRun:
         self.times = (base + compiled.times).tolist()
         self.n = compiled.n
         self._i = 0
-        self._read_rec = None
+        self._read_sink: list[float] | None = None
+        self._write_rec = None
         # Plans are valid for this failure state; if a disk fails after
         # scheduling but before an arrival fires, that request re-plans
         # live (matching the scalar path's fire-time planning).
@@ -250,9 +253,12 @@ class _CompiledRun:
         disks = compiled.disks.tolist()
         offsets = compiled.offsets.tolist()
         is_read = compiled.is_read.tolist()
-        # Fast path: healthy single-IO reads carry just (disk, offset);
-        # everything else carries a full (kind, phases, write-info) plan.
+        # Fast paths: healthy single-IO reads carry just (disk, offset)
+        # and healthy read-modify-writes a flat (d, o, pd, po) — no
+        # request object, no phase lists.  Everything degraded carries a
+        # full (kind, phases) plan.
         self.single: list[tuple[int, int] | None] = [None] * self.n
+        self.wfast: list[tuple[int, int, int, int] | None] = [None] * self.n
         self.plans: list[tuple[str, list[list[tuple[int, int, bool]]]] | None] = (
             [None] * self.n
         )
@@ -267,11 +273,7 @@ class _CompiledRun:
                 wd, wo, ws, wpd, wpo = ctrl.mapper.map_batch_parity(wl)
                 for j, i in enumerate(write_idx):
                     d, o = int(wd[j]), int(wo[j])
-                    pd, po = int(wpd[j]), int(wpo[j])
-                    self.plans[i] = (
-                        "write",
-                        ctrl.normal_write_phases(d, o, pd, po),
-                    )
+                    self.wfast[i] = (d, o, int(wpd[j]), int(wpo[j]))
                     if ctrl.data is not None:
                         self.writes[i] = (
                             int(ws[j]) % b, d, o, int(compiled.lbas[i])
@@ -307,9 +309,33 @@ class _CompiledRun:
         times = self.times
         i = self._i
         n = self.n
-        while i < n and times[i] == now:
-            self._submit(i, now)
-            i += 1
+        # The failure state cannot change while this event runs (fail
+        # injections are events of their own), so one stale-plan check
+        # covers the whole epoch and the healthy-read fast path inlines
+        # submission: one DiskIO, no per-request dispatch.
+        if ctrl.failed_disk == self._planned_failed:
+            single = self.single
+            disks = ctrl.disks
+            sink = self._read_sink
+            while i < n and times[i] == now:
+                pos = single[i]
+                if pos is not None:
+                    if sink is None:
+                        sink = self._read_sink = ctrl.latency.setdefault(
+                            "read", LatencyStats()
+                        ).samples
+                    disks[pos[0]].submit(
+                        DiskIO(
+                            offset=pos[1], is_write=False, latency_sink=sink
+                        )
+                    )
+                else:
+                    self._submit(i, now)
+                i += 1
+        else:
+            while i < n and times[i] == now:
+                self._replan_live(i, now)
+                i += 1
         self._i = i
         if i < n:
             sim.at(times[i], self._fire)
@@ -332,35 +358,64 @@ class _CompiledRun:
         ctrl._issue_phase(req)
 
     def _submit(self, i: int, now: float) -> None:
+        """Submit a non-single-IO request (writes and degraded plans);
+        healthy single-IO reads are inlined in :meth:`_fire`."""
         ctrl = self.ctrl
-        if ctrl.failed_disk != self._planned_failed:
-            self._replan_live(i, now)
-            return
-        pos = self.single[i]
-        if pos is not None:
-            rec = self._read_rec
-            if rec is None:
-                rec = self._read_rec = ctrl.latency.setdefault(
-                    "read", LatencyStats()
-                ).record
-            d, off = pos
-            ctrl.disks[d].submit(
-                DiskIO(
-                    offset=off,
-                    is_write=False,
-                    on_complete=lambda when, _s=now, _r=rec: _r(when - _s),
-                )
-            )
-            return
         winfo = self.writes[i]
         if winfo is not None:
             sid, d, off, lba = winfo
             ctrl._apply_write_dataplane(
                 sid, d, off, ctrl._default_payload(lba)
             )
+        w = self.wfast[i]
+        if w is not None:
+            self._submit_write_fast(w, now)
+            return
         kind, phases = self.plans[i]
         req = _Request(kind=kind, start=now, on_done=None, phases=phases)
         ctrl._issue_phase(req)
+
+    def _submit_write_fast(
+        self, w: tuple[int, int, int, int], start: float
+    ) -> None:
+        """The healthy read-modify-write, inlined: read old data and
+        parity, then write both — identical IO order and timing to the
+        generic ``_Request`` two-phase plan, one closure per request
+        instead of a request object plus one closure per phase."""
+        d, o, pd, po = w
+        disks = self.ctrl.disks
+        data_disk = disks[d]
+        parity_disk = disks[pd]
+        rec = self._write_rec
+        if rec is None:
+            rec = self._write_rec = self.ctrl.latency.setdefault(
+                "write", LatencyStats()
+            ).record
+        remaining = 2
+        writing = False
+
+        def done(when: float) -> None:
+            nonlocal remaining, writing
+            remaining -= 1
+            if remaining:
+                return
+            if not writing:
+                if data_disk.failed or parity_disk.failed:
+                    # Failure landed between the read and write phases:
+                    # the request is lost, exactly like the generic
+                    # path's stale-plan drop in _issue_phase.
+                    return
+                writing = True
+                remaining = 2
+                data_disk.submit(DiskIO(offset=o, is_write=True, on_complete=done))
+                parity_disk.submit(
+                    DiskIO(offset=po, is_write=True, on_complete=done)
+                )
+            else:
+                rec(when - start)
+
+        data_disk.submit(DiskIO(offset=o, is_write=False, on_complete=done))
+        parity_disk.submit(DiskIO(offset=po, is_write=False, on_complete=done))
 
 
 def schedule_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:

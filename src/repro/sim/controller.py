@@ -46,15 +46,21 @@ __all__ = ["ArrayController", "RequestKind"]
 RequestKind = str  # "read" | "write" | "degraded_read" | "degraded_write"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Request:
-    """In-flight logical request (possibly multiple phases of disk IOs)."""
+    """In-flight logical request (possibly multiple phases of disk IOs).
+
+    Slotted and cursor-based (no ``phases.pop(0)`` list churn): the
+    mixed read/write executor allocates one of these per request, so its
+    footprint is on the compiled hot path.
+    """
 
     kind: RequestKind
     start: float
     on_done: Callable[[float], None] | None
     remaining: int = 0
     phases: list[list[tuple[int, int, bool]]] = field(default_factory=list)
+    phase_idx: int = 0
 
 
 class ArrayController:
@@ -89,6 +95,9 @@ class ArrayController:
         self.data = DataPlane(layout, seed=seed) if dataplane else None
         self.failed_disk: int | None = None
         self.latency: dict[RequestKind, LatencyStats] = {}
+        # Per-kind bound record methods: completions are recorded with
+        # one dict probe + one list append, no setdefault per request.
+        self._lat_record: dict[RequestKind, Callable[[float], None]] = {}
         self.rejected_requests = 0
         # Content listeners for degraded writes that land on the failed
         # disk — an in-flight rebuild registers here so units it has
@@ -137,15 +146,29 @@ class ArrayController:
     # ------------------------------------------------------------------
 
     def _record(self, req: _Request, when: float) -> None:
-        self.latency.setdefault(req.kind, LatencyStats()).record(when - req.start)
+        rec = self._lat_record.get(req.kind)
+        if rec is None:
+            rec = self._lat_record[req.kind] = self.latency.setdefault(
+                req.kind, LatencyStats()
+            ).record
+        rec(when - req.start)
         if req.on_done is not None:
             req.on_done(when)
 
     def _issue_phase(self, req: _Request) -> None:
-        if not req.phases:
+        i = req.phase_idx
+        if i >= len(req.phases):
             self._record(req, self.sim.now)
             return
-        phase = req.phases.pop(0)
+        phase = req.phases[i]
+        failed = self.failed_disk
+        if failed is not None and any(d == failed for d, _, _ in phase):
+            # The disk died while this request was in flight (its plan
+            # predates the failure).  The request is lost — the same
+            # fate as one whose queued IO the failing disk dropped; a
+            # real controller would retry it through the degraded path.
+            return
+        req.phase_idx = i + 1
         req.remaining = len(phase)
 
         def one_done(_when: float) -> None:

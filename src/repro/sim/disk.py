@@ -48,7 +48,7 @@ class DiskParameters:
         return seek + self.rotational_latency_ms + self.transfer_ms_per_unit
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskIO:
     """One unit-sized disk request.
 
@@ -63,10 +63,22 @@ class DiskIO:
     is_write: bool
     on_complete: Callable[[float], None] | None = None
     issue_time: float = field(default=0.0, compare=False)
+    #: Closure-free latency recording: when set, the disk appends
+    #: ``completion - issue_time`` here at completion.  Only sound for
+    #: single-IO requests submitted at their arrival time (the request
+    #: latency IS the IO latency) — the compiled executor's read path.
+    latency_sink: list[float] | None = None
 
 
 class Disk:
-    """A single disk: FIFO queue, one IO in service at a time."""
+    """A single disk: FIFO queue, one IO in service at a time.
+
+    The service chain is allocation-light: the in-service IO sits in a
+    slot and one pre-bound completion method is reused for every event,
+    so a simulated IO costs one heap entry and zero closures (the fleet
+    service multiplies disk counts by array counts, so this is the
+    per-IO floor of the whole simulator).
+    """
 
     def __init__(self, sim: Simulator, disk_id: int, params: DiskParameters):
         self.sim = sim
@@ -76,6 +88,22 @@ class Disk:
         self._queue: deque[DiskIO] = deque()
         self._busy = False
         self._last_offset: int | None = None
+        self._in_service: DiskIO | None = None
+        # One bound method reused for every completion event (heap
+        # entries carry no per-IO closure).
+        self._on_service_done = self._service_done
+        # Precomputed service times — same float expression and
+        # evaluation order as DiskParameters.service_time.
+        self._seq_service = (
+            params.sequential_seek_ms
+            + params.rotational_latency_ms
+            + params.transfer_ms_per_unit
+        )
+        self._avg_service = (
+            params.average_seek_ms
+            + params.rotational_latency_ms
+            + params.transfer_ms_per_unit
+        )
         # Statistics
         self.busy_time = 0.0
         self.completed_reads = 0
@@ -95,15 +123,29 @@ class Disk:
     def submit(self, io: DiskIO) -> None:
         """Enqueue an IO.
 
+        An idle disk starts service inline (no deque round-trip); a busy
+        one queues FIFO.  Both paths charge the same statistics.
+
         Raises:
             DiskFailedError: if the disk has failed.
         """
         if self.failed:
             raise DiskFailedError(f"disk {self.disk_id} has failed")
         io.issue_time = self.sim.now
-        self._queue.append(io)
-        if not self._busy:
-            self._start_next()
+        if self._busy:
+            self._queue.append(io)
+            return
+        self._busy = True
+        last = self._last_offset
+        offset = io.offset
+        if last is not None and -1 <= offset - last <= 1:
+            service = self._seq_service
+        else:
+            service = self._avg_service
+        self._last_offset = offset
+        self.busy_time += service
+        self._in_service = io
+        self.sim.schedule(service, self._on_service_done)
 
     def _start_next(self) -> None:
         if not self._queue:
@@ -111,13 +153,21 @@ class Disk:
             return
         self._busy = True
         io = self._queue.popleft()
-        service = self.params.service_time(self._last_offset, io.offset)
-        self._last_offset = io.offset
+        last = self._last_offset
+        offset = io.offset
+        if last is not None and -1 <= offset - last <= 1:
+            service = self._seq_service
+        else:
+            service = self._avg_service
+        self._last_offset = offset
         self.busy_time += service
         self.total_queue_delay += self.sim.now - io.issue_time
-        self.sim.schedule(service, lambda: self._complete(io))
+        self._in_service = io
+        self.sim.schedule(service, self._on_service_done)
 
-    def _complete(self, io: DiskIO) -> None:
+    def _service_done(self) -> None:
+        io = self._in_service
+        self._in_service = None
         if self.failed:
             # The disk died while this IO was in service: it never
             # completes (no callback, no counter).
@@ -127,6 +177,8 @@ class Disk:
             self.completed_writes += 1
         else:
             self.completed_reads += 1
+        if io.latency_sink is not None:
+            io.latency_sink.append(self.sim.now - io.issue_time)
         if io.on_complete is not None:
             io.on_complete(self.sim.now)
         self._start_next()

@@ -75,19 +75,27 @@ class Simulator:
                 backlog, so a stuck simulation is diagnosable instead of
                 looking like a silent stop.
         """
+        # The pop/fire sequence is inlined (not delegated to step()):
+        # one method call per event is measurable on multi-million-event
+        # fleet runs.
         fired = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self.now = until
                 return
             if fired >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events}: processed "
                     f"{fired} events this run ({self._processed} in total), "
-                    f"{len(self._heap)} still pending at t={self.now:.3f} ms "
+                    f"{len(heap)} still pending at t={self.now:.3f} ms "
                     "— likely a runaway event loop or an undersized budget"
                 )
-            self.step()
+            time, _, fn = pop(heap)
+            self.now = time
+            self._processed += 1
+            fn()
             fired += 1
 
     @property

@@ -1,0 +1,144 @@
+"""Identity-keyed caching: the stripe-incidence and mapper registries
+must not hash layouts on the probe path."""
+
+import numpy as np
+import pytest
+
+from repro.core import clear_registry, get_layout, get_mapper, registry_stats
+from repro.layouts import ring_layout, stripe_incidence
+from repro.layouts.identity_cache import IdentityLRU
+
+
+class TestIdentityLRU:
+    def test_hit_returns_same_object_without_rebuilding(self):
+        calls = []
+        cache = IdentityLRU(lambda obj: calls.append(obj) or len(calls))
+        key = object()
+        assert cache(key) == 1
+        assert cache(key) == 1
+        assert len(calls) == 1
+        assert cache.cache_info().hits == 1
+        assert cache.cache_info().misses == 1
+
+    def test_distinct_objects_distinct_entries(self):
+        cache = IdentityLRU(lambda obj: object())
+        a, b = object(), object()
+        assert cache(a) is cache(a)
+        assert cache(a) is not cache(b)
+
+    def test_extra_args_part_of_key(self):
+        cache = IdentityLRU(lambda obj, n: (id(obj), n))
+        key = object()
+        assert cache(key, 1) != cache(key, 2)
+        assert cache.cache_info().currsize == 2
+
+    def test_lru_eviction(self):
+        cache = IdentityLRU(lambda obj: id(obj), maxsize=2)
+        keys = [object() for _ in range(3)]
+        for k in keys:
+            cache(k)
+        assert cache.cache_info().currsize == 2
+        cache(keys[0])  # evicted -> rebuild
+        assert cache.cache_info().misses == 4
+
+    def test_clear_resets(self):
+        cache = IdentityLRU(lambda obj: 1)
+        cache(object())
+        cache.cache_clear()
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_entry_pins_key_object(self):
+        """The cache must hold the keyed object: otherwise a collected
+        layout's id could be reused and alias a stale entry."""
+        cache = IdentityLRU(lambda obj: "v")
+        cache(object())  # the temporary must stay reachable via the cache
+        (anchor, value), = cache._entries.values()
+        assert value == "v"
+        assert anchor is not None
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            IdentityLRU(lambda obj: 1, maxsize=0)
+
+
+class TestIncidenceIdentityCache:
+    def test_same_layout_object_cached(self):
+        stripe_incidence.cache_clear()
+        lay = ring_layout(9, 3)
+        a = stripe_incidence(lay)
+        b = stripe_incidence(lay)
+        assert a is b
+        assert stripe_incidence.cache_info().hits >= 1
+
+    def test_equal_but_distinct_layouts_build_separately(self):
+        """Identity keying: equality no longer implies sharing (the
+        registry canonicalizes layouts, so this costs nothing in
+        practice but must stay correct)."""
+        stripe_incidence.cache_clear()
+        a = ring_layout(9, 3)
+        b = ring_layout(9, 3)
+        assert a == b and a is not b
+        inc_a = stripe_incidence(a)
+        inc_b = stripe_incidence(b)
+        assert inc_a is not inc_b
+        assert (inc_a.disks == inc_b.disks).all()
+        assert (inc_a.indptr == inc_b.indptr).all()
+
+    def test_probe_does_not_hash_layout(self):
+        class Unhashable(Exception):
+            pass
+
+        lay = ring_layout(9, 3)
+        inc1 = stripe_incidence(lay)
+        original_hash = type(lay).__hash__
+        try:
+            def boom(self):
+                raise Unhashable()
+
+            type(lay).__hash__ = boom
+            assert stripe_incidence(lay) is inc1  # pure identity probe
+        finally:
+            type(lay).__hash__ = original_hash
+
+
+class TestMapperIdentityCache:
+    def test_registry_contract_preserved(self):
+        clear_registry()
+        lay = get_layout(9, 3)
+        assert get_mapper(lay) is get_mapper(lay)
+        assert get_mapper(lay, iterations=2) is not get_mapper(lay)
+        assert (
+            get_mapper(lay, iterations=2).capacity
+            == 2 * get_mapper(lay).capacity
+        )
+
+    def test_equal_but_distinct_layouts_share_one_mapper(self):
+        """The mapper cache is two-level: identity front over a
+        value-keyed backing, so equal layouts still share tables (one
+        hash per distinct object, none per probe)."""
+        clear_registry()
+        a = ring_layout(9, 3)
+        b = ring_layout(9, 3)
+        assert a == b and a is not b
+        assert get_mapper(a) is get_mapper(b)
+
+    def test_registry_stats_shape(self):
+        clear_registry()
+        lay = get_layout(9, 3)
+        get_mapper(lay)
+        get_mapper(lay)
+        stats = registry_stats()
+        assert set(stats) == {"plan", "layout", "mapper", "incidence"}
+        hits, misses, maxsize, currsize = stats["mapper"]
+        assert hits >= 1 and misses >= 1 and currsize >= 1
+
+    def test_mapper_tables_correct_after_identity_swap(self):
+        clear_registry()
+        lay = get_layout(9, 3)
+        m = get_mapper(lay)
+        lbas = np.arange(min(64, m.capacity), dtype=np.int64)
+        disks, offsets = m.map_batch(lbas)
+        for i, lba in enumerate(lbas.tolist()):
+            pu = m.logical_to_physical(lba)
+            assert (pu.disk, pu.offset) == (int(disks[i]), int(offsets[i]))

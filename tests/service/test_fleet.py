@@ -1,0 +1,163 @@
+"""Fleet routing and serving: partition exactness, determinism,
+aggregation, and the analytic fast path."""
+
+import numpy as np
+import pytest
+
+from repro.service import Fleet
+from repro.sim import WorkloadConfig, simulate_workload
+from repro.sim.compile import generate_request_stream
+
+
+def _stream(fleet, n=500, read_fraction=0.7, seed=11):
+    cfg = WorkloadConfig(
+        interarrival_ms=1.0, read_fraction=read_fraction, seed=seed
+    )
+    return generate_request_stream(cfg, float(n), fleet.capacity)
+
+
+class TestRouting:
+    def test_partition_covers_stream_exactly(self):
+        fleet = Fleet(4, 9, 3, seed=0)
+        times, is_read, lbas = _stream(fleet)
+        compiled, shard_ids = fleet.route_stream(times, is_read, lbas)
+        assert sum(t.n for t in compiled) == len(times)
+        counts = np.bincount(shard_ids, minlength=4)
+        assert [t.n for t in compiled] == counts.tolist()
+
+    def test_routing_deterministic_under_fixed_seed(self):
+        f1 = Fleet(8, 9, 3, seed=5)
+        f2 = Fleet(8, 9, 3, seed=5)
+        times, is_read, lbas = _stream(f1)
+        _, ids1 = f1.route_stream(times, is_read, lbas)
+        _, ids2 = f2.route_stream(times, is_read, lbas)
+        assert (ids1 == ids2).all()
+        assert f1.shard_map.fingerprint() == f2.shard_map.fingerprint()
+
+    def test_same_volume_routes_to_same_shard(self):
+        fleet = Fleet(4, 9, 3, seed=0)
+        vu = fleet.volume_units
+        lbas = np.array([3 * vu, 3 * vu + 1, 3 * vu + vu - 1], dtype=np.int64)
+        n = len(lbas)
+        _, ids = fleet.route_stream(
+            np.arange(n, dtype=np.float64), np.ones(n, dtype=bool), lbas
+        )
+        assert len(set(ids.tolist())) == 1
+
+    def test_relative_order_preserved_within_shard(self):
+        fleet = Fleet(4, 9, 3, seed=0)
+        times, is_read, lbas = _stream(fleet, n=300)
+        compiled, shard_ids = fleet.route_stream(times, is_read, lbas)
+        for s, trace in enumerate(compiled):
+            mask = shard_ids == s
+            assert (trace.times == times[mask]).all()
+            assert (trace.lbas == lbas[mask] % fleet.shard_capacity).all()
+
+
+class TestServing:
+    def test_single_shard_fleet_matches_simulate_workload(self):
+        """A 1-shard fleet is just an array: its report must agree with
+        the single-array pipeline on the same compiled stream."""
+        fleet = Fleet(1, 9, 3, seed=0)
+        cfg = WorkloadConfig(interarrival_ms=2.0, read_fraction=1.0, seed=3)
+        rep = fleet.serve_workload(cfg, 400.0)
+        solo = simulate_workload(
+            fleet.layout, duration_ms=400.0, config=cfg, batched=True
+        )
+        assert rep.scheduled == solo.scheduled
+        assert rep.duration_ms == solo.duration_ms
+        assert rep.per_disk_ios[0] == solo.per_disk_ios
+        assert rep.latency == solo.latency
+
+    def test_fleet_report_deterministic(self):
+        reports = []
+        for _ in range(2):
+            fleet = Fleet(4, 9, 3, seed=2)
+            cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=0.6, seed=9)
+            reports.append(fleet.serve_workload(cfg, 300.0))
+        a, b = reports
+        assert a.scheduled == b.scheduled
+        assert a.duration_ms == b.duration_ms
+        assert a.per_shard_scheduled == b.per_shard_scheduled
+        assert a.latency == b.latency
+        assert a.per_disk_ios == b.per_disk_ios
+
+    def test_read_only_healthy_uses_analytic_solver(self):
+        fleet = Fleet(3, 9, 3, seed=0)
+        cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=1.0, seed=4)
+        rep = fleet.serve_workload(cfg, 300.0)
+        # The solver never runs the event loop.
+        assert fleet.sim.events_processed == 0
+        assert rep.scheduled > 0
+        assert rep.duration_ms > 0
+
+    def test_mixed_serves_through_shared_event_loop(self):
+        fleet = Fleet(3, 9, 3, seed=0)
+        cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=0.5, seed=4)
+        rep = fleet.serve_workload(cfg, 300.0)
+        assert fleet.sim.events_processed > 0
+        assert rep.scheduled > 0
+        kinds = set(rep.latency)
+        assert {"read", "write"} <= kinds
+
+    def test_solver_and_event_path_agree_on_read_only(self):
+        """The per-shard analytic fast path must match event-driven
+        execution of the same routed traces."""
+        cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=1.0, seed=8)
+
+        fast = Fleet(3, 9, 3, seed=1)
+        times, is_read, lbas = generate_request_stream(cfg, 400.0, fast.capacity)
+        fast_rep = fast.serve_stream(times, is_read, lbas)
+
+        slow = Fleet(3, 9, 3, seed=1)
+        compiled, _ = slow.route_stream(times, is_read, lbas)
+        from repro.sim.compile import schedule_compiled
+
+        for ctrl, trace in zip(slow.controllers, compiled):
+            schedule_compiled(ctrl, trace)
+        slow.sim.run()
+        slow_rep = slow._report(
+            [t.n for t in compiled],
+            start=0.0,
+            lat_base=[{} for _ in slow.controllers],
+            ios_base=[[0] * slow.layout.v for _ in slow.controllers],
+        )
+
+        assert fast_rep.scheduled == slow_rep.scheduled
+        assert fast_rep.duration_ms == slow_rep.duration_ms
+        assert fast_rep.per_disk_ios == slow_rep.per_disk_ios
+        for kind in fast_rep.latency:
+            assert fast_rep.latency[kind]["count"] == (
+                slow_rep.latency[kind]["count"]
+            )
+            assert fast_rep.latency[kind]["mean"] == pytest.approx(
+                slow_rep.latency[kind]["mean"]
+            )
+
+    def test_throughput_improves_with_shards(self):
+        cfg = WorkloadConfig(interarrival_ms=0.3, read_fraction=0.9, seed=7)
+        one = Fleet(1, 9, 3, seed=0).serve_workload(cfg, 1000.0)
+        eight = Fleet(8, 9, 3, seed=0).serve_workload(cfg, 1000.0)
+        assert eight.scheduled == one.scheduled
+        assert eight.throughput_rps > 1.5 * one.throughput_rps
+
+    def test_repeated_serves_report_independently(self):
+        """A long-lived fleet serves many streams; each report must
+        cover its own stream only, not cumulative controller state."""
+        fleet = Fleet(2, 9, 3, seed=0)
+        cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=0.8, seed=6)
+        first = fleet.serve_workload(cfg, 200.0)
+        second = fleet.serve_workload(cfg, 200.0)
+        assert second.scheduled == first.scheduled
+        for kind, summary in second.latency.items():
+            assert summary["count"] == first.latency[kind]["count"]
+        total_first = sum(sum(d) for d in first.per_disk_ios)
+        total_second = sum(sum(d) for d in second.per_disk_ios)
+        assert total_second == total_first
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Fleet(0, 9, 3)
+        fleet = Fleet(2, 9, 3)
+        with pytest.raises(ValueError):
+            fleet.serve_compiled([])

@@ -1,0 +1,132 @@
+"""Scenario runner: the ``repro serve`` engine end to end."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    FleetScenario,
+    check_fleet,
+    Fleet,
+    default_failure_schedule,
+    run_fleet_scenario,
+)
+
+
+def _small_scenario(**overrides):
+    base = dict(
+        shards=8,
+        v=9,
+        k=3,
+        duration_ms=400.0,
+        interarrival_ms=1.0,
+        read_fraction=0.7,
+        failures=default_failure_schedule(8, 9, 2, 100.0),
+        admission=2,
+        verify_data=True,
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+class TestScenario:
+    def test_acceptance_scenario(self):
+        """The PR acceptance bar: an 8-array fleet, 2 concurrent
+        failures, everything rebuilt bit-for-bit, conformance-gated."""
+        report = run_fleet_scenario(_small_scenario())
+        assert report.scenario.shards == 8
+        assert len(report.rebuilds) == 2
+        assert report.max_concurrent_rebuilds == 2
+        assert all(o.report.data_verified is True for o in report.rebuilds)
+        assert report.all_rebuilt_verified
+        assert report.conformance is not None and report.conformance.passed
+        assert report.passed
+        assert report.fleet.scheduled > 0
+
+    def test_report_json_round_trip(self):
+        report = run_fleet_scenario(_small_scenario(duration_ms=200.0))
+        payload = report.to_dict()
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["passed"] is True
+        assert back["fleet"]["shards"] == 8
+        assert len(back["rebuilds"]) == 2
+        assert back["scenario"]["failures"][0]["array"] == 0
+
+    def test_scenario_deterministic(self):
+        a = run_fleet_scenario(_small_scenario()).to_dict()
+        b = run_fleet_scenario(_small_scenario()).to_dict()
+        for key in ("fleet", "rebuilds", "routing_fingerprint", "passed"):
+            assert a[key] == b[key]
+
+    def test_healthy_scenario_has_no_rebuilds(self):
+        report = run_fleet_scenario(
+            _small_scenario(failures=(), duration_ms=200.0)
+        )
+        assert report.rebuilds == ()
+        assert report.all_rebuilt_verified  # vacuously
+        assert report.passed
+
+    def test_unverified_mode_runs(self):
+        report = run_fleet_scenario(_small_scenario(verify_data=False))
+        assert len(report.rebuilds) == 2
+        assert all(o.report.data_verified is None for o in report.rebuilds)
+        assert report.passed
+
+    def test_conformance_skippable(self):
+        report = run_fleet_scenario(
+            _small_scenario(check_conformance=False, duration_ms=200.0)
+        )
+        assert report.conformance is None
+        assert report.passed
+
+
+class TestFleetConformance:
+    def test_one_check_per_distinct_layout(self):
+        fleet = Fleet(8, 9, 3, seed=0)
+        conf = check_fleet(fleet)
+        assert conf.shards_checked == 8
+        assert len(conf.reports) == 1  # registry-shared layout
+        assert conf.passed
+        assert "PASS" in conf.summary()
+
+    def test_to_dict_shape(self):
+        conf = check_fleet(Fleet(2, 13, 4, seed=0))
+        d = conf.to_dict()
+        assert d["passed"] is True
+        assert d["shards_checked"] == 2
+        assert d["layouts"][0]["v"] == 13
+
+
+class TestServeCLI:
+    def test_smoke_exit_zero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "serve.json"
+        code = main(["serve", "--smoke", "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["fleet"]["shards"] == 8
+        assert len(payload["rebuilds"]) == 2
+        assert payload["all_rebuilt_verified"] is True
+
+    def test_failure_spec_parsing(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--smoke",
+                "--failure-spec",
+                "50:0:1,80:3:2",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        rebuilds = {r["array"]: r for r in payload["rebuilds"]}
+        assert set(rebuilds) == {0, 3}
+        assert rebuilds[3]["failed_disk"] == 2
