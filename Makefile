@@ -1,28 +1,44 @@
 # Repo tooling: `make check` is the pre-merge gate.
 #
 # Targets:
-#   check   - tier-1 pytest suite + conformance sweep + fleet-serve smoke
+#   check   - tier-1 pytest suite + doctests + conformance sweep +
+#             fleet-serve smoke + headless examples smoke
 #   test    - tier-1 pytest suite only
+#   doctest - public-API usage examples (core.api, service, sim.compile)
 #   verify  - conformance sweep over every construction family
 #   smoke   - quick fleet scenario (8 arrays, 2 concurrent verified rebuilds)
+#   examples-smoke - run every script under examples/ headless
+#   docs-check     - link-check docs/ + README (local targets only)
 #   bench   - benchmark suites; writes BENCH_{mapping,sim,service}.json
 #   bench-all - every pytest-benchmark file under benchmarks/
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test verify smoke bench bench-all
+.PHONY: check test doctest verify smoke examples-smoke docs-check bench bench-all
 
-check: test verify smoke
+check: test doctest verify smoke examples-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+doctest:
+	$(PYTHON) -m pytest --doctest-modules -q \
+		src/repro/core/api.py \
+		src/repro/service/__init__.py \
+		src/repro/sim/compile.py
 
 verify:
 	$(PYTHON) -m repro verify --all
 
 smoke:
 	$(PYTHON) -m repro serve --smoke --json BENCH_serve_smoke.json
+
+examples-smoke:
+	$(PYTHON) tools/run_examples.py
+
+docs-check:
+	$(PYTHON) tools/check_links.py README.md docs
 
 bench:
 	$(PYTHON) -m repro bench

@@ -2,14 +2,19 @@
 
 The service layer shards logical volumes over N arrays behind one
 process (consistent-hash routing, batched per-shard compilation, one
-shared event clock).  This suite pins the two fleet-level claims:
+shared event clock).  This suite pins the fleet-level claims:
 
 * at a fixed offered load, achieved throughput scales with shard count
   (the single-array row is the baseline — the acceptance bar is >=
   2.5x at 8 shards);
 * with two arrays failing *simultaneously* and rebuilding concurrently
   under admission control, the fleet keeps serving and every rebuilt
-  image verifies bit for bit.
+  image verifies bit for bit;
+* the ``p2c``/``weighted`` placement policies tighten request-level
+  shard balance from the ring baseline's ~2x max/min to <= 1.3x;
+* growing the fleet live (4 -> 8 arrays, volumes migrated under mixed
+  traffic) loses zero requests and verifies every moved volume
+  bit for bit.
 
 Runnable two ways:
 
@@ -26,13 +31,16 @@ from repro.bench import run_service_bench
 from repro.service import (
     Fleet,
     FleetScenario,
+    MigrationCoordinator,
     default_failure_schedule,
     run_fleet_scenario,
 )
 from repro.sim import WorkloadConfig
+from repro.sim.compile import generate_request_stream
 
 OFFERED = WorkloadConfig(interarrival_ms=0.2, read_fraction=0.9, seed=7)
 DURATION_MS = 4_000.0
+BALANCE_BAR = 1.3
 
 
 def test_fleet_throughput_scales_with_shards(benchmark):
@@ -76,6 +84,49 @@ def test_degraded_fleet_rebuilds_verified(benchmark):
         f"{report.fleet.scheduled} requests at "
         f"{report.fleet.throughput_rps:,.0f} req/s through 2 concurrent "
         f"verified rebuilds"
+    )
+
+
+def test_placement_tightens_request_balance(benchmark):
+    uniform = WorkloadConfig(interarrival_ms=0.2, read_fraction=1.0, seed=7)
+
+    def balance(placement: str) -> float:
+        fleet = Fleet(8, 9, 3, seed=0, placement=placement)
+        stream = generate_request_stream(uniform, DURATION_MS, fleet.capacity)
+        return fleet.serve_stream(*stream).shard_balance
+
+    tightened = benchmark.pedantic(
+        lambda: balance("weighted"), rounds=1, iterations=1
+    )
+    ring = balance("ring")
+    assert tightened <= BALANCE_BAR, (
+        f"weighted placement at {tightened:.2f}x misses the "
+        f"{BALANCE_BAR}x bar"
+    )
+    assert ring > tightened
+    print(
+        f"\n[FLEET-SERVICE] request balance: ring {ring:.2f}x -> "
+        f"weighted {tightened:.2f}x (bar {BALANCE_BAR}x)"
+    )
+
+
+def test_live_grow_migration_zero_lost_verified(benchmark):
+    def grow():
+        fleet = Fleet(4, 9, 3, seed=0, dataplane=True, placement="weighted")
+        co = MigrationCoordinator(fleet, 8, at_ms=DURATION_MS * 0.25)
+        co.arm()
+        mixed = WorkloadConfig(interarrival_ms=0.4, read_fraction=0.8, seed=7)
+        stream = generate_request_stream(mixed, DURATION_MS, fleet.capacity)
+        return fleet.serve_stream(*stream), co
+
+    report, co = benchmark.pedantic(grow, rounds=1, iterations=1)
+    assert report.lost == 0
+    assert co.done and co.all_verified
+    assert len(co.outcomes) == len(co.plan.moves)
+    print(
+        f"\n[FLEET-SERVICE] live grow 4 -> 8: {len(co.outcomes)} volumes "
+        f"({co.total_units_copied()} units) migrated under "
+        f"{report.scheduled} requests, 0 lost, all verified"
     )
 
 

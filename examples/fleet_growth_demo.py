@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Live fleet growth: migrate volumes between arrays under load.
+
+Run:  python examples/fleet_growth_demo.py
+
+The paper's declustered layouts keep a single array serving through a
+disk failure; the fleet service extends that to serving through
+*reconfiguration*.  This demo:
+
+1. builds a 4-array fleet (weighted volume placement) and serves a
+   mixed read/write stream;
+2. mid-stream, grows it to 8 arrays: the consistent-hash reshape names
+   exactly which volumes move, and a MigrationCoordinator copies each
+   one with real admission-controlled disk IOs, mirrors concurrent
+   writes, drains in-flight requests, verifies the moved cells bit for
+   bit, and cuts routing over — with zero lost requests;
+3. serves a fresh stream on the grown fleet and shows the tightened
+   request balance.
+
+Everything is deterministic under the seeds below and runs headless
+(`make examples-smoke` / CI execute this script).
+"""
+
+from repro.service import Fleet, MigrationCoordinator, check_fleet
+from repro.sim import WorkloadConfig
+from repro.sim.compile import generate_request_stream
+
+SEED = 0
+START, TARGET = 4, 8
+DURATION_MS = 1200.0
+
+
+def main() -> None:
+    print(f"=== Building a {START}-array fleet (v=9, k=3) ===\n")
+    fleet = Fleet(
+        START, 9, 3, seed=SEED, dataplane=True, placement="weighted"
+    )
+    conf = check_fleet(fleet)
+    print(f"  conformance (Conditions 1-4): "
+          f"{'PASS' if conf.passed else 'FAIL'}")
+    print(f"  capacity: {fleet.capacity} units over "
+          f"{fleet.shard_map.volumes} logical volumes\n")
+
+    print(f"=== Growing {START} -> {TARGET} arrays mid-stream ===\n")
+    coordinator = MigrationCoordinator(
+        fleet, TARGET, at_ms=DURATION_MS * 0.25, admission=2
+    )
+    coordinator.arm()
+    plan = coordinator.plan
+    print(f"  reshape plan: {len(plan.moves)} volumes move "
+          f"({plan.units_to_copy} units to copy)")
+
+    mixed = WorkloadConfig(interarrival_ms=0.5, read_fraction=0.7, seed=11)
+    stream = generate_request_stream(mixed, DURATION_MS, fleet.capacity)
+    report = fleet.serve_stream(*stream)
+
+    print(f"  served {report.scheduled} requests during the migration; "
+          f"lost: {report.lost}")
+    held = sum(o.held_requests for o in coordinator.outcomes)
+    mirrored = sum(o.forwarded_writes for o in coordinator.outcomes)
+    copy_ms = max(o.cutover_at_ms for o in coordinator.outcomes) - min(
+        o.requested_at_ms for o in coordinator.outcomes
+    )
+    print(f"  migrated {len(coordinator.outcomes)} volumes "
+          f"({coordinator.total_units_copied()} units) in "
+          f"{copy_ms:.0f} simulated ms")
+    print(f"  requests held at cutovers: {held} "
+          f"(released to destinations, latency from original arrival)")
+    print(f"  writes mirrored during copy windows: {mirrored}")
+    print(f"  every moved volume verified bit-for-bit: "
+          f"{coordinator.all_verified}\n")
+    assert report.lost == 0, "migration must not lose requests"
+    assert coordinator.all_verified, "migration must verify bit-for-bit"
+
+    print(f"=== The grown fleet ===\n")
+    uniform = WorkloadConfig(interarrival_ms=0.5, read_fraction=1.0, seed=42)
+    stream = generate_request_stream(uniform, DURATION_MS, fleet.capacity)
+    post = fleet.serve_stream(*stream)
+    print(f"  {fleet.shards} arrays now serving; fresh uniform stream of "
+          f"{post.scheduled} requests")
+    print(f"  per-shard requests: {post.per_shard_scheduled}")
+    print(f"  request balance (max/min): {post.shard_balance:.2f}x "
+          f"(weighted placement; the ring baseline sits near 2x)")
+    assert post.shard_balance <= 1.3
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ Commands:
                        construction-family sweep).
 * ``serve``          — run a sharded fleet scenario (workload mix +
                        failure schedule + admission-controlled
-                       concurrent rebuilds) and emit a JSON report.
+                       concurrent rebuilds + live ``--grow``/
+                       ``--shrink`` volume migration) and emit a JSON
+                       report (see ``docs/SCENARIOS.md``).
 * ``bench``          — run the benchmark suites and write the
                        ``BENCH_*.json`` artifacts.
 """
@@ -145,6 +147,19 @@ def _parse_failure_spec(spec: str) -> tuple["FailureEvent", ...]:
     return tuple(events)
 
 
+def _parse_reshape_spec(spec: str, flag: str, grow: bool) -> tuple[int, int]:
+    """Parse a ``FROM:TO`` reshape spec and sanity-check direction."""
+    fields = spec.split(":")
+    if len(fields) != 2:
+        raise ValueError(f"bad {flag} spec {spec!r} (want FROM:TO)")
+    start, target = int(fields[0]), int(fields[1])
+    if grow and target <= start:
+        raise ValueError(f"{flag} {spec!r} must increase the shard count")
+    if not grow and target >= start:
+        raise ValueError(f"{flag} {spec!r} must decrease the shard count")
+    return start, target
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -160,13 +175,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.duration = min(args.duration, 400.0)
         args.interarrival = max(args.interarrival, 1.0)
 
+    reshape_to = None
+    if args.grow:
+        args.shards, reshape_to = _parse_reshape_spec(
+            args.grow, "--grow", grow=True
+        )
+    elif args.shrink:
+        args.shards, reshape_to = _parse_reshape_spec(
+            args.shrink, "--shrink", grow=False
+        )
+
     if args.failure_spec:
         failures = _parse_failure_spec(args.failure_spec)
     else:
+        # A reshape copies volumes between most arrays, and failures
+        # must stay off the arrays a migration touches — so the default
+        # failure pair applies only to pure failure scenarios.
+        count = args.failures
+        if count is None:
+            count = 0 if reshape_to is not None else 2
         failures = default_failure_schedule(
             args.shards,
             args.v,
-            args.failures,
+            count,
             args.duration * 0.25,
         )
 
@@ -184,6 +215,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rebuild_parallelism=args.rebuild_parallelism,
         verify_data=not args.no_verify,
         check_conformance=not args.no_conformance,
+        placement=args.placement,
+        reshape_to=reshape_to,
+        reshape_at_ms=args.reshape_at,
         seed=args.seed,
     )
     report = run_fleet_scenario(scenario)
@@ -228,6 +262,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"concurrent rebuilds observed: {payload['max_concurrent_rebuilds']} "
             f"(admission cap {args.admission}); {verdict}",
+            file=sys.stderr,
+        )
+    mig = payload.get("migration")
+    if mig is not None:
+        verified = (
+            f"all verified: {mig['all_verified']}"
+            if not args.no_verify
+            else "verification skipped (--no-verify)"
+        )
+        print(
+            f"migration: {args.shards} -> {mig['target_shards']} shards, "
+            f"{mig['completed_moves']}/{mig['planned_moves']} volumes moved "
+            f"({mig['units_copied']} units copied, "
+            f"{mig['held_requests']} requests held at cutover, "
+            f"{mig['forwarded_writes']} writes mirrored); "
+            f"zero lost: {mig['zero_lost']}; {verified}",
             file=sys.stderr,
         )
     text = json.dumps(payload, indent=2)
@@ -321,13 +371,41 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--failures",
         type=int,
-        default=2,
-        help="simultaneous single-disk failures on distinct arrays",
+        default=None,
+        help="simultaneous single-disk failures on distinct arrays "
+        "(default: 2, or 0 when --grow/--shrink is given)",
     )
     p.add_argument(
         "--failure-spec",
         default=None,
         help="explicit schedule time:array:disk[,...] (overrides --failures)",
+    )
+    reshape = p.add_mutually_exclusive_group()
+    reshape.add_argument(
+        "--grow",
+        default=None,
+        metavar="FROM:TO",
+        help="start with FROM arrays and live-migrate to TO mid-run "
+        "(volume copies verified bit-for-bit, zero lost requests)",
+    )
+    reshape.add_argument(
+        "--shrink",
+        default=None,
+        metavar="FROM:TO",
+        help="start with FROM arrays and drain down to TO mid-run",
+    )
+    p.add_argument(
+        "--reshape-at",
+        type=float,
+        default=None,
+        help="when the grow/shrink fires (ms; default: duration/4)",
+    )
+    p.add_argument(
+        "--placement",
+        choices=("ring", "p2c", "weighted"),
+        default="ring",
+        help="volume placement policy (p2c/weighted tighten request "
+        "balance from ~2x to <=1.3x max/min)",
     )
     p.add_argument(
         "--admission",

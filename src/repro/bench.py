@@ -11,14 +11,20 @@ Three artifact-writing suites pin the scale story:
   the same scales;
 * **service** (``BENCH_service.json``) — the fleet service: achieved
   throughput vs shard count at fixed offered load (the single-array
-  row is the baseline), and degraded-mode throughput while two arrays
-  fail and rebuild concurrently under admission control.
+  row is the baseline), degraded-mode throughput while two arrays
+  fail and rebuild concurrently under admission control, request-level
+  shard balance per placement policy (the uniform-routing ``ring``
+  baseline is ~2x max/min; ``p2c``/``weighted`` must hold <= 1.3x),
+  and a live grow migration (4 -> 8 shards under mixed traffic) that
+  must finish with zero lost requests, every moved volume verified
+  bit-for-bit, and post-migration balance <= 1.3x.
 
 Each run cross-checks that the fast and scalar paths agree before
 timing is trusted, and each payload carries a ``passed`` verdict
 against its acceptance bar (mapping >= 5x, sim workload >= 10x, fleet
-scaling >= 2.5x at 8 shards with verified degraded-mode rebuilds); the
-mixed executor's before/after speedup is reported alongside.
+scaling >= 2.5x at 8 shards with verified degraded-mode rebuilds and
+the balance/migration bars above); the mixed executor's before/after
+speedup is reported alongside.
 """
 
 from __future__ import annotations
@@ -57,6 +63,12 @@ SERVICE_SHARD_COUNTS = [1, 2, 4, 8]
 SERVICE_OFFERED_INTERARRIVAL_MS = 0.2  # aggregate: ~5000 req/s offered
 SERVICE_DURATION_MS = 8_000.0
 SERVICE_READ_FRACTION = 0.9
+#: Request-level max/min shard balance the non-ring placement policies
+#: must hold on uniform traffic (the ring baseline sits around 2x).
+BALANCE_BAR = 1.3
+BALANCE_DURATION_MS = 4_000.0
+MIGRATION_GROW = (4, 8)
+MIGRATION_DURATION_MS = 3_000.0
 #: Full event-driven rebuilds are timed up to this stripe count; above
 #: it only the scan planning is compared (the event engine itself is
 #: identical between modes, so simulating 10^6 stripes twice would just
@@ -438,6 +450,89 @@ def _degraded_case(healthy_rps: float) -> dict:
     }
 
 
+def _balance_case(placement: str) -> dict:
+    """Serve a uniform read-only stream through an 8-shard fleet under
+    ``placement`` and report the request-level max/min shard balance."""
+    from .service import Fleet
+    from .sim.compile import generate_request_stream
+
+    fleet = Fleet(8, 9, 3, seed=0, placement=placement)
+    cfg = WorkloadConfig(
+        interarrival_ms=SERVICE_OFFERED_INTERARRIVAL_MS,
+        read_fraction=1.0,
+        seed=7,
+    )
+    times, is_read, lbas = generate_request_stream(
+        cfg, BALANCE_DURATION_MS, fleet.capacity
+    )
+    rep = fleet.serve_stream(times, is_read, lbas)
+    return {
+        "placement": placement,
+        "requests": rep.scheduled,
+        "per_shard_scheduled": rep.per_shard_scheduled,
+        "request_balance": rep.shard_balance,
+    }
+
+
+def _migration_case() -> dict:
+    """Grow a fleet live under mixed traffic (the tentpole scenario):
+    zero lost requests, every moved volume verified bit-for-bit, and a
+    fresh post-migration stream whose request balance holds the
+    non-ring bar."""
+    from .service import Fleet, MigrationCoordinator
+    from .sim.compile import generate_request_stream
+
+    start, target = MIGRATION_GROW
+    fleet = Fleet(
+        start, 9, 3, seed=0, dataplane=True, placement="weighted"
+    )
+    coordinator = MigrationCoordinator(
+        fleet, target, at_ms=MIGRATION_DURATION_MS * 0.25, admission=2
+    )
+    coordinator.arm()
+    cfg = WorkloadConfig(
+        interarrival_ms=SERVICE_OFFERED_INTERARRIVAL_MS,
+        read_fraction=SERVICE_READ_FRACTION,
+        seed=7,
+    )
+    times, is_read, lbas = generate_request_stream(
+        cfg, MIGRATION_DURATION_MS, fleet.capacity
+    )
+    t0 = time.perf_counter()
+    during = fleet.serve_stream(times, is_read, lbas)
+    wall = time.perf_counter() - t0
+    # Post-migration: a fresh uniform stream over the grown fleet must
+    # hit the tightened balance bar.
+    post_cfg = WorkloadConfig(
+        interarrival_ms=SERVICE_OFFERED_INTERARRIVAL_MS,
+        read_fraction=1.0,
+        seed=8,
+    )
+    times, is_read, lbas = generate_request_stream(
+        post_cfg, BALANCE_DURATION_MS, fleet.capacity
+    )
+    post = fleet.serve_stream(times, is_read, lbas)
+    return {
+        "grow_from": start,
+        "grow_to": target,
+        "volumes_moved": len(coordinator.outcomes),
+        "planned_moves": len(coordinator.plan.moves),
+        "units_copied": coordinator.total_units_copied(),
+        "held_requests": sum(o.held_requests for o in coordinator.outcomes),
+        "forwarded_writes": sum(
+            o.forwarded_writes for o in coordinator.outcomes
+        ),
+        "requests_during": during.scheduled,
+        "lost_during": during.lost,
+        "zero_lost": during.lost == 0,
+        "all_verified": coordinator.all_verified,
+        "throughput_during_rps": during.throughput_rps,
+        "post_request_balance": post.shard_balance,
+        "post_per_shard_scheduled": post.per_shard_scheduled,
+        "wall_s": wall,
+    }
+
+
 def run_service_bench(out_dir: str | Path = ".") -> dict:
     """Run the fleet service suite and write ``BENCH_service.json``."""
     clear_registry()
@@ -446,6 +541,13 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
     top = rows[-1]
     scaling = top["throughput_rps"] / baseline if baseline else 0.0
     degraded = _degraded_case(top["throughput_rps"])
+    balance_rows = [_balance_case(p) for p in ("ring", "p2c", "weighted")]
+    tightened = max(
+        r["request_balance"]
+        for r in balance_rows
+        if r["placement"] != "ring"
+    )
+    migration = _migration_case()
     payload = {
         "benchmark": "service",
         "offered_interarrival_ms": SERVICE_OFFERED_INTERARRIVAL_MS,
@@ -453,6 +555,13 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
         "read_fraction": SERVICE_READ_FRACTION,
         "scaling": rows,
         "degraded": degraded,
+        "balance": {
+            "bar": BALANCE_BAR,
+            "cases": balance_rows,
+            "ring_baseline": balance_rows[0]["request_balance"],
+            "tightened_worst": tightened,
+        },
+        "migration": migration,
         "single_array_rps": baseline,
         "fleet_rps": top["throughput_rps"],
         "throughput_scaling": scaling,
@@ -460,6 +569,10 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
             scaling >= 2.5
             and degraded["all_rebuilt_verified"]
             and degraded["conformance_passed"]
+            and tightened <= BALANCE_BAR
+            and migration["zero_lost"]
+            and migration["all_verified"]
+            and migration["post_request_balance"] <= BALANCE_BAR
         ),
     }
     out = Path(out_dir) / "BENCH_service.json"
@@ -475,6 +588,19 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
         f"{degraded['throughput_rps']:,.0f} req/s "
         f"({degraded['throughput_vs_healthy']:.2f}x of healthy), "
         f"verified={degraded['all_rebuilt_verified']}"
+    )
+    for r in balance_rows:
+        print(
+            f"balance placement={r['placement']:<9} request max/min "
+            f"{r['request_balance']:.2f}x over {r['requests']} requests"
+        )
+    print(
+        f"migration {migration['grow_from']} -> {migration['grow_to']} "
+        f"shards: {migration['volumes_moved']} volumes, "
+        f"{migration['units_copied']} units copied, lost "
+        f"{migration['lost_during']}, verified "
+        f"{migration['all_verified']}, post balance "
+        f"{migration['post_request_balance']:.2f}x (bar {BALANCE_BAR}x)"
     )
     print(
         f"throughput scaling {scaling:.1f}x over single array "

@@ -3,9 +3,12 @@
 The three calls a downstream user needs:
 
 >>> import repro
->>> layout = repro.build_layout(33, 5)          # auto-planned
+>>> layout = repro.build_layout(9, 3)           # auto-planned
 >>> metrics = repro.evaluate(layout)            # Conditions 2-4 metrics
->>> design = repro.build_design(13, 4)          # smallest known BIBD
+>>> design = repro.build_design(7, 3)           # smallest known BIBD
+
+These doctests run in ``make check`` (``make doctest``), so every
+example here is guaranteed to stay executable.
 """
 
 from __future__ import annotations
@@ -19,7 +22,15 @@ __all__ = ["build_design", "build_layout", "evaluate", "plan"]
 
 def build_design(v: int, k: int, *, max_blocks: int | None = None) -> BlockDesign:
     """Smallest available BIBD for ``(v, k)`` (see
-    :func:`repro.designs.best_design`)."""
+    :func:`repro.designs.best_design`).
+
+    Example:
+        >>> from repro import build_design
+        >>> design = build_design(7, 3)
+        >>> design.v, design.k, len(design.blocks) > 0
+        (7, 3, True)
+        >>> design.verify()                     # raises on a non-BIBD
+    """
     return best_design(v, k, max_blocks=max_blocks)
 
 
@@ -31,7 +42,17 @@ def plan(
     require_balanced: bool = False,
 ) -> LayoutPlan:
     """Plan (without building) the best layout construction for
-    ``(v, k)`` under a size budget."""
+    ``(v, k)`` under a size budget.
+
+    Example:
+        >>> from repro import plan
+        >>> p = plan(9, 3)
+        >>> p.v, p.k, p.predicted_size > 0
+        (9, 3, True)
+        >>> layout = p.build()                  # plans are lazy
+        >>> layout.v
+        9
+    """
     return plan_layout(v, k, max_size=max_size, require_balanced=require_balanced)
 
 
@@ -45,6 +66,13 @@ def build_layout(
     """Build the best feasible parity-declustered layout for a
     ``v``-disk array with stripe size ``k``.
 
+    Example:
+        >>> from repro import build_layout
+        >>> layout = build_layout(9, 3)
+        >>> layout.v, layout.b > 0
+        (9, True)
+        >>> layout.validate()                   # Condition 1 holds
+
     Raises:
         NoFeasiblePlanError: if no construction fits the size budget;
             the error lists the nearest feasible ``(v, k)`` alternatives.
@@ -55,5 +83,14 @@ def build_layout(
 
 
 def evaluate(layout: Layout) -> LayoutMetrics:
-    """Metrics for a layout against the paper's Conditions 2-4."""
+    """Metrics for a layout against the paper's Conditions 2-4.
+
+    Example:
+        >>> from repro import build_layout, evaluate
+        >>> m = evaluate(build_layout(9, 3))
+        >>> m.parity_spread <= 1                # max-min parity units/disk
+        True
+        >>> 0 < m.workload_max <= 1.0           # rebuild read fraction
+        True
+    """
     return evaluate_layout(layout)

@@ -16,6 +16,17 @@ cheapest engine per shard: the analytic queue solver when the whole
 fleet is healthy and read-only, the compiled executor otherwise.  No
 per-request Python happens between the socket (here: the stream
 vectors) and the disk queues.
+
+Routing is also *mutable* per volume: the fleet routes through a
+volume→shard table seeded from the :class:`ShardMap` and updated one
+volume at a time as a live migration
+(:class:`repro.service.MigrationCoordinator`) cuts volumes over to new
+shards.  While a migration is active, requests to moving volumes are
+diverted out of the batched per-shard compile and dispatched
+request-by-request on the shared clock, so each one follows the
+volume's *current* owner (source before cutover, destination after)
+and can be drained and counted exactly — the seam that makes "grow the
+fleet under load with zero lost requests" a checkable property.
 """
 
 from __future__ import annotations
@@ -100,12 +111,17 @@ class Fleet:
             ``16 * shards``).
         disk_params: service-time model shared by every disk.
         dataplane: attach byte-level data planes (enables bit-for-bit
-            rebuild verification at simulation cost).
+            rebuild and migration verification at simulation cost).
         seed: shard-ring seed and per-array data-plane fill seed base.
         replicas: consistent-hash ring points per shard.
+        placement: :class:`ShardMap` placement policy — ``"ring"``
+            (baseline), ``"p2c"``, or ``"weighted"``.  The non-ring
+            policies balance per-volume *traffic weights* (each
+            volume's addressable extent), which is what tightens
+            request-level shard balance from ~2x to <= 1.3x max/min.
 
     Raises:
-        ValueError: on a non-positive shard count.
+        ValueError: on a non-positive shard count or unknown placement.
         NoFeasiblePlanError: if no layout construction fits ``(v, k)``.
     """
 
@@ -120,12 +136,16 @@ class Fleet:
         dataplane: bool = False,
         seed: int = 0,
         replicas: int = 64,
+        placement: str = "ring",
     ):
         if shards < 1:
             raise ValueError(f"a fleet needs >= 1 shard, got {shards}")
         self.sim = Simulator()
         self.layout: Layout = get_layout(v, k)
         self.seed = seed
+        self.placement = placement
+        self._disk_params = disk_params
+        self._dataplane = dataplane
         self.controllers = [
             ArrayController(
                 self.layout,
@@ -137,17 +157,30 @@ class Fleet:
             for i in range(shards)
         ]
         self.shard_capacity = self.controllers[0].mapper.capacity
+        # The logical address space is fixed at creation: growing the
+        # fleet adds serving capacity for the *same* volumes (the
+        # migration story), it does not extend the LBA range.
         self.capacity = self.shard_capacity * shards
         n_volumes = volumes if volumes is not None else 16 * shards
-        self.shard_map = ShardMap(
-            shards, n_volumes, seed=seed, replicas=replicas
-        )
         # Volume extent: ceil so every global LBA falls in a volume.
         self.volume_units = -(-self.capacity // n_volumes)
+        self.shard_map = ShardMap(
+            shards,
+            n_volumes,
+            seed=seed,
+            replicas=replicas,
+            policy=placement,
+            weights=self.volume_weights(n_volumes),
+        )
+        # Mutable routing: starts as the map's placement, updated one
+        # volume at a time by a live migration's cutovers.
+        self._volume_route = self.shard_map.assignment()
+        self._migration = None  # attached by MigrationCoordinator
 
     @property
     def shards(self) -> int:
-        """Number of arrays in the fleet."""
+        """Number of arrays in the fleet (including any shards a shrink
+        migration has drained — they idle but stay on the clock)."""
         return len(self.controllers)
 
     def failed_arrays(self) -> list[int]:
@@ -157,6 +190,64 @@ class Fleet:
             for i, c in enumerate(self.controllers)
             if c.failed_disk is not None
         ]
+
+    def volume_weights(self, n_volumes: int | None = None) -> np.ndarray:
+        """Per-volume traffic weights: each volume's *addressable
+        extent* in units.  Tail volumes past the capacity edge weigh 0
+        (they receive no traffic), a partial last volume weighs its
+        real extent — what the ``p2c``/``weighted`` policies balance.
+        """
+        n = n_volumes if n_volumes is not None else self.shard_map.volumes
+        starts = np.arange(n, dtype=np.int64) * self.volume_units
+        return np.clip(
+            self.capacity - starts, 0, self.volume_units
+        ).astype(np.float64)
+
+    def volume_route(self) -> np.ndarray:
+        """The live volume→shard routing table (a copy) — equals
+        :meth:`ShardMap.assignment` except mid-migration, where cut-over
+        volumes already point at their destination."""
+        return self._volume_route.copy()
+
+    def routing_fingerprint(self) -> int:
+        """Deterministic digest of the live routing table (the
+        :meth:`ShardMap.fingerprint` analogue for mid-migration
+        states)."""
+        from .sharding import fingerprint_assignment
+
+        return fingerprint_assignment(self._volume_route, self.seed)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration plumbing (driven by MigrationCoordinator)
+    # ------------------------------------------------------------------
+
+    def ensure_shards(self, target: int) -> None:
+        """Grow the controller set to ``target`` arrays on the shared
+        clock (no-op when already that large).  New arrays serve no
+        volumes until a migration cuts some over to them."""
+        while len(self.controllers) < target:
+            i = len(self.controllers)
+            self.controllers.append(
+                ArrayController(
+                    self.layout,
+                    sim=self.sim,
+                    disk_params=self._disk_params,
+                    dataplane=self._dataplane,
+                    seed=self.seed + i,
+                )
+            )
+
+    def attach_migration(self, coordinator) -> None:
+        """Register the live migration that diverts moving-volume
+        traffic (one at a time).
+
+        Raises:
+            RuntimeError: if an unfinished migration is already
+                attached.
+        """
+        if self._migration is not None and not self._migration.done:
+            raise RuntimeError("a migration is already in progress")
+        self._migration = coordinator
 
     # ------------------------------------------------------------------
     # Routing
@@ -170,19 +261,44 @@ class Fleet:
     ) -> tuple[list[CompiledTrace], np.ndarray]:
         """Split and compile a fleet-global stream per shard.
 
-        One vectorized pass: global LBA → volume → shard (consistent
-        hash), then one ``map_batch``-backed compile per shard over its
+        One vectorized pass: global LBA → volume → live routing table,
+        then one ``map_batch``-backed compile per shard over its
         sub-stream (global LBAs fold onto the shard's address space).
         Relative arrival order within a shard is preserved.
 
+        While a migration is active, requests to moving volumes are
+        *diverted*: they carry shard id ``-1`` here and are handed to
+        the coordinator, which dispatches each one at its arrival time
+        to the volume's current owner (so cutovers mid-stream take
+        effect) — see :class:`repro.service.MigrationCoordinator`.
+
         Returns:
             ``(compiled, shard_ids)`` — one :class:`CompiledTrace` per
-            shard plus each request's routed shard.
+            shard plus each request's routed shard (``-1`` = diverted).
+
+        Raises:
+            IndexError: if any LBA falls outside the fleet capacity.
         """
         times = np.asarray(times, dtype=np.float64)
         is_read = np.asarray(is_read, dtype=bool)
         lbas = np.ascontiguousarray(lbas, dtype=np.int64)
-        shard_ids = self.shard_map.shard_of_volume(lbas // self.volume_units)
+        vols = lbas // self.volume_units
+        if vols.size and (
+            vols.min() < 0 or vols.max() >= self.shard_map.volumes
+        ):
+            raise IndexError(
+                f"LBAs outside the fleet capacity {self.capacity}: "
+                f"volume range [{vols.min()}, {vols.max()}]"
+            )
+        shard_ids = self._volume_route[vols]
+        mig = self._migration
+        if mig is not None and not mig.done:
+            moving = mig.claims(vols)
+            if moving.any():
+                mig.register_stream(
+                    times[moving], is_read[moving], lbas[moving], vols[moving]
+                )
+                shard_ids = np.where(moving, np.int64(-1), shard_ids)
         compiled = []
         for s, ctrl in enumerate(self.controllers):
             mask = shard_ids == s
@@ -253,6 +369,8 @@ class Fleet:
             for ctrl in self.controllers
         ]
         ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
+        mig = self._migration
+        mig_base = list(mig.dispatched_per_shard) if mig is not None else None
         read_only = all(t.read_only() for t in compiled)
         if read_only and self._all_healthy() and not self.sim.pending():
             self._solve_all(compiled)
@@ -260,8 +378,21 @@ class Fleet:
             for ctrl, trace in zip(self.controllers, compiled):
                 schedule_compiled(ctrl, trace)
             self.sim.run()
+        # A reshape mid-run grows the controller set; pad the per-shard
+        # snapshots so the report covers the shards born during it.
+        scheduled = [t.n for t in compiled]
+        while len(scheduled) < len(self.controllers):
+            scheduled.append(0)
+            lat_base.append({})
+            ios_base.append([0] * self.layout.v)
+        if mig is not None:
+            # Diverted requests count where the coordinator actually
+            # dispatched them (source pre-cutover, destination after).
+            for s, total in enumerate(mig.dispatched_per_shard):
+                base = mig_base[s] if s < len(mig_base) else 0
+                scheduled[s] += total - base
         return self._report(
-            scheduled=[t.n for t in compiled],
+            scheduled=scheduled,
             start=start,
             lat_base=lat_base,
             ios_base=ios_base,

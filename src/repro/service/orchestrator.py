@@ -5,12 +5,19 @@ A :class:`FailureOrchestrator` arms a schedule of
 :class:`FailureEvent`s on the fleet's shared clock.  When a failure
 fires, the array flips to degraded mode (foreground traffic re-plans
 live — the compiled executor was built for exactly this) and a rebuild
-is *requested*.  At most ``admission`` rebuilds run concurrently across
-the whole fleet; excess requests queue FIFO and start the moment a
-slot frees.  That knob is the classic recovery/foreground trade-off:
-admission 1 serializes rebuild IO (least interference, longest window
-of reduced redundancy), admission K rebuilds everything at once
-(fastest redundancy restoration, most contention).
+is *requested*.  At most ``admission`` recovery jobs run concurrently
+across the whole fleet; excess requests queue FIFO and start the
+moment a slot frees.  That knob is the classic recovery/foreground
+trade-off: admission 1 serializes rebuild IO (least interference,
+longest window of reduced redundancy), admission K rebuilds everything
+at once (fastest redundancy restoration, most contention).
+
+The slot gate itself is a standalone :class:`AdmissionController`, so
+*all* background data movement can share one budget: the scenario
+runner hands the same controller to the orchestrator and to
+:class:`repro.service.MigrationCoordinator`, making volume copies and
+rebuilds compete for the same fleet-wide concurrency slots instead of
+stacking on top of each other.
 
 Every completed rebuild carries the :class:`RebuildReport` of the
 underlying sweep, so with data planes attached the fleet-level verdict
@@ -21,11 +28,63 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..sim.reconstruction import RebuildProcess, RebuildReport
 from .fleet import Fleet
 
-__all__ = ["FailureEvent", "RebuildOutcome", "FailureOrchestrator"]
+__all__ = [
+    "AdmissionController",
+    "FailureEvent",
+    "RebuildOutcome",
+    "FailureOrchestrator",
+]
+
+
+class AdmissionController:
+    """FIFO gate on concurrent background data movement.
+
+    ``submit(start)`` queues a job; at most ``slots`` started jobs are
+    outstanding at any time, and each must call :meth:`release` exactly
+    once when it finishes.  Rebuilds and volume migrations share one
+    instance, so "at most K recovery/migration streams at once" is a
+    single fleet-wide invariant rather than two independent caps.
+    """
+
+    def __init__(self, slots: int):
+        if slots < 1:
+            raise ValueError(f"admission slots must be >= 1, got {slots}")
+        self.slots = slots
+        self.active = 0
+        self._queue: deque[Callable[[], None]] = deque()
+
+    def submit(self, start: Callable[[], None]) -> None:
+        """Queue a job; ``start`` fires as soon as a slot is free
+        (possibly immediately, inline)."""
+        self._queue.append(start)
+        self._pump()
+
+    def release(self) -> None:
+        """Return a slot (called by a finished job) and start the next
+        queued one, if any.
+
+        Raises:
+            RuntimeError: on a release without a matching start.
+        """
+        if self.active < 1:
+            raise RuntimeError("release() without an active admission slot")
+        self.active -= 1
+        self._pump()
+
+    def _pump(self) -> None:
+        while self.active < self.slots and self._queue:
+            self.active += 1
+            self._queue.popleft()()
+
+    @property
+    def queued(self) -> int:
+        """Jobs waiting for a slot."""
+        return len(self._queue)
 
 
 @dataclass(frozen=True)
@@ -79,23 +138,26 @@ class FailureOrchestrator:
         fleet: the fleet under test.
         failures: the schedule (any order; at most one per array — the
             arrays are single-parity).
-        admission: max rebuilds running concurrently fleet-wide.
+        admission: max recovery jobs running concurrently fleet-wide
+            (ignored when ``admission_controller`` is given).
         parallelism: stripes rebuilt concurrently within one array.
+        admission_controller: optional shared slot gate — pass the same
+            instance to a :class:`repro.service.MigrationCoordinator`
+            to make rebuilds and volume copies share one budget.
     """
 
     fleet: Fleet
     failures: tuple[FailureEvent, ...]
     admission: int = 2
     parallelism: int = 4
+    admission_controller: AdmissionController | None = None
 
     outcomes: list[RebuildOutcome] = field(default_factory=list, init=False)
-    _pending: deque = field(default_factory=deque, init=False)
-    _active: int = field(default=0, init=False)
     _armed: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
-        if self.admission < 1:
-            raise ValueError("admission must be >= 1")
+        if self.admission_controller is None:
+            self.admission_controller = AdmissionController(self.admission)
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         seen_arrays: set[int] = set()
@@ -138,39 +200,32 @@ class FailureOrchestrator:
     def _make_failure(self, ev: FailureEvent):
         def fire() -> None:
             self.fleet.controllers[ev.array].fail_disk(ev.disk)
-            self._pending.append((ev, self.fleet.sim.now))
-            self._admit()
+            failed_at = self.fleet.sim.now
+            self.admission_controller.submit(
+                lambda: self._start_rebuild(ev, failed_at)
+            )
 
         return fire
 
-    def _admit(self) -> None:
-        while self._active < self.admission and self._pending:
-            ev, failed_at = self._pending.popleft()
-            ctrl = self.fleet.controllers[ev.array]
-            started_at = self.fleet.sim.now
-            self._active += 1
+    def _start_rebuild(self, ev: FailureEvent, failed_at: float) -> None:
+        ctrl = self.fleet.controllers[ev.array]
+        started_at = self.fleet.sim.now
 
-            def on_done(
-                report: RebuildReport,
-                _ev: FailureEvent = ev,
-                _failed_at: float = failed_at,
-                _started_at: float = started_at,
-            ) -> None:
-                self.outcomes.append(
-                    RebuildOutcome(
-                        array=_ev.array,
-                        failed_disk=_ev.disk,
-                        failed_at_ms=_failed_at,
-                        started_at_ms=_started_at,
-                        report=report,
-                    )
+        def on_done(report: RebuildReport) -> None:
+            self.outcomes.append(
+                RebuildOutcome(
+                    array=ev.array,
+                    failed_disk=ev.disk,
+                    failed_at_ms=failed_at,
+                    started_at_ms=started_at,
+                    report=report,
                 )
-                self._active -= 1
-                self._admit()
+            )
+            self.admission_controller.release()
 
-            RebuildProcess(
-                ctrl, parallelism=self.parallelism, on_complete=on_done
-            ).start()
+        RebuildProcess(
+            ctrl, parallelism=self.parallelism, on_complete=on_done
+        ).start()
 
     # ------------------------------------------------------------------
     # Verdicts

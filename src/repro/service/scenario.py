@@ -1,20 +1,28 @@
 """Scripted fleet scenarios: fleet size + workload mix + failure
-schedule → one JSON-ready report.
+schedule + reconfiguration steps → one JSON-ready report.
 
 This is the ``python -m repro serve`` engine.  A
 :class:`FleetScenario` pins everything — shard count, layout pair,
-offered load, failure schedule, admission knob, seeds — so a scenario
-is a pure function of its parameters: run it twice, get the same
-report (the routing-determinism property the service tests pin).
+offered load, failure schedule, admission knob, grow/shrink step,
+placement policy, seeds — so a scenario is a pure function of its
+parameters: run it twice, get the same report (the
+routing-determinism property the service tests pin).
 
 The run order is the production story end to end:
 
 1. build the fleet (shared clock, registry-cached layout/mapper);
 2. conformance-gate the served layouts (Conditions 1-4, for free);
-3. generate + route + compile the whole request stream;
-4. arm the failure schedule and admission-controlled rebuilds;
+3. generate + route + compile the whole request stream (requests to
+   volumes a reshape will move are diverted to the live dispatcher);
+4. arm the failure schedule, admission-controlled rebuilds, and the
+   grow/shrink migration — rebuilds and volume copies share one
+   admission budget;
 5. drain the shared event loop;
-6. aggregate per-array reports into the fleet report.
+6. aggregate per-array reports, rebuild outcomes, and migration
+   outcomes into the fleet report.
+
+``docs/SCENARIOS.md`` is the cookbook: every field, the JSON report
+schema, and worked failure-storm / growth / mixed examples.
 """
 
 from __future__ import annotations
@@ -26,7 +34,13 @@ from ..sim.disk import DiskParameters
 from ..sim.workload import WorkloadConfig
 from .conformance import FleetConformance, check_fleet
 from .fleet import Fleet, FleetReport
-from .orchestrator import FailureEvent, FailureOrchestrator, RebuildOutcome
+from .migration import MigrationCoordinator, VolumeMigrationOutcome
+from .orchestrator import (
+    AdmissionController,
+    FailureEvent,
+    FailureOrchestrator,
+    RebuildOutcome,
+)
 
 __all__ = [
     "FleetScenario",
@@ -71,18 +85,26 @@ class FleetScenario:
     """Everything that defines one serving scenario.
 
     Attributes:
-        shards: arrays in the fleet.
+        shards: arrays in the fleet at scenario start.
         v / k: layout pair served by every shard.
         duration_ms: workload horizon.
         interarrival_ms: *aggregate* fleet mean interarrival.
         read_fraction / zipf_theta / workload_seed: the synthetic mix.
         failures: the failure schedule (empty = healthy run).
-        admission: max concurrent rebuilds fleet-wide.
+        admission: max concurrent background recovery/migration jobs
+            fleet-wide (rebuilds and volume copies share the budget).
         rebuild_parallelism: concurrent stripes per rebuilding array.
-        verify_data: attach data planes and verify rebuilds
-            bit-for-bit.
+        verify_data: attach data planes and verify rebuilds *and*
+            migrated volumes bit-for-bit.
         check_conformance: gate the run on Conditions 1-4.
         volumes: logical volumes (default ``16 * shards``).
+        placement: :class:`ShardMap` policy (``ring``/``p2c``/
+            ``weighted``).
+        reshape_to: grow/shrink step — target shard count to migrate
+            to mid-run (``None`` = no reconfiguration).
+        reshape_at_ms: when the reshape fires (default: a quarter into
+            the horizon).
+        copy_parallelism: concurrent unit copies per migrating volume.
         seed: shard-ring / data-plane seed.
     """
 
@@ -100,6 +122,10 @@ class FleetScenario:
     verify_data: bool = True
     check_conformance: bool = True
     volumes: int | None = None
+    placement: str = "ring"
+    reshape_to: int | None = None
+    reshape_at_ms: float | None = None
+    copy_parallelism: int = 4
     seed: int = 0
 
     def workload(self) -> WorkloadConfig:
@@ -111,6 +137,14 @@ class FleetScenario:
             seed=self.workload_seed,
         )
 
+    def reshape_time(self) -> float:
+        """Resolved reshape time (default: a quarter in)."""
+        return (
+            self.reshape_at_ms
+            if self.reshape_at_ms is not None
+            else self.duration_ms * 0.25
+        )
+
 
 @dataclass(frozen=True)
 class FleetScenarioReport:
@@ -120,6 +154,8 @@ class FleetScenarioReport:
     conformance: FleetConformance | None
     fleet: FleetReport
     rebuilds: tuple[RebuildOutcome, ...]
+    migrations: tuple[VolumeMigrationOutcome, ...]
+    planned_moves: int
     routing_fingerprint: int
     wall_s: float
     max_concurrent_rebuilds: int = field(default=0)
@@ -135,13 +171,38 @@ class FleetScenarioReport:
         return all(o.report.data_verified is not False for o in self.rebuilds)
 
     @property
+    def all_migrated_verified(self) -> bool:
+        """Every planned volume move completed with zero lost requests
+        and (with data planes) a bit-for-bit verified copy (vacuously
+        true without a reshape step)."""
+        if self.scenario.reshape_to is None:
+            return True
+        if len(self.migrations) != self.planned_moves:
+            return False
+        if self.fleet.lost:
+            return False
+        if self.scenario.verify_data:
+            return all(
+                o.data_verified is True
+                for o in self.migrations
+                if o.units_copied
+            )
+        return all(o.data_verified is not False for o in self.migrations)
+
+    @property
     def passed(self) -> bool:
-        """Conformance (when checked) plus full verified recovery."""
+        """Conformance (when checked), full verified recovery, and a
+        fully verified reconfiguration."""
         conf_ok = self.conformance is None or self.conformance.passed
-        return conf_ok and self.all_rebuilt_verified
+        return (
+            conf_ok
+            and self.all_rebuilt_verified
+            and self.all_migrated_verified
+        )
 
     def to_dict(self) -> dict:
-        """JSON-ready report (the ``repro serve`` output)."""
+        """JSON-ready report (the ``repro serve`` output; schema
+        documented in ``docs/SCENARIOS.md``)."""
         sc = self.scenario
         return {
             "scenario": {
@@ -157,6 +218,12 @@ class FleetScenarioReport:
                 "rebuild_parallelism": sc.rebuild_parallelism,
                 "verify_data": sc.verify_data,
                 "volumes": sc.volumes,
+                "placement": sc.placement,
+                "reshape_to": sc.reshape_to,
+                "reshape_at_ms": (
+                    sc.reshape_time() if sc.reshape_to is not None else None
+                ),
+                "copy_parallelism": sc.copy_parallelism,
                 "seed": sc.seed,
                 "failures": [
                     {"time_ms": f.time_ms, "array": f.array, "disk": f.disk}
@@ -190,9 +257,45 @@ class FleetScenarioReport:
                 }
                 for o in self.rebuilds
             ],
+            "migration": (
+                {
+                    "target_shards": sc.reshape_to,
+                    "planned_moves": self.planned_moves,
+                    "completed_moves": len(self.migrations),
+                    "units_copied": sum(
+                        o.units_copied for o in self.migrations
+                    ),
+                    "held_requests": sum(
+                        o.held_requests for o in self.migrations
+                    ),
+                    "forwarded_writes": sum(
+                        o.forwarded_writes for o in self.migrations
+                    ),
+                    "zero_lost": self.fleet.lost == 0,
+                    "all_verified": self.all_migrated_verified,
+                    "volumes": [
+                        {
+                            "volume": o.volume,
+                            "source": o.source,
+                            "dest": o.dest,
+                            "units_copied": o.units_copied,
+                            "admission_delay_ms": o.admission_delay_ms,
+                            "copy_ms": o.copy_ms,
+                            "drain_ms": o.drain_ms,
+                            "held_requests": o.held_requests,
+                            "forwarded_writes": o.forwarded_writes,
+                            "data_verified": o.data_verified,
+                        }
+                        for o in self.migrations
+                    ],
+                }
+                if sc.reshape_to is not None
+                else None
+            ),
             "max_concurrent_rebuilds": self.max_concurrent_rebuilds,
             "routing_fingerprint": self.routing_fingerprint,
             "all_rebuilt_verified": self.all_rebuilt_verified,
+            "all_migrated_verified": self.all_migrated_verified,
             "passed": self.passed,
             "wall_s": self.wall_s,
         }
@@ -204,7 +307,8 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
 
     Raises:
         ValueError: on inconsistent scenario parameters (bad failure
-            targets, admission < 1, ...).
+            targets, admission < 1, a failure schedule overlapping the
+            arrays a reshape copies between, ...).
     """
     t0 = time.perf_counter()
     fleet = Fleet(
@@ -214,15 +318,39 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
         volumes=scenario.volumes,
         dataplane=scenario.verify_data,
         seed=scenario.seed,
+        placement=scenario.placement,
     )
     conformance = check_fleet(fleet) if scenario.check_conformance else None
 
+    admission = AdmissionController(scenario.admission)
     orchestrator = FailureOrchestrator(
         fleet,
         scenario.failures,
         admission=scenario.admission,
         parallelism=scenario.rebuild_parallelism,
+        admission_controller=admission,
     )
+    coordinator = None
+    if scenario.reshape_to is not None:
+        coordinator = MigrationCoordinator(
+            fleet,
+            scenario.reshape_to,
+            at_ms=scenario.reshape_time(),
+            admission_controller=admission,
+            copy_parallelism=scenario.copy_parallelism,
+        )
+        involved = coordinator.plan.arrays_involved()
+        clash = sorted(
+            {f.array for f in scenario.failures} & involved
+        )
+        if clash:
+            raise ValueError(
+                f"failure schedule targets arrays {clash}, which the "
+                f"reshape to {scenario.reshape_to} shards copies "
+                "between; failures and migrations must touch disjoint "
+                "arrays"
+            )
+        coordinator.arm()
     orchestrator.arm()
     report = fleet.serve_workload(scenario.workload(), scenario.duration_ms)
     # Failures scheduled beyond the last request completion have fired
@@ -235,6 +363,12 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
         conformance=conformance,
         fleet=report,
         rebuilds=tuple(orchestrator.outcomes),
+        migrations=(
+            tuple(coordinator.outcomes) if coordinator is not None else ()
+        ),
+        planned_moves=(
+            len(coordinator.plan.moves) if coordinator is not None else 0
+        ),
         routing_fingerprint=fleet.shard_map.fingerprint(),
         wall_s=time.perf_counter() - t0,
         max_concurrent_rebuilds=orchestrator.max_concurrent_observed(),

@@ -2,30 +2,72 @@
 
 The fleet's address space is carved into *logical volumes* (fixed-size
 contiguous LBA ranges).  A :class:`ShardMap` places each volume on one
-shard (array) with a **bounded-load consistent-hash ring**: every
-shard owns ``replicas`` pseudo-random points on a 64-bit ring, a
-volume walks the ring from its own hash, and lands on the first shard
-still under the load cap ``ceil(volumes / shards * load_factor)``.
-Adding or removing one shard therefore only moves the volumes adjacent
-to its points (~1/N of them) — unlike modulo placement, which
-reshuffles everything — while the cap keeps the busiest shard within
-``load_factor`` of the mean (plain consistent hashing is 2-3x lumpy at
-realistic replica counts, which would cap fleet throughput scaling).
+shard (array) under one of three **placement policies**:
+
+``"ring"`` (default, the PR-3 baseline)
+    A bounded-load consistent-hash ring: every shard owns ``replicas``
+    pseudo-random points on a 64-bit ring, a volume walks the ring from
+    its own hash, and lands on the first shard still under the load cap
+    ``ceil(volumes / shards * load_factor)``.  Adding or removing one
+    shard only moves the volumes adjacent to its points (~1/N of them),
+    but the cap bounds only the busiest shard — the least-busy one can
+    sit well below the mean, which is why uniform traffic sees ~2x
+    max/min *request* imbalance across shards.
+
+``"p2c"`` (power of two choices)
+    Each volume hashes to two independent ring positions and takes the
+    candidate shard with the smaller accumulated volume *weight*.  The
+    classic two-choices effect collapses the max-min gap to a handful
+    of volumes, tightening request balance to ~1.1-1.3x while keeping
+    most of the ring's movement locality under growth.
+
+``"weighted"``
+    Deterministic LPT greedy: volumes in descending weight order each
+    go to the least-loaded shard.  The tightest balance of the three
+    (max-min within one volume weight) at the cost of more movement
+    when the fleet is resized — the right policy when request balance
+    matters more than migration volume.
+
+Per-volume ``weights`` (default: uniform) let the placement account
+for unequal traffic — e.g. the fleet weights volumes by their
+*addressable extent*, so a partial or dead tail volume stops
+distorting the balance the way it does under plain volume counting.
 
 Hashing is a seeded splitmix64 implemented in NumPy — fully
 deterministic across processes and Python hash randomization.  The
 volume→shard table is resolved once at construction; routing a
 million-request stream is then one vectorized table gather
-(:meth:`ShardMap.shard_of_volume`).
+(:meth:`ShardMap.shard_of_volume`).  :meth:`ShardMap.reshaped` builds
+the same-policy map for a different shard count (the fleet-growth
+primitive) and :meth:`ShardMap.moved_volumes` names exactly which
+volumes a resize relocates — the work list for
+:class:`repro.service.MigrationCoordinator`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ShardMap", "splitmix64"]
+__all__ = [
+    "ShardMap",
+    "splitmix64",
+    "fingerprint_assignment",
+    "PLACEMENT_POLICIES",
+]
 
 _MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Recognized placement policies, in baseline-first order.
+PLACEMENT_POLICIES = ("ring", "p2c", "weighted")
+
+
+def fingerprint_assignment(assignment: np.ndarray, seed: int) -> int:
+    """Deterministic digest of a volume→shard table — shared by
+    :meth:`ShardMap.fingerprint` and the fleet's live routing table so
+    the two can never drift apart."""
+    return int(
+        splitmix64(assignment.astype(np.uint64), seed=seed).sum() & _MASK
+    )
 
 
 def splitmix64(x: np.ndarray | int, seed: int = 0) -> np.ndarray:
@@ -44,20 +86,25 @@ def splitmix64(x: np.ndarray | int, seed: int = 0) -> np.ndarray:
 
 
 class ShardMap:
-    """Consistent-hash placement of ``volumes`` logical volumes on
-    ``shards`` arrays.
+    """Placement of ``volumes`` logical volumes on ``shards`` arrays.
 
     Args:
         shards: number of arrays in the fleet.
         volumes: number of logical volumes (the routing granularity).
         seed: ring seed — fixes every placement decision.
         replicas: ring points per shard (more points, smoother balance).
-        load_factor: bound on the busiest shard's volume count relative
-            to the mean (``cap = ceil(volumes / shards * load_factor)``).
+        load_factor: ``"ring"`` policy only — bound on the busiest
+            shard's volume count relative to the mean
+            (``cap = ceil(volumes / shards * load_factor)``).
+        policy: placement policy — one of :data:`PLACEMENT_POLICIES`.
+        weights: optional per-volume traffic weights (non-negative,
+            length ``volumes``).  Balanced by ``"p2c"`` and
+            ``"weighted"``; the ``"ring"`` baseline counts volumes.
 
     Raises:
-        ValueError: on non-positive shard/volume/replica counts or a
-            ``load_factor`` below 1.
+        ValueError: on non-positive shard/volume/replica counts, a
+            ``load_factor`` below 1, an unknown policy, or malformed
+            weights.
     """
 
     def __init__(
@@ -68,6 +115,8 @@ class ShardMap:
         seed: int = 0,
         replicas: int = 64,
         load_factor: float = 1.05,
+        policy: str = "ring",
+        weights: np.ndarray | None = None,
     ):
         if shards < 1 or volumes < 1 or replicas < 1:
             raise ValueError(
@@ -76,11 +125,28 @@ class ShardMap:
             )
         if load_factor < 1.0:
             raise ValueError(f"load_factor must be >= 1, got {load_factor}")
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r} "
+                f"(choose from {', '.join(PLACEMENT_POLICIES)})"
+            )
         self.shards = shards
         self.volumes = volumes
         self.seed = seed
         self.replicas = replicas
         self.load_factor = load_factor
+        self.policy = policy
+        if weights is None:
+            self._weights = np.ones(volumes, dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (volumes,):
+                raise ValueError(
+                    f"weights must have shape ({volumes},), got {w.shape}"
+                )
+            if not np.isfinite(w).all() or (w < 0).any():
+                raise ValueError("weights must be finite and non-negative")
+            self._weights = w.copy()
 
         # Ring points: hash (shard, replica) pairs; ties (astronomically
         # unlikely) break toward the lower shard id via stable sort.
@@ -91,17 +157,39 @@ class ShardMap:
         self._ring_points = points[order]
         self._ring_owners = owners[order]
 
-        # Bounded-load placement, resolved once (volume counts are
-        # small — thousands, not millions): each volume walks the ring
-        # from its hash and takes the first shard under the cap, so
-        # routing is one table gather afterwards.
-        cap = -(-volumes * load_factor // shards)
-        vhash = splitmix64(np.arange(volumes, dtype=np.uint64), seed=seed + 1)
+        if policy == "ring":
+            self._volume_shard = self._place_ring()
+        elif policy == "p2c":
+            self._volume_shard = self._place_p2c()
+        else:
+            self._volume_shard = self._place_weighted()
+
+    # ------------------------------------------------------------------
+    # Placement policies (resolved once; volume counts are small —
+    # thousands, not millions — so routing is one table gather after)
+    # ------------------------------------------------------------------
+
+    def _ring_candidates(self, hash_seed: int) -> np.ndarray:
+        """First ring owner clockwise of each volume's hash under
+        ``hash_seed`` (the consistent-hash primary candidate)."""
+        vhash = splitmix64(
+            np.arange(self.volumes, dtype=np.uint64), seed=hash_seed
+        )
+        at = np.searchsorted(self._ring_points, vhash, side="left")
+        return self._ring_owners[at % len(self._ring_owners)]
+
+    def _place_ring(self) -> np.ndarray:
+        """Bounded-load walk: each volume takes the first shard past its
+        hash still under the count cap."""
+        cap = -(-self.volumes * self.load_factor // self.shards)
+        vhash = splitmix64(
+            np.arange(self.volumes, dtype=np.uint64), seed=self.seed + 1
+        )
         start = np.searchsorted(self._ring_points, vhash, side="left")
         ring_owners = self._ring_owners.tolist()
         ring_len = len(ring_owners)
-        loads = [0] * shards
-        assignment = np.empty(volumes, dtype=np.int64)
+        loads = [0] * self.shards
+        assignment = np.empty(self.volumes, dtype=np.int64)
         for vol, at in enumerate(start.tolist()):
             while True:
                 owner = ring_owners[at % ring_len]
@@ -110,7 +198,41 @@ class ShardMap:
                     assignment[vol] = owner
                     break
                 at += 1
-        self._volume_shard = assignment
+        return assignment
+
+    def _place_p2c(self) -> np.ndarray:
+        """Two independent ring walks per volume; take the candidate
+        with the smaller accumulated weight (ties → first candidate)."""
+        c1 = self._ring_candidates(self.seed + 1).tolist()
+        c2 = self._ring_candidates(self.seed + 2).tolist()
+        w = self._weights.tolist()
+        loads = [0.0] * self.shards
+        assignment = np.empty(self.volumes, dtype=np.int64)
+        for vol in range(self.volumes):
+            a, b = c1[vol], c2[vol]
+            pick = a if loads[a] <= loads[b] else b
+            loads[pick] += w[vol]
+            assignment[vol] = pick
+        return assignment
+
+    def _place_weighted(self) -> np.ndarray:
+        """Deterministic LPT greedy: heaviest volume first onto the
+        least-loaded shard (ties → lower volume id, lower shard id)."""
+        order = np.lexsort(
+            (np.arange(self.volumes), -self._weights)
+        ).tolist()
+        w = self._weights.tolist()
+        loads = [0.0] * self.shards
+        assignment = np.empty(self.volumes, dtype=np.int64)
+        for vol in order:
+            pick = loads.index(min(loads))
+            loads[pick] += w[vol]
+            assignment[vol] = pick
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
 
     def shard_of_volume(self, volumes: np.ndarray | int) -> np.ndarray:
         """Owning shard of each volume id (vectorized table gather).
@@ -134,7 +256,52 @@ class ShardMap:
         """Volumes per shard — the placement balance measure."""
         return np.bincount(self._volume_shard, minlength=self.shards)
 
+    def weight_per_shard(self) -> np.ndarray:
+        """Accumulated volume weight per shard — the balance measure
+        the ``p2c``/``weighted`` policies actually optimize."""
+        return np.bincount(
+            self._volume_shard, weights=self._weights, minlength=self.shards
+        )
+
     def fingerprint(self) -> int:
         """Deterministic digest of the whole placement (for routing
         determinism checks and scenario reports)."""
-        return int(splitmix64(self._volume_shard.astype(np.uint64), seed=self.seed).sum() & _MASK)
+        return fingerprint_assignment(self._volume_shard, self.seed)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def reshaped(self, shards: int) -> "ShardMap":
+        """The same map (seed, policy, weights, replicas) over a
+        different shard count — the target placement of a fleet grow or
+        shrink.  A pure function of its parameters: re-adding a
+        previously removed shard count reproduces the original
+        placement exactly.
+
+        Raises:
+            ValueError: on a non-positive shard count.
+        """
+        return ShardMap(
+            shards,
+            self.volumes,
+            seed=self.seed,
+            replicas=self.replicas,
+            load_factor=self.load_factor,
+            policy=self.policy,
+            weights=self._weights,
+        )
+
+    def moved_volumes(self, other: "ShardMap") -> np.ndarray:
+        """Ascending volume ids whose owner differs between this map
+        and ``other`` — the migration work list of a resize.
+
+        Raises:
+            ValueError: if the two maps cover different volume counts.
+        """
+        if other.volumes != self.volumes:
+            raise ValueError(
+                f"maps cover different volume counts: "
+                f"{self.volumes} vs {other.volumes}"
+            )
+        return np.flatnonzero(self._volume_shard != other._volume_shard)

@@ -26,6 +26,18 @@ event loop:
 per-event path alive: the same compiled stream, submitted through the
 controller's scalar entry points — the equivalence oracle for tests and
 the baseline for ``benchmarks/bench_sim.py``.
+
+The whole pipeline in four lines (doctests here run in ``make
+check``):
+
+>>> from repro.core import get_layout
+>>> from repro.sim import ArrayController, WorkloadConfig
+>>> from repro.sim.compile import compile_workload, schedule_compiled
+>>> ctrl = ArrayController(get_layout(9, 3))
+>>> trace = compile_workload(ctrl.mapper, WorkloadConfig(seed=1), 200.0)
+>>> n = schedule_compiled(ctrl, trace)
+>>> ctrl.sim.run(); n == trace.n
+True
 """
 
 from __future__ import annotations
@@ -75,6 +87,15 @@ def generate_request_stream(
     order replaced the original per-request interleaved draws, so a
     seed's stream differs from pre-compile-pipeline versions; the
     distributions are unchanged.)
+
+    Example:
+        >>> from repro.sim import WorkloadConfig
+        >>> cfg = WorkloadConfig(interarrival_ms=1.0, seed=7)
+        >>> times, is_read, lbas = generate_request_stream(cfg, 50.0, 24)
+        >>> bool((times[:-1] <= times[1:]).all())   # ascending arrivals
+        True
+        >>> bool(times[-1] < 50.0 and lbas.max() < 24)
+        True
     """
     rng = np.random.default_rng(config.seed)
     cdf = perm = None
@@ -128,6 +149,15 @@ class CompiledTrace:
         lbas: logical addresses (already wrapped to capacity).
         disks / offsets / stripes: the ``map_batch`` translation —
             ``stripes`` are *global* stripe ids (across iterations).
+
+    Example:
+        >>> from repro.core import get_layout, get_mapper
+        >>> from repro.sim import WorkloadConfig
+        >>> mapper = get_mapper(get_layout(9, 3))
+        >>> cfg = WorkloadConfig(read_fraction=1.0, seed=1)
+        >>> trace = compile_workload(mapper, cfg, 40.0)
+        >>> trace.read_only() and trace.n == len(trace.disks)
+        True
     """
 
     times: np.ndarray
@@ -159,6 +189,21 @@ def compile_stream(
     order — exactly the event engine's tie-breaking), and the whole
     address vector is translated with one :meth:`AddressMapper.map_batch`
     call.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.core import get_layout, get_mapper
+        >>> mapper = get_mapper(get_layout(9, 3))
+        >>> trace = compile_stream(
+        ...     mapper,
+        ...     np.array([0.0, 1.5, 3.0]),
+        ...     np.array([True, False, True]),
+        ...     np.array([0, 7, 23]),
+        ... )
+        >>> trace.n, trace.read_only()
+        (3, False)
+        >>> trace.disks.shape                     # pre-mapped coordinates
+        (3,)
     """
     times = np.ascontiguousarray(times, dtype=np.float64)
     is_read = np.ascontiguousarray(is_read, dtype=bool)
@@ -182,7 +227,16 @@ def compile_stream(
 def compile_workload(
     mapper: AddressMapper, config: "WorkloadConfig", duration_ms: float
 ) -> CompiledTrace:
-    """Generate and compile a synthetic workload in one pass."""
+    """Generate and compile a synthetic workload in one pass.
+
+    Example:
+        >>> from repro.core import get_layout, get_mapper
+        >>> from repro.sim import WorkloadConfig
+        >>> mapper = get_mapper(get_layout(9, 3))
+        >>> trace = compile_workload(mapper, WorkloadConfig(seed=3), 100.0)
+        >>> trace.n > 0 and len(trace.stripes) == trace.n
+        True
+    """
     times, is_read, lbas = generate_request_stream(
         config, duration_ms, mapper.capacity
     )
@@ -193,7 +247,19 @@ def compile_trace(
     mapper: AddressMapper, records: Sequence["TraceRecord"]
 ) -> CompiledTrace:
     """Compile an explicit trace (addresses wrapped modulo capacity, as
-    in :func:`repro.sim.trace.replay_trace`)."""
+    in :func:`repro.sim.trace.replay_trace`).
+
+    Example:
+        >>> from repro.core import get_layout, get_mapper
+        >>> from repro.sim import TraceRecord
+        >>> mapper = get_mapper(get_layout(9, 3))
+        >>> trace = compile_trace(mapper, [
+        ...     TraceRecord(time_ms=0.0, op="r", lba=5),
+        ...     TraceRecord(time_ms=2.0, op="w", lba=99),  # wraps % capacity
+        ... ])
+        >>> trace.n, int(trace.lbas[1]) == 99 % mapper.capacity
+        (2, True)
+    """
     n = len(records)
     times = np.fromiter((r.time_ms for r in records), dtype=np.float64, count=n)
     is_read = np.fromiter((r.op == "r" for r in records), dtype=bool, count=n)
@@ -421,7 +487,19 @@ class _CompiledRun:
 def schedule_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
     """Schedule a compiled trace for event-driven execution (batched
     path).  Returns the request count; run ``ctrl.sim.run()`` to
-    execute."""
+    execute.
+
+    Example:
+        >>> from repro.core import get_layout
+        >>> from repro.sim import ArrayController, WorkloadConfig
+        >>> ctrl = ArrayController(get_layout(9, 3))
+        >>> trace = compile_workload(ctrl.mapper, WorkloadConfig(seed=2), 50.0)
+        >>> schedule_compiled(ctrl, trace) == trace.n
+        True
+        >>> ctrl.sim.run()
+        >>> sum(st.count for st in ctrl.latency.values()) == trace.n
+        True
+    """
     _CompiledRun(ctrl, compiled).schedule()
     return compiled.n
 
@@ -433,7 +511,19 @@ def schedule_compiled_scalar(
 
     One closure per request, translated and planned when it fires —
     the pre-PR pipeline, kept as the equivalence baseline.  Returns the
-    request count."""
+    request count.
+
+    Example:
+        >>> from repro.core import get_layout
+        >>> from repro.sim import ArrayController, WorkloadConfig
+        >>> cfg = WorkloadConfig(seed=2)
+        >>> a, b = (ArrayController(get_layout(9, 3)) for _ in range(2))
+        >>> trace = compile_workload(a.mapper, cfg, 50.0)
+        >>> _ = schedule_compiled(a, trace); a.sim.run()
+        >>> _ = schedule_compiled_scalar(b, trace); b.sim.run()
+        >>> a.sim.now == b.sim.now          # identical simulations
+        True
+    """
     sim = ctrl.sim
     for t, r, lba in zip(
         compiled.times.tolist(), compiled.is_read.tolist(), compiled.lbas.tolist()
@@ -461,6 +551,17 @@ def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
     order as the event engine — then back-fills the controller's disk
     counters, latency samples, and clock, so reports built on top are
     indistinguishable from an event-driven run.
+
+    Example:
+        >>> from repro.core import get_layout
+        >>> from repro.sim import ArrayController, WorkloadConfig
+        >>> ctrl = ArrayController(get_layout(9, 3))
+        >>> cfg = WorkloadConfig(read_fraction=1.0, seed=5)  # reads only
+        >>> trace = compile_workload(ctrl.mapper, cfg, 50.0)
+        >>> solve_compiled(ctrl, trace) == trace.n
+        True
+        >>> ctrl.sim.events_processed                # no event loop at all
+        0
 
     Raises:
         ValueError: if the trace contains writes (multi-phase requests

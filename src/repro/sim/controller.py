@@ -104,6 +104,14 @@ class ArrayController:
         # already recovered stay coherent with later foreground writes
         # (a real array directs those writes to the replacement disk).
         self._degraded_write_hooks: list[Callable[[int, np.ndarray], None]] = []
+        # Content listeners for *every* data-unit write applied through
+        # the per-request path — an in-flight volume migration registers
+        # here so units it has already copied stay coherent on the
+        # destination (a real array mirrors those writes during the
+        # copy window).
+        self._content_write_hooks: list[
+            Callable[[int, int, int, np.ndarray], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -138,6 +146,26 @@ class ArrayController:
         """Unregister a degraded-write hook (no-op if absent)."""
         try:
             self._degraded_write_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def add_content_write_hook(
+        self, hook: Callable[[int, int, int, np.ndarray], None]
+    ) -> None:
+        """Register ``hook(stripe_id, disk, offset, payload)`` to
+        observe every data-unit write applied through the per-request
+        content path (content semantics only; timing is unaffected).
+        Batch content scatters (:meth:`DataPlane.write_logical_batch`)
+        bypass hooks — a migration diverts its traffic to the
+        per-request path before relying on them."""
+        self._content_write_hooks.append(hook)
+
+    def remove_content_write_hook(
+        self, hook: Callable[[int, int, int, np.ndarray], None]
+    ) -> None:
+        """Unregister a content-write hook (no-op if absent)."""
+        try:
+            self._content_write_hooks.remove(hook)
         except ValueError:
             pass
 
@@ -271,6 +299,8 @@ class ArrayController:
             )
             for hook in self._degraded_write_hooks:
                 hook(offset, payload)
+        for hook in self._content_write_hooks:
+            hook(stripe_id, disk, offset, payload)
 
     def _default_payload(self, lba: int) -> np.ndarray:
         assert self.data is not None

@@ -1,9 +1,10 @@
-"""ShardMap: determinism, balance, bounded load, consistency."""
+"""ShardMap: determinism, balance, bounded load, consistency,
+placement policies, and resize edge cases."""
 
 import numpy as np
 import pytest
 
-from repro.service import ShardMap, splitmix64
+from repro.service import PLACEMENT_POLICIES, ShardMap, splitmix64
 
 
 class TestSplitmix64:
@@ -77,3 +78,98 @@ class TestShardMap:
             ShardMap(2, 10, replicas=0)
         with pytest.raises(ValueError):
             ShardMap(2, 10, load_factor=0.5)
+        with pytest.raises(ValueError):
+            ShardMap(2, 10, policy="round-robin")
+        with pytest.raises(ValueError):
+            ShardMap(2, 10, weights=np.ones(9))
+        with pytest.raises(ValueError):
+            ShardMap(2, 10, weights=-np.ones(10))
+
+
+class TestPlacementPolicies:
+    def test_every_policy_deterministic_and_covering(self):
+        for policy in PLACEMENT_POLICIES:
+            a = ShardMap(8, 128, seed=4, policy=policy)
+            b = ShardMap(8, 128, seed=4, policy=policy)
+            assert (a.assignment() == b.assignment()).all()
+            assert a.volume_counts().sum() == 128
+            assert 0 <= a.assignment().min() <= a.assignment().max() < 8
+
+    def test_p2c_tightens_weighted_balance(self):
+        # Weight the live prefix only (the fleet's extent weighting):
+        # p2c must balance the *weighted* load far tighter than the
+        # ring baseline does.
+        w = np.zeros(128)
+        w[:96] = 1.0
+        ring = ShardMap(8, 128, seed=0, policy="ring", weights=w)
+        p2c = ShardMap(8, 128, seed=0, policy="p2c", weights=w)
+        ring_spread = ring.weight_per_shard()
+        p2c_spread = p2c.weight_per_shard()
+        assert p2c_spread.max() - p2c_spread.min() <= 3
+        assert (
+            p2c_spread.max() - p2c_spread.min()
+            < ring_spread.max() - ring_spread.min()
+        )
+
+    def test_weighted_policy_near_perfect_balance(self):
+        w = np.zeros(128)
+        w[:96] = 1.0
+        m = ShardMap(8, 128, seed=0, policy="weighted", weights=w)
+        spread = m.weight_per_shard()
+        assert spread.max() - spread.min() <= 1
+
+    def test_weighted_respects_unequal_weights(self):
+        w = np.array([8.0, 4.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        m = ShardMap(2, 8, seed=0, policy="weighted", weights=w)
+        spread = m.weight_per_shard()
+        # LPT on this instance balances within the smallest weight.
+        assert spread.max() - spread.min() <= 1.0
+
+
+class TestResizeEdges:
+    def test_reshaped_preserves_policy_and_weights(self):
+        w = np.linspace(0, 1, 64)
+        m = ShardMap(4, 64, seed=2, policy="p2c", weights=w)
+        g = m.reshaped(8)
+        assert g.shards == 8
+        assert g.policy == "p2c"
+        assert (g._weights == w).all()
+
+    def test_shrink_to_single_shard(self):
+        # Shrinking below the ring's replication factor (replicas per
+        # shard) is fine — a 1-shard map still owns every volume.
+        m = ShardMap(8, 64, seed=1, replicas=64)
+        one = m.reshaped(1)
+        assert (one.assignment() == 0).all()
+        assert len(m.moved_volumes(one)) == int((m.assignment() != 0).sum())
+
+    def test_shrink_to_zero_raises(self):
+        with pytest.raises(ValueError):
+            ShardMap(4, 64, seed=1).reshaped(0)
+
+    def test_readding_removed_shard_id_restores_placement(self):
+        # Placement is a pure function of (shards, volumes, seed, ...):
+        # growing back to a previously used shard count reproduces the
+        # original assignment bit for bit, for every policy.
+        for policy in PLACEMENT_POLICIES:
+            m = ShardMap(8, 128, seed=5, policy=policy)
+            back = m.reshaped(7).reshaped(8)
+            assert (back.assignment() == m.assignment()).all()
+            assert back.fingerprint() == m.fingerprint()
+
+    def test_moved_volume_set_deterministic_under_seed(self):
+        for policy in PLACEMENT_POLICIES:
+            a1 = ShardMap(4, 64, seed=9, policy=policy)
+            a2 = ShardMap(4, 64, seed=9, policy=policy)
+            moved1 = a1.moved_volumes(a1.reshaped(8))
+            moved2 = a2.moved_volumes(a2.reshaped(8))
+            assert (moved1 == moved2).all()
+
+    def test_ring_growth_moves_few_volumes(self):
+        m = ShardMap(8, 256, seed=9)
+        moved = m.moved_volumes(m.reshaped(9))
+        assert 0 < len(moved) < 256 // 2
+
+    def test_moved_volumes_mismatched_maps_raise(self):
+        with pytest.raises(ValueError):
+            ShardMap(4, 64).moved_volumes(ShardMap(4, 65))

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs subsystem (no dependencies).
+
+Usage: python tools/check_links.py README.md docs [more files/dirs...]
+
+Checks every ``[text](target)`` and bare ``<target>`` link in the
+given Markdown files (directories are scanned for ``*.md``):
+
+* **relative targets** must exist on disk (anchors are stripped;
+  ``path#section`` checks ``path``);
+* **in-page anchors** (``#section``) must match a heading slug in the
+  same file;
+* **absolute URLs** are checked for scheme sanity only (``http``/
+  ``https``) — CI must not depend on network reachability.
+
+Exit code 0 when every link resolves; 1 otherwise, listing each
+broken link as ``file:line: target (reason)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — stop at the first unescaped ')'; images share the form.
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_AUTOLINK = re.compile(r"<(https?://[^>\s]+)>")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dashes."""
+    text = re.sub(r"[`*_~\[\]()]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"\s+", "-", text)
+
+
+def _collect_md(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"error: no such file or directory: {raw}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+@functools.lru_cache(maxsize=None)
+def _anchors(path: Path) -> set[str]:
+    out: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING.match(line)
+        if m:
+            out.add(_slug(m.group(1)))
+    return out
+
+
+def check_file(path: Path, errors: list[str]) -> int:
+    base = path.parent
+    checked = 0
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets = _INLINE.findall(line) + _AUTOLINK.findall(line)
+        for target in targets:
+            checked += 1
+            if target.startswith(("http://", "https://")):
+                continue
+            if target.startswith("mailto:"):
+                continue
+            if target.startswith("#"):
+                if _slug(target[1:]) not in _anchors(path):
+                    errors.append(
+                        f"{path}:{lineno}: {target} (no such heading)"
+                    )
+                continue
+            rel, _, anchor = target.partition("#")
+            dest = (base / rel).resolve()
+            if not dest.exists():
+                errors.append(f"{path}:{lineno}: {target} (missing file)")
+            elif anchor and dest.suffix == ".md":
+                if _slug(anchor) not in _anchors(dest):
+                    errors.append(
+                        f"{path}:{lineno}: {target} (no such heading)"
+                    )
+    return checked
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = _collect_md(argv)
+    errors: list[str] = []
+    total = 0
+    for path in files:
+        total += check_file(path, errors)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(
+        f"checked {total} links across {len(files)} files: "
+        f"{'OK' if not errors else f'{len(errors)} broken'}"
+    )
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

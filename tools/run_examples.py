@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Headless smoke runner for every script under examples/.
+
+Each example must run to completion, unattended, with exit code 0 —
+the CI docs job and `make examples-smoke` call this.  Output is
+captured and only replayed on failure, so a green run stays quiet.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+TIMEOUT_S = 300
+
+
+def main() -> int:
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    if not scripts:
+        print("error: no example scripts found", file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    # Belt and braces: examples must never block on a display or stdin.
+    env.setdefault("MPLBACKEND", "Agg")
+    env["PYTHONUNBUFFERED"] = "1"
+
+    failures = 0
+    for script in scripts:
+        t0 = time.perf_counter()
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                cwd=REPO,
+                env=env,
+                stdin=subprocess.DEVNULL,
+                capture_output=True,
+                text=True,
+                timeout=TIMEOUT_S,
+            )
+            code = proc.returncode
+            output = proc.stdout + proc.stderr
+        except subprocess.TimeoutExpired as exc:
+            code = -1
+            output = (exc.stdout or "") + (exc.stderr or "") + (
+                f"\n[timeout after {TIMEOUT_S}s]"
+            )
+        wall = time.perf_counter() - t0
+        status = "ok" if code == 0 else f"FAIL (exit {code})"
+        print(f"  {script.relative_to(REPO)}: {status} ({wall:.1f}s)")
+        if code != 0:
+            failures += 1
+            sys.stdout.write(output)
+    total = len(scripts)
+    print(f"{total - failures}/{total} examples ran clean")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
