@@ -2,11 +2,16 @@
 #
 # Targets:
 #   check   - tier-1 pytest suite + doctests + conformance sweep +
-#             fleet-serve smoke + headless examples smoke
-#   test    - tier-1 pytest suite only
+#             fleet-serve smokes (serial + 2-worker) + headless
+#             examples smoke
+#   test    - tier-1 pytest suite only (parallelized via pytest-xdist
+#             when installed)
 #   doctest - public-API usage examples (core.api, service, sim.compile)
 #   verify  - conformance sweep over every construction family
 #   smoke   - quick fleet scenario (8 arrays, 2 concurrent verified rebuilds)
+#   smoke-parallel - the same scenario on 2 worker processes; runs the
+#             serial smoke first and fails unless the two reports are
+#             byte-identical in canonical form
 #   examples-smoke - run every script under examples/ headless
 #   docs-check     - link-check docs/ + README (local targets only)
 #   bench   - benchmark suites; writes BENCH_{mapping,sim,service}.json
@@ -15,12 +20,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test doctest verify smoke examples-smoke docs-check bench bench-all
+# Cut CI wall time with pytest-xdist when it is available; fall back to
+# the plain serial run otherwise (the container image does not ship it).
+XDIST := $(shell $(PYTHON) -c "import pytest_xdist" 2>/dev/null && echo "-n auto")
 
-check: test doctest verify smoke examples-smoke
+.PHONY: check test doctest verify smoke smoke-parallel examples-smoke docs-check bench bench-all
+
+check: test doctest verify smoke smoke-parallel examples-smoke
 
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(XDIST)
 
 doctest:
 	$(PYTHON) -m pytest --doctest-modules -q \
@@ -33,6 +42,15 @@ verify:
 
 smoke:
 	$(PYTHON) -m repro serve --smoke --json BENCH_serve_smoke.json
+
+smoke-parallel: smoke
+	$(PYTHON) -m repro serve --smoke --workers 2 --json BENCH_serve_smoke_parallel.json
+	$(PYTHON) -c "import json; from repro.service import canonical_payload as c; \
+	a = json.load(open('BENCH_serve_smoke.json')); \
+	b = json.load(open('BENCH_serve_smoke_parallel.json')); \
+	assert json.dumps(c(a), sort_keys=True) == json.dumps(c(b), sort_keys=True), \
+	'parallel smoke report differs from serial'; \
+	print('parallel smoke report byte-identical to serial')"
 
 examples-smoke:
 	$(PYTHON) tools/run_examples.py

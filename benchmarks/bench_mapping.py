@@ -71,6 +71,23 @@ def test_batch_roundtrip_throughput(benchmark):
     assert (back == lbas).all()
 
 
+def test_int32_tables_agree_with_int64(benchmark):
+    """The narrowed int32 tables (the automatic pick for every catalog
+    layout) translate element-for-element like an int64-forced table
+    set, at half the resident bytes."""
+    layout = get_layout(33, 5)
+    mapper = get_mapper(layout, iterations=4)
+    wide = AddressMapper(layout, iterations=4, index_dtype=np.int64)
+    assert str(mapper.index_dtype) == "int32"
+    assert mapper.table_nbytes() < wide.table_nbytes()
+    lbas = _workload(mapper)
+
+    disks, offsets = benchmark(mapper.map_batch, lbas)
+    disks64, offsets64 = wide.map_batch(lbas)
+    assert (disks == disks64).all()
+    assert (offsets == offsets64).all()
+
+
 def main() -> int:
     # The artifact writer lives in repro.bench (shared with the
     # ``python -m repro bench`` CLI); this entry point is kept for

@@ -220,8 +220,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reshape_at_ms=args.reshape_at,
         seed=args.seed,
     )
-    report = run_fleet_scenario(scenario)
-    payload = report.to_dict()
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers == 1:
+        # The default stays the plain single-process path, untouched.
+        payload = run_fleet_scenario(scenario).to_dict()
+    else:
+        from .service import run_fleet_scenario_parallel
+
+        run = run_fleet_scenario_parallel(scenario, workers=args.workers)
+        payload = run.to_dict()
+        ex = run.execution
+        if ex.serial_fallback:
+            print(
+                f"parallel: serial fallback ({ex.fallback_reason})",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"parallel: {len(ex.groups)} shard groups on "
+                f"{ex.workers} workers ({ex.mp_context}, "
+                f"{ex.cpu_count} CPUs available)",
+                file=sys.stderr,
+            )
 
     fleet = payload["fleet"]
     lost = (
@@ -406,6 +427,14 @@ def main(argv: list[str] | None = None) -> int:
         default="ring",
         help="volume placement policy (p2c/weighted tighten request "
         "balance from ~2x to <=1.3x max/min)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for independent shard groups (default 1 "
+        "= single-process; reports are byte-identical across worker "
+        "counts, see docs/SCENARIOS.md)",
     )
     p.add_argument(
         "--admission",

@@ -19,6 +19,12 @@ which translates whole address vectors in a handful of vectorized
 operations — the hot path for bulk I/O submission and the data plane.
 The forward table's row count — the layout size — is the paper's
 feasibility measure.
+
+Tables and batch outputs are ``int32`` whenever every representable
+value (offsets and stripe ids across all iterations, logical
+addresses up to the capacity) fits below ``2**31`` — which is every
+realistic array — halving memory traffic on the hot mapping path;
+mappers automatically widen to ``int64`` beyond that.
 """
 
 from __future__ import annotations
@@ -54,25 +60,71 @@ class AddressMapper:
         layout: the data layout (one iteration).
         iterations: how many times the layout tiles each disk (a disk
             has ``layout.size * iterations`` units).
+        index_dtype: table/element dtype override (``np.int32`` or
+            ``np.int64``).  Default ``None`` picks ``int32`` whenever
+            every offset, stripe id, and logical address across all
+            iterations fits, ``int64`` otherwise — the override exists
+            for the benchmark suite's before/after comparison.
+
+    Raises:
+        ValueError: on a non-positive iteration count, an unsupported
+            ``index_dtype``, or an ``int32`` override whose address
+            space does not fit 32 bits.
     """
 
-    def __init__(self, layout: Layout, *, iterations: int = 1):
+    def __init__(
+        self,
+        layout: Layout,
+        *,
+        iterations: int = 1,
+        index_dtype: np.dtype | type | None = None,
+    ):
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         self.layout = layout
         self.iterations = iterations
 
+        # Every value a table (or a batch output built from one) can
+        # hold: offsets reach size * iterations, global stripe ids reach
+        # b * iterations, reverse lookups reach the capacity — and
+        # consumers fold outputs into flat cells (disk * size + offset),
+        # so the full cell range must fit too or their arithmetic would
+        # overflow in the narrow dtype.
+        extreme = max(
+            layout.v,
+            layout.size * iterations,
+            layout.b * iterations,
+            (layout.v * layout.size - layout.b) * iterations,
+            layout.v * layout.size * iterations,
+        )
+        if index_dtype is None:
+            dtype = np.dtype(np.int32 if extreme < 2**31 else np.int64)
+        else:
+            dtype = np.dtype(index_dtype)
+            if dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+                raise ValueError(
+                    f"index_dtype must be int32 or int64, got {dtype}"
+                )
+            if dtype == np.dtype(np.int32) and extreme >= 2**31:
+                raise ValueError(
+                    f"address space too large for int32 tables "
+                    f"(max value {extreme})"
+                )
+        self._dtype = dtype
+        typecode = "i" if dtype == np.dtype(np.int32) else "q"
+        itemsize = dtype.itemsize
+
         # Forward tables: logical data unit -> disk / offset / stripe.
-        fwd_disk = array("q")
-        fwd_off = array("q")
-        fwd_stripe = array("q")
+        fwd_disk = array(typecode)
+        fwd_off = array(typecode)
+        fwd_stripe = array(typecode)
         # Parity tables: stripe -> parity unit position.
-        par_disk = array("q")
-        par_off = array("q")
+        par_disk = array(typecode)
+        par_off = array(typecode)
         # Reverse tables, indexed by disk * size + offset.
         cells = layout.v * layout.size
-        rev_stripe = array("q", bytes(8 * cells))
-        rev_lba = array("q", [-1]) * cells
+        rev_stripe = array(typecode, bytes(itemsize * cells))
+        rev_lba = array(typecode, [-1]) * cells
         rev_parity = bytearray(cells)
 
         for si, stripe in enumerate(layout.stripes):
@@ -99,14 +151,34 @@ class AddressMapper:
         self._rev_parity = bytes(rev_parity)
 
         # NumPy views sharing the table buffers — the batch path.
-        self._np_fwd_disk = np.frombuffer(fwd_disk, dtype=np.int64)
-        self._np_fwd_off = np.frombuffer(fwd_off, dtype=np.int64)
-        self._np_fwd_stripe = np.frombuffer(fwd_stripe, dtype=np.int64)
-        self._np_par_disk = np.frombuffer(par_disk, dtype=np.int64)
-        self._np_par_off = np.frombuffer(par_off, dtype=np.int64)
-        self._np_rev_stripe = np.frombuffer(rev_stripe, dtype=np.int64)
-        self._np_rev_lba = np.frombuffer(rev_lba, dtype=np.int64)
+        self._np_fwd_disk = np.frombuffer(fwd_disk, dtype=dtype)
+        self._np_fwd_off = np.frombuffer(fwd_off, dtype=dtype)
+        self._np_fwd_stripe = np.frombuffer(fwd_stripe, dtype=dtype)
+        self._np_par_disk = np.frombuffer(par_disk, dtype=dtype)
+        self._np_par_off = np.frombuffer(par_off, dtype=dtype)
+        self._np_rev_stripe = np.frombuffer(rev_stripe, dtype=dtype)
+        self._np_rev_lba = np.frombuffer(rev_lba, dtype=dtype)
         self._np_rev_parity = np.frombuffer(self._rev_parity, dtype=np.uint8)
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Element dtype of the lookup tables and batch outputs."""
+        return self._dtype
+
+    def table_nbytes(self) -> int:
+        """Resident bytes across all flat lookup tables (the memory
+        the ``int32`` narrowing halves on the hot path)."""
+        views = (
+            self._np_fwd_disk,
+            self._np_fwd_off,
+            self._np_fwd_stripe,
+            self._np_par_disk,
+            self._np_par_off,
+            self._np_rev_stripe,
+            self._np_rev_lba,
+            self._np_rev_parity,
+        )
+        return sum(v.nbytes for v in views)
 
     @property
     def data_units_per_iteration(self) -> int:
@@ -221,9 +293,9 @@ class AddressMapper:
             with_stripes: also return the global stripe ids.
 
         Returns:
-            ``(disks, offsets)`` int64 vectors, or ``(disks, offsets,
-            stripes)`` with ``with_stripes=True`` — element-wise equal
-            to the scalar mapping.
+            ``(disks, offsets)`` vectors of :attr:`index_dtype`, or
+            ``(disks, offsets, stripes)`` with ``with_stripes=True`` —
+            element-wise equal to the scalar mapping.
 
         Raises:
             IndexError: if any address is outside the address space.
@@ -231,10 +303,14 @@ class AddressMapper:
         """
         a = self._as_lba_array(lbas)
         iteration, within = np.divmod(a, self.data_units_per_iteration)
+        # Iteration indices fit the table dtype by construction; casting
+        # keeps the whole output in int32 when the tables are int32
+        # (int64 `iteration` would silently promote the arithmetic).
+        it = iteration.astype(self._dtype, copy=False)
         disks = self._np_fwd_disk[within]
-        offsets = self._np_fwd_off[within] + iteration * self.layout.size
+        offsets = self._np_fwd_off[within] + it * self.layout.size
         if with_stripes:
-            stripes = self._np_fwd_stripe[within] + iteration * self.layout.b
+            stripes = self._np_fwd_stripe[within] + it * self.layout.b
             return disks, offsets, stripes
         return disks, offsets
 
@@ -249,12 +325,13 @@ class AddressMapper:
         """
         a = self._as_lba_array(lbas)
         iteration, within = np.divmod(a, self.data_units_per_iteration)
+        it = iteration.astype(self._dtype, copy=False)
         disks = self._np_fwd_disk[within]
-        offsets = self._np_fwd_off[within] + iteration * self.layout.size
+        offsets = self._np_fwd_off[within] + it * self.layout.size
         si = self._np_fwd_stripe[within]
-        stripes = si + iteration * self.layout.b
+        stripes = si + it * self.layout.b
         par_disks = self._np_par_disk[si]
-        par_offsets = self._np_par_off[si] + iteration * self.layout.size
+        par_offsets = self._np_par_off[si] + it * self.layout.size
         return disks, offsets, stripes, par_disks, par_offsets
 
     def physical_to_logical_batch(
@@ -286,6 +363,7 @@ class AddressMapper:
             raise IndexError("physical address batch out of range")
         cell = d * self.layout.size + within
         is_parity = self._np_rev_parity[cell].astype(bool)
-        lbas = self._np_rev_lba[cell] + iteration * self.data_units_per_iteration
+        it = iteration.astype(self._dtype, copy=False)
+        lbas = self._np_rev_lba[cell] + it * self.data_units_per_iteration
         lbas[is_parity] = -1
         return lbas, is_parity

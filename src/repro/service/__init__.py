@@ -64,6 +64,14 @@ from .orchestrator import (
     FailureOrchestrator,
     RebuildOutcome,
 )
+from .parallel import (
+    GroupPartition,
+    ParallelScenarioRun,
+    ShardGroup,
+    canonical_payload,
+    partition_scenario,
+    run_fleet_scenario_parallel,
+)
 from .scenario import (
     FleetScenario,
     FleetScenarioReport,
@@ -86,6 +94,12 @@ __all__ = [
     "FailureEvent",
     "FailureOrchestrator",
     "RebuildOutcome",
+    "GroupPartition",
+    "ParallelScenarioRun",
+    "ShardGroup",
+    "canonical_payload",
+    "partition_scenario",
+    "run_fleet_scenario_parallel",
     "FleetScenario",
     "FleetScenarioReport",
     "default_failure_schedule",

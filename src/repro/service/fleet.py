@@ -426,10 +426,14 @@ class Fleet:
         duration = self.sim.now - start
         merged: dict[str, LatencyStats] = {}
         per_shard_latency: list[dict[str, dict[str, float]]] = []
+        # Kind keys iterate sorted so every latency dict in the report
+        # has a canonical key order — report equality (serial vs merged
+        # multi-process runs) must not hinge on which request kind
+        # happened to complete first.
         for ctrl, base in zip(self.controllers, lat_base):
             shard: dict[str, dict[str, float]] = {}
-            for kind, st in ctrl.latency.items():
-                fresh = st.samples[base.get(kind, 0):]
+            for kind in sorted(ctrl.latency):
+                fresh = ctrl.latency[kind].samples[base.get(kind, 0):]
                 if not fresh:
                     continue
                 shard[kind] = summarize(LatencyStats(samples=list(fresh)))
@@ -447,7 +451,7 @@ class Fleet:
             throughput_rps=(
                 completed / (duration / 1000.0) if duration > 0 else 0.0
             ),
-            latency={k: summarize(st) for k, st in merged.items()},
+            latency={k: summarize(merged[k]) for k in sorted(merged)},
             per_shard_scheduled=list(scheduled),
             per_shard_latency=per_shard_latency,
             per_disk_ios=[

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..sim.reconstruction import RebuildProcess, RebuildReport
 from .fleet import Fleet
@@ -38,7 +38,58 @@ __all__ = [
     "FailureEvent",
     "RebuildOutcome",
     "FailureOrchestrator",
+    "max_concurrent_rebuilds",
+    "validate_failure_schedule",
 ]
+
+
+def validate_failure_schedule(
+    failures: Sequence["FailureEvent"], shards: int, v: int
+) -> None:
+    """Validate a failure schedule against a fleet's geometry — the
+    single source of the schedule checks, shared by
+    :class:`FailureOrchestrator` and the parallel scenario runner
+    (:mod:`repro.service.parallel`) so both paths reject the same
+    scenarios with the same errors.
+
+    Raises:
+        ValueError: on an out-of-range array/disk target, a negative
+            failure time, or two failures on one (single-parity) array.
+    """
+    seen_arrays: set[int] = set()
+    for ev in failures:
+        if not 0 <= ev.array < shards:
+            raise ValueError(
+                f"failure targets array {ev.array} in a "
+                f"{shards}-shard fleet"
+            )
+        if not 0 <= ev.disk < v:
+            raise ValueError(
+                f"failure targets disk {ev.disk} in a {v}-disk array"
+            )
+        if ev.time_ms < 0:
+            raise ValueError(f"failure time {ev.time_ms} is negative")
+        if ev.array in seen_arrays:
+            raise ValueError(
+                f"two failures target array {ev.array}; the "
+                "single-parity arrays tolerate one each"
+            )
+        seen_arrays.add(ev.array)
+
+
+def max_concurrent_rebuilds(outcomes: Sequence[RebuildOutcome]) -> int:
+    """Upper bound on rebuild overlap actually achieved, from outcome
+    intervals (sanity check for the admission knob).  Order-independent,
+    so serial and group-merged outcome lists give the same answer."""
+    intervals = [
+        (o.started_at_ms, o.started_at_ms + o.report.duration_ms)
+        for o in outcomes
+    ]
+    peak = 0
+    for start, _ in intervals:
+        overlap = sum(1 for s, e in intervals if s <= start < e)
+        peak = max(peak, overlap)
+    return peak
 
 
 class AdmissionController:
@@ -160,26 +211,9 @@ class FailureOrchestrator:
             self.admission_controller = AdmissionController(self.admission)
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
-        seen_arrays: set[int] = set()
-        for ev in self.failures:
-            if not 0 <= ev.array < self.fleet.shards:
-                raise ValueError(
-                    f"failure targets array {ev.array} in a "
-                    f"{self.fleet.shards}-shard fleet"
-                )
-            if not 0 <= ev.disk < self.fleet.layout.v:
-                raise ValueError(
-                    f"failure targets disk {ev.disk} in a "
-                    f"{self.fleet.layout.v}-disk array"
-                )
-            if ev.time_ms < 0:
-                raise ValueError(f"failure time {ev.time_ms} is negative")
-            if ev.array in seen_arrays:
-                raise ValueError(
-                    f"two failures target array {ev.array}; the "
-                    "single-parity arrays tolerate one each"
-                )
-            seen_arrays.add(ev.array)
+        validate_failure_schedule(
+            self.failures, self.fleet.shards, self.fleet.layout.v
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -245,14 +279,6 @@ class FailureOrchestrator:
         )
 
     def max_concurrent_observed(self) -> int:
-        """Upper bound on rebuild overlap actually achieved, from
-        outcome intervals (sanity check for the admission knob)."""
-        intervals = [
-            (o.started_at_ms, o.started_at_ms + o.report.duration_ms)
-            for o in self.outcomes
-        ]
-        peak = 0
-        for start, _ in intervals:
-            overlap = sum(1 for s, e in intervals if s <= start < e)
-            peak = max(peak, overlap)
-        return peak
+        """Upper bound on rebuild overlap actually achieved (see
+        :func:`max_concurrent_rebuilds`)."""
+        return max_concurrent_rebuilds(self.outcomes)

@@ -1,0 +1,727 @@
+"""Multi-core fleet execution: process-parallel shard groups with a
+deterministic report merge.
+
+A :class:`repro.service.Fleet` interleaves every shard on ONE Python
+event loop, so an 8-shard scenario burns one core no matter how many
+the host has.  But most shards never interact: an array's disks, its
+foreground traffic, and its rebuild IOs are invisible to every other
+array.  The only cross-shard couplings a scenario can introduce are
+
+* the **failure schedule + shared admission budget** — rebuilds queue
+  FIFO on one fleet-wide :class:`AdmissionController`, so when more
+  rebuilds are scheduled than there are slots, every failed array's
+  timing depends on every other failed array's completion;
+* the **migration plan** — a reshape copies volumes between arrays,
+  mutates the fleet-global routing table, and shares the admission
+  budget with rebuilds, coupling the whole fleet.
+
+:func:`partition_scenario` turns that observation into **independent
+execution groups** (connected components of the coupling relation):
+
+* no failures → every shard is its own group;
+* ``len(failures) <= admission`` → every rebuild is admitted the
+  moment its failure fires in the serial run too, so the budget can be
+  **statically partitioned** — each failed array becomes its own group
+  carrying one dedicated slot (the partition is recorded in the
+  report);
+* ``len(failures) > admission`` → admission queueing orders rebuilds
+  globally, so all failed arrays collapse into one group that carries
+  the whole budget (healthy arrays still split off);
+* a reshape (``scenario.reshape_to``) → everything collapses into one
+  group and the runner **falls back to the serial path** (recorded in
+  the execution metadata).
+
+:func:`run_fleet_scenario_parallel` then runs each group's sub-fleet
+in a worker process (``multiprocessing`` via
+``concurrent.futures.ProcessPoolExecutor``).  Everything crossing the
+process boundary is spawn-safe: workers receive the (picklable)
+:class:`FleetScenario`, their :class:`ShardGroup`, and a tiny
+:class:`RoutingSpec`, then rebuild layouts/mappers through their own
+local registry, regenerate the (seeded, deterministic) request stream,
+and simulate only their own arrays on a fresh clock.  Per-group
+results are merged **deterministically** — per-shard vectors placed by
+global shard id, latency samples concatenated in shard order (exactly
+the serial report's float-summation order), rebuild outcomes re-sorted
+— so the merged report is equal to the serial shared-clock report
+field for field, and ``workers=N`` output is byte-identical to
+``workers=1`` after :func:`canonical_payload` strips the wall-clock
+and execution-metadata fields that legitimately differ run to run.
+
+Why the decomposition is *exact* (not approximate): within one shard,
+event order on the shared clock is decided by ``(time, seq)`` with a
+monotonic sequence number, so removing another shard's events never
+reorders this shard's; shards share no state except through the
+couplings the partition keys on; and each group replicates the serial
+runner's engine choice (analytic solver only when the *whole* scenario
+is read-only and failure-free, exactly the serial gate) and its final
+drain-the-clock step.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.registry import get_layout
+from ..sim.compile import (
+    compile_stream,
+    generate_request_stream,
+    schedule_compiled,
+    solve_compiled,
+)
+from ..sim.controller import ArrayController
+from ..sim.events import Simulator
+from ..sim.stats import LatencyStats, summarize
+from .conformance import check_fleet
+from .fleet import Fleet, FleetReport
+from .orchestrator import (
+    FailureEvent,
+    FailureOrchestrator,
+    RebuildOutcome,
+    max_concurrent_rebuilds,
+    validate_failure_schedule,
+)
+from .scenario import FleetScenario, FleetScenarioReport, run_fleet_scenario
+
+__all__ = [
+    "ShardGroup",
+    "GroupPartition",
+    "partition_scenario",
+    "RoutingSpec",
+    "GroupResult",
+    "ParallelExecution",
+    "ParallelScenarioRun",
+    "run_fleet_scenario_parallel",
+    "canonical_payload",
+    "available_cpus",
+]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware where the
+    platform exposes it) — what ``workers=None`` auto-sizes to and what
+    the benchmark suite records next to its scaling numbers."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Group partitioning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardGroup:
+    """One independent execution group.
+
+    Attributes:
+        arrays: global shard ids in this group (ascending).
+        failures: the failure-schedule slice targeting those arrays
+            (global ids preserved).
+        admission_slots: this group's share of the fleet admission
+            budget (0 for groups with no background jobs).
+    """
+
+    arrays: tuple[int, ...]
+    failures: tuple[FailureEvent, ...] = ()
+    admission_slots: int = 0
+
+
+@dataclass(frozen=True)
+class GroupPartition:
+    """A scenario's full group decomposition.
+
+    Attributes:
+        groups: disjoint groups covering every shard (ascending by
+            first array).
+        serial_fallback: True when coupling collapsed everything into
+            one group, so process parallelism cannot help and the
+            runner uses the serial path.
+        reason: human-readable explanation of the partition shape.
+    """
+
+    groups: tuple[ShardGroup, ...]
+    serial_fallback: bool
+    reason: str
+
+    def admission_partition(self) -> dict[int, int]:
+        """Recorded budget split: group index → admission slots (only
+        groups holding slots appear)."""
+        return {
+            i: g.admission_slots
+            for i, g in enumerate(self.groups)
+            if g.admission_slots
+        }
+
+
+def _validate_scenario(scenario: FleetScenario) -> None:
+    """The serial runner's parameter checks, run up front so the
+    parallel path rejects a bad scenario with the same errors *before*
+    spinning up workers (the schedule checks are the orchestrator's
+    own, shared)."""
+    if scenario.admission < 1:
+        raise ValueError(
+            f"admission slots must be >= 1, got {scenario.admission}"
+        )
+    validate_failure_schedule(
+        scenario.failures, scenario.shards, scenario.v
+    )
+
+
+def partition_scenario(scenario: FleetScenario) -> GroupPartition:
+    """Partition a scenario's shards into independent execution groups
+    (see the module docstring for the coupling rules).
+
+    Raises:
+        ValueError: on inconsistent scenario parameters (same checks as
+            the serial runner).
+    """
+    _validate_scenario(scenario)
+    n = scenario.shards
+    if scenario.reshape_to is not None:
+        return GroupPartition(
+            groups=(
+                ShardGroup(
+                    arrays=tuple(range(n)),
+                    failures=tuple(scenario.failures),
+                    admission_slots=scenario.admission,
+                ),
+            ),
+            serial_fallback=True,
+            reason=(
+                "a reshape mutates fleet-global routing and shares the "
+                "admission budget with rebuilds — the whole fleet is "
+                "one group"
+            ),
+        )
+    by_array: dict[int, FailureEvent] = {
+        ev.array: ev for ev in scenario.failures
+    }
+    failed = sorted(by_array)
+    groups: list[ShardGroup] = []
+    if len(failed) <= scenario.admission:
+        # Every rebuild is admitted immediately in the serial run, so
+        # the budget splits statically: one dedicated slot per failed
+        # array, zero cross-array timing dependence.
+        reason = (
+            f"{len(failed)} rebuild job(s) fit the admission budget "
+            f"({scenario.admission}) — one slot per failed array, every "
+            "shard its own group"
+        )
+        coupled: set[int] = set()
+    else:
+        reason = (
+            f"{len(failed)} rebuild jobs exceed the admission budget "
+            f"({scenario.admission}) — FIFO queueing couples all failed "
+            "arrays into one group"
+        )
+        coupled = set(failed)
+        groups.append(
+            ShardGroup(
+                arrays=tuple(failed),
+                failures=tuple(by_array[a] for a in failed),
+                admission_slots=scenario.admission,
+            )
+        )
+    for a in range(n):
+        if a in coupled:
+            continue
+        ev = by_array.get(a)
+        groups.append(
+            ShardGroup(
+                arrays=(a,),
+                failures=(ev,) if ev is not None else (),
+                admission_slots=1 if ev is not None else 0,
+            )
+        )
+    groups.sort(key=lambda g: g.arrays[0])
+    fallback = len(groups) == 1
+    if fallback and not coupled:
+        # One group without coupling = a one-shard fleet; the
+        # decoupling rationale above would read nonsensically here.
+        reason = (
+            "a single-shard fleet is one execution group — nothing to "
+            "run in parallel"
+        )
+    return GroupPartition(
+        groups=tuple(groups),
+        serial_fallback=fallback,
+        reason=reason,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """The fleet-global routing constants a worker needs — computed
+    once in the parent from the real :class:`Fleet` and shipped across
+    the process boundary, so every worker routes with *exactly* the
+    serial run's volume→shard table (no re-derivation to drift).
+
+    Attributes:
+        shards: fleet shard count.
+        shard_capacity: logical units per shard.
+        capacity: fleet-global logical address space.
+        volume_units: units per logical volume.
+        assignment: the volume→shard table.
+    """
+
+    shards: int
+    shard_capacity: int
+    capacity: int
+    volume_units: int
+    assignment: np.ndarray
+
+
+@dataclass
+class GroupResult:
+    """One group's raw simulation outcome (everything the merge needs,
+    nothing summarized early — summaries must be computed over the
+    merged sample streams to match the serial report bit for bit).
+
+    Attributes:
+        group_index: position in the partition.
+        arrays: global shard ids (ascending, mirrors the group spec).
+        scheduled: per-shard routed request counts (group order).
+        samples: per-shard ``{kind: [latency, ...]}`` in completion
+            order (group order).
+        per_disk_ios: per-shard completed-IO vectors (group order).
+        duration_ms: this group's makespan on its own clock.
+        outcomes: completed rebuilds (global array ids, completion
+            order).
+        wall_s: worker wall-clock for the group (build + simulate).
+    """
+
+    group_index: int
+    arrays: tuple[int, ...]
+    scheduled: list[int]
+    samples: list[dict[str, list[float]]]
+    per_disk_ios: list[list[int]]
+    duration_ms: float
+    outcomes: list[RebuildOutcome]
+    wall_s: float
+
+
+@dataclass
+class _LocalFleet:
+    """Duck-typed stand-in for :class:`Fleet` inside a worker — just
+    the surface :class:`FailureOrchestrator` drives (controllers on one
+    clock, the served layout, the shard count)."""
+
+    controllers: list[ArrayController]
+    sim: Simulator
+    layout: object
+
+    @property
+    def shards(self) -> int:
+        return len(self.controllers)
+
+
+def _execute_group(
+    scenario: FleetScenario,
+    group: ShardGroup,
+    routing: RoutingSpec,
+    group_index: int,
+    allow_solver: bool,
+) -> GroupResult:
+    """Run one group's sub-fleet to completion (worker side).
+
+    Mirrors ``run_fleet_scenario`` + ``Fleet.serve_compiled`` step for
+    step for the arrays it owns: same seeds, same routing table, same
+    engine choice, same final clock drain — so the merged report equals
+    the serial one exactly.
+    """
+    t0 = time.perf_counter()
+    sim = Simulator()
+    layout = get_layout(scenario.v, scenario.k)
+    controllers = [
+        ArrayController(
+            layout,
+            sim=sim,
+            dataplane=scenario.verify_data,
+            seed=scenario.seed + gid,
+        )
+        for gid in group.arrays
+    ]
+
+    # The full fleet stream is a pure function of the scenario seed;
+    # regenerating it locally is cheaper than pickling megabytes of
+    # arrays and keeps the worker self-contained (spawn-safe).
+    times, is_read, lbas = generate_request_stream(
+        scenario.workload(), scenario.duration_ms, routing.capacity
+    )
+    vols = lbas // routing.volume_units
+    shard_ids = routing.assignment[vols]
+    compiled = []
+    for gid, ctrl in zip(group.arrays, controllers):
+        mask = shard_ids == gid
+        compiled.append(
+            compile_stream(
+                ctrl.mapper,
+                times[mask],
+                is_read[mask],
+                lbas[mask] % routing.shard_capacity,
+            )
+        )
+
+    orchestrator = None
+    if group.failures:
+        local_index = {gid: i for i, gid in enumerate(group.arrays)}
+        shim = _LocalFleet(controllers=controllers, sim=sim, layout=layout)
+        orchestrator = FailureOrchestrator(
+            shim,  # type: ignore[arg-type] - duck-typed Fleet surface
+            tuple(
+                replace(ev, array=local_index[ev.array])
+                for ev in group.failures
+            ),
+            admission=group.admission_slots,
+            parallelism=scenario.rebuild_parallelism,
+        )
+        orchestrator.arm()
+
+    # Engine choice replicates the serial gate exactly: the serial
+    # runner only takes the analytic solver when the WHOLE fleet is
+    # read-only with an idle clock (no failures armed anywhere), so a
+    # group must not solve analytically just because its own slice
+    # happens to be quiet.
+    fleet_read_only = bool(is_read.all())
+    if fleet_read_only and allow_solver:
+        base = sim.now
+        end = base
+        for ctrl, trace in zip(controllers, compiled):
+            sim.now = base
+            solve_compiled(ctrl, trace)
+            end = max(end, sim.now)
+        sim.now = end
+    else:
+        for ctrl, trace in zip(controllers, compiled):
+            schedule_compiled(ctrl, trace)
+        sim.run()
+    duration = sim.now
+    # Failures scheduled beyond the last completion (empty-stream edge)
+    # — the serial runner's trailing drain, replicated per group.
+    sim.run()
+
+    outcomes = []
+    if orchestrator is not None:
+        outcomes = [
+            replace(o, array=group.arrays[o.array])
+            for o in orchestrator.outcomes
+        ]
+    return GroupResult(
+        group_index=group_index,
+        arrays=group.arrays,
+        scheduled=[t.n for t in compiled],
+        samples=[
+            {
+                kind: list(ctrl.latency[kind].samples)
+                for kind in sorted(ctrl.latency)
+                if ctrl.latency[kind].samples
+            }
+            for ctrl in controllers
+        ],
+        per_disk_ios=[ctrl.per_disk_completed() for ctrl in controllers],
+        duration_ms=duration,
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+def _execute_group_task(
+    task: tuple[FleetScenario, ShardGroup, RoutingSpec, int, bool],
+) -> GroupResult:
+    """Pool entry point (top-level so it pickles under spawn)."""
+    return _execute_group(*task)
+
+
+# ----------------------------------------------------------------------
+# Merge + runner
+# ----------------------------------------------------------------------
+
+
+def _merge_results(
+    scenario: FleetScenario,
+    results: list[GroupResult],
+) -> tuple[FleetReport, tuple[RebuildOutcome, ...]]:
+    """Fold per-group raw results into one fleet report.
+
+    Placement is by global shard id; merged latency samples concatenate
+    in shard order — the exact order the serial report sums them in, so
+    float reductions (means) agree bit for bit.
+    """
+    n = scenario.shards
+    scheduled = [0] * n
+    shard_samples: list[dict[str, list[float]]] = [{} for _ in range(n)]
+    per_disk: list[list[int]] = [[0] * scenario.v for _ in range(n)]
+    duration = 0.0
+    outcomes: list[RebuildOutcome] = []
+    for res in results:
+        duration = max(duration, res.duration_ms)
+        outcomes.extend(res.outcomes)
+        for i, gid in enumerate(res.arrays):
+            scheduled[gid] = res.scheduled[i]
+            shard_samples[gid] = res.samples[i]
+            per_disk[gid] = res.per_disk_ios[i]
+
+    merged: dict[str, LatencyStats] = {}
+    per_shard_latency: list[dict[str, dict[str, float]]] = []
+    for s in range(n):
+        shard: dict[str, dict[str, float]] = {}
+        for kind in sorted(shard_samples[s]):
+            fresh = shard_samples[s][kind]
+            shard[kind] = summarize(LatencyStats(samples=list(fresh)))
+            merged.setdefault(kind, LatencyStats()).samples.extend(fresh)
+        per_shard_latency.append(shard)
+    completed = int(sum(st.count for st in merged.values()))
+    report = FleetReport(
+        shards=n,
+        scheduled=int(sum(scheduled)),
+        completed=completed,
+        duration_ms=duration,
+        throughput_rps=(
+            completed / (duration / 1000.0) if duration > 0 else 0.0
+        ),
+        latency={k: summarize(merged[k]) for k in sorted(merged)},
+        per_shard_scheduled=list(scheduled),
+        per_shard_latency=per_shard_latency,
+        per_disk_ios=per_disk,
+    )
+    return report, tuple(sorted(outcomes, key=lambda o: o.array))
+
+
+@dataclass(frozen=True)
+class ParallelExecution:
+    """How a parallel run actually executed (metadata only — everything
+    here may differ between two equal-report runs, which is why
+    :func:`canonical_payload` drops it before equality checks).
+
+    Attributes:
+        requested_workers: the ``workers`` argument (``None`` = auto).
+        workers: processes actually used (1 = in-process).
+        cpu_count: :func:`available_cpus` at run time.
+        mp_context: multiprocessing start method (``None`` in-process).
+        serial_fallback: True when the run used the serial path.
+        fallback_reason: partition reason when it did.
+        groups: per-group execution rows (arrays, slots, failure count,
+            group makespan, worker wall time).
+        admission_partition: recorded budget split (group index →
+            slots).
+    """
+
+    requested_workers: int | None
+    workers: int
+    cpu_count: int
+    mp_context: str | None
+    serial_fallback: bool
+    fallback_reason: str | None
+    groups: tuple[dict, ...]
+    admission_partition: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready execution metadata."""
+        return {
+            "requested_workers": self.requested_workers,
+            "workers": self.workers,
+            "cpu_count": self.cpu_count,
+            "mp_context": self.mp_context,
+            "serial_fallback": self.serial_fallback,
+            "fallback_reason": self.fallback_reason,
+            "groups": [dict(g) for g in self.groups],
+            "admission_partition": {
+                str(k): v for k, v in sorted(self.admission_partition.items())
+            },
+        }
+
+
+@dataclass(frozen=True)
+class ParallelScenarioRun:
+    """A parallel run's outcome: the scenario report (identical in
+    content to the serial runner's) plus execution metadata."""
+
+    report: FleetScenarioReport
+    execution: ParallelExecution
+
+    def to_dict(self) -> dict:
+        """The serial report payload plus a ``parallel`` section."""
+        payload = self.report.to_dict()
+        payload["parallel"] = self.execution.to_dict()
+        return payload
+
+
+_VOLATILE_KEYS = frozenset({"wall_s", "parallel"})
+
+
+def canonical_payload(payload: dict) -> dict:
+    """A report payload with run-to-run-volatile fields removed: wall
+    clock times (``wall_s`` at any depth) and the ``parallel``
+    execution-metadata section.  Two runs of the same scenario —
+    serial, ``workers=1``, or ``workers=N`` — must produce *identical*
+    canonical payloads; this is the merge-equality gate the tests and
+    the benchmark suite check with ``json.dumps(..., sort_keys=True)``
+    string comparison.
+    """
+
+    def strip(node):
+        if isinstance(node, dict):
+            return {
+                k: strip(v)
+                for k, v in node.items()
+                if k not in _VOLATILE_KEYS
+            }
+        if isinstance(node, list):
+            return [strip(v) for v in node]
+        return node
+
+    return strip(payload)
+
+
+def run_fleet_scenario_parallel(
+    scenario: FleetScenario,
+    workers: int | None = None,
+    *,
+    mp_context: str = "auto",
+) -> ParallelScenarioRun:
+    """Run a scenario across worker processes, one per shard group.
+
+    Args:
+        scenario: the scenario to run (must be failure/migration
+            consistent, exactly as :func:`run_fleet_scenario` requires).
+        workers: process budget.  ``None`` auto-sizes to
+            ``min(groups, available_cpus())``; ``1`` runs the grouped
+            pipeline in-process (useful for testing the merge without
+            process overhead) — the CLI maps ``--workers 1`` to the
+            plain serial runner instead.
+        mp_context: multiprocessing start method — ``"auto"`` picks
+            ``fork`` where available (cheap) and falls back to
+            ``spawn``; pass ``"spawn"``/``"forkserver"`` explicitly to
+            exercise those paths (everything shipped to workers is
+            spawn-safe).
+
+    Returns:
+        A :class:`ParallelScenarioRun` whose report content matches the
+        serial runner's for the same scenario.
+
+    Raises:
+        ValueError: on inconsistent scenario parameters or a
+            non-positive ``workers``.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    t0 = time.perf_counter()
+    cpus = available_cpus()
+    partition = partition_scenario(scenario)
+
+    if partition.serial_fallback:
+        report = run_fleet_scenario(scenario)
+        group = partition.groups[0]
+        execution = ParallelExecution(
+            requested_workers=workers,
+            workers=1,
+            cpu_count=cpus,
+            mp_context=None,
+            serial_fallback=True,
+            fallback_reason=partition.reason,
+            groups=(
+                {
+                    "arrays": list(group.arrays),
+                    "admission_slots": group.admission_slots,
+                    "failures": len(group.failures),
+                    "duration_ms": report.fleet.duration_ms,
+                    "wall_s": report.wall_s,
+                },
+            ),
+            admission_partition=partition.admission_partition(),
+        )
+        return ParallelScenarioRun(report=report, execution=execution)
+
+    # Parent-side work that must not be duplicated per worker: the real
+    # fleet's routing table (shipped as a RoutingSpec), the conformance
+    # gate, and the routing fingerprint.  Data planes stay off — the
+    # parent never simulates.
+    fleet = Fleet(
+        scenario.shards,
+        scenario.v,
+        scenario.k,
+        volumes=scenario.volumes,
+        dataplane=False,
+        seed=scenario.seed,
+        placement=scenario.placement,
+    )
+    conformance = (
+        check_fleet(fleet) if scenario.check_conformance else None
+    )
+    routing = RoutingSpec(
+        shards=fleet.shards,
+        shard_capacity=fleet.shard_capacity,
+        capacity=fleet.capacity,
+        volume_units=fleet.volume_units,
+        assignment=fleet.volume_route(),
+    )
+    allow_solver = not scenario.failures  # mirrors the serial engine gate
+    tasks = [
+        (scenario, group, routing, i, allow_solver)
+        for i, group in enumerate(partition.groups)
+    ]
+
+    n_workers = workers if workers is not None else min(len(tasks), cpus)
+    n_workers = min(n_workers, len(tasks))
+    context_name: str | None = None
+    if n_workers <= 1:
+        results = [_execute_group_task(t) for t in tasks]
+    else:
+        import multiprocessing
+
+        if mp_context == "auto":
+            methods = multiprocessing.get_all_start_methods()
+            context_name = "fork" if "fork" in methods else "spawn"
+        else:
+            context_name = mp_context
+        ctx = multiprocessing.get_context(context_name)
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=ctx
+        ) as pool:
+            results = list(pool.map(_execute_group_task, tasks))
+    results.sort(key=lambda r: r.group_index)
+
+    fleet_report, outcomes = _merge_results(scenario, results)
+    report = FleetScenarioReport(
+        scenario=scenario,
+        conformance=conformance,
+        fleet=fleet_report,
+        rebuilds=outcomes,
+        migrations=(),
+        planned_moves=0,
+        routing_fingerprint=fleet.shard_map.fingerprint(),
+        wall_s=time.perf_counter() - t0,
+        max_concurrent_rebuilds=max_concurrent_rebuilds(outcomes),
+    )
+    execution = ParallelExecution(
+        requested_workers=workers,
+        workers=n_workers,
+        cpu_count=cpus,
+        mp_context=context_name,
+        serial_fallback=False,
+        fallback_reason=None,
+        groups=tuple(
+            {
+                "arrays": list(g.arrays),
+                "admission_slots": g.admission_slots,
+                "failures": len(g.failures),
+                "duration_ms": r.duration_ms,
+                "wall_s": r.wall_s,
+            }
+            for g, r in zip(partition.groups, results)
+        ),
+        admission_partition=partition.admission_partition(),
+    )
+    return ParallelScenarioRun(report=report, execution=execution)

@@ -244,6 +244,10 @@ class FleetScenarioReport:
                 "per_shard_scheduled": self.fleet.per_shard_scheduled,
                 "latency": self.fleet.latency,
             },
+            # Sorted by array (one rebuild per array) so the section has
+            # one canonical order regardless of completion interleaving
+            # — the report-equality contract the multi-process runner
+            # (`repro.service.parallel`) merges against.
             "rebuilds": [
                 {
                     "array": o.array,
@@ -255,7 +259,7 @@ class FleetScenarioReport:
                     "stripes_rebuilt": o.report.stripes_rebuilt,
                     "data_verified": o.report.data_verified,
                 }
-                for o in self.rebuilds
+                for o in sorted(self.rebuilds, key=lambda o: o.array)
             ],
             "migration": (
                 {
@@ -273,6 +277,8 @@ class FleetScenarioReport:
                     ),
                     "zero_lost": self.fleet.lost == 0,
                     "all_verified": self.all_migrated_verified,
+                    # Sorted by volume id — canonical order, same
+                    # rationale as the rebuilds section.
                     "volumes": [
                         {
                             "volume": o.volume,
@@ -286,7 +292,9 @@ class FleetScenarioReport:
                             "forwarded_writes": o.forwarded_writes,
                             "data_verified": o.data_verified,
                         }
-                        for o in self.migrations
+                        for o in sorted(
+                            self.migrations, key=lambda o: o.volume
+                        )
                     ],
                 }
                 if sc.reshape_to is not None

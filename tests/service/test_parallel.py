@@ -1,0 +1,289 @@
+"""Multi-core fleet execution: group partitioning, process workers,
+and the deterministic report merge.
+
+The contract under test: for any scenario, ``workers=N`` produces a
+report byte-identical to ``workers=1`` (and to the plain serial
+runner) once :func:`canonical_payload` strips the wall-clock and
+execution-metadata fields — checked as ``json.dumps(...,
+sort_keys=True)`` string equality, the strongest form short of
+comparing raw bytes on disk.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.service import (
+    FleetScenario,
+    canonical_payload,
+    default_failure_schedule,
+    partition_scenario,
+    run_fleet_scenario,
+    run_fleet_scenario_parallel,
+)
+from repro.service.parallel import RoutingSpec, ShardGroup
+
+
+def _canon(payload: dict) -> str:
+    return json.dumps(canonical_payload(payload), sort_keys=True)
+
+
+def _scenario(**overrides) -> FleetScenario:
+    base = dict(
+        shards=4,
+        v=9,
+        k=3,
+        duration_ms=300.0,
+        interarrival_ms=1.0,
+        read_fraction=0.7,
+        failures=(),
+        admission=2,
+        verify_data=True,
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+HEALTHY = _scenario()
+FAILURES = _scenario(failures=default_failure_schedule(4, 9, 2, 80.0))
+COUPLED = _scenario(
+    shards=5, failures=default_failure_schedule(5, 9, 3, 80.0)
+)
+MIGRATION = _scenario(duration_ms=400.0, reshape_to=8)
+
+
+class TestPartition:
+    def test_healthy_fleet_fully_decouples(self):
+        part = partition_scenario(HEALTHY)
+        assert not part.serial_fallback
+        assert [g.arrays for g in part.groups] == [(0,), (1,), (2,), (3,)]
+        assert all(g.failures == () for g in part.groups)
+        assert part.admission_partition() == {}
+
+    def test_admitted_failures_get_dedicated_slots(self):
+        """failures <= admission: every rebuild starts instantly in the
+        serial run too, so the budget splits one slot per failed array
+        and the partition records the split."""
+        part = partition_scenario(FAILURES)
+        assert not part.serial_fallback
+        by_arrays = {g.arrays: g for g in part.groups}
+        assert by_arrays[(0,)].admission_slots == 1
+        assert by_arrays[(1,)].admission_slots == 1
+        assert by_arrays[(2,)].admission_slots == 0
+        assert len(by_arrays[(0,)].failures) == 1
+        assert sum(part.admission_partition().values()) == 2
+
+    def test_admission_pressure_couples_failed_arrays(self):
+        """failures > admission: FIFO queueing orders rebuilds globally,
+        so all failed arrays must co-locate in one group carrying the
+        whole budget."""
+        part = partition_scenario(COUPLED)
+        assert not part.serial_fallback
+        groups = {g.arrays: g for g in part.groups}
+        assert (0, 1, 2) in groups
+        assert groups[(0, 1, 2)].admission_slots == 2
+        assert len(groups[(0, 1, 2)].failures) == 3
+        assert groups[(3,)].failures == ()
+        assert groups[(4,)].failures == ()
+
+    def test_migration_collapses_to_serial_fallback(self):
+        part = partition_scenario(MIGRATION)
+        assert part.serial_fallback
+        assert len(part.groups) == 1
+        assert part.groups[0].arrays == (0, 1, 2, 3)
+
+    def test_single_shard_is_serial(self):
+        part = partition_scenario(_scenario(shards=1))
+        assert part.serial_fallback
+
+    def test_groups_cover_every_shard_exactly_once(self):
+        for sc in (HEALTHY, FAILURES, COUPLED):
+            part = partition_scenario(sc)
+            seen = [a for g in part.groups for a in g.arrays]
+            assert sorted(seen) == list(range(sc.shards))
+            assert len(seen) == len(set(seen))
+
+    def test_validation_matches_serial_runner(self):
+        from repro.service import FailureEvent
+
+        with pytest.raises(ValueError, match="targets array"):
+            partition_scenario(
+                _scenario(failures=(FailureEvent(10.0, 9, 0),))
+            )
+        with pytest.raises(ValueError, match="targets disk"):
+            partition_scenario(
+                _scenario(failures=(FailureEvent(10.0, 0, 99),))
+            )
+        with pytest.raises(ValueError, match="negative"):
+            partition_scenario(
+                _scenario(failures=(FailureEvent(-1.0, 0, 0),))
+            )
+        with pytest.raises(ValueError, match="two failures"):
+            partition_scenario(
+                _scenario(
+                    failures=(
+                        FailureEvent(10.0, 0, 0),
+                        FailureEvent(20.0, 0, 1),
+                    )
+                )
+            )
+        with pytest.raises(ValueError, match="admission"):
+            partition_scenario(_scenario(admission=0))
+
+
+class TestReportEquality:
+    """workers=N == workers=1 == serial, byte for byte (canonical)."""
+
+    @pytest.mark.parametrize(
+        "scenario", [HEALTHY, FAILURES, COUPLED], ids=["healthy", "failures", "coupled"]
+    )
+    def test_grouped_in_process_matches_serial(self, scenario):
+        serial = run_fleet_scenario(scenario).to_dict()
+        grouped = run_fleet_scenario_parallel(scenario, workers=1).to_dict()
+        assert _canon(serial) == _canon(grouped)
+
+    @pytest.mark.parametrize(
+        "scenario", [HEALTHY, FAILURES], ids=["healthy", "failures"]
+    )
+    def test_process_workers_match_serial(self, scenario):
+        serial = run_fleet_scenario(scenario).to_dict()
+        par = run_fleet_scenario_parallel(scenario, workers=2).to_dict()
+        assert _canon(serial) == _canon(par)
+
+    def test_coupled_admission_delay_reproduced(self):
+        """The third rebuild queues behind the admission budget; the
+        grouped run must reproduce the exact queueing delay."""
+        serial = run_fleet_scenario(COUPLED)
+        par = run_fleet_scenario_parallel(COUPLED, workers=2)
+        assert _canon(serial.to_dict()) == _canon(par.to_dict())
+        delays = sorted(
+            o.admission_delay_ms for o in par.report.rebuilds
+        )
+        assert delays[-1] > 0.0  # queueing actually happened
+
+    def test_read_only_solver_path_matches(self):
+        sc = _scenario(read_fraction=1.0)
+        serial = run_fleet_scenario(sc).to_dict()
+        par = run_fleet_scenario_parallel(sc, workers=2).to_dict()
+        assert _canon(serial) == _canon(par)
+
+    def test_migration_scenario_falls_back_and_matches(self):
+        serial = run_fleet_scenario(MIGRATION).to_dict()
+        run = run_fleet_scenario_parallel(MIGRATION, workers=4)
+        assert run.execution.serial_fallback
+        assert run.execution.fallback_reason
+        assert _canon(serial) == _canon(run.to_dict())
+        assert run.report.all_migrated_verified
+
+    def test_spawn_context_is_safe(self):
+        """The spawn start method re-imports everything in the worker —
+        the strictest serialization test (no inherited state at all)."""
+        sc = _scenario(
+            shards=3,
+            duration_ms=200.0,
+            interarrival_ms=2.0,
+            failures=default_failure_schedule(3, 9, 1, 50.0),
+        )
+        serial = run_fleet_scenario(sc).to_dict()
+        par = run_fleet_scenario_parallel(
+            sc, workers=2, mp_context="spawn"
+        ).to_dict()
+        assert _canon(serial) == _canon(par)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_fleet_scenario_parallel(HEALTHY, workers=0)
+
+
+class TestExecutionMetadata:
+    def test_parallel_section_shape(self):
+        run = run_fleet_scenario_parallel(FAILURES, workers=2)
+        payload = run.to_dict()
+        ex = payload["parallel"]
+        assert ex["workers"] == 2
+        assert ex["cpu_count"] >= 1
+        assert ex["serial_fallback"] is False
+        assert len(ex["groups"]) == 4
+        for g in ex["groups"]:
+            assert set(g) == {
+                "arrays",
+                "admission_slots",
+                "failures",
+                "duration_ms",
+                "wall_s",
+            }
+        assert ex["admission_partition"]  # the recorded budget split
+
+    def test_auto_workers_bounded_by_groups(self):
+        run = run_fleet_scenario_parallel(
+            _scenario(shards=2, duration_ms=150.0)
+        )
+        assert 1 <= run.execution.workers <= 2
+
+
+class TestSpawnSafety:
+    def test_scenario_pickle_round_trip(self):
+        for sc in (HEALTHY, FAILURES, COUPLED, MIGRATION):
+            clone = pickle.loads(pickle.dumps(sc))
+            assert clone == sc
+
+    def test_group_and_routing_spec_pickle(self):
+        import numpy as np
+
+        part = partition_scenario(COUPLED)
+        for g in part.groups:
+            assert pickle.loads(pickle.dumps(g)) == g
+        spec = RoutingSpec(
+            shards=2,
+            shard_capacity=10,
+            capacity=20,
+            volume_units=2,
+            assignment=np.array([0, 1], dtype=np.int64),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert (clone.assignment == spec.assignment).all()
+        assert clone.capacity == spec.capacity
+
+
+class TestCanonicalPayload:
+    def test_strips_wall_clock_everywhere(self):
+        payload = {
+            "wall_s": 1.0,
+            "fleet": {"wall_s": 2.0, "throughput_rps": 3.0},
+            "rows": [{"wall_s": 4.0, "x": 1}],
+            "parallel": {"workers": 8},
+        }
+        out = canonical_payload(payload)
+        assert out == {
+            "fleet": {"throughput_rps": 3.0},
+            "rows": [{"x": 1}],
+        }
+
+    def test_does_not_mutate_input(self):
+        payload = {"wall_s": 1.0, "keep": {"wall_s": 2.0}}
+        canonical_payload(payload)
+        assert payload == {"wall_s": 1.0, "keep": {"wall_s": 2.0}}
+
+
+class TestServeCLIWorkers:
+    def test_smoke_with_workers_matches_serial(self, tmp_path):
+        from repro.__main__ import main
+
+        a = tmp_path / "serial.json"
+        b = tmp_path / "parallel.json"
+        assert main(["serve", "--smoke", "--json", str(a)]) == 0
+        assert (
+            main(["serve", "--smoke", "--workers", "2", "--json", str(b)])
+            == 0
+        )
+        serial = json.loads(a.read_text())
+        par = json.loads(b.read_text())
+        assert "parallel" not in serial  # default path untouched
+        assert par["parallel"]["workers"] == 2
+        assert _canon(serial) == _canon(par)
+
+    def test_bad_worker_count_is_an_error(self):
+        from repro.__main__ import main
+
+        assert main(["serve", "--smoke", "--workers", "0"]) == 2
