@@ -14,6 +14,10 @@
 #             byte-identical in canonical form
 #   examples-smoke - run every script under examples/ headless
 #   docs-check     - link-check docs/ + README (local targets only)
+#   bench-guard    - re-time the mixed-path executor and fail on a >20%
+#             events/s regression vs the committed BENCH_sim.json
+#             (override the floor with BENCH_GUARD_RATIO=0.5, or 0 to
+#             record only)
 #   bench   - benchmark suites; writes BENCH_{mapping,sim,service}.json
 #   bench-all - every pytest-benchmark file under benchmarks/
 
@@ -24,9 +28,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # the plain serial run otherwise (the container image does not ship it).
 XDIST := $(shell $(PYTHON) -c "import pytest_xdist" 2>/dev/null && echo "-n auto")
 
-.PHONY: check test doctest verify smoke smoke-parallel examples-smoke docs-check bench bench-all
+.PHONY: check test doctest verify smoke smoke-parallel examples-smoke docs-check bench-guard bench bench-all
 
-check: test doctest verify smoke smoke-parallel examples-smoke
+check: test doctest verify smoke smoke-parallel examples-smoke bench-guard
 
 test:
 	$(PYTHON) -m pytest -x -q $(XDIST)
@@ -57,6 +61,9 @@ examples-smoke:
 
 docs-check:
 	$(PYTHON) tools/check_links.py README.md docs
+
+bench-guard:
+	$(PYTHON) tools/bench_guard.py
 
 bench:
 	$(PYTHON) -m repro bench

@@ -218,10 +218,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         placement=args.placement,
         reshape_to=reshape_to,
         reshape_at_ms=args.reshape_at,
+        write_policy=args.write_policy,
         seed=args.seed,
     )
     if args.workers < 1:
         raise ValueError(f"--workers must be >= 1, got {args.workers}")
+    unexpected_fallback = False
     if args.workers == 1:
         # The default stays the plain single-process path, untouched.
         payload = run_fleet_scenario(scenario).to_dict()
@@ -236,6 +238,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"parallel: serial fallback ({ex.fallback_reason})",
                 file=sys.stderr,
             )
+            # A reshape legitimately collapses to serial; anything else
+            # downgrading under --smoke is a regression the CI gate
+            # must catch, not a note buried in stderr.
+            if args.smoke and reshape_to is None:
+                unexpected_fallback = True
+                print(
+                    "serve --smoke: unexpected serial fallback with "
+                    f"--workers {args.workers}",
+                    file=sys.stderr,
+                )
         else:
             print(
                 f"parallel: {len(ex.groups)} shard groups on "
@@ -309,7 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}", file=sys.stderr)
     else:
         print(text)
-    return 0 if payload["passed"] else 1
+    return 0 if payload["passed"] and not unexpected_fallback else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -443,6 +455,14 @@ def main(argv: list[str] | None = None) -> int:
         help="max rebuilds running concurrently fleet-wide",
     )
     p.add_argument("--rebuild-parallelism", type=int, default=4)
+    p.add_argument(
+        "--write-policy",
+        choices=("rmw", "write_through"),
+        default="rmw",
+        help="write handling: rmw = read-modify-write parity update "
+        "(two chained phases), write_through = single-phase full-stripe "
+        "writes (analytically solvable)",
+    )
     p.add_argument(
         "--no-verify",
         action="store_true",

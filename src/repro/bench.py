@@ -23,9 +23,9 @@ Three artifact-writing suites pin the scale story:
   **multi-core case**: the 8-shard healthy scenario executed as
   process-parallel shard groups (``workers=8``), whose report must be
   byte-identical to the serial run and whose wall-clock speedup must
-  reach 2.5x on hosts with >= 8 usable cores (smaller hosts gate on a
-  proportional floor instead; worker count, CPU count, and per-group
-  wall times are recorded either way).
+  reach 2.5x on hosts with >= 8 usable cores (a smaller host is marked
+  ``host_inadequate`` and its speedup is informational only; worker
+  count, CPU count, and per-group wall times are recorded either way).
 
 Each run cross-checks that the fast and scalar paths agree before
 timing is trusted, and each payload carries a ``passed`` verdict
@@ -71,6 +71,15 @@ MIXED_REQUESTS = 30_000
 #: churn work of the service PR (the committed BENCH_sim.json figure) —
 #: the "before" in the before/after comparison the suite reports.
 PRE_SERVICE_MIXED_SPEEDUP = 1.81
+#: Mixed-path throughput before the batch-stepped executor replaced the
+#: event heap on the compiled mixed path (the committed BENCH_sim.json
+#: figure from the heap engine) — the "before" the calendar/eager
+#: engines are gated against.
+PRE_BATCHSTEP_MIXED_EVENTS_PER_S = 190_103
+#: The batch-stepped mixed path must clear this multiple of the heap
+#: baseline above (measured over the whole ``simulate_workload`` call,
+#: compile included).
+MIXED_EVENTS_GAIN_BAR = 3.0
 REBUILD_STRIPES = [10_000, 100_000, 1_000_000]
 
 SERVICE_SHARD_COUNTS = [1, 2, 4, 8]
@@ -89,23 +98,14 @@ PARALLEL_WORKERS = 8
 #: and the wall-clock comparison measures simulation, not forking.
 PARALLEL_DURATION_MS = 60_000.0
 #: Wall-clock speedup the 8-worker run must achieve over the serial
-#: run on a host with >= PARALLEL_WORKERS usable cores.  Smaller hosts
-#: get a proportional floor instead (see :func:`_parallel_speedup_floor`)
-#: so the gate still catches pathological slowdowns everywhere, without
-#: flaking on core-starved CI runners (the payload records the core
-#: count so numbers stay interpretable).
+#: run on a host with >= PARALLEL_WORKERS usable cores.  A host with
+#: fewer cores than workers cannot produce a meaningful multi-core
+#: measurement at all — the case is marked ``host_inadequate`` and the
+#: speedup is excluded from the pass/fail verdict rather than gated on
+#: a made-up proportional floor (a 1-core container once "passed" a
+#: 0.25x bar, publishing a misleading scaling bar chart).  The
+#: merge-equality check still binds everywhere.
 PARALLEL_SPEEDUP_BAR = 2.5
-
-
-def _parallel_speedup_floor(cpus: int) -> float:
-    """The speedup the parallel case must clear on a host with ``cpus``
-    usable cores: the full bar with a core per worker, a proportional
-    fraction below that (e.g. 1.0x on a 4-core CI runner, 0.25x on one
-    core — process overhead may eat parallelism there, but a 10x
-    regression still fails)."""
-    if cpus >= PARALLEL_WORKERS:
-        return PARALLEL_SPEEDUP_BAR
-    return 0.25 * min(cpus, PARALLEL_WORKERS)
 #: Full event-driven rebuilds are timed up to this stripe count; above
 #: it only the scan planning is compared (the event engine itself is
 #: identical between modes, so simulating 10^6 stripes twice would just
@@ -219,18 +219,19 @@ def _workload_case(
     cfg: WorkloadConfig,
     requests: int,
     failed_disk: int | None = None,
+    write_policy: str = "rmw",
 ) -> dict:
     duration = cfg.interarrival_ms * requests
     t0 = time.perf_counter()
     batched = simulate_workload(
         layout, duration_ms=duration, config=cfg, failed_disk=failed_disk,
-        batched=True,
+        batched=True, write_policy=write_policy,
     )
     t_batch = time.perf_counter() - t0
     t0 = time.perf_counter()
     scalar = simulate_workload(
         layout, duration_ms=duration, config=cfg, failed_disk=failed_disk,
-        batched=False,
+        batched=False, write_policy=write_policy,
     )
     t_scalar = time.perf_counter() - t0
     _check_workload_agreement(batched, scalar)
@@ -238,6 +239,7 @@ def _workload_case(
         "case": label,
         "read_fraction": cfg.read_fraction,
         "failed_disk": failed_disk,
+        "write_policy": write_policy,
         "requests": batched.scheduled,
         "scalar_s": t_scalar,
         "batched_s": t_batch,
@@ -361,6 +363,20 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
             WorkloadConfig(interarrival_ms=5.0, read_fraction=0.7, seed=7),
             MIXED_REQUESTS,
         ),
+        _workload_case(
+            "degraded_mixed_executor",
+            layout,
+            WorkloadConfig(interarrival_ms=5.0, read_fraction=0.7, seed=7),
+            MIXED_REQUESTS,
+            failed_disk=1,
+        ),
+        _workload_case(
+            "mixed_write_through_solver",
+            layout,
+            WorkloadConfig(interarrival_ms=5.0, read_fraction=0.7, seed=7),
+            MIXED_REQUESTS,
+            write_policy="write_through",
+        ),
     ]
 
     base = ring_layout(9, 3)
@@ -377,8 +393,11 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
     headline = max(
         r["speedup"] for r in workload_rows if r["read_fraction"] == 1.0
     )
-    mixed = max(
-        r["speedup"] for r in workload_rows if r["read_fraction"] < 1.0
+    mixed_row = next(
+        r for r in workload_rows if r["case"] == "mixed_rw_executor"
+    )
+    mixed_gain = (
+        mixed_row["batched_events_per_s"] / PRE_BATCHSTEP_MIXED_EVENTS_PER_S
     )
     payload = {
         "benchmark": "sim",
@@ -389,14 +408,19 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
         "rebuild": rebuild_rows,
         "metrics": metrics_rows,
         "workload_speedup": headline,
-        # Mixed read/write executor, before/after the heap-churn work
-        # (slotted requests, reusable completion callbacks, closure-free
-        # read recording, the inlined write pump).  Reported for the
-        # comparison, not gated: a ratio of two wall-clock timings is
-        # too machine-sensitive to be a pass/fail bar.
-        "mixed_speedup": mixed,
+        # Mixed read/write path, before/after history: the heap-churn
+        # work of the service PR (slotted requests, reusable completion
+        # callbacks) took the executor to 1.81x over scalar; the
+        # batch-stepped engines (calendar queue + eager FIFO tier)
+        # replace heap stepping entirely, gated as a multiple of the
+        # committed heap-engine events/s.
+        "mixed_speedup": mixed_row["speedup"],
         "mixed_speedup_pre_service_pr": PRE_SERVICE_MIXED_SPEEDUP,
-        "passed": headline >= 10.0,
+        "mixed_events_per_s": mixed_row["batched_events_per_s"],
+        "mixed_events_per_s_pre_batchstep": PRE_BATCHSTEP_MIXED_EVENTS_PER_S,
+        "mixed_events_gain_vs_pre_batchstep": mixed_gain,
+        "mixed_events_gain_bar": MIXED_EVENTS_GAIN_BAR,
+        "passed": headline >= 10.0 and mixed_gain >= MIXED_EVENTS_GAIN_BAR,
     }
     out = Path(out_dir) / "BENCH_sim.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -424,9 +448,11 @@ def run_sim_bench(out_dir: str | Path = ".") -> dict:
             f"(sparse; skips {r['dense_incidence_bytes_avoided'] / 1e6:.0f} MB dense)"
         )
     print(
-        f"workload speedup {headline:.1f}x (bar: 10x), mixed executor "
-        f"{mixed:.2f}x (pre-service-PR: {PRE_SERVICE_MIXED_SPEEDUP}x)  "
-        f"-> wrote {out}"
+        f"workload speedup {headline:.1f}x (bar: 10x), mixed path "
+        f"{mixed_row['batched_events_per_s']:,.0f} ev/s = "
+        f"{mixed_gain:.1f}x the pre-batchstep heap engine "
+        f"({PRE_BATCHSTEP_MIXED_EVENTS_PER_S:,} ev/s; bar "
+        f"{MIXED_EVENTS_GAIN_BAR:.0f}x)  -> wrote {out}"
     )
     return payload
 
@@ -604,11 +630,11 @@ def _parallel_case() -> dict:
     merge-equality gate (the parallel report must be byte-identical to
     the serial one after volatile fields are stripped).
 
-    The full 2.5x speedup bar binds on hosts with a core per worker;
-    smaller hosts gate on the proportional
-    :func:`_parallel_speedup_floor`.  The payload always records worker
-    count, usable CPU count, start method, and per-group wall times so
-    numbers are interpretable across machines.
+    The 2.5x speedup bar binds only on hosts with a core per worker;
+    below that the row is marked ``host_inadequate`` and its speedup is
+    informational, not gated.  The payload always records worker count,
+    usable CPU count, start method, and per-group wall times so numbers
+    are interpretable across machines.
     """
     import json as _json
 
@@ -640,6 +666,7 @@ def _parallel_case() -> dict:
     ) == _json.dumps(canonical_payload(run.to_dict()), sort_keys=True)
     cpus = available_cpus()
     speedup = serial.wall_s / run.report.wall_s if run.report.wall_s else 0.0
+    host_inadequate = cpus < PARALLEL_WORKERS
     return {
         "shards": scenario.shards,
         "duration_ms": PARALLEL_DURATION_MS,
@@ -662,8 +689,8 @@ def _parallel_case() -> dict:
         ),
         "speedup": speedup,
         "speedup_bar": PARALLEL_SPEEDUP_BAR,
-        "speedup_floor": _parallel_speedup_floor(cpus),
-        "speedup_bar_applies": cpus >= PARALLEL_WORKERS,
+        "speedup_bar_applies": not host_inadequate,
+        "host_inadequate": host_inadequate,
         "merge_equal": merge_equal,
     }
 
@@ -711,7 +738,10 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
             and migration["all_verified"]
             and migration["post_request_balance"] <= BALANCE_BAR
             and parallel["merge_equal"]
-            and parallel["speedup"] >= parallel["speedup_floor"]
+            and (
+                parallel["host_inadequate"]
+                or parallel["speedup"] >= PARALLEL_SPEEDUP_BAR
+            )
         ),
     }
     out = Path(out_dir) / "BENCH_service.json"
@@ -744,9 +774,8 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
     bar_note = (
         f"bar {PARALLEL_SPEEDUP_BAR}x"
         if parallel["speedup_bar_applies"]
-        else f"floor {parallel['speedup_floor']:.2f}x at "
-        f"{parallel['cpu_count']} core(s); full bar needs "
-        f"{parallel['workers']}"
+        else f"HOST INADEQUATE: {parallel['cpu_count']} core(s) for "
+        f"{parallel['workers']} workers — speedup informational only"
     )
     print(
         f"parallel {parallel['shards']}-shard healthy x "

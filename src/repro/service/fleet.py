@@ -12,10 +12,12 @@ times, read flags, fleet-global LBAs) is split per shard with one
 vectorized consistent-hash pass (:class:`ShardMap`), each shard's
 sub-stream is compiled with one ``map_batch`` call
 (:func:`repro.sim.compile.compile_stream`), and execution picks the
-cheapest engine per shard: the analytic queue solver when the whole
-fleet is healthy and read-only, the compiled executor otherwise.  No
-per-request Python happens between the socket (here: the stream
-vectors) and the disk queues.
+cheapest engine per shard (:func:`repro.sim.compile.execute_compiled`):
+the analytic queue solver for single-phase traces, the calendar-queue
+batch-stepped executor for mixed ones, and the shared event heap only
+when timers (failure injections, migration copies) are armed on the
+clock.  No per-request Python happens between the socket (here: the
+stream vectors) and the disk queues.
 
 Routing is also *mutable* per volume: the fleet routes through a
 volume→shard table seeded from the :class:`ShardMap` and updated one
@@ -40,9 +42,9 @@ from ..layouts import Layout
 from ..sim.compile import (
     CompiledTrace,
     compile_stream,
+    execute_compiled,
     generate_request_stream,
     schedule_compiled,
-    solve_compiled,
 )
 from ..sim.controller import ArrayController
 from ..sim.disk import DiskParameters
@@ -119,9 +121,13 @@ class Fleet:
             policies balance per-volume *traffic weights* (each
             volume's addressable extent), which is what tightens
             request-level shard balance from ~2x to <= 1.3x max/min.
+        write_policy: small-write handling for every shard —
+            ``"rmw"`` (read-modify-write, the paper's model) or
+            ``"write_through"`` (single-phase, analytically solvable).
 
     Raises:
-        ValueError: on a non-positive shard count or unknown placement.
+        ValueError: on a non-positive shard count, unknown placement,
+            or unknown write policy.
         NoFeasiblePlanError: if no layout construction fits ``(v, k)``.
     """
 
@@ -137,6 +143,7 @@ class Fleet:
         seed: int = 0,
         replicas: int = 64,
         placement: str = "ring",
+        write_policy: str = "rmw",
     ):
         if shards < 1:
             raise ValueError(f"a fleet needs >= 1 shard, got {shards}")
@@ -146,6 +153,7 @@ class Fleet:
         self.placement = placement
         self._disk_params = disk_params
         self._dataplane = dataplane
+        self.write_policy = write_policy
         self.controllers = [
             ArrayController(
                 self.layout,
@@ -153,6 +161,7 @@ class Fleet:
                 disk_params=disk_params,
                 dataplane=dataplane,
                 seed=seed + i,
+                write_policy=write_policy,
             )
             for i in range(shards)
         ]
@@ -234,6 +243,7 @@ class Fleet:
                     disk_params=self._disk_params,
                     dataplane=self._dataplane,
                     seed=self.seed + i,
+                    write_policy=self.write_policy,
                 )
             )
 
@@ -316,19 +326,18 @@ class Fleet:
     # Serving
     # ------------------------------------------------------------------
 
-    def _all_healthy(self) -> bool:
-        return all(c.failed_disk is None for c in self.controllers)
-
-    def _solve_all(self, compiled: list[CompiledTrace]) -> None:
-        """Analytic fast path: every shard healthy, every request a
-        read, simulator idle — each shard's queues solve independently
-        against the common start time, and the shared clock advances to
-        the fleet-wide makespan."""
+    def _execute_all(self, compiled: list[CompiledTrace]) -> None:
+        """Batched fast path: simulator idle, so the shards share no
+        events and each executes independently against the common start
+        time — the analytic queue solver for single-phase traces, the
+        calendar-queue batch-stepped executor for mixed ones (see
+        :func:`repro.sim.compile.execute_compiled`).  The shared clock
+        then advances to the fleet-wide makespan."""
         base = self.sim.now
         end = base
         for ctrl, trace in zip(self.controllers, compiled):
             self.sim.now = base
-            solve_compiled(ctrl, trace)
+            execute_compiled(ctrl, trace)
             end = max(end, self.sim.now)
         self.sim.now = end
 
@@ -340,11 +349,11 @@ class Fleet:
     ) -> FleetReport:
         """Serve one fleet-global stream to completion.
 
-        Routes, compiles, executes (analytic solver when the fleet is
-        healthy and the stream read-only, the compiled executor on the
-        shared clock otherwise), and aggregates per-shard reports.
-        Failure injections armed on the shared clock (see
-        :class:`repro.service.FailureOrchestrator`) fire mid-stream.
+        Routes, compiles, executes (per-shard solver/batch-stepped
+        engines on an idle clock, the shared event heap otherwise), and
+        aggregates per-shard reports.  Failure injections armed on the
+        shared clock (see :class:`repro.service.FailureOrchestrator`)
+        fire mid-stream.
         """
         compiled, _ = self.route_stream(times, is_read, lbas)
         return self.serve_compiled(compiled)
@@ -371,9 +380,10 @@ class Fleet:
         ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
         mig = self._migration
         mig_base = list(mig.dispatched_per_shard) if mig is not None else None
-        read_only = all(t.read_only() for t in compiled)
-        if read_only and self._all_healthy() and not self.sim.pending():
-            self._solve_all(compiled)
+        if not self.sim.pending():
+            # No armed timers or in-flight events: shards are
+            # independent, so each picks its cheapest engine.
+            self._execute_all(compiled)
         else:
             for ctrl, trace in zip(self.controllers, compiled):
                 schedule_compiled(ctrl, trace)

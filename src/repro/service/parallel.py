@@ -33,28 +33,32 @@ execution groups** (connected components of the coupling relation):
 
 :func:`run_fleet_scenario_parallel` then runs each group's sub-fleet
 in a worker process (``multiprocessing`` via
-``concurrent.futures.ProcessPoolExecutor``).  Everything crossing the
-process boundary is spawn-safe: workers receive the (picklable)
-:class:`FleetScenario`, their :class:`ShardGroup`, and a tiny
-:class:`RoutingSpec`, then rebuild layouts/mappers through their own
-local registry, regenerate the (seeded, deterministic) request stream,
-and simulate only their own arrays on a fresh clock.  Per-group
-results are merged **deterministically** — per-shard vectors placed by
-global shard id, latency samples concatenated in shard order (exactly
-the serial report's float-summation order), rebuild outcomes re-sorted
-— so the merged report is equal to the serial shared-clock report
-field for field, and ``workers=N`` output is byte-identical to
-``workers=1`` after :func:`canonical_payload` strips the wall-clock
-and execution-metadata fields that legitimately differ run to run.
+``concurrent.futures.ProcessPoolExecutor``).  The parent generates the
+fleet stream **once**, routes and compiles it per shard through the
+real :class:`Fleet` (one vectorized pass), and ships each worker only
+its group's compiled slices — workers never regenerate or re-route the
+full stream.  Everything crossing the process boundary is spawn-safe:
+workers receive the (picklable) :class:`FleetScenario`, their
+:class:`ShardGroup`, and their :class:`repro.sim.CompiledTrace` slices,
+rebuild layouts/mappers through their own local registry, and simulate
+only their own arrays on a fresh clock.  Per-group results are merged
+**deterministically** — per-shard vectors placed by global shard id,
+latency samples concatenated in shard order (exactly the serial
+report's float-summation order), rebuild outcomes re-sorted — so the
+merged report is equal to the serial shared-clock report field for
+field, and ``workers=N`` output is byte-identical to ``workers=1``
+after :func:`canonical_payload` strips the wall-clock and
+execution-metadata fields that legitimately differ run to run.
 
 Why the decomposition is *exact* (not approximate): within one shard,
 event order on the shared clock is decided by ``(time, seq)`` with a
 monotonic sequence number, so removing another shard's events never
 reorders this shard's; shards share no state except through the
 couplings the partition keys on; and each group replicates the serial
-runner's engine choice (analytic solver only when the *whole* scenario
-is read-only and failure-free, exactly the serial gate) and its final
-drain-the-clock step.
+runner's engine choice (the per-shard
+:func:`repro.sim.compile.execute_compiled` fast engines only when the
+whole scenario is failure-free — exactly when the serial fleet's clock
+is idle at serve time) and its final drain-the-clock step.
 """
 
 from __future__ import annotations
@@ -64,14 +68,12 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from ..core.registry import get_layout
 from ..sim.compile import (
-    compile_stream,
+    CompiledTrace,
+    execute_compiled,
     generate_request_stream,
     schedule_compiled,
-    solve_compiled,
 )
 from ..sim.controller import ArrayController
 from ..sim.events import Simulator
@@ -91,7 +93,6 @@ __all__ = [
     "ShardGroup",
     "GroupPartition",
     "partition_scenario",
-    "RoutingSpec",
     "GroupResult",
     "ParallelExecution",
     "ParallelScenarioRun",
@@ -261,28 +262,6 @@ def partition_scenario(scenario: FleetScenario) -> GroupPartition:
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class RoutingSpec:
-    """The fleet-global routing constants a worker needs — computed
-    once in the parent from the real :class:`Fleet` and shipped across
-    the process boundary, so every worker routes with *exactly* the
-    serial run's volume→shard table (no re-derivation to drift).
-
-    Attributes:
-        shards: fleet shard count.
-        shard_capacity: logical units per shard.
-        capacity: fleet-global logical address space.
-        volume_units: units per logical volume.
-        assignment: the volume→shard table.
-    """
-
-    shards: int
-    shard_capacity: int
-    capacity: int
-    volume_units: int
-    assignment: np.ndarray
-
-
 @dataclass
 class GroupResult:
     """One group's raw simulation outcome (everything the merge needs,
@@ -330,16 +309,17 @@ class _LocalFleet:
 def _execute_group(
     scenario: FleetScenario,
     group: ShardGroup,
-    routing: RoutingSpec,
+    compiled: tuple[CompiledTrace, ...],
     group_index: int,
-    allow_solver: bool,
+    allow_batched: bool,
 ) -> GroupResult:
     """Run one group's sub-fleet to completion (worker side).
 
     Mirrors ``run_fleet_scenario`` + ``Fleet.serve_compiled`` step for
-    step for the arrays it owns: same seeds, same routing table, same
-    engine choice, same final clock drain — so the merged report equals
-    the serial one exactly.
+    step for the arrays it owns: same seeds, same pre-routed traces
+    (compiled once in the parent — workers never regenerate the fleet
+    stream), same engine choice, same final clock drain — so the
+    merged report equals the serial one exactly.
     """
     t0 = time.perf_counter()
     sim = Simulator()
@@ -350,29 +330,10 @@ def _execute_group(
             sim=sim,
             dataplane=scenario.verify_data,
             seed=scenario.seed + gid,
+            write_policy=scenario.write_policy,
         )
         for gid in group.arrays
     ]
-
-    # The full fleet stream is a pure function of the scenario seed;
-    # regenerating it locally is cheaper than pickling megabytes of
-    # arrays and keeps the worker self-contained (spawn-safe).
-    times, is_read, lbas = generate_request_stream(
-        scenario.workload(), scenario.duration_ms, routing.capacity
-    )
-    vols = lbas // routing.volume_units
-    shard_ids = routing.assignment[vols]
-    compiled = []
-    for gid, ctrl in zip(group.arrays, controllers):
-        mask = shard_ids == gid
-        compiled.append(
-            compile_stream(
-                ctrl.mapper,
-                times[mask],
-                is_read[mask],
-                lbas[mask] % routing.shard_capacity,
-            )
-        )
 
     orchestrator = None
     if group.failures:
@@ -390,17 +351,17 @@ def _execute_group(
         orchestrator.arm()
 
     # Engine choice replicates the serial gate exactly: the serial
-    # runner only takes the analytic solver when the WHOLE fleet is
-    # read-only with an idle clock (no failures armed anywhere), so a
-    # group must not solve analytically just because its own slice
-    # happens to be quiet.
-    fleet_read_only = bool(is_read.all())
-    if fleet_read_only and allow_solver:
+    # fleet takes the per-shard batched engines
+    # (``Fleet._execute_all``) only when its shared clock is idle at
+    # serve time — i.e. when the scenario arms no failures anywhere —
+    # so a healthy group must not take the fast engines just because
+    # its own slice is quiet while another group rebuilds.
+    if allow_batched and not sim.pending():
         base = sim.now
         end = base
         for ctrl, trace in zip(controllers, compiled):
             sim.now = base
-            solve_compiled(ctrl, trace)
+            execute_compiled(ctrl, trace)
             end = max(end, sim.now)
         sim.now = end
     else:
@@ -438,7 +399,9 @@ def _execute_group(
 
 
 def _execute_group_task(
-    task: tuple[FleetScenario, ShardGroup, RoutingSpec, int, bool],
+    task: tuple[
+        FleetScenario, ShardGroup, tuple[CompiledTrace, ...], int, bool
+    ],
 ) -> GroupResult:
     """Pool entry point (top-level so it pickles under spawn)."""
     return _execute_group(*task)
@@ -552,13 +515,25 @@ class ParallelScenarioRun:
     execution: ParallelExecution
 
     def to_dict(self) -> dict:
-        """The serial report payload plus a ``parallel`` section."""
+        """The serial report payload plus a ``parallel`` section.
+
+        ``serial_fallback``/``fallback_reason`` are ALSO surfaced at the
+        payload's top level: a ``--workers N`` run that silently
+        downgraded to serial used to be discoverable only by digging
+        into the ``parallel`` metadata, so dashboards (and the CLI
+        smoke gate) never noticed.  Top-level placement makes the
+        downgrade part of the report summary itself.
+        """
         payload = self.report.to_dict()
+        payload["serial_fallback"] = self.execution.serial_fallback
+        payload["fallback_reason"] = self.execution.fallback_reason
         payload["parallel"] = self.execution.to_dict()
         return payload
 
 
-_VOLATILE_KEYS = frozenset({"wall_s", "parallel"})
+_VOLATILE_KEYS = frozenset(
+    {"wall_s", "parallel", "serial_fallback", "fallback_reason"}
+)
 
 
 def canonical_payload(payload: dict) -> dict:
@@ -644,10 +619,12 @@ def run_fleet_scenario_parallel(
         )
         return ParallelScenarioRun(report=report, execution=execution)
 
-    # Parent-side work that must not be duplicated per worker: the real
-    # fleet's routing table (shipped as a RoutingSpec), the conformance
-    # gate, and the routing fingerprint.  Data planes stay off — the
-    # parent never simulates.
+    # Parent-side work that must not be duplicated per worker: the
+    # stream is generated, routed, and compiled ONCE through the real
+    # fleet (one vectorized pass), then each worker receives only its
+    # group's compiled slices.  The conformance gate and the routing
+    # fingerprint also run here.  Data planes stay off — the parent
+    # never simulates.
     fleet = Fleet(
         scenario.shards,
         scenario.v,
@@ -656,20 +633,24 @@ def run_fleet_scenario_parallel(
         dataplane=False,
         seed=scenario.seed,
         placement=scenario.placement,
+        write_policy=scenario.write_policy,
     )
     conformance = (
         check_fleet(fleet) if scenario.check_conformance else None
     )
-    routing = RoutingSpec(
-        shards=fleet.shards,
-        shard_capacity=fleet.shard_capacity,
-        capacity=fleet.capacity,
-        volume_units=fleet.volume_units,
-        assignment=fleet.volume_route(),
+    times, is_read, lbas = generate_request_stream(
+        scenario.workload(), scenario.duration_ms, fleet.capacity
     )
-    allow_solver = not scenario.failures  # mirrors the serial engine gate
+    compiled, _ = fleet.route_stream(times, is_read, lbas)
+    allow_batched = not scenario.failures  # mirrors the serial engine gate
     tasks = [
-        (scenario, group, routing, i, allow_solver)
+        (
+            scenario,
+            group,
+            tuple(compiled[a] for a in group.arrays),
+            i,
+            allow_batched,
+        )
         for i, group in enumerate(partition.groups)
     ]
 

@@ -105,6 +105,8 @@ class FleetScenario:
         reshape_at_ms: when the reshape fires (default: a quarter into
             the horizon).
         copy_parallelism: concurrent unit copies per migrating volume.
+        write_policy: small-write handling on every shard — ``"rmw"``
+            (read-modify-write) or ``"write_through"`` (single-phase).
         seed: shard-ring / data-plane seed.
     """
 
@@ -126,6 +128,7 @@ class FleetScenario:
     reshape_to: int | None = None
     reshape_at_ms: float | None = None
     copy_parallelism: int = 4
+    write_policy: str = "rmw"
     seed: int = 0
 
     def workload(self) -> WorkloadConfig:
@@ -224,6 +227,7 @@ class FleetScenarioReport:
                     sc.reshape_time() if sc.reshape_to is not None else None
                 ),
                 "copy_parallelism": sc.copy_parallelism,
+                "write_policy": sc.write_policy,
                 "seed": sc.seed,
                 "failures": [
                     {"time_ms": f.time_ms, "array": f.array, "disk": f.disk}
@@ -327,6 +331,7 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
         dataplane=scenario.verify_data,
         seed=scenario.seed,
         placement=scenario.placement,
+        write_policy=scenario.write_policy,
     )
     conformance = check_fleet(fleet) if scenario.check_conformance else None
 

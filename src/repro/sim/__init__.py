@@ -9,11 +9,13 @@ for end-to-end correctness checks.
 """
 
 from .analysis import LoadEstimate, analyze_load, declustering_ratio
+from .batchstep import step_compiled
 from .compile import (
     CompiledTrace,
     compile_stream,
     compile_trace,
     compile_workload,
+    execute_compiled,
     generate_request_stream,
     schedule_compiled,
     schedule_compiled_scalar,
@@ -22,7 +24,7 @@ from .compile import (
 from .controller import ArrayController
 from .dataplane import DataPlane
 from .disk import Disk, DiskFailedError, DiskIO, DiskParameters
-from .events import Simulator
+from .events import Simulator, calendar_bucket_width
 from .reconstruction import RebuildProcess, RebuildReport
 from .runner import (
     SparePlan,
@@ -54,6 +56,9 @@ __all__ = [
     "schedule_compiled",
     "schedule_compiled_scalar",
     "solve_compiled",
+    "execute_compiled",
+    "step_compiled",
+    "calendar_bucket_width",
     "ArrayController",
     "DataPlane",
     "Disk",

@@ -1,0 +1,673 @@
+"""Calendar-queue batch-stepped executor for compiled mixed traces.
+
+The binary heap in :class:`repro.sim.events.Simulator` pays one
+``heappush`` + ``heappop`` (plus a ``DiskIO`` object and, for writes, a
+closure) per disk event.  For a compiled trace on an otherwise-idle
+array none of that generality is needed: every event is either a
+request arrival (known up front, sorted) or a disk completion (created
+while stepping).  :func:`step_compiled` replaces the heap with a
+calendar queue — fixed-width time buckets over the horizon — and
+retires whole buckets at a time: collect a bucket's completions, sort
+once, then merge-walk them against the arrival stream.
+
+The RMW chained-arrival dependency (a small write's phase-2 IOs exist
+only once both phase-1 reads finish) is handled naturally: the
+follow-on IOs are simply appended to the bucket their parent's
+completion lands in.
+
+Equality contract
+-----------------
+The executor replays the heap's exact serialization.  Each event that
+the heap *would* have pushed is assigned the same tie-breaking sequence
+number, in the same order (submission order within an epoch, the
+arrival pump re-armed after each epoch), and buckets are processed in
+``(time, seq)`` order — so equal-time events fire in schedule order,
+float accumulation per disk happens in the same order with the same
+operations, and the resulting report is bit-identical to
+``schedule_compiled`` + ``sim.run()`` (property-tested in
+``tests/sim/test_batchstep.py``).
+
+Bucket widths are snapped to a power of two
+(:func:`repro.sim.events.calendar_bucket_width`) so bucket indexing is
+exact; an event landing exactly on a bucket boundary belongs to the
+next bucket everywhere.  When a caller forces a width larger than the
+minimum service time, completions can land in the *current* bucket —
+those are insertion-sorted into the live bucket, which keeps the order
+contract (new events always sort after the one being processed, since
+service times are positive).
+
+Like :func:`repro.sim.compile.solve_compiled`, the executor bypasses
+``Simulator`` entirely: ``sim.events_processed`` stays untouched, which
+the tests use to prove which engine ran.
+
+Eager fast tier
+---------------
+For the common benched shape — healthy array, read-modify-write policy,
+no dataplane, default bucket width — the executor first tries an eager
+queue-resolution pass (:func:`_step_eager`).  Because each disk queue
+is FIFO, an IO's completion time is fully determined the moment it is
+submitted: ``max(submit_time, previous completion on that disk) +
+service``.  The only submissions whose *times* are not known up front
+are RMW phase-2 writes (gated on the max of the two phase-1 read
+completions), so the pass walks the arrival stream merged with a small
+min-heap of pending phase-2 submission times — two orders of magnitude
+fewer heap operations than one per disk event.  Whenever two
+submissions from different sources collide on the exact same float
+timestamp the serialization is ambiguous; the pass detects that before
+mutating any controller state and returns ``None``, and
+:func:`step_compiled` falls back to the exact calendar engine.  The
+one relaxation: latency samples are emitted per kind in completion-time
+order with ties broken by submission order (the heap breaks ties by
+event sequence number), which leaves every report field identical
+except that ``mean`` may differ by float-association error well inside
+the documented 1e-12 contract.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .stats import LatencyStats
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid cycles)
+    from .compile import CompiledTrace
+    from .controller import ArrayController
+
+__all__ = ["step_compiled"]
+
+# Completion-event action codes (element 2 of an event tuple
+# ``(time, seq, action, disk, request)``).
+_READ_FAST = 0  # healthy/degraded single-IO read: append to the sink
+_RMW_PHASE1 = 1  # RMW old-data/old-parity read: gate the write phase
+_RMW_WRITE = 2  # RMW new-data/new-parity write: gate the record
+_GENERIC_READ = 3  # phase IO of a generic (kind, phases) plan
+_GENERIC_WRITE = 4
+
+# Sentinel standing in for Disk._last_offset is None inside the eager
+# tier's int-only adjacency test (real offsets are small non-negatives,
+# so the difference can never land in [-1, 1]).
+_NO_OFFSET = -(1 << 60)
+
+
+def _step_eager(
+    ctrl: "ArrayController",
+    compiled: "CompiledTrace",
+    seq_s: float,
+    avg_s: float,
+) -> int | None:
+    """Eagerly resolve a healthy-RMW trace without per-event stepping.
+
+    Returns the request count on success, or ``None`` if an exact
+    timestamp tie between submissions from different sources makes the
+    heap's serialization ambiguous — in that case no controller state
+    has been touched and the caller reruns on the calendar engine.
+    """
+    sim = ctrl.sim
+    n = compiled.n
+    base = sim.now
+    # Elementwise base + t matches the heap pump's schedule(delay=t).
+    atimes = (base + compiled.times).tolist()
+    is_read = compiled.is_read
+    is_read_l = is_read.tolist()
+    rdisks = compiled.disks.tolist()
+    roffs = compiled.offsets.tolist()
+
+    widx = np.flatnonzero(~is_read)
+    nw = widx.shape[0]
+    if nw:
+        wdd, wod, _ws, wpdd, wpod = ctrl.mapper.map_batch_parity(
+            compiled.lbas[widx]
+        )
+        wd = wdd.tolist()
+        wo = wod.tolist()
+        wpd = wpdd.tolist()
+        wpo = wpod.tolist()
+        wtimes = [atimes[i] for i in widx.tolist()]
+    else:
+        wd = wo = wpd = wpo = wtimes = []
+
+    disks = ctrl.disks
+    v = len(disks)
+    prevc = [float("-inf")] * v  # completion time of the disk's last IO
+    dlast = [
+        _NO_OFFSET if d._last_offset is None else d._last_offset
+        for d in disks
+    ]
+    dbusyt = [d.busy_time for d in disks]
+    ddelay = [d.total_queue_delay for d in disks]
+    dreads = [0] * v
+    dwrites = [0] * v
+
+    rc: list[float] = []  # read completion times, submission order
+    rl: list[float] = []  # read latencies, same order
+    wc: list[float] = []  # write (phase-2 max) completion times
+    wl: list[float] = []
+    rc_app = rc.append
+    rl_app = rl.append
+    wc_app = wc.append
+    wl_app = wl.append
+
+    # Pending phase-2 submissions: (time, gating start, write #).
+    pq: list[tuple[float, float, int]] = []
+    inf = float("inf")
+    maxc = -inf
+    ai = 0
+    wj = 0
+    while True:
+        # --- drain arrivals strictly before the next phase-2 time.
+        limit = pq[0][0] if pq else inf
+        while ai < n:
+            t = atimes[ai]
+            if t >= limit:
+                if t > limit:
+                    break
+                # Arrival and pending phase-2 at the same instant: the
+                # heap's order is ambiguous here, but it only matters
+                # if they touch a common disk — disjoint submissions
+                # commute, so process the arrival first.
+                if is_read_l[ai]:
+                    aset = (rdisks[ai],)
+                else:
+                    aset = (wd[wj], wpd[wj])
+                for tk, _gk, k in pq:
+                    if tk == limit and (wd[k] in aset or wpd[k] in aset):
+                        return None
+            r = ai
+            ai += 1
+            if is_read_l[r]:
+                d = rdisks[r]
+                off = roffs[r]
+                p = prevc[d]
+                if p > t:
+                    ddelay[d] += p - t
+                else:
+                    p = t
+                s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+                dlast[d] = off
+                dbusyt[d] += s
+                c = p + s
+                prevc[d] = c
+                dreads[d] += 1
+                if c > maxc:
+                    maxc = c
+                rc_app(c)
+                rl_app(c - t)
+            else:
+                # RMW phase 1: read old data, then old parity.
+                j = wj
+                wj += 1
+                d = wd[j]
+                off = wo[j]
+                p = prevc[d]
+                if p > t:
+                    ddelay[d] += p - t
+                else:
+                    p = t
+                s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+                dlast[d] = off
+                dbusyt[d] += s
+                g1 = p
+                c1 = p + s
+                prevc[d] = c1
+                dreads[d] += 1
+                d = wpd[j]
+                off = wpo[j]
+                p = prevc[d]
+                if p > t:
+                    ddelay[d] += p - t
+                else:
+                    p = t
+                s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+                dlast[d] = off
+                dbusyt[d] += s
+                c2 = p + s
+                prevc[d] = c2
+                dreads[d] += 1
+                # The phase-2 submission fires inside the completion
+                # event of whichever phase-1 read finishes last; that
+                # event's heap sequence number was assigned when the
+                # read's *service started* (seqs grow chronologically),
+                # so the start time `g` recovers the heap's order
+                # between phase-2 submissions tied on time.
+                if c1 > c2:
+                    tw = c1
+                    g = g1
+                elif c2 > c1:
+                    tw = c2
+                    g = p
+                else:
+                    tw = c1
+                    g = g1 if g1 > p else p
+                heappush(pq, (tw, g, j))
+                if tw < limit:
+                    limit = tw
+        if not pq:
+            break  # arrivals exhausted with nothing in flight
+        # --- retire pending phase-2 submissions up to the next arrival.
+        na = atimes[ai] if ai < n else inf
+        while True:
+            tw, g, j = heappop(pq)
+            if pq and pq[0][0] == tw:
+                # More phase-2 at the same instant.  Distinct gating
+                # start times order them exactly (the heap pops by
+                # (time, seq) and `g` tracks seq order); ties on both
+                # are fine only while the writes touch pairwise-disjoint
+                # disk pairs, since disjoint submissions commute.
+                used = {wd[j], wpd[j]}
+                for tk, gk, k in pq:
+                    if tk == tw and gk == g:
+                        a_, b_ = wd[k], wpd[k]
+                        if a_ in used or b_ in used:
+                            return None
+                        used.add(a_)
+                        used.add(b_)
+            # Phase 2: write new data, then new parity.
+            d = wd[j]
+            off = wo[j]
+            p = prevc[d]
+            if p > tw:
+                ddelay[d] += p - tw
+            else:
+                p = tw
+            s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+            dlast[d] = off
+            dbusyt[d] += s
+            c3 = p + s
+            prevc[d] = c3
+            dwrites[d] += 1
+            d = wpd[j]
+            off = wpo[j]
+            p = prevc[d]
+            if p > tw:
+                ddelay[d] += p - tw
+            else:
+                p = tw
+            s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+            dlast[d] = off
+            dbusyt[d] += s
+            c4 = p + s
+            prevc[d] = c4
+            dwrites[d] += 1
+            cw = c3 if c3 > c4 else c4
+            if cw > maxc:
+                maxc = cw
+            wc_app(cw)
+            wl_app(cw - wtimes[j])
+            if not pq:
+                break
+            t2 = pq[0][0]
+            if t2 >= na:
+                # t2 == na re-enters the arrival drain, which settles
+                # the arrival/phase-2 tie with the disjointness check.
+                break
+        if ai >= n and not pq:
+            break
+
+    # --- success: write the accumulated state back.
+    for i in range(v):
+        disk = disks[i]
+        disk.busy_time = dbusyt[i]
+        disk.total_queue_delay = ddelay[i]
+        disk.completed_reads += dreads[i]
+        disk.completed_writes += dwrites[i]
+        lo = dlast[i]
+        disk._last_offset = None if lo == _NO_OFFSET else lo
+    # Sinks are created in first-occurrence (stream) order, matching the
+    # heap, and samples land per kind in completion-time order (stable
+    # on submission order for exact ties).
+    nr = n - nw
+    if nr and nw:
+        if int(np.argmax(is_read)) < int(widx[0]):
+            kinds = (("read", rc, rl), ("write", wc, wl))
+        else:
+            kinds = (("write", wc, wl), ("read", rc, rl))
+    elif nr:
+        kinds = (("read", rc, rl),)
+    else:
+        kinds = (("write", wc, wl),)
+    latency = ctrl.latency
+    for kind, cs, ls in kinds:
+        order = np.argsort(np.asarray(cs), kind="stable")
+        sink = latency.setdefault(kind, LatencyStats()).samples
+        sink.extend(np.asarray(ls)[order].tolist())
+    sim.now = maxc
+    return n
+
+
+def step_compiled(
+    ctrl: "ArrayController",
+    compiled: "CompiledTrace",
+    *,
+    bucket_ms: float | None = None,
+) -> int:
+    """Execute a compiled trace with the calendar-queue executor.
+
+    Produces the identical report (clock, per-disk counters and float
+    accumulators, latency samples per kind) to scheduling the trace on
+    the event heap and running it, at a fraction of the per-event cost.
+    Requires a dedicated, otherwise-idle array — the executor owns the
+    whole timeline, so mid-run fault injection (which needs a live
+    event queue) stays on the heap engine.
+
+    Args:
+        ctrl: the array controller (any failure state, any write
+            policy — the failure state is simply frozen for the run).
+        compiled: the pre-mapped trace.
+        bucket_ms: bucket-width hint (snapped down to a power of two).
+            Defaults to the minimum disk service time, which guarantees
+            a completion never lands in the bucket being processed.
+
+    Returns:
+        The number of requests executed.
+
+    Raises:
+        RuntimeError: if the simulator already has pending events.
+        ValueError: if the bucket width hint is not positive.
+    """
+    sim = ctrl.sim
+    if sim.pending():
+        raise RuntimeError("step_compiled requires an idle simulator")
+    n = compiled.n
+    if n == 0:
+        return 0
+
+    params = ctrl.params
+    seq_s = (
+        params.sequential_seek_ms
+        + params.rotational_latency_ms
+        + params.transfer_ms_per_unit
+    )
+    avg_s = (
+        params.average_seek_ms
+        + params.rotational_latency_ms
+        + params.transfer_ms_per_unit
+    )
+    if (
+        bucket_ms is None
+        and ctrl.failed_disk is None
+        and ctrl.data is None
+        and ctrl.write_policy == "rmw"
+    ):
+        # Common benched shape: try the eager tier first; an exact
+        # timestamp tie (order-ambiguous) leaves state untouched and
+        # drops through to the calendar engine below.
+        eager = _step_eager(ctrl, compiled, seq_s, avg_s)
+        if eager is not None:
+            return eager
+
+    hint = bucket_ms if bucket_ms is not None else min(seq_s, avg_s)
+    from .events import calendar_bucket_width
+
+    width = calendar_bucket_width(hint)
+    inv_w = 1.0 / width  # a power of two: t * inv_w is exact
+
+    # Request planning is shared verbatim with the heap executor — same
+    # arrays, same fast-path classification, same dataplane contexts.
+    from .compile import _CompiledRun
+
+    run = _CompiledRun(ctrl, compiled)
+    atimes = run.times
+    single = run.single
+    wfast = run.wfast
+    plans = run.plans
+    writes = run.writes
+    latency = ctrl.latency
+
+    # Per-disk state, mirroring Disk but in parallel lists.
+    disks = ctrl.disks
+    v = len(disks)
+    dqueue: list[deque] = [deque() for _ in range(v)]
+    dbusy = [False] * v
+    dlast: list[int | None] = [d._last_offset for d in disks]
+    dbusyt = [d.busy_time for d in disks]
+    ddelay = [d.total_queue_delay for d in disks]
+    dreads = [0] * v
+    dwrites = [0] * v
+
+    # Per-request progress state.
+    wrem = [0] * n  # RMW fast path: IOs outstanding in the current phase
+    grem = [0] * n  # generic plans: IOs outstanding in the current phase
+    gidx = [0] * n  # generic plans: next phase index
+
+    read_sink: list[float] | None = None
+    write_sink: list[float] | None = None
+    generic_sinks: dict[str, list[float]] = {}
+
+    # The calendar: bucket index -> unsorted event list.  `evs` is the
+    # bucket currently being retired (kept sorted).
+    calendar: dict[int, list[tuple]] = {}
+    evs: list[tuple] = []
+    cur = -1
+    now = sim.now
+    ai = 0  # next arrival index
+    # Sequence numbers replay the heap's: the arrival pump is armed
+    # first (seq 0), then every submission takes the next number.
+    pump_seq = 0
+    seqc = 1
+
+    def submit(d: int, off: int, action: int, req: int) -> None:
+        """Disk.submit for the write/generic paths: queue on a busy
+        disk, start service inline on an idle one."""
+        nonlocal seqc
+        if dbusy[d]:
+            dqueue[d].append((now, off, action, req))
+            return
+        dbusy[d] = True
+        last = dlast[d]
+        s = seq_s if last is not None and -1 <= off - last <= 1 else avg_s
+        dlast[d] = off
+        dbusyt[d] += s
+        ct = now + s
+        ev = (ct, seqc, action, d, req)
+        seqc += 1
+        bi = int(ct * inv_w)
+        if bi <= cur:
+            insort(evs, ev)
+        else:
+            lst = calendar.get(bi)
+            if lst is None:
+                calendar[bi] = [ev]
+            else:
+                lst.append(ev)
+
+    while True:
+        # --- pick the next non-empty bucket (completions or arrivals).
+        if calendar:
+            nb = min(calendar)
+            if ai < n:
+                ab = int(atimes[ai] * inv_w)
+                if ab < nb:
+                    nb = ab
+        elif ai < n:
+            nb = int(atimes[ai] * inv_w)
+        else:
+            break
+        if nb <= cur:  # unreachable with exact power-of-two widths
+            nb = cur + 1
+        cur = nb
+        bucket_end = (cur + 1) * width
+        pending = calendar.pop(cur, None)
+        if pending is None:
+            evs = []
+        else:
+            pending.sort()
+            evs = pending
+
+        # --- retire the bucket: merge completions with arrival epochs
+        # in (time, seq) order.
+        ei = 0
+        while True:
+            if ai < n:
+                at = atimes[ai]
+                if at < bucket_end and (
+                    ei >= len(evs)
+                    or at < evs[ei][0]
+                    or (at == evs[ei][0] and pump_seq < evs[ei][1])
+                ):
+                    # Arrival epoch: submit every request sharing this
+                    # arrival time, in stream order (the heap pump).
+                    now = at
+                    while ai < n and atimes[ai] == at:
+                        r = ai
+                        pos = single[r]
+                        if pos is not None:
+                            # Healthy/degraded single-IO read, inlined.
+                            if read_sink is None:
+                                read_sink = latency.setdefault(
+                                    "read", LatencyStats()
+                                ).samples
+                            d = pos[0]
+                            if dbusy[d]:
+                                dqueue[d].append((at, pos[1], 0, r))
+                            else:
+                                dbusy[d] = True
+                                off = pos[1]
+                                last = dlast[d]
+                                s = (
+                                    seq_s
+                                    if last is not None
+                                    and -1 <= off - last <= 1
+                                    else avg_s
+                                )
+                                dlast[d] = off
+                                dbusyt[d] += s
+                                ct = at + s
+                                ev = (ct, seqc, 0, d, r)
+                                seqc += 1
+                                bi = int(ct * inv_w)
+                                if bi <= cur:
+                                    insort(evs, ev)
+                                else:
+                                    lst = calendar.get(bi)
+                                    if lst is None:
+                                        calendar[bi] = [ev]
+                                    else:
+                                        lst.append(ev)
+                        else:
+                            winfo = writes[r]
+                            if winfo is not None:
+                                sid, wd, woff, lba = winfo
+                                ctrl._apply_write_dataplane(
+                                    sid, wd, woff, ctrl._default_payload(lba)
+                                )
+                            w = wfast[r]
+                            if w is not None:
+                                # RMW phase 1: read old data + parity.
+                                if write_sink is None:
+                                    write_sink = latency.setdefault(
+                                        "write", LatencyStats()
+                                    ).samples
+                                wrem[r] = 2
+                                submit(w[0], w[1], _RMW_PHASE1, r)
+                                submit(w[2], w[3], _RMW_PHASE1, r)
+                            else:
+                                phases = plans[r][1]
+                                phase = phases[0]
+                                gidx[r] = 1
+                                grem[r] = len(phase)
+                                for pd, poff, is_w in phase:
+                                    submit(
+                                        pd,
+                                        poff,
+                                        _GENERIC_WRITE if is_w else _GENERIC_READ,
+                                        r,
+                                    )
+                        ai += 1
+                    if ai < n:
+                        # The pump re-arms for the next epoch *after*
+                        # this epoch's submissions (heap order).
+                        pump_seq = seqc
+                        seqc += 1
+                    continue
+            if ei >= len(evs):
+                break
+            t, _seq, action, d, req = evs[ei]
+            ei += 1
+            now = t
+            # --- the completion itself (Disk._service_done).
+            if action == 0:
+                dreads[d] += 1
+                read_sink.append(t - atimes[req])
+            elif action == 1:
+                dreads[d] += 1
+                left = wrem[req] - 1
+                wrem[req] = left
+                if not left:
+                    # Phase 2: write new data, then new parity.
+                    wrem[req] = 2
+                    w = wfast[req]
+                    submit(w[0], w[1], _RMW_WRITE, req)
+                    submit(w[2], w[3], _RMW_WRITE, req)
+            elif action == 2:
+                dwrites[d] += 1
+                left = wrem[req] - 1
+                wrem[req] = left
+                if not left:
+                    write_sink.append(t - atimes[req])
+            else:
+                if action == 4:
+                    dwrites[d] += 1
+                else:
+                    dreads[d] += 1
+                left = grem[req] - 1
+                grem[req] = left
+                if not left:
+                    kind, phases = plans[req]
+                    i = gidx[req]
+                    if i < len(phases):
+                        phase = phases[i]
+                        gidx[req] = i + 1
+                        grem[req] = len(phase)
+                        for pd, poff, is_w in phase:
+                            submit(
+                                pd,
+                                poff,
+                                _GENERIC_WRITE if is_w else _GENERIC_READ,
+                                req,
+                            )
+                    else:
+                        sink = generic_sinks.get(kind)
+                        if sink is None:
+                            sink = generic_sinks[kind] = latency.setdefault(
+                                kind, LatencyStats()
+                            ).samples
+                        sink.append(t - atimes[req])
+            # --- start the disk's next queued IO (Disk._start_next).
+            q = dqueue[d]
+            if q:
+                t_issue, off, a2, r2 = q.popleft()
+                last = dlast[d]
+                s = seq_s if -1 <= off - last <= 1 else avg_s
+                dlast[d] = off
+                dbusyt[d] += s
+                ddelay[d] += t - t_issue
+                ct = t + s
+                ev = (ct, seqc, a2, d, r2)
+                seqc += 1
+                bi = int(ct * inv_w)
+                if bi <= cur:
+                    insort(evs, ev)
+                else:
+                    lst = calendar.get(bi)
+                    if lst is None:
+                        calendar[bi] = [ev]
+                    else:
+                        lst.append(ev)
+            else:
+                dbusy[d] = False
+
+    # --- write the accumulated state back into the controller.
+    for d in range(v):
+        disk = disks[d]
+        disk.busy_time = dbusyt[d]
+        disk.total_queue_delay = ddelay[d]
+        disk.completed_reads += dreads[d]
+        disk.completed_writes += dwrites[d]
+        disk._last_offset = dlast[d]
+    sim.now = now
+    return n

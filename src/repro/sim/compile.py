@@ -17,10 +17,15 @@ event loop:
   batch) and per-request plans precomputed from the batch-mapped
   arrays;
 * :func:`solve_compiled` skips the event engine entirely for
-  single-phase (read-only) traces: each disk's FIFO queue is solved
-  analytically with the exact same float arithmetic the event engine
-  would perform, so the resulting report is identical to the scalar
-  simulation at a fraction of the cost.
+  single-phase traces (read-only, or any mix under the write-through
+  policy): each disk's FIFO queue is solved analytically with the
+  exact same float arithmetic the event engine would perform, so the
+  resulting report is identical to the scalar simulation at a fraction
+  of the cost;
+* :func:`execute_compiled` is the engine-selection seam: analytic
+  solver for single-phase traces, the calendar-queue batch-stepped
+  executor (:mod:`repro.sim.batchstep`) for mixed traces on an idle
+  array, and the general heap otherwise — all bit-identical.
 
 :func:`schedule_compiled_scalar` is the thin wrapper that keeps the old
 per-event path alive: the same compiled stream, submitted through the
@@ -66,6 +71,7 @@ __all__ = [
     "schedule_compiled",
     "schedule_compiled_scalar",
     "solve_compiled",
+    "execute_compiled",
 ]
 
 
@@ -332,6 +338,7 @@ class _CompiledRun:
         self.writes: list[tuple[int, int, int, int] | None] = [None] * self.n
 
         failed = ctrl.failed_disk
+        rmw = ctrl.write_policy == "rmw"
         if failed is None:
             write_idx = [i for i, r in enumerate(is_read) if not r]
             if write_idx:
@@ -339,7 +346,14 @@ class _CompiledRun:
                 wd, wo, ws, wpd, wpo = ctrl.mapper.map_batch_parity(wl)
                 for j, i in enumerate(write_idx):
                     d, o = int(wd[j]), int(wo[j])
-                    self.wfast[i] = (d, o, int(wpd[j]), int(wpo[j]))
+                    pd, po = int(wpd[j]), int(wpo[j])
+                    if rmw:
+                        self.wfast[i] = (d, o, pd, po)
+                    else:
+                        # Write-through: new data + parity in one phase.
+                        self.plans[i] = (
+                            "write", [[(d, o, True), (pd, po, True)]]
+                        )
                     if ctrl.data is not None:
                         self.writes[i] = (
                             int(ws[j]) % b, d, o, int(compiled.lbas[i])
@@ -541,16 +555,25 @@ def schedule_compiled_scalar(
 
 
 def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
-    """Execute a single-phase (read-only) compiled trace analytically.
+    """Execute a single-phase compiled trace analytically.
 
-    Reads never feed back into the arrival process (open loop) and
-    finish in one phase, so each disk's FIFO queue is an independent
-    recurrence ``completion = max(arrival, prev_completion) + service``
-    over a service vector that is computable up front.  This routine
-    evaluates that recurrence directly — same float operations, same
-    order as the event engine — then back-fills the controller's disk
-    counters, latency samples, and clock, so reports built on top are
+    Single-phase requests never feed back into the arrival process
+    (open loop) and fan all their IOs out at arrival time, so each
+    disk's FIFO queue is an independent recurrence ``completion =
+    max(arrival, prev_completion) + service`` over a service vector
+    that is computable up front.  This routine evaluates that
+    recurrence directly — same float operations, same order as the
+    event engine — then back-fills the controller's disk counters,
+    latency samples, and clock, so reports built on top are
     indistinguishable from an event-driven run.
+
+    Three trace shapes are single-phase: read-only traces (healthy or
+    degraded), and — under ``write_policy="write_through"`` — any mixed
+    trace, healthy or single-failure degraded (a write-through write is
+    one parallel data+parity write phase; its degraded variants are one
+    IO).  The classic read-modify-write policy makes writes two-phase
+    and genuinely needs an event engine
+    (:func:`repro.sim.batchstep.step_compiled`).
 
     Example:
         >>> from repro.core import get_layout
@@ -564,13 +587,19 @@ def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
         0
 
     Raises:
-        ValueError: if the trace contains writes (multi-phase requests
-            genuinely need the event engine).
+        ValueError: if the trace contains writes under the default
+            read-modify-write policy (multi-phase requests genuinely
+            need an event engine).
         RuntimeError: if the simulator already has pending events (the
             solver models a dedicated, otherwise-idle array).
     """
-    if not compiled.read_only():
-        raise ValueError("solve_compiled handles read-only traces")
+    has_writes = not compiled.read_only()
+    if has_writes and ctrl.write_policy != "write_through":
+        raise ValueError(
+            "solve_compiled handles read-only traces under the "
+            "read-modify-write policy (write-through traces are "
+            "single-phase and always solvable)"
+        )
     if ctrl.sim.pending():
         raise RuntimeError("solve_compiled requires an idle simulator")
     n = compiled.n
@@ -582,32 +611,85 @@ def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
     disks = compiled.disks
     offsets = compiled.offsets
 
-    # --- fan each logical request out to its disk IOs (request order,
-    # unit order within a degraded stripe — the submission order of the
-    # event-driven path).
-    if failed is None:
+    # --- fan each logical request out to its disk IOs (request order;
+    # data before parity within a write, unit order within a degraded
+    # stripe — the submission order of the event-driven path).  The
+    # per-request kind codes drive latency bucketing at the end.
+    kind_code = None  # None = every request is a plain read
+    if not has_writes and failed is None:
         io_req = np.arange(n, dtype=np.int64)
         io_disk = disks
         io_off = offsets
+        io_write = None
         block_start = io_req  # request i's IOs start at position i
-        deg = None
     else:
-        layout = ctrl.layout
-        inc = get_incidence(layout)
-        lengths = inc.stripe_lengths()
-        sids = compiled.stripes % layout.b
-        deg = disks == failed
         counts = np.ones(n, dtype=np.int64)
-        counts[deg] = lengths[sids[deg]] - 1
+        kind_code = np.zeros(n, dtype=np.int8)  # 0 read / 1 degraded_read
+        #                                         2 write / 3 degraded_write
+        if has_writes:
+            widx = np.flatnonzero(~compiled.is_read)
+            wd, wo, ws, wpd, wpo = ctrl.mapper.map_batch_parity(
+                compiled.lbas[widx]
+            )
+            if failed is None:
+                wnormal = np.ones(len(widx), dtype=bool)
+                wdataf = wparityf = np.zeros(len(widx), dtype=bool)
+            else:
+                wdataf = wd == failed
+                wparityf = wpd == failed
+                wnormal = ~(wdataf | wparityf)
+            counts[widx[wnormal]] = 2
+            kind_code[widx[wnormal]] = 2
+            kind_code[widx[~wnormal]] = 3
+            if ctrl.data is not None:
+                # Content semantics in request order, exactly as the
+                # event engine applies them at each write's arrival.
+                b = ctrl.layout.b
+                wlbas = compiled.lbas[widx].tolist()
+                for j in range(len(widx)):
+                    ctrl._apply_write_dataplane(
+                        int(ws[j]) % b,
+                        int(wd[j]),
+                        int(wo[j]),
+                        ctrl._default_payload(wlbas[j]),
+                    )
+        deg = None
+        if failed is not None:
+            layout = ctrl.layout
+            inc = get_incidence(layout)
+            lengths = inc.stripe_lengths()
+            sids = compiled.stripes % layout.b
+            deg = compiled.is_read & (disks == failed)
+            counts[deg] = lengths[sids[deg]] - 1
+            kind_code[deg] = 1
         block_start = np.zeros(n, dtype=np.int64)
         np.cumsum(counts[:-1], out=block_start[1:])
         total = int(counts.sum())
         io_req = np.repeat(np.arange(n, dtype=np.int64), counts)
         io_disk = np.empty(total, dtype=np.int64)
         io_off = np.empty(total, dtype=np.int64)
-        io_disk[block_start[~deg]] = disks[~deg]
-        io_off[block_start[~deg]] = offsets[~deg]
-        if deg.any():
+        io_write = np.zeros(total, dtype=bool)
+        # Healthy (or surviving-disk) reads: one IO in place.
+        hr = compiled.is_read if deg is None else compiled.is_read & ~deg
+        io_disk[block_start[hr]] = disks[hr]
+        io_off[block_start[hr]] = offsets[hr]
+        if has_writes:
+            bs = block_start[widx[wnormal]]
+            io_disk[bs] = wd[wnormal]
+            io_off[bs] = wo[wnormal]
+            io_disk[bs + 1] = wpd[wnormal]
+            io_off[bs + 1] = wpo[wnormal]
+            io_write[bs] = True
+            io_write[bs + 1] = True
+            bs = block_start[widx[wdataf]]
+            io_disk[bs] = wpd[wdataf]
+            io_off[bs] = wpo[wdataf]
+            io_write[bs] = True
+            bs = block_start[widx[wparityf]]
+            io_disk[bs] = wd[wparityf]
+            io_off[bs] = wo[wparityf]
+            io_write[bs] = True
+        if deg is not None and deg.any():
             dsids = sids[deg]
             row_start = inc.indptr[dsids]
             row_len = lengths[dsids]
@@ -665,34 +747,99 @@ def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
         completion[grp] = comp
         disk_obj.busy_time = busy
         disk_obj.total_queue_delay = delay
-        disk_obj.completed_reads += len(grp)
+        if io_write is None:
+            disk_obj.completed_reads += len(grp)
+        else:
+            nw = int(io_write[grp].sum())
+            disk_obj.completed_writes += nw
+            disk_obj.completed_reads += len(grp) - nw
         disk_obj._last_offset = int(offs[-1])
 
     # --- per-request completion (fan-in = max over the request's IOs)
     # and latency samples, recorded in completion order like the event
     # engine would.
-    if failed is None:
+    if len(io_disk) == n:
         req_completion = completion
     else:
         req_completion = np.maximum.reduceat(completion, block_start)
     latencies = req_completion - times
     done_order = np.argsort(req_completion, kind="stable")
-    if deg is None or not deg.any():
+    if kind_code is None:
         ctrl.latency.setdefault("read", LatencyStats()).samples.extend(
             latencies[done_order].tolist()
         )
     else:
-        deg_done = deg[done_order]
+        kinds_done = kind_code[done_order]
         lat_done = latencies[done_order]
-        normal = lat_done[~deg_done]
-        if len(normal):
-            ctrl.latency.setdefault("read", LatencyStats()).samples.extend(
-                normal.tolist()
-            )
-        degraded = lat_done[deg_done]
-        if len(degraded):
-            ctrl.latency.setdefault(
-                "degraded_read", LatencyStats()
-            ).samples.extend(degraded.tolist())
+        for code, name in enumerate(
+            ("read", "degraded_read", "write", "degraded_write")
+        ):
+            sel = lat_done[kinds_done == code]
+            if len(sel):
+                ctrl.latency.setdefault(name, LatencyStats()).samples.extend(
+                    sel.tolist()
+                )
     sim.now = float(req_completion.max())
     return n
+
+
+# ----------------------------------------------------------------------
+# Engine selection (the compile-then-execute seam)
+# ----------------------------------------------------------------------
+
+
+def execute_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
+    """Run a compiled trace through the fastest engine that is exact.
+
+    The selection gate, in order:
+
+    1. a busy simulator (timers armed, rebuild in flight, another
+       stream scheduled) → the general event heap, which is the only
+       engine that can interleave with foreign events;
+    2. a single-phase trace — read-only, or any mix under
+       ``write_policy="write_through"`` → the analytic queue solver
+       (:func:`solve_compiled`, no event stepping at all);
+    3. otherwise → the calendar-queue batch-stepped executor
+       (:func:`repro.sim.batchstep.step_compiled`).
+
+    All three engines produce report-identical results — same clock,
+    same per-disk counters and float accumulators, same latency-sample
+    multisets and summaries (the batch-stepped executor's eager tier
+    may order samples at *exact* completion-time ties by submission
+    instead of event-seq, which leaves every summary statistic equal
+    and the mean within float re-association; see
+    :mod:`repro.sim.batchstep`) — so callers choose purely on speed.
+    Returns the request count; the trace is fully executed on return.
+
+    Example:
+        >>> from repro.core import get_layout
+        >>> from repro.sim import ArrayController, WorkloadConfig
+        >>> ctrl = ArrayController(get_layout(9, 3))
+        >>> trace = compile_workload(ctrl.mapper, WorkloadConfig(seed=4), 80.0)
+        >>> execute_compiled(ctrl, trace) == trace.n
+        True
+        >>> ctrl.sim.events_processed       # mixed trace, bucketed engine
+        0
+    """
+    sim = ctrl.sim
+    if sim.pending():
+        n = schedule_compiled(ctrl, compiled)
+        sim.run()
+        return n
+    if compiled.read_only() or ctrl.write_policy == "write_through":
+        return solve_compiled(ctrl, compiled)
+    p = ctrl.params
+    min_service = (
+        min(p.sequential_seek_ms, p.average_seek_ms)
+        + p.rotational_latency_ms
+        + p.transfer_ms_per_unit
+    )
+    if min_service <= 0.0:
+        # A degenerate zero-service model has no usable bucket width;
+        # the heap handles it.
+        n = schedule_compiled(ctrl, compiled)
+        sim.run()
+        return n
+    from .batchstep import step_compiled
+
+    return step_compiled(ctrl, compiled)

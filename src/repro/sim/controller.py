@@ -73,7 +73,15 @@ class ArrayController:
         dataplane: attach a byte-level data plane (enables content
             verification at simulation cost).
         seed: data-plane fill seed.
+        write_policy: ``"rmw"`` (default) issues the classic 4-IO
+            read-modify-write small write; ``"write_through"`` models a
+            controller that computes new parity from cached context and
+            writes data + parity directly — every request becomes
+            single-phase, which unlocks the analytic queue solver for
+            mixed traces.
     """
+
+    WRITE_POLICIES = ("rmw", "write_through")
 
     def __init__(
         self,
@@ -83,8 +91,15 @@ class ArrayController:
         disk_params: DiskParameters | None = None,
         dataplane: bool = False,
         seed: int = 0,
+        write_policy: str = "rmw",
     ):
         layout.validate()
+        if write_policy not in self.WRITE_POLICIES:
+            raise ValueError(
+                f"write_policy must be one of {self.WRITE_POLICIES}, "
+                f"got {write_policy!r}"
+            )
+        self.write_policy = write_policy
         self.layout = layout
         self.sim = sim if sim is not None else Simulator()
         self.params = disk_params if disk_params is not None else DiskParameters()
@@ -252,11 +267,20 @@ class ArrayController:
         stripe = self.layout.stripes[stripe_id]
         parity_disk, parity_off = stripe.parity_unit
         mode = self._write_mode(disk, parity_disk)
+        write_through = self.write_policy == "write_through"
         if mode == "normal":
+            if write_through:
+                return "write", [
+                    [(disk, offset, True), (parity_disk, parity_off, True)]
+                ]
             return "write", self.normal_write_phases(
                 disk, offset, parity_disk, parity_off
             )
         if mode == "data_failed":
+            if write_through:
+                # New parity comes from cached context: the surviving
+                # data units need not be read back.
+                return "degraded_write", [[(parity_disk, parity_off, True)]]
             other_data = [
                 (d, off, False)
                 for d, off in stripe.data_units()

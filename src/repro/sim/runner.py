@@ -12,10 +12,11 @@ Two canned experiments mirror the paper's evaluation story:
 
 Both follow the compile-then-execute model: the whole request stream /
 rebuild scan is planned as NumPy arrays before the event loop starts.
-Read-only workloads skip the event engine entirely (each disk queue is
-solved analytically by :func:`repro.sim.compile.solve_compiled`);
-``batched=False`` recovers the per-event scalar pipeline, which
-produces the identical report.
+Execution goes through :func:`repro.sim.compile.execute_compiled`:
+single-phase workloads skip the event engine entirely (each disk queue
+is solved analytically), mixed workloads run on the calendar-queue
+batch-stepped executor, and ``batched=False`` recovers the per-event
+scalar pipeline — all produce the identical report.
 """
 
 from __future__ import annotations
@@ -29,9 +30,8 @@ from ..layouts import Layout
 from ..layouts.sparing import DistributedSparing
 from .compile import (
     compile_workload,
-    schedule_compiled,
+    execute_compiled,
     schedule_compiled_scalar,
-    solve_compiled,
 )
 from .controller import ArrayController
 from .disk import DiskParameters
@@ -194,31 +194,34 @@ def simulate_workload(
     verify_data: bool = False,
     seed: int = 0,
     batched: bool = True,
+    write_policy: str = "rmw",
 ) -> WorkloadReport:
     """Run a synthetic workload against a layout.
 
     ``failed_disk`` switches the array to degraded mode before traffic
-    starts.  The stream is compiled up front; read-only traces execute
-    through the analytic queue solver (no event loop at all), anything
-    with writes through the compiled executor, and ``batched=False``
-    through the scalar per-event path — all three produce the same
-    report.  Returns latency summaries keyed by request kind plus
-    per-disk load.
+    starts.  The stream is compiled up front; single-phase traces
+    (read-only, or any mix under ``write_policy="write_through"``)
+    execute through the analytic queue solver (no event loop at all),
+    anything else through the calendar-queue batch-stepped executor,
+    and ``batched=False`` through the scalar per-event path — all
+    produce the same report.  Returns latency summaries keyed by
+    request kind plus per-disk load.
     """
     cfg = config if config is not None else WorkloadConfig()
     ctrl = ArrayController(
-        layout, disk_params=disk_params, dataplane=verify_data, seed=seed
+        layout,
+        disk_params=disk_params,
+        dataplane=verify_data,
+        seed=seed,
+        write_policy=write_policy,
     )
     if failed_disk is not None:
         ctrl.fail_disk(failed_disk)
     compiled = compile_workload(ctrl.mapper, cfg, duration_ms)
-    if batched and compiled.read_only():
-        scheduled = solve_compiled(ctrl, compiled)
+    if batched:
+        scheduled = execute_compiled(ctrl, compiled)
     else:
-        if batched:
-            scheduled = schedule_compiled(ctrl, compiled)
-        else:
-            scheduled = schedule_compiled_scalar(ctrl, compiled)
+        scheduled = schedule_compiled_scalar(ctrl, compiled)
         ctrl.sim.run()
     return WorkloadReport(
         duration_ms=ctrl.sim.now,

@@ -91,14 +91,27 @@ class TestServing:
         assert rep.scheduled > 0
         assert rep.duration_ms > 0
 
-    def test_mixed_serves_through_shared_event_loop(self):
+    def test_mixed_serves_through_batch_stepped_executor(self):
+        """With an idle clock, mixed traffic executes per shard on the
+        calendar-queue executor — the shared event heap never runs."""
         fleet = Fleet(3, 9, 3, seed=0)
+        cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=0.5, seed=4)
+        rep = fleet.serve_workload(cfg, 300.0)
+        assert fleet.sim.events_processed == 0
+        assert rep.scheduled > 0
+        kinds = set(rep.latency)
+        assert {"read", "write"} <= kinds
+
+    def test_mixed_serves_through_heap_when_timers_armed(self):
+        """Anything pending on the shared clock (here: a scheduled
+        failure injection) forces the general event-heap path."""
+        fleet = Fleet(3, 9, 3, seed=0)
+        fleet.sim.schedule(150.0, lambda: fleet.controllers[0].fail_disk(0))
         cfg = WorkloadConfig(interarrival_ms=1.0, read_fraction=0.5, seed=4)
         rep = fleet.serve_workload(cfg, 300.0)
         assert fleet.sim.events_processed > 0
         assert rep.scheduled > 0
-        kinds = set(rep.latency)
-        assert {"read", "write"} <= kinds
+        assert fleet.controllers[0].failed_disk == 0
 
     def test_solver_and_event_path_agree_on_read_only(self):
         """The per-shard analytic fast path must match event-driven

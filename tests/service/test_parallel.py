@@ -22,7 +22,7 @@ from repro.service import (
     run_fleet_scenario,
     run_fleet_scenario_parallel,
 )
-from repro.service.parallel import RoutingSpec, ShardGroup
+from repro.service.parallel import ShardGroup
 
 
 def _canon(payload: dict) -> str:
@@ -195,11 +195,38 @@ class TestReportEquality:
         with pytest.raises(ValueError, match="workers"):
             run_fleet_scenario_parallel(HEALTHY, workers=0)
 
+    def test_stream_generated_once_in_parent(self, monkeypatch):
+        """Workers receive pre-routed compiled slices — the fleet
+        stream is generated exactly once, in the parent.  (This was the
+        bug: every worker regenerated and re-routed the FULL stream,
+        making the parallel path do O(groups x stream) redundant
+        work.)"""
+        import repro.service.parallel as par_mod
+
+        calls = []
+        real = par_mod.generate_request_stream
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(par_mod, "generate_request_stream", counting)
+        serial = run_fleet_scenario(FAILURES).to_dict()
+        grouped = run_fleet_scenario_parallel(
+            FAILURES, workers=1
+        ).to_dict()
+        assert len(calls) == 1
+        assert _canon(serial) == _canon(grouped)
+
 
 class TestExecutionMetadata:
     def test_parallel_section_shape(self):
         run = run_fleet_scenario_parallel(FAILURES, workers=2)
         payload = run.to_dict()
+        # The downgrade flag is part of the top-level summary, not
+        # buried in the execution metadata.
+        assert payload["serial_fallback"] is False
+        assert payload["fallback_reason"] is None
         ex = payload["parallel"]
         assert ex["workers"] == 2
         assert ex["cpu_count"] >= 1
@@ -228,28 +255,32 @@ class TestSpawnSafety:
             clone = pickle.loads(pickle.dumps(sc))
             assert clone == sc
 
-    def test_group_and_routing_spec_pickle(self):
-        import numpy as np
+    def test_group_and_compiled_trace_pickle(self):
+        from repro.service import Fleet
+        from repro.sim.compile import generate_request_stream
 
         part = partition_scenario(COUPLED)
         for g in part.groups:
             assert pickle.loads(pickle.dumps(g)) == g
-        spec = RoutingSpec(
-            shards=2,
-            shard_capacity=10,
-            capacity=20,
-            volume_units=2,
-            assignment=np.array([0, 1], dtype=np.int64),
+        fleet = Fleet(2, 9, 3, seed=0)
+        times, is_read, lbas = generate_request_stream(
+            HEALTHY.workload(), 100.0, fleet.capacity
         )
-        clone = pickle.loads(pickle.dumps(spec))
-        assert (clone.assignment == spec.assignment).all()
-        assert clone.capacity == spec.capacity
+        compiled, _ = fleet.route_stream(times, is_read, lbas)
+        for trace in compiled:
+            clone = pickle.loads(pickle.dumps(trace))
+            assert clone.n == trace.n
+            assert (clone.times == trace.times).all()
+            assert (clone.is_read == trace.is_read).all()
+            assert (clone.lbas == trace.lbas).all()
 
 
 class TestCanonicalPayload:
     def test_strips_wall_clock_everywhere(self):
         payload = {
             "wall_s": 1.0,
+            "serial_fallback": True,
+            "fallback_reason": "reshape",
             "fleet": {"wall_s": 2.0, "throughput_rps": 3.0},
             "rows": [{"wall_s": 4.0, "x": 1}],
             "parallel": {"workers": 8},
@@ -287,3 +318,57 @@ class TestServeCLIWorkers:
         from repro.__main__ import main
 
         assert main(["serve", "--smoke", "--workers", "0"]) == 2
+
+    def test_smoke_flags_unexpected_serial_fallback(self):
+        """--workers 2 on a single-shard fleet silently downgrades to
+        serial; under --smoke that downgrade must fail the run."""
+        from repro.__main__ import main
+
+        args = [
+            "serve",
+            "--smoke",
+            "--workers",
+            "2",
+            "--shards",
+            "1",
+            "--failures",
+            "0",
+        ]
+        assert main(args) == 1
+
+    def test_reshape_fallback_stays_legitimate_under_smoke(self, tmp_path):
+        """A reshape is the documented serial collapse — --smoke must
+        not flag it."""
+        from repro.__main__ import main
+
+        out = tmp_path / "grow.json"
+        args = [
+            "serve",
+            "--smoke",
+            "--workers",
+            "2",
+            "--grow",
+            "4:6",
+            "--json",
+            str(out),
+        ]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        assert payload["serial_fallback"] is True
+        assert payload["fallback_reason"]
+
+    def test_write_policy_flag_reaches_scenario(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "wt.json"
+        args = [
+            "serve",
+            "--smoke",
+            "--write-policy",
+            "write_through",
+            "--json",
+            str(out),
+        ]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        assert payload["scenario"]["write_policy"] == "write_through"

@@ -1,0 +1,219 @@
+"""Property tests for the batch-stepped (calendar-queue) executor.
+
+The contract under test: :func:`repro.sim.batchstep.step_compiled`
+replays a compiled trace WITHOUT the event heap (``events_processed``
+stays 0) and lands the controller in the same state the heap engine
+would — same clock, same per-disk counters and float accumulators,
+same latency samples.
+
+Two equality tiers, matching the engine's two tiers:
+
+* an **explicit** ``bucket_ms`` forces the calendar engine, which is
+  bit-exact against the heap including sample ORDER (it replays the
+  heap's ``(time, seq)`` serialization event for event);
+* the **default** path may take the eager FIFO tier, whose documented
+  relaxation is sample order at *exact* completion-time ties (it
+  follows submission order instead of event-seq order) — multisets,
+  counts, percentiles, and max stay equal; the mean agrees within
+  float re-association.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_layout
+from repro.layouts import raid5_layout, ring_layout
+from repro.sim import (
+    ArrayController,
+    WorkloadConfig,
+    calendar_bucket_width,
+    compile_trace,
+    compile_workload,
+    schedule_compiled,
+    step_compiled,
+)
+from repro.sim.trace import TraceRecord
+
+FAMILIES = {
+    "ring": lambda: ring_layout(9, 4),
+    "holland_gibson": lambda: get_layout(13, 4),
+    "raid5": lambda: raid5_layout(6, rotations=4),
+}
+
+# Bucket widths chosen to stress the calendar walk, not to be
+# realistic: a near-service-time width (snaps to 8.0, so quantized
+# 8 ms arrivals land boundary-exact), a sliver that puts nearly every
+# event in its own bucket, and a width swallowing the whole run.
+BUCKETS = [8.06, 1e-4, 1000.0]
+
+
+def _exact_state(ctrl):
+    """Everything the heap engine mutates, float-exact."""
+    return (
+        ctrl.sim.now,
+        [
+            (
+                d.busy_time,
+                d.total_queue_delay,
+                d.completed_reads,
+                d.completed_writes,
+                d._last_offset,
+            )
+            for d in ctrl.disks
+        ],
+        {k: tuple(s.samples) for k, s in ctrl.latency.items()},
+    )
+
+
+def _run(engine, layout_fn, cfg, *, duration=900.0, failed=None,
+         policy="rmw", bucket=None, quantize=None):
+    ctrl = ArrayController(layout_fn(), write_policy=policy)
+    if failed is not None:
+        ctrl.fail_disk(failed)
+    trace = compile_workload(ctrl.mapper, cfg, duration)
+    if quantize is not None:
+        # Snap arrivals onto a grid: duplicate timestamps + boundary
+        # collisions with power-of-two bucket widths.
+        times = np.floor(trace.times / quantize) * quantize
+        order = np.argsort(times, kind="stable")
+        records = [
+            TraceRecord(
+                time_ms=float(times[i]),
+                op="r" if trace.is_read[i] else "w",
+                lba=int(trace.lbas[i]),
+            )
+            for i in order
+        ]
+        trace = compile_trace(ctrl.mapper, records)
+    if engine == "heap":
+        schedule_compiled(ctrl, trace)
+        ctrl.sim.run()
+    else:
+        n = step_compiled(ctrl, trace, bucket_ms=bucket)
+        assert n == trace.n
+        # The whole point: the event heap never runs.
+        assert ctrl.sim.events_processed == 0
+    return ctrl
+
+
+def assert_states_equal(a, b, *, sample_order_exact=True):
+    sa, sb = _exact_state(a), _exact_state(b)
+    assert sb[0] == sa[0]  # clock
+    assert sb[1] == sa[1]  # per-disk counters + float accumulators
+    assert set(sb[2]) == set(sa[2])
+    for kind in sa[2]:
+        if sample_order_exact:
+            assert sb[2][kind] == sa[2][kind], kind
+        else:
+            assert sorted(sb[2][kind]) == sorted(sa[2][kind]), kind
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("read_fraction", [1.0, 0.6, 0.0])
+@pytest.mark.parametrize("failed", [None, 1])
+@pytest.mark.parametrize("policy", ["rmw", "write_through"])
+class TestCalendarBitExactness:
+    """Explicit bucket widths force the calendar engine: bit-exact
+    including sample order, across families x mixes x failure states x
+    write policies x degenerate widths."""
+
+    def test_matches_heap_for_every_bucket_width(
+        self, family, read_fraction, failed, policy
+    ):
+        cfg = WorkloadConfig(
+            interarrival_ms=3.0, read_fraction=read_fraction, seed=11
+        )
+        heap = _run("heap", FAMILIES[family], cfg, failed=failed,
+                    policy=policy)
+        for bucket in BUCKETS:
+            step = _run("step", FAMILIES[family], cfg, failed=failed,
+                        policy=policy, bucket=bucket)
+            assert_states_equal(heap, step)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("read_fraction", [1.0, 0.6, 0.0])
+class TestDefaultPathReportEquality:
+    """The default (no bucket hint) path — eager tier eligible on
+    healthy rmw mixes — must agree with the heap on everything except
+    possibly sample order at exact completion-time ties."""
+
+    def test_matches_heap(self, family, read_fraction):
+        cfg = WorkloadConfig(
+            interarrival_ms=3.0, read_fraction=read_fraction, seed=19
+        )
+        heap = _run("heap", FAMILIES[family], cfg)
+        step = _run("step", FAMILIES[family], cfg)
+        assert_states_equal(heap, step, sample_order_exact=False)
+
+    def test_summaries_match_heap(self, family, read_fraction):
+        from repro.sim.stats import summarize
+
+        cfg = WorkloadConfig(
+            interarrival_ms=3.0, read_fraction=read_fraction, seed=23
+        )
+        heap = _run("heap", FAMILIES[family], cfg)
+        step = _run("step", FAMILIES[family], cfg)
+        for kind in heap.latency:
+            a = summarize(heap.latency[kind])
+            b = summarize(step.latency[kind])
+            for field in ("count", "p50", "p95", "max"):
+                assert a[field] == b[field], (kind, field)
+            assert a["mean"] == pytest.approx(b["mean"], rel=1e-12)
+
+
+class TestQuantizedTies:
+    """Grid-quantized arrivals mass-produce equal timestamps — the
+    worst case for both the calendar walk (boundary-exact events) and
+    the eager tier (which must detect ambiguous ties and fall back)."""
+
+    @pytest.mark.parametrize("tick", [8.0, 5.0])
+    def test_boundary_exact_arrivals_bit_exact(self, tick):
+        cfg = WorkloadConfig(interarrival_ms=2.0, read_fraction=0.6, seed=7)
+        heap = _run("heap", FAMILIES["ring"], cfg, quantize=tick)
+        # bucket 8.06 snaps to width 8.0: tick-8.0 arrivals land
+        # exactly on bucket boundaries.
+        step = _run("step", FAMILIES["ring"], cfg, quantize=tick,
+                    bucket=8.06)
+        assert_states_equal(heap, step)
+
+    def test_default_path_survives_mass_ties(self):
+        """No bucket hint: the eager tier either resolves the ties or
+        falls back to the calendar engine — both must end report-equal
+        to the heap, never wrong."""
+        cfg = WorkloadConfig(interarrival_ms=2.0, read_fraction=0.5, seed=3)
+        heap = _run("heap", FAMILIES["ring"], cfg, quantize=5.0)
+        step = _run("step", FAMILIES["ring"], cfg, quantize=5.0)
+        assert_states_equal(heap, step, sample_order_exact=False)
+
+
+class TestBucketWidth:
+    def test_power_of_two_not_exceeding_hint(self):
+        for hint in (8.06, 1.0, 0.75, 1e-4, 1000.0, 17.56):
+            w = calendar_bucket_width(hint)
+            assert w <= hint
+            m, e = np.frexp(w)
+            assert m == 0.5  # exact power of two
+            assert 2.0 * w > hint
+
+    def test_rejects_degenerate_hints(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                calendar_bucket_width(bad)
+
+
+class TestEngineOwnership:
+    def test_busy_simulator_rejected(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        ctrl.sim.schedule(1.0, lambda: None)
+        cfg = WorkloadConfig(interarrival_ms=5.0, seed=1)
+        trace = compile_workload(ctrl.mapper, cfg, 200.0)
+        with pytest.raises(RuntimeError, match="idle"):
+            step_compiled(ctrl, trace)
+
+    def test_empty_trace_is_a_noop(self):
+        ctrl = ArrayController(ring_layout(5, 3))
+        trace = compile_workload(ctrl.mapper, WorkloadConfig(seed=0), 0.0)
+        assert step_compiled(ctrl, trace) == 0
+        assert ctrl.sim.now == 0.0
+        assert ctrl.sim.events_processed == 0

@@ -1,0 +1,103 @@
+"""Mixed-path throughput regression guard (``make bench-guard``).
+
+Re-times the sim suite's mixed read/write case — the one the
+batch-stepped executor owns — and fails when the fresh events/s falls
+below a fraction of the committed ``BENCH_sim.json`` figure.  This is
+the cheap tripwire between full benchmark runs: a change that quietly
+knocks the mixed engine back onto a slow path (or breaks the eager
+tier's no-fallback steady state) shows up as a large drop, far outside
+normal run-to-run noise.
+
+The committed artifact is the reference, so the guard is relative to
+the machine that produced it.  On a host materially slower than that
+machine the threshold can be loosened (or the check skipped) with::
+
+    BENCH_GUARD_RATIO=0.5 python tools/bench_guard.py
+    BENCH_GUARD_RATIO=0 python tools/bench_guard.py   # record only
+
+Exit codes: 0 = within threshold, 1 = regression, 2 = missing/invalid
+committed artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Fresh throughput must reach this fraction of the committed figure
+#: (>20% regression fails).  Override with BENCH_GUARD_RATIO.
+DEFAULT_RATIO = 0.8
+#: Timed runs; the best run is compared (the guard hunts regressions,
+#: not noise — the best of three is stable to a few percent).
+RUNS = 3
+
+
+def committed_mixed_events_per_s(path: Path) -> float:
+    payload = json.loads(path.read_text())
+    for row in payload["workload"]["cases"]:
+        if row["case"] == "mixed_rw_executor":
+            return float(row["batched_events_per_s"])
+    raise KeyError("mixed_rw_executor case not found")
+
+
+def fresh_mixed_events_per_s() -> float:
+    from repro.core import get_layout
+    from repro.sim import WorkloadConfig, simulate_workload
+
+    layout = get_layout(13, 4)
+    cfg = WorkloadConfig(interarrival_ms=5.0, read_fraction=0.7, seed=7)
+    duration = 5.0 * 30_000
+
+    best = 0.0
+    for _ in range(RUNS):
+        t0 = time.perf_counter()
+        rep = simulate_workload(
+            layout, duration_ms=duration, config=cfg, batched=True
+        )
+        elapsed = time.perf_counter() - t0
+        best = max(best, rep.scheduled / elapsed)
+    return best
+
+
+def main() -> int:
+    artifact = REPO_ROOT / "BENCH_sim.json"
+    try:
+        committed = committed_mixed_events_per_s(artifact)
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        print(f"bench-guard: cannot read committed baseline: {exc}")
+        print("bench-guard: run `python -m repro bench --suite sim` first")
+        return 2
+
+    try:
+        ratio = float(os.environ.get("BENCH_GUARD_RATIO", DEFAULT_RATIO))
+    except ValueError:
+        print("bench-guard: BENCH_GUARD_RATIO must be a number")
+        return 2
+
+    fresh = fresh_mixed_events_per_s()
+    floor = ratio * committed
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"bench-guard: mixed path {fresh:,.0f} ev/s vs committed "
+        f"{committed:,.0f} ev/s (floor {ratio:.2f}x = {floor:,.0f}) "
+        f"-> {verdict}"
+    )
+    if fresh < floor:
+        print(
+            "bench-guard: mixed-path throughput regressed by more than "
+            f"{(1 - ratio) * 100:.0f}% — check the engine-selection gate "
+            "in repro.sim.compile.execute_compiled and the eager tier's "
+            "fallback rate in repro.sim.batchstep"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
