@@ -12,6 +12,11 @@
 #   smoke-parallel - the same scenario on 2 worker processes; runs the
 #             serial smoke first and fails unless the two reports are
 #             byte-identical in canonical form
+#   smoke-stream - large-horizon streaming smoke: a 10^7-request mixed
+#             fleet served through compiled windows with a peak-RSS
+#             ceiling (--max-rss-mb) — the constant-memory gate.
+#             ~1 min of wall time; skip on slow hosts with
+#             STREAM_SMOKE=0
 #   examples-smoke - run every script under examples/ headless
 #   docs-check     - link-check docs/ + README (local targets only)
 #   bench-guard    - re-time the mixed-path executor and fail on a >20%
@@ -28,9 +33,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # the plain serial run otherwise (the container image does not ship it).
 XDIST := $(shell $(PYTHON) -c "import pytest_xdist" 2>/dev/null && echo "-n auto")
 
-.PHONY: check test doctest verify smoke smoke-parallel examples-smoke docs-check bench-guard bench bench-all
+.PHONY: check test doctest verify smoke smoke-parallel smoke-stream examples-smoke docs-check bench-guard bench bench-all
 
-check: test doctest verify smoke smoke-parallel examples-smoke bench-guard
+check: test doctest verify smoke smoke-parallel smoke-stream examples-smoke bench-guard
 
 test:
 	$(PYTHON) -m pytest -x -q $(XDIST)
@@ -55,6 +60,21 @@ smoke-parallel: smoke
 	assert json.dumps(c(a), sort_keys=True) == json.dumps(c(b), sort_keys=True), \
 	'parallel smoke report differs from serial'; \
 	print('parallel smoke report byte-identical to serial')"
+
+# 10^7 requests over a 4-shard mixed fleet, streamed through 65536-
+# request compiled windows: the run must finish under the RSS ceiling
+# (a horizon-proportional buffer would blow through it by an order of
+# magnitude) and its report "passed" gate must hold.  The JSON artifact
+# rides the BENCH_*.json upload glob in CI.
+smoke-stream:
+ifeq ($(STREAM_SMOKE),0)
+	@echo "smoke-stream: skipped (STREAM_SMOKE=0)"
+else
+	$(PYTHON) -m repro serve --shards 4 --duration 12500000 \
+		--interarrival 1.25 --failures 0 --no-verify \
+		--window 65536 --max-rss-mb 256 \
+		--json BENCH_serve_stream_smoke.json
+endif
 
 examples-smoke:
 	$(PYTHON) tools/run_examples.py

@@ -160,6 +160,13 @@ def _parse_reshape_spec(spec: str, flag: str, grow: bool) -> tuple[int, int]:
     return start, target
 
 
+def _peak_rss_mb() -> float | None:
+    """Peak RSS of this process in MiB, or None when unavailable."""
+    from .bench import peak_rss_mb
+
+    return peak_rss_mb()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -215,10 +222,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rebuild_parallelism=args.rebuild_parallelism,
         verify_data=not args.no_verify,
         check_conformance=not args.no_conformance,
+        volumes=args.volumes,
         placement=args.placement,
         reshape_to=reshape_to,
         reshape_at_ms=args.reshape_at,
         write_policy=args.write_policy,
+        window_size=args.window,
         seed=args.seed,
     )
     if args.workers < 1:
@@ -313,6 +322,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"zero lost: {mig['zero_lost']}; {verified}",
             file=sys.stderr,
         )
+    rss_exceeded = False
+    peak_mb = _peak_rss_mb()
+    if peak_mb is not None:
+        print(f"peak rss: {peak_mb:.1f} MiB", file=sys.stderr)
+        if args.max_rss_mb is not None and peak_mb > args.max_rss_mb:
+            rss_exceeded = True
+            print(
+                f"serve: peak RSS {peak_mb:.1f} MiB exceeds "
+                f"--max-rss-mb {args.max_rss_mb:g}",
+                file=sys.stderr,
+            )
+    elif args.max_rss_mb is not None:
+        print(
+            "serve: --max-rss-mb ignored (resource module unavailable)",
+            file=sys.stderr,
+        )
+
     text = json.dumps(payload, indent=2)
     if args.json:
         from pathlib import Path
@@ -321,7 +347,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}", file=sys.stderr)
     else:
         print(text)
-    return 0 if payload["passed"] and not unexpected_fallback else 1
+    ok = payload["passed"] and not unexpected_fallback and not rss_exceeded
+    return 0 if ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -434,6 +461,15 @@ def main(argv: list[str] | None = None) -> int:
         help="when the grow/shrink fires (ms; default: duration/4)",
     )
     p.add_argument(
+        "--volumes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="logical volumes in the fleet (default: 16 per shard); a "
+        "small count can split a reshape's move graph into independent "
+        "components that --workers runs in parallel",
+    )
+    p.add_argument(
         "--placement",
         choices=("ring", "p2c", "weighted"),
         default="ring",
@@ -474,6 +510,23 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the Conditions 1-4 gate",
     )
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the workload in windows of N requests instead of "
+        "materializing it (constant peak memory at any horizon; the "
+        "report is byte-identical to the materialized run)",
+    )
+    p.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="fail (exit 1) if peak RSS exceeds this many MiB; peak is "
+        "printed to stderr either way",
+    )
     p.add_argument(
         "--smoke",
         action="store_true",

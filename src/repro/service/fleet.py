@@ -39,8 +39,11 @@ import numpy as np
 
 from ..core.registry import get_layout
 from ..layouts import Layout
+from ..sim.batchstep import _EagerCore
 from ..sim.compile import (
     CompiledTrace,
+    StreamWindows,
+    _CompiledRun,
     compile_stream,
     execute_compiled,
     generate_request_stream,
@@ -49,7 +52,8 @@ from ..sim.compile import (
 from ..sim.controller import ArrayController
 from ..sim.disk import DiskParameters
 from ..sim.events import Simulator
-from ..sim.stats import LatencyStats, summarize
+from ..sim.stats import LatencyDigest, LatencyStats, merge_summaries, summarize
+from ..sim.stream import _digest_sink, _WindowedSolver
 from ..sim.workload import WorkloadConfig
 from .sharding import ShardMap
 
@@ -401,26 +405,179 @@ class Fleet:
             for s, total in enumerate(mig.dispatched_per_shard):
                 base = mig_base[s] if s < len(mig_base) else 0
                 scheduled[s] += total - base
+        # This stream's samples as per-shard exact accumulators.
+        accs: list[dict[str, LatencyStats]] = []
+        for ctrl, base in zip(self.controllers, lat_base):
+            shard: dict[str, LatencyStats] = {}
+            for kind, st in ctrl.latency.items():
+                fresh = st.samples[base.get(kind, 0):]
+                if fresh:
+                    shard[kind] = LatencyStats(samples=fresh)
+            accs.append(shard)
         return self._report(
             scheduled=scheduled,
             start=start,
-            lat_base=lat_base,
+            accs=accs,
             ios_base=ios_base,
         )
 
     def serve_workload(
-        self, config: WorkloadConfig, duration_ms: float
+        self,
+        config: WorkloadConfig,
+        duration_ms: float,
+        *,
+        window_size: int | None = None,
     ) -> FleetReport:
         """Generate a fleet-level synthetic stream and serve it.
 
         ``config.interarrival_ms`` is the *aggregate* fleet interarrival
         — the offered load the shards split between them.  Addresses
         are drawn over the whole fleet capacity.
+
+        With ``window_size`` set, the stream is never materialized: it
+        is generated, routed, and executed one window at a time
+        (:meth:`serve_windows`) with latency reduced to constant-memory
+        digests, so peak memory is one window at any horizon and the
+        report is byte-identical to the materialized serve.
         """
+        if window_size is not None:
+            return self.serve_windows(
+                StreamWindows(
+                    config, duration_ms, self.capacity, window_size=window_size
+                ),
+                read_only_hint=config.read_fraction >= 1.0,
+            )
         times, is_read, lbas = generate_request_stream(
             config, duration_ms, self.capacity
         )
         return self.serve_stream(times, is_read, lbas)
+
+    def serve_windows(
+        self,
+        windows,
+        *,
+        read_only_hint: bool = False,
+    ) -> FleetReport:
+        """Serve a windowed fleet-global stream in constant memory.
+
+        ``windows`` yields ``(times, is_read, lbas)`` slices in arrival
+        order (times relative to the stream start, LBAs fleet-global) —
+        :class:`repro.sim.compile.StreamWindows` over the fleet
+        capacity, typically.  Two modes mirror :meth:`serve_compiled`:
+
+        * **carry** (idle clock, no live migration): each shard runs a
+          windowed engine that carries its queue state across window
+          boundaries — the analytic solver when every request is
+          single-phase (``read_only_hint`` or a write-through fleet),
+          the eager core for mixed read-modify-write fleets without
+          data planes.  No event loop at all.  An eager tie abort
+          replays the stream exactly on the window router (``windows``
+          must be re-iterable for eager; one-shot generators stream
+          through the router directly).
+        * **window router** (armed timers, live migration, data
+          planes): one self-rescheduling event loads each window onto
+          the shared heap when it is due — per-window routing follows
+          the *live* volume table, so migration cutovers mid-stream
+          take effect, and diverted windows are handed to the
+          coordinator with absolute arrival times.
+
+        ``read_only_hint`` is a caller promise (every request is a
+        read); a lying hint raises ``ValueError`` from the solver.
+        Reports are byte-identical to the materialized serve of the
+        same stream, with the documented measure-zero exception of
+        exact event-time ties.
+        """
+        start = self.sim.now
+        ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
+        mig = self._migration
+        mig_base = list(mig.dispatched_per_shard) if mig is not None else None
+        digests: list[dict[str, LatencyDigest]] = [
+            {} for _ in self.controllers
+        ]
+        scheduled = [0] * len(self.controllers)
+        carried = False
+        if not self.sim.pending() and (mig is None or mig.done):
+            carried = self._serve_windows_carry(
+                windows, digests, scheduled, read_only_hint
+            )
+        if not carried:
+            # Router mode — either the clock is busy, or the carry
+            # engines declined / aborted (nothing touched; replay).
+            for d in digests:
+                d.clear()
+            for s in range(len(scheduled)):
+                scheduled[s] = 0
+            router = _WindowRouter(self, iter(windows), digests, scheduled)
+            router.start()
+            self.sim.run()
+            router.drain()
+        while len(scheduled) < len(self.controllers):
+            scheduled.append(0)
+            ios_base.append([0] * self.layout.v)
+            digests.append({})
+        if mig is not None:
+            for s, total in enumerate(mig.dispatched_per_shard):
+                base = mig_base[s] if s < len(mig_base) else 0
+                scheduled[s] += total - base
+        return self._report(
+            scheduled=scheduled,
+            start=start,
+            accs=digests,
+            ios_base=ios_base,
+        )
+
+    def _serve_windows_carry(
+        self,
+        windows,
+        digests: list[dict[str, LatencyDigest]],
+        scheduled: list[int],
+        read_only_hint: bool,
+    ) -> bool:
+        """Batched windowed fast path: per-shard carry engines, no
+        event loop (the windowed analogue of :meth:`_execute_all`).
+        False when the engines don't apply or the eager core hits an
+        ambiguous tie — in both cases the controllers are untouched."""
+        return _windows_carry(
+            self.sim,
+            self.controllers,
+            range(len(self.controllers)),
+            route=self._volume_route,
+            volume_units=self.volume_units,
+            shard_capacity=self.shard_capacity,
+            n_volumes=self.shard_map.volumes,
+            capacity=self.capacity,
+            write_policy=self.write_policy,
+            dataplane=self._dataplane,
+            windows=windows,
+            digests=digests,
+            scheduled=scheduled,
+            read_only_hint=read_only_hint,
+        )
+
+    def _replay_shard(
+        self,
+        s: int,
+        windows,
+        digest: dict[str, LatencyDigest],
+    ) -> int:
+        """Replay one shard's sub-stream on a chained heap pump (fresh
+        pass over the re-iterable windows, routed and filtered to shard
+        ``s``) — the carry path's per-shard fallback when its eager
+        core hits an ambiguous tie.  Constant memory: one window
+        buffered, samples swept into the digest at window boundaries.
+        Returns the shard's request count."""
+        count, drain = _arm_shard_pump(
+            self.controllers[s],
+            s,
+            windows,
+            digest,
+            self._volume_route,
+            self.volume_units,
+            self.shard_capacity,
+        )
+        self.sim.run()
+        drain()
+        return count[0]
 
     # ------------------------------------------------------------------
     # Reporting
@@ -430,28 +587,33 @@ class Fleet:
         self,
         scheduled: list[int],
         start: float,
-        lat_base: list[dict[str, int]],
+        accs: list[dict[str, LatencyStats | LatencyDigest]],
         ios_base: list[list[int]],
     ) -> FleetReport:
         duration = self.sim.now - start
-        merged: dict[str, LatencyStats] = {}
         per_shard_latency: list[dict[str, dict[str, float]]] = []
         # Kind keys iterate sorted so every latency dict in the report
         # has a canonical key order — report equality (serial vs merged
         # multi-process runs) must not hinge on which request kind
-        # happened to complete first.
-        for ctrl, base in zip(self.controllers, lat_base):
-            shard: dict[str, dict[str, float]] = {}
-            for kind in sorted(ctrl.latency):
-                fresh = ctrl.latency[kind].samples[base.get(kind, 0):]
-                if not fresh:
-                    continue
-                shard[kind] = summarize(LatencyStats(samples=list(fresh)))
-                merged.setdefault(kind, LatencyStats()).samples.extend(fresh)
-            per_shard_latency.append(shard)
+        # happened to complete first.  Fleet-level summaries fold the
+        # per-shard accumulators in shard order (merge_summaries), the
+        # same fold whether they are exact sample lists (materialized
+        # serves), streaming digests (windowed serves), or summaries
+        # merged across worker processes — the byte-identity seam.
+        for shard in accs:
+            per_shard_latency.append(
+                {kind: summarize(shard[kind]) for kind in sorted(shard)}
+            )
+        kinds = sorted({kind for shard in accs for kind in shard})
+        merged = {
+            kind: merge_summaries(
+                [shard[kind] for shard in accs if kind in shard]
+            )
+            for kind in kinds
+        }
         total = int(sum(scheduled))
         completed = int(
-            sum(st.count for st in merged.values())
+            sum(acc.count for shard in accs for acc in shard.values())
         )  # one sample per finished request; lost requests have none
         return FleetReport(
             shards=self.shards,
@@ -461,7 +623,7 @@ class Fleet:
             throughput_rps=(
                 completed / (duration / 1000.0) if duration > 0 else 0.0
             ),
-            latency={k: summarize(merged[k]) for k in sorted(merged)},
+            latency=merged,
             per_shard_scheduled=list(scheduled),
             per_shard_latency=per_shard_latency,
             per_disk_ios=[
@@ -469,3 +631,319 @@ class Fleet:
                 for c, base in zip(self.controllers, ios_base)
             ],
         )
+
+
+class _WindowRouter:
+    """Streams a windowed fleet workload onto the shared event heap.
+
+    One self-rescheduling event per window: at the first arrival time
+    of window *W*, the router sweeps completed latency samples into the
+    per-shard digests, routes *W* through the **live** volume table
+    (so migration cutovers that happened since the last window take
+    effect), hands any diverted sub-stream to the coordinator with
+    absolute arrival times, compiles each shard's slice, and arms one
+    :class:`repro.sim.compile._CompiledRun` pump per non-empty slice —
+    all of whose arrivals fire before the next window is due (windows
+    partition the stream by time).  Exactly one window is ever
+    buffered, so heap pressure and sample memory stay constant at any
+    horizon while failures, rebuilds, and migration copies interleave
+    on the shared clock.
+    """
+
+    __slots__ = ("fleet", "it", "digests", "scheduled", "base", "_next", "_lat_base")
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        it,
+        digests: list[dict[str, LatencyDigest]],
+        scheduled: list[int],
+    ):
+        self.fleet = fleet
+        self.it = it
+        self.digests = digests
+        self.scheduled = scheduled
+        self.base = fleet.sim.now
+        self._next = None
+        # A long-lived fleet's controllers may carry samples from
+        # earlier streams; the sweep must only claim this stream's tail.
+        self._lat_base = [
+            {kind: len(st.samples) for kind, st in ctrl.latency.items()}
+            for ctrl in fleet.controllers
+        ]
+
+    def start(self) -> None:
+        self._next = self._pull()
+        if self._next is not None:
+            self._arm()
+
+    def _pull(self):
+        for w in self.it:
+            if len(w[0]):
+                return w
+        return None
+
+    def _arm(self) -> None:
+        self.fleet.sim.at(self.base + float(self._next[0][0]), self._deliver)
+
+    def _deliver(self) -> None:
+        self.drain()
+        fleet = self.fleet
+        times, is_read, lbas = self._next
+        self._next = None
+        vols = lbas // fleet.volume_units
+        if vols.min() < 0 or vols.max() >= fleet.shard_map.volumes:
+            raise IndexError(
+                f"LBAs outside the fleet capacity {fleet.capacity}: "
+                f"volume range [{vols.min()}, {vols.max()}]"
+            )
+        shard_ids = fleet._volume_route[vols]
+        mig = fleet._migration
+        if mig is not None and not mig.done:
+            moving = mig.claims(vols)
+            if moving.any():
+                mig.register_stream(
+                    self.base + times[moving],
+                    is_read[moving],
+                    lbas[moving],
+                    vols[moving],
+                    absolute=True,
+                )
+                shard_ids = np.where(moving, np.int64(-1), shard_ids)
+        scheduled = self.scheduled
+        while len(scheduled) < len(fleet.controllers):
+            scheduled.append(0)  # shards born from a reshape mid-run
+        for s, ctrl in enumerate(fleet.controllers):
+            mask = shard_ids == s
+            if not mask.any():
+                continue
+            w = compile_stream(
+                ctrl.mapper,
+                times[mask],
+                is_read[mask],
+                lbas[mask] % fleet.shard_capacity,
+            )
+            scheduled[s] += w.n
+            # The explicit base keeps arrival times bit-equal to a
+            # stream-start schedule even though the pump is built
+            # mid-run.
+            _CompiledRun(ctrl, w, base=self.base).schedule()
+        self._next = self._pull()
+        if self._next is not None:
+            self._arm()
+
+    def drain(self) -> None:
+        """Sweep each controller's fresh latency samples (in recording
+        order) into the per-shard digests and trim the lists back, so
+        sample memory never exceeds one window's completions."""
+        fleet = self.fleet
+        digests = self.digests
+        lat_base = self._lat_base
+        while len(digests) < len(fleet.controllers):
+            digests.append({})
+            lat_base.append({})
+        for s, ctrl in enumerate(fleet.controllers):
+            dig = digests[s]
+            base = lat_base[s]
+            for kind, st in ctrl.latency.items():
+                lst = st.samples
+                b = base.get(kind, 0)
+                if len(lst) > b:
+                    d = dig.get(kind)
+                    if d is None:
+                        d = dig[kind] = LatencyDigest()
+                    d.extend(lst[b:])
+                    del lst[b:]
+
+
+def _windows_carry(
+    sim: Simulator,
+    controllers: list[ArrayController],
+    gids,
+    *,
+    route: np.ndarray,
+    volume_units: int,
+    shard_capacity: int,
+    n_volumes: int,
+    capacity: int,
+    write_policy: str,
+    dataplane: bool,
+    windows,
+    digests: list[dict[str, LatencyDigest]],
+    scheduled: list[int],
+    read_only_hint: bool,
+) -> bool:
+    """Carry-engine windowed execution over ``controllers`` serving the
+    global shard ids ``gids`` (``gids[i]`` is what the routing table
+    calls ``controllers[i]``) — the whole fleet for a serial serve,
+    one group's slice for a multi-process worker.  ``digests`` and
+    ``scheduled`` are indexed like ``controllers``.  Returns False when
+    the engines don't apply or an eager core hits an ambiguous tie with
+    the controllers untouched (aborted shards replay on a per-shard
+    chained heap pump before returning True)."""
+    base = sim.now
+    sinks = [_digest_sink(d) for d in digests]
+    solver = read_only_hint or write_policy == "write_through"
+    if solver:
+        engines = [_WindowedSolver(c) for c in controllers]
+    else:
+        # The eager tier needs re-iterable windows: an abort replays
+        # the whole stream from the top.
+        if (
+            dataplane
+            or write_policy != "rmw"
+            or iter(windows) is windows
+        ):
+            return False
+        p = controllers[0].params
+        seq_s = (
+            p.sequential_seek_ms
+            + p.rotational_latency_ms
+            + p.transfer_ms_per_unit
+        )
+        avg_s = (
+            p.average_seek_ms
+            + p.rotational_latency_ms
+            + p.transfer_ms_per_unit
+        )
+        if min(seq_s, avg_s) <= 0.0:
+            return False
+        engines = [_EagerCore(c, seq_s, avg_s) for c in controllers]
+    # Shards whose eager core hit an ambiguous tie: their core is
+    # dropped (it wrote nothing back) and their whole sub-stream
+    # replays on a per-shard chained heap pump at the end — the
+    # same per-shard granularity as execute_compiled's eager →
+    # event-engine fallback, so reports stay byte-identical.
+    fallback: set[int] = set()
+
+    def demote(i: int) -> None:
+        fallback.add(i)
+        digests[i].clear()
+        scheduled[i] = 0
+
+    for times, is_read, lbas in windows:
+        if not len(times):
+            continue
+        vols = lbas // volume_units
+        if vols.min() < 0 or vols.max() >= n_volumes:
+            raise IndexError(
+                f"LBAs outside the fleet capacity {capacity}: "
+                f"volume range [{vols.min()}, {vols.max()}]"
+            )
+        shard_ids = route[vols]
+        for i, ctrl in enumerate(controllers):
+            if i in fallback:
+                continue
+            mask = shard_ids == gids[i]
+            if not mask.any():
+                continue
+            w = compile_stream(
+                ctrl.mapper,
+                times[mask],
+                is_read[mask],
+                lbas[mask] % shard_capacity,
+            )
+            scheduled[i] += w.n
+            if solver:
+                engines[i].feed(w, sinks[i])
+            else:
+                run = _CompiledRun(ctrl, w)
+                if not engines[i].feed(run):
+                    demote(i)
+                    continue
+                engines[i].drain(run.times[-1], sinks[i])
+    if not solver:
+        # Settle every surviving shard before the first write-back
+        # so a late abort still demotes cleanly.
+        for i, eng in enumerate(engines):
+            if i not in fallback and not eng.settle():
+                demote(i)
+    # Finish each shard from the common start time and advance the
+    # shared clock to the fleet-wide makespan (_execute_all's move).
+    end = base
+    for i, eng in enumerate(engines):
+        sim.now = base
+        if i in fallback:
+            count, drain = _arm_shard_pump(
+                controllers[i],
+                gids[i],
+                windows,
+                digests[i],
+                route,
+                volume_units,
+                shard_capacity,
+            )
+            sim.run()
+            drain()
+            scheduled[i] = count[0]
+        else:
+            eng.finish(sinks[i])
+        if sim.now > end:
+            end = sim.now
+    sim.now = end
+    return True
+
+
+def _arm_shard_pump(
+    ctrl: ArrayController,
+    gid: int,
+    windows,
+    digest: dict[str, LatencyDigest],
+    route: np.ndarray,
+    volume_units: int,
+    shard_capacity: int,
+) -> tuple[list[int], object]:
+    """Arm a chained heap pump for the shard the routing table calls
+    ``gid`` over its slice of a re-iterable windowed stream (a fresh
+    filtered pass — one window buffered at a time).
+
+    Returns ``(count, drain)``: ``count[0]`` accumulates the shard's
+    request count as windows are pulled, and ``drain()`` sweeps fresh
+    latency samples into ``digest`` (the pump calls it at each window
+    boundary; call it once more after the clock drains).  The caller
+    runs the simulator — so a worker can arm every shard's pump before
+    one shared ``sim.run()`` when failure timers interleave."""
+
+    def slices():
+        for times, is_read, lbas in windows:
+            if not len(times):
+                continue
+            mask = route[lbas // volume_units] == gid
+            if not mask.any():
+                continue
+            yield compile_stream(
+                ctrl.mapper,
+                times[mask],
+                is_read[mask],
+                lbas[mask] % shard_capacity,
+            )
+
+    gen = slices()
+    first = next(gen, None)
+    count = [0]
+    latency = ctrl.latency
+    lat_base = {kind: len(st.samples) for kind, st in latency.items()}
+
+    def drain():
+        for kind, st in latency.items():
+            lst = st.samples
+            b = lat_base.get(kind, 0)
+            if len(lst) > b:
+                d = digest.get(kind)
+                if d is None:
+                    d = digest[kind] = LatencyDigest()
+                d.extend(lst[b:])
+                del lst[b:]
+
+    if first is None:
+        return count, drain
+    count[0] = first.n
+
+    def source():
+        w = next(gen, None)
+        if w is not None:
+            count[0] += w.n
+        return w
+
+    _CompiledRun(ctrl, first, source=source, on_window=drain).schedule()
+    return count, drain

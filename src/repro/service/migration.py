@@ -244,9 +244,16 @@ class MigrationCoordinator:
             :class:`FailureOrchestrator`'s to make copies and rebuilds
             share one fleet-wide budget).
         copy_parallelism: unit copies in flight per volume.
+        volumes: optional move filter — execute only the plan's moves
+            for these volume ids (the multi-process runner gives each
+            worker its connected component of the move graph; see
+            :func:`repro.service.parallel.partition_scenario`).  The
+            full plan is still computed and exposed as :attr:`plan`;
+            ``done`` flips when the *owned* moves finish.
 
     Raises:
-        ValueError: on a bad target or parallelism.
+        ValueError: on a bad target or parallelism, or a ``volumes``
+            filter naming volumes the plan does not move.
         RuntimeError: if the fleet already has an active migration.
     """
 
@@ -259,6 +266,7 @@ class MigrationCoordinator:
         admission: int = 2,
         admission_controller: AdmissionController | None = None,
         copy_parallelism: int = 4,
+        volumes=None,
     ):
         if copy_parallelism < 1:
             raise ValueError("copy_parallelism must be >= 1")
@@ -273,10 +281,25 @@ class MigrationCoordinator:
         )
         self.copy_parallelism = copy_parallelism
         self.plan = plan_migration(fleet, target_shards)
+        if volumes is None:
+            owned = self.plan.moves
+        else:
+            wanted = set(volumes)
+            unknown = wanted - {m.volume for m in self.plan.moves}
+            if unknown:
+                raise ValueError(
+                    f"volumes filter names unmoved volumes {sorted(unknown)}"
+                )
+            owned = tuple(
+                m for m in self.plan.moves if m.volume in wanted
+            )
+        #: The moves this coordinator executes (the whole plan, or the
+        #: ``volumes`` filter's slice of it).
+        self.owned_moves: tuple[VolumeMove, ...] = owned
         self.outcomes: list[VolumeMigrationOutcome] = []
-        self.done = not self.plan.moves
+        self.done = not owned
         self._armed = False
-        self._moves = {m.volume: m for m in self.plan.moves}
+        self._moves = {m.volume: m for m in owned}
         self._moving_ids = np.array(
             sorted(self._moves), dtype=np.int64
         )
@@ -296,7 +319,7 @@ class MigrationCoordinator:
         # make cutover verification racy).
         self._dest_queue: dict[int, deque[int]] = {}
         self._dest_busy: set[int] = set()
-        self._remaining = len(self.plan.moves)
+        self._remaining = len(owned)
         # Cell-coherence plumbing: in-flight copies (insertion order =
         # deterministic mirror fan-out order) and one refcounted
         # content-write hook per array involved in any of them.
@@ -334,7 +357,7 @@ class MigrationCoordinator:
         while len(self.dispatched_per_shard) < fleet.shards:
             self.dispatched_per_shard.append(0)
         now = fleet.sim.now
-        for move in self.plan.moves:
+        for move in self.owned_moves:
             self._requested_at[move.volume] = now
             if not len(move.lbas):
                 # No addressable units: routing-only cutover.
@@ -435,8 +458,13 @@ class MigrationCoordinator:
 
     def _finalize(self) -> None:
         fleet = self.fleet
-        fleet.shard_map = self.plan.target_map
-        fleet._volume_route = self.plan.target_map.assignment()
+        if len(self.owned_moves) == len(self.plan.moves):
+            # Full convergence: adopt the target map wholesale.  A
+            # filtered coordinator (one move-graph component) leaves
+            # the map alone — its volumes already flipped at cutover,
+            # and the rest belong to other workers.
+            fleet.shard_map = self.plan.target_map
+            fleet._volume_route = self.plan.target_map.assignment()
         self.done = True
 
     # ------------------------------------------------------------------
@@ -527,12 +555,17 @@ class MigrationCoordinator:
         is_read: np.ndarray,
         lbas: np.ndarray,
         vols: np.ndarray,
+        *,
+        absolute: bool = False,
     ) -> None:
         """Take ownership of a diverted sub-stream (arrival times
-        relative to the current clock, like a compiled trace)."""
+        relative to the current clock, like a compiled trace, or —
+        with ``absolute=True`` — already on the shared clock, as the
+        fleet's window router registers them: windows are diverted
+        mid-run, when ``sim.now`` has moved past the stream origin)."""
         _StreamPump(
             self,
-            (self.fleet.sim.now + times).tolist(),
+            times.tolist() if absolute else (self.fleet.sim.now + times).tolist(),
             is_read.tolist(),
             lbas.tolist(),
             vols.tolist(),

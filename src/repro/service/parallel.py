@@ -27,9 +27,20 @@ execution groups** (connected components of the coupling relation):
 * ``len(failures) > admission`` → admission queueing orders rebuilds
   globally, so all failed arrays collapse into one group that carries
   the whole budget (healthy arrays still split off);
-* a reshape (``scenario.reshape_to``) → everything collapses into one
-  group and the runner **falls back to the serial path** (recorded in
-  the execution metadata).
+* a reshape (``scenario.reshape_to``) without failures whose copy
+  destinations fit the admission budget → the move graph's **connected
+  components** (union-find over each move's ``(source, dest)`` edge)
+  become migration groups: a component's arrays share disk queues,
+  mirror hooks, and per-destination copy serialization, but two
+  components touch disjoint arrays and — because every destination
+  holds at most one admission slot and the destinations fit the budget
+  fleet-wide — the shared admission gate never queues in the serial
+  run either, so the copy budget partitions statically per component
+  (each carries its destination count in slots).  Arrays no move
+  touches stay singleton groups.  A reshape whose components collapse
+  into one fleet-wide group, whose destinations exceed the budget, or
+  that runs alongside failures still **falls back to the serial path**
+  (recorded in the execution metadata).
 
 :func:`run_fleet_scenario_parallel` then runs each group's sub-fleet
 in a worker process (``multiprocessing`` via
@@ -68,19 +79,39 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from ..core.registry import get_layout
 from ..sim.compile import (
     CompiledTrace,
+    StreamWindows,
     execute_compiled,
     generate_request_stream,
     schedule_compiled,
 )
 from ..sim.controller import ArrayController
 from ..sim.events import Simulator
-from ..sim.stats import LatencyStats, summarize
+from ..sim.stats import (
+    LatencyDigest,
+    LatencyStats,
+    merge_summaries,
+    summarize,
+)
 from .conformance import check_fleet
-from .fleet import Fleet, FleetReport
+from .fleet import (
+    Fleet,
+    FleetReport,
+    _arm_shard_pump,
+    _windows_carry,
+    _WindowRouter,
+)
+from .migration import (
+    MigrationCoordinator,
+    VolumeMigrationOutcome,
+    plan_migration,
+)
 from .orchestrator import (
+    AdmissionController,
     FailureEvent,
     FailureOrchestrator,
     RebuildOutcome,
@@ -127,11 +158,15 @@ class ShardGroup:
             (global ids preserved).
         admission_slots: this group's share of the fleet admission
             budget (0 for groups with no background jobs).
+        migration_volumes: volume ids of the reshape moves this group
+            executes (one connected component of the move graph; empty
+            for non-migration groups).
     """
 
     arrays: tuple[int, ...]
     failures: tuple[FailureEvent, ...] = ()
     admission_slots: int = 0
+    migration_volumes: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -186,21 +221,7 @@ def partition_scenario(scenario: FleetScenario) -> GroupPartition:
     _validate_scenario(scenario)
     n = scenario.shards
     if scenario.reshape_to is not None:
-        return GroupPartition(
-            groups=(
-                ShardGroup(
-                    arrays=tuple(range(n)),
-                    failures=tuple(scenario.failures),
-                    admission_slots=scenario.admission,
-                ),
-            ),
-            serial_fallback=True,
-            reason=(
-                "a reshape mutates fleet-global routing and shares the "
-                "admission budget with rebuilds — the whole fleet is "
-                "one group"
-            ),
-        )
+        return _partition_reshape(scenario)
     by_array: dict[int, FailureEvent] = {
         ev.array: ev for ev in scenario.failures
     }
@@ -257,6 +278,117 @@ def partition_scenario(scenario: FleetScenario) -> GroupPartition:
     )
 
 
+def _serial_reshape(scenario: FleetScenario, reason: str) -> GroupPartition:
+    return GroupPartition(
+        groups=(
+            ShardGroup(
+                arrays=tuple(range(scenario.shards)),
+                failures=tuple(scenario.failures),
+                admission_slots=scenario.admission,
+                migration_volumes=tuple(),
+            ),
+        ),
+        serial_fallback=True,
+        reason=reason,
+    )
+
+
+def _partition_reshape(scenario: FleetScenario) -> GroupPartition:
+    """Decompose a reshape scenario into migration components plus
+    singleton healthy groups (see the module docstring for why the
+    components are exact)."""
+    if scenario.failures:
+        return _serial_reshape(
+            scenario,
+            "a reshape alongside failures shares the admission budget "
+            "with rebuilds — the whole fleet is one group",
+        )
+    # The move graph is a pure function of the shard map (same seed /
+    # placement / volume count), so the partition can plan it on a
+    # throwaway routing-only fleet.
+    fleet = Fleet(
+        scenario.shards,
+        scenario.v,
+        scenario.k,
+        volumes=scenario.volumes,
+        dataplane=False,
+        seed=scenario.seed,
+        placement=scenario.placement,
+        write_policy=scenario.write_policy,
+    )
+    plan = plan_migration(fleet, scenario.reshape_to)
+    if not plan.moves:
+        # Nothing moves: the reshape is a no-op at serve time, but a
+        # coordinator must still exist to report convergence — keep the
+        # serial path for this degenerate case.
+        return _serial_reshape(
+            scenario, "the reshape moves no volumes — nothing to split"
+        )
+    dests = {m.dest for m in plan.data_moves}
+    if len(dests) > scenario.admission:
+        return _serial_reshape(
+            scenario,
+            f"{len(dests)} copy destinations exceed the admission "
+            f"budget ({scenario.admission}) — FIFO queueing couples "
+            "every component",
+        )
+    # Union-find over each move's (source, dest) edge — copies sharing
+    # an array share disk queues and mirror hooks, so they must run in
+    # one worker.
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for m in plan.moves:
+        parent[find(m.source)] = find(m.dest)
+    comps: dict[int, list] = {}
+    for m in plan.moves:
+        comps.setdefault(find(m.source), []).append(m)
+    involved: set[int] = set()
+    groups: list[ShardGroup] = []
+    for moves in comps.values():
+        arrays = sorted({a for m in moves for a in (m.source, m.dest)})
+        involved.update(arrays)
+        groups.append(
+            ShardGroup(
+                arrays=tuple(arrays),
+                failures=(),
+                admission_slots=len(
+                    {m.dest for m in moves if len(m.lbas)}
+                ),
+                migration_volumes=tuple(
+                    sorted(m.volume for m in moves)
+                ),
+            )
+        )
+    for a in range(scenario.shards):
+        if a not in involved:
+            groups.append(ShardGroup(arrays=(a,)))
+    groups.sort(key=lambda g: g.arrays[0])
+    if len(groups) == 1:
+        return _serial_reshape(
+            scenario,
+            "the reshape's move graph couples every array into one "
+            "component — nothing to run in parallel",
+        )
+    return GroupPartition(
+        groups=tuple(groups),
+        serial_fallback=False,
+        reason=(
+            f"the reshape's move graph splits into "
+            f"{len(comps)} independent component(s) "
+            f"({len(dests)} copy destination(s) fit the admission "
+            f"budget {scenario.admission}, so the shared gate never "
+            "queues and the copy budget partitions statically)"
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Worker-side execution
 # ----------------------------------------------------------------------
@@ -273,12 +405,18 @@ class GroupResult:
         arrays: global shard ids (ascending, mirrors the group spec).
         scheduled: per-shard routed request counts (group order).
         samples: per-shard ``{kind: [latency, ...]}`` in completion
-            order (group order).
+            order (group order; empty dicts when ``digests`` carries
+            the latency instead).
         per_disk_ios: per-shard completed-IO vectors (group order).
         duration_ms: this group's makespan on its own clock.
         outcomes: completed rebuilds (global array ids, completion
             order).
         wall_s: worker wall-clock for the group (build + simulate).
+        digests: per-shard ``{kind: LatencyDigest}`` accumulators from
+            a windowed worker (constant-memory alternative to
+            ``samples``; ``None`` for materialized workers).
+        migrations: completed volume moves this group's coordinator
+            executed (global ids, completion order).
     """
 
     group_index: int
@@ -289,6 +427,8 @@ class GroupResult:
     duration_ms: float
     outcomes: list[RebuildOutcome]
     wall_s: float
+    digests: list[dict[str, LatencyDigest]] | None = None
+    migrations: list[VolumeMigrationOutcome] = field(default_factory=list)
 
 
 @dataclass
@@ -398,13 +538,280 @@ def _execute_group(
     )
 
 
-def _execute_group_task(
-    task: tuple[
-        FleetScenario, ShardGroup, tuple[CompiledTrace, ...], int, bool
-    ],
+class _FilteredWindows:
+    """Re-iterable view of a windowed fleet stream restricted to the
+    volumes a worker's arrays serve under the *static* routing table
+    (moving volumes route to their source array until cutover, and the
+    source is always in the migration component, so the static filter
+    captures every request the worker must see)."""
+
+    __slots__ = ("windows", "keep", "volume_units")
+
+    def __init__(self, windows, keep: np.ndarray, volume_units: int):
+        self.windows = windows
+        self.keep = keep
+        self.volume_units = volume_units
+
+    def __iter__(self):
+        keep = self.keep
+        vu = self.volume_units
+        for times, is_read, lbas in self.windows:
+            if not len(times):
+                continue
+            mask = keep[lbas // vu]
+            yield times[mask], is_read[mask], lbas[mask]
+
+
+def _execute_group_windowed(
+    scenario: FleetScenario,
+    group: ShardGroup,
+    route: np.ndarray,
+    volume_units: int,
+    shard_capacity: int,
+    capacity: int,
+    n_volumes: int,
+    group_index: int,
+    allow_batched: bool,
 ) -> GroupResult:
-    """Pool entry point (top-level so it pickles under spawn)."""
-    return _execute_group(*task)
+    """Run one group's sub-fleet with a windowed stream (worker side).
+
+    Instead of receiving pre-split compiled traces, the worker
+    regenerates the fleet stream one window at a time
+    (:class:`StreamWindows` is seed-deterministic) and routes each
+    window to its own arrays through the shipped static table — peak
+    memory stays one window per shard at any horizon, in the parent
+    *and* in every worker.  Engine choice mirrors the serial
+    :meth:`Fleet.serve_windows` gate exactly: the carry engines only
+    when the whole scenario arms nothing on any clock, the per-shard
+    chained heap pumps otherwise (the serial window router's per-shard
+    event order, minus other groups' events, which never reorder
+    ours).  Latency reduces into per-shard digests — the same
+    accumulators the serial windowed serve feeds ``_report``.
+    """
+    t0 = time.perf_counter()
+    sim = Simulator()
+    layout = get_layout(scenario.v, scenario.k)
+    controllers = [
+        ArrayController(
+            layout,
+            sim=sim,
+            dataplane=scenario.verify_data,
+            seed=scenario.seed + gid,
+            write_policy=scenario.write_policy,
+        )
+        for gid in group.arrays
+    ]
+    orchestrator = None
+    if group.failures:
+        local_index = {gid: i for i, gid in enumerate(group.arrays)}
+        shim = _LocalFleet(controllers=controllers, sim=sim, layout=layout)
+        orchestrator = FailureOrchestrator(
+            shim,  # type: ignore[arg-type] - duck-typed Fleet surface
+            tuple(
+                replace(ev, array=local_index[ev.array])
+                for ev in group.failures
+            ),
+            admission=group.admission_slots,
+            parallelism=scenario.rebuild_parallelism,
+        )
+        orchestrator.arm()
+
+    windows = StreamWindows(
+        scenario.workload(),
+        scenario.duration_ms,
+        capacity,
+        window_size=scenario.window_size,
+    )
+    digests: list[dict[str, LatencyDigest]] = [{} for _ in controllers]
+    scheduled = [0] * len(controllers)
+    carried = False
+    if allow_batched and not sim.pending():
+        carried = _windows_carry(
+            sim,
+            controllers,
+            group.arrays,
+            route=route,
+            volume_units=volume_units,
+            shard_capacity=shard_capacity,
+            n_volumes=n_volumes,
+            capacity=capacity,
+            write_policy=scenario.write_policy,
+            dataplane=scenario.verify_data,
+            windows=windows,
+            digests=digests,
+            scheduled=scheduled,
+            read_only_hint=scenario.read_fraction >= 1.0,
+        )
+    if not carried:
+        for d in digests:
+            d.clear()
+        # Arm every shard's pump before the one shared run so failure
+        # timers interleave with all of them, exactly as the serial
+        # window router's heap does.
+        pumps = [
+            _arm_shard_pump(
+                ctrl,
+                gid,
+                windows,
+                digests[i],
+                route,
+                volume_units,
+                shard_capacity,
+            )
+            for i, (gid, ctrl) in enumerate(zip(group.arrays, controllers))
+        ]
+        sim.run()
+        for i, (count, drain) in enumerate(pumps):
+            drain()
+            scheduled[i] = count[0]
+    duration = sim.now
+    sim.run()
+
+    outcomes = []
+    if orchestrator is not None:
+        outcomes = [
+            replace(o, array=group.arrays[o.array])
+            for o in orchestrator.outcomes
+        ]
+    return GroupResult(
+        group_index=group_index,
+        arrays=group.arrays,
+        scheduled=scheduled,
+        samples=[{} for _ in controllers],
+        per_disk_ios=[ctrl.per_disk_completed() for ctrl in controllers],
+        duration_ms=duration,
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - t0,
+        digests=digests,
+    )
+
+
+def _execute_migration_group(
+    scenario: FleetScenario,
+    group: ShardGroup,
+    group_index: int,
+) -> GroupResult:
+    """Run one migration component to completion (worker side).
+
+    The worker builds a full-size fleet (controller construction is
+    deterministic per global shard id, and arrays outside the
+    component stay idle — zero events), attaches a coordinator
+    filtered to the component's moves with its static share of the
+    copy budget, and serves only the traffic the static routing table
+    sends to the component's arrays.  Because the component is closed
+    under the move graph, every diverted request, mirror write, and
+    copy IO lands inside it — the same events the serial run produces
+    on these arrays, in the same per-shard order.
+    """
+    t0 = time.perf_counter()
+    fleet = Fleet(
+        scenario.shards,
+        scenario.v,
+        scenario.k,
+        volumes=scenario.volumes,
+        dataplane=scenario.verify_data,
+        seed=scenario.seed,
+        placement=scenario.placement,
+        write_policy=scenario.write_policy,
+    )
+    coordinator = MigrationCoordinator(
+        fleet,
+        scenario.reshape_to,
+        at_ms=scenario.reshape_time(),
+        admission_controller=AdmissionController(
+            max(1, group.admission_slots)
+        ),
+        copy_parallelism=scenario.copy_parallelism,
+        volumes=group.migration_volumes,
+    )
+    coordinator.arm()
+    static_route = fleet.volume_route()
+    keep = np.isin(static_route, np.array(group.arrays, dtype=np.int64))
+
+    if scenario.window_size is not None:
+        windows = _FilteredWindows(
+            StreamWindows(
+                scenario.workload(),
+                scenario.duration_ms,
+                fleet.capacity,
+                window_size=scenario.window_size,
+            ),
+            keep,
+            fleet.volume_units,
+        )
+        digests: list[dict[str, LatencyDigest]] = [
+            {} for _ in fleet.controllers
+        ]
+        scheduled = [0] * len(fleet.controllers)
+        router = _WindowRouter(fleet, iter(windows), digests, scheduled)
+        router.start()
+        fleet.sim.run()
+        router.drain()
+        samples = None
+    else:
+        times, is_read, lbas = generate_request_stream(
+            scenario.workload(), scenario.duration_ms, fleet.capacity
+        )
+        mask = keep[lbas // fleet.volume_units]
+        compiled, _ = fleet.route_stream(
+            times[mask], is_read[mask], lbas[mask]
+        )
+        for ctrl, trace in zip(fleet.controllers, compiled):
+            schedule_compiled(ctrl, trace)
+        fleet.sim.run()
+        scheduled = [t.n for t in compiled]
+        digests = None
+        samples = [
+            {
+                kind: list(ctrl.latency[kind].samples)
+                for kind in sorted(ctrl.latency)
+                if ctrl.latency[kind].samples
+            }
+            for ctrl in fleet.controllers
+        ]
+    duration = fleet.sim.now
+    fleet.sim.run()
+    while len(scheduled) < len(fleet.controllers):
+        scheduled.append(0)
+    # The coordinator's dispatches count where they actually ran
+    # (fresh coordinator: the base is zero).
+    for s, total in enumerate(coordinator.dispatched_per_shard):
+        scheduled[s] += total
+
+    local = list(group.arrays)
+    return GroupResult(
+        group_index=group_index,
+        arrays=group.arrays,
+        scheduled=[scheduled[a] for a in local],
+        samples=(
+            [samples[a] for a in local]
+            if samples is not None
+            else [{} for _ in local]
+        ),
+        per_disk_ios=[
+            fleet.controllers[a].per_disk_completed() for a in local
+        ],
+        duration_ms=duration,
+        outcomes=[],
+        wall_s=time.perf_counter() - t0,
+        digests=(
+            [digests[a] for a in local] if digests is not None else None
+        ),
+        migrations=list(coordinator.outcomes),
+    )
+
+
+def _execute_group_task(
+    task: tuple,
+) -> GroupResult:
+    """Pool entry point (top-level so it pickles under spawn): the
+    task's first element names the worker mode."""
+    kind = task[0]
+    if kind == "compiled":
+        return _execute_group(*task[1:])
+    if kind == "windowed":
+        return _execute_group_windowed(*task[1:])
+    return _execute_migration_group(*task[1:])
 
 
 # ----------------------------------------------------------------------
@@ -415,37 +822,59 @@ def _execute_group_task(
 def _merge_results(
     scenario: FleetScenario,
     results: list[GroupResult],
-) -> tuple[FleetReport, tuple[RebuildOutcome, ...]]:
+) -> tuple[
+    FleetReport,
+    tuple[RebuildOutcome, ...],
+    tuple[VolumeMigrationOutcome, ...],
+]:
     """Fold per-group raw results into one fleet report.
 
     Placement is by global shard id; merged latency samples concatenate
     in shard order — the exact order the serial report sums them in, so
-    float reductions (means) agree bit for bit.
+    float reductions (means) agree bit for bit.  A reshape scenario's
+    report covers ``reshape_to`` shards (reshape-born shards a group
+    didn't touch stay zero rows, matching the serial pads); migration
+    outcomes merge sorted by volume id — the canonical order the
+    report serializes them in.
     """
-    n = scenario.shards
+    n = max(scenario.shards, scenario.reshape_to or 0)
     scheduled = [0] * n
-    shard_samples: list[dict[str, list[float]]] = [{} for _ in range(n)]
+    accs: list[dict] = [{} for _ in range(n)]
     per_disk: list[list[int]] = [[0] * scenario.v for _ in range(n)]
     duration = 0.0
     outcomes: list[RebuildOutcome] = []
+    migrations: list[VolumeMigrationOutcome] = []
     for res in results:
         duration = max(duration, res.duration_ms)
         outcomes.extend(res.outcomes)
+        migrations.extend(res.migrations)
         for i, gid in enumerate(res.arrays):
             scheduled[gid] = res.scheduled[i]
-            shard_samples[gid] = res.samples[i]
             per_disk[gid] = res.per_disk_ios[i]
+            if res.digests is not None:
+                accs[gid] = {
+                    kind: res.digests[i][kind]
+                    for kind in res.digests[i]
+                    if res.digests[i][kind].count
+                }
+            else:
+                accs[gid] = {
+                    kind: LatencyStats(samples=res.samples[i][kind])
+                    for kind in res.samples[i]
+                    if res.samples[i][kind]
+                }
 
-    merged: dict[str, LatencyStats] = {}
-    per_shard_latency: list[dict[str, dict[str, float]]] = []
-    for s in range(n):
-        shard: dict[str, dict[str, float]] = {}
-        for kind in sorted(shard_samples[s]):
-            fresh = shard_samples[s][kind]
-            shard[kind] = summarize(LatencyStats(samples=list(fresh)))
-            merged.setdefault(kind, LatencyStats()).samples.extend(fresh)
-        per_shard_latency.append(shard)
-    completed = int(sum(st.count for st in merged.values()))
+    # Per-shard accumulators feed the same shard-order merge_summaries
+    # fold the serial Fleet._report performs, so merged means and
+    # histograms agree bit for bit.
+    per_shard_latency = [
+        {kind: summarize(shard[kind]) for kind in sorted(shard)}
+        for shard in accs
+    ]
+    kinds = sorted({kind for shard in accs for kind in shard})
+    completed = int(
+        sum(acc.count for shard in accs for acc in shard.values())
+    )
     report = FleetReport(
         shards=n,
         scheduled=int(sum(scheduled)),
@@ -454,12 +883,21 @@ def _merge_results(
         throughput_rps=(
             completed / (duration / 1000.0) if duration > 0 else 0.0
         ),
-        latency={k: summarize(merged[k]) for k in sorted(merged)},
+        latency={
+            kind: merge_summaries(
+                [shard[kind] for shard in accs if kind in shard]
+            )
+            for kind in kinds
+        },
         per_shard_scheduled=list(scheduled),
         per_shard_latency=per_shard_latency,
         per_disk_ios=per_disk,
     )
-    return report, tuple(sorted(outcomes, key=lambda o: o.array))
+    return (
+        report,
+        tuple(sorted(outcomes, key=lambda o: o.array)),
+        tuple(sorted(migrations, key=lambda m: m.volume)),
+    )
 
 
 @dataclass(frozen=True)
@@ -611,6 +1049,7 @@ def run_fleet_scenario_parallel(
                     "arrays": list(group.arrays),
                     "admission_slots": group.admission_slots,
                     "failures": len(group.failures),
+                    "migration_volumes": list(group.migration_volumes),
                     "duration_ms": report.fleet.duration_ms,
                     "wall_s": report.wall_s,
                 },
@@ -621,10 +1060,12 @@ def run_fleet_scenario_parallel(
 
     # Parent-side work that must not be duplicated per worker: the
     # stream is generated, routed, and compiled ONCE through the real
-    # fleet (one vectorized pass), then each worker receives only its
-    # group's compiled slices.  The conformance gate and the routing
-    # fingerprint also run here.  Data planes stay off — the parent
-    # never simulates.
+    # fleet (one vectorized pass) for materialized tasks — windowed
+    # tasks instead ship the routing table and regenerate windows
+    # worker-side, so neither the parent nor any worker ever holds the
+    # full stream.  The conformance gate and the routing fingerprint
+    # also run here.  Data planes stay off — the parent never
+    # simulates.
     fleet = Fleet(
         scenario.shards,
         scenario.v,
@@ -638,21 +1079,64 @@ def run_fleet_scenario_parallel(
     conformance = (
         check_fleet(fleet) if scenario.check_conformance else None
     )
-    times, is_read, lbas = generate_request_stream(
-        scenario.workload(), scenario.duration_ms, fleet.capacity
+    planned_moves = 0
+    fingerprint = fleet.shard_map.fingerprint()
+    if scenario.reshape_to is not None:
+        # The serial runner reports the post-reshape table (scenarios
+        # always run their migration to convergence) — compute it from
+        # the plan without simulating.
+        plan = plan_migration(fleet, scenario.reshape_to)
+        planned_moves = len(plan.moves)
+        fingerprint = plan.target_map.fingerprint()
+    # Mirrors the serial engine gate: the serial fleet only takes the
+    # batched/carry engines when its shared clock is idle at serve
+    # time, i.e. when nothing (failure or reshape) is armed anywhere.
+    allow_batched = (
+        not scenario.failures and scenario.reshape_to is None
     )
-    compiled, _ = fleet.route_stream(times, is_read, lbas)
-    allow_batched = not scenario.failures  # mirrors the serial engine gate
-    tasks = [
-        (
-            scenario,
-            group,
-            tuple(compiled[a] for a in group.arrays),
-            i,
-            allow_batched,
-        )
-        for i, group in enumerate(partition.groups)
+    windowed = scenario.window_size is not None
+    plain_groups = [
+        (i, g)
+        for i, g in enumerate(partition.groups)
+        if not g.migration_volumes
     ]
+    compiled = None
+    if plain_groups and not windowed:
+        times, is_read, lbas = generate_request_stream(
+            scenario.workload(), scenario.duration_ms, fleet.capacity
+        )
+        compiled, _ = fleet.route_stream(times, is_read, lbas)
+    route = fleet.volume_route()
+    tasks: list[tuple] = []
+    for i, group in enumerate(partition.groups):
+        if group.migration_volumes:
+            tasks.append(("migration", scenario, group, i))
+        elif windowed:
+            tasks.append(
+                (
+                    "windowed",
+                    scenario,
+                    group,
+                    route,
+                    fleet.volume_units,
+                    fleet.shard_capacity,
+                    fleet.capacity,
+                    fleet.shard_map.volumes,
+                    i,
+                    allow_batched,
+                )
+            )
+        else:
+            tasks.append(
+                (
+                    "compiled",
+                    scenario,
+                    group,
+                    tuple(compiled[a] for a in group.arrays),
+                    i,
+                    allow_batched,
+                )
+            )
 
     n_workers = workers if workers is not None else min(len(tasks), cpus)
     n_workers = min(n_workers, len(tasks))
@@ -674,15 +1158,15 @@ def run_fleet_scenario_parallel(
             results = list(pool.map(_execute_group_task, tasks))
     results.sort(key=lambda r: r.group_index)
 
-    fleet_report, outcomes = _merge_results(scenario, results)
+    fleet_report, outcomes, migrations = _merge_results(scenario, results)
     report = FleetScenarioReport(
         scenario=scenario,
         conformance=conformance,
         fleet=fleet_report,
         rebuilds=outcomes,
-        migrations=(),
-        planned_moves=0,
-        routing_fingerprint=fleet.shard_map.fingerprint(),
+        migrations=migrations,
+        planned_moves=planned_moves,
+        routing_fingerprint=fingerprint,
         wall_s=time.perf_counter() - t0,
         max_concurrent_rebuilds=max_concurrent_rebuilds(outcomes),
     )
@@ -698,6 +1182,7 @@ def run_fleet_scenario_parallel(
                 "arrays": list(g.arrays),
                 "admission_slots": g.admission_slots,
                 "failures": len(g.failures),
+                "migration_volumes": list(g.migration_volumes),
                 "duration_ms": r.duration_ms,
                 "wall_s": r.wall_s,
             }

@@ -107,6 +107,12 @@ class FleetScenario:
         copy_parallelism: concurrent unit copies per migrating volume.
         write_policy: small-write handling on every shard — ``"rmw"``
             (read-modify-write) or ``"write_through"`` (single-phase).
+        window_size: requests per streaming window (``None`` =
+            materialize the whole stream).  When set, the workload is
+            generated, routed, and executed one window at a time
+            (:meth:`repro.service.Fleet.serve_windows`) so peak memory
+            stays flat at any horizon; the report is byte-identical to
+            the materialized run.
         seed: shard-ring / data-plane seed.
     """
 
@@ -129,6 +135,7 @@ class FleetScenario:
     reshape_at_ms: float | None = None
     copy_parallelism: int = 4
     write_policy: str = "rmw"
+    window_size: int | None = None
     seed: int = 0
 
     def workload(self) -> WorkloadConfig:
@@ -228,6 +235,7 @@ class FleetScenarioReport:
                 ),
                 "copy_parallelism": sc.copy_parallelism,
                 "write_policy": sc.write_policy,
+                "window_size": sc.window_size,
                 "seed": sc.seed,
                 "failures": [
                     {"time_ms": f.time_ms, "array": f.array, "disk": f.disk}
@@ -365,7 +373,11 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
             )
         coordinator.arm()
     orchestrator.arm()
-    report = fleet.serve_workload(scenario.workload(), scenario.duration_ms)
+    report = fleet.serve_workload(
+        scenario.workload(),
+        scenario.duration_ms,
+        window_size=scenario.window_size,
+    )
     # Failures scheduled beyond the last request completion have fired
     # by now (serve drains the shared loop), but guard the empty-stream
     # edge where arming happened with nothing else pending.

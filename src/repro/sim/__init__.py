@@ -12,6 +12,7 @@ from .analysis import LoadEstimate, analyze_load, declustering_ratio
 from .batchstep import step_compiled
 from .compile import (
     CompiledTrace,
+    StreamWindows,
     compile_stream,
     compile_trace,
     compile_workload,
@@ -34,7 +35,8 @@ from .runner import (
     spare_map_for_failure,
     spare_plan_for_failure,
 )
-from .stats import LatencyStats, summarize
+from .stats import LatencyDigest, LatencyStats, merge_summaries, quantize_latency, summarize
+from .stream import execute_windows
 from .trace import (
     TraceRecord,
     load_trace,
@@ -49,6 +51,7 @@ __all__ = [
     "analyze_load",
     "declustering_ratio",
     "CompiledTrace",
+    "StreamWindows",
     "compile_stream",
     "compile_trace",
     "compile_workload",
@@ -57,6 +60,7 @@ __all__ = [
     "schedule_compiled_scalar",
     "solve_compiled",
     "execute_compiled",
+    "execute_windows",
     "step_compiled",
     "calendar_bucket_width",
     "ArrayController",
@@ -74,7 +78,10 @@ __all__ = [
     "simulate_workload",
     "spare_map_for_failure",
     "spare_plan_for_failure",
+    "LatencyDigest",
     "LatencyStats",
+    "merge_summaries",
+    "quantize_latency",
     "summarize",
     "TraceRecord",
     "load_trace",

@@ -339,6 +339,390 @@ def _step_eager(
     return n
 
 
+class _EagerCore:
+    """Generalized eager queue resolver with window carry-over.
+
+    The same idea as :func:`_step_eager` — each disk queue is FIFO, so
+    an IO's completion is known at submission — extended two ways:
+
+    * **any frozen failure state**: requests are classified from the
+      same :class:`repro.sim.compile._CompiledRun` plans the heap
+      executor uses, so degraded reconstruction reads (one phase, many
+      IOs) and degraded/normal writes (multi-phase plans) resolve
+      eagerly too, not just the healthy RMW shape;
+    * **feed/drain/finish protocol**: the core holds its per-disk
+      accumulators, pending-phase heap, and per-kind sample buffers
+      *across* windows and writes nothing back to the controller until
+      :meth:`finish` — so the streaming executor can feed one compiled
+      window at a time in constant memory, and a tie abort anywhere
+      leaves the controller untouched for an exact replay.
+
+    Heap entries are self-contained ``(time, g, cnt, kind, arrival,
+    phases, phase_idx)`` tuples (window arrays are replaced between
+    feeds, so entries cannot index into them); ``g`` is the service
+    start of the phase's last-finishing IO, which recovers the heap's
+    event-sequence order between same-time submissions, and ``cnt`` is
+    a monotone push counter replaying the heap's final tiebreak.  The
+    ambiguity rules are :func:`_step_eager`'s, generalized to arbitrary
+    phase IO sets: an arrival tied with a pending phase, or two pending
+    phases tied on ``(time, g)``, abort unless their disk sets are
+    disjoint (disjoint submissions commute).
+
+    Restrictions: read-modify-write policy, no data plane (the gate in
+    :func:`step_compiled` and the streaming executor enforce both).
+    """
+
+    __slots__ = (
+        "ctrl",
+        "seq_s",
+        "avg_s",
+        "prevc",
+        "dlast",
+        "dbusyt",
+        "ddelay",
+        "dreads",
+        "dwrites",
+        "pq",
+        "maxc",
+        "n",
+        "_cnt",
+        "_kinds",
+    )
+
+    _WRITE_KIND = "write"
+
+    def __init__(self, ctrl: "ArrayController", seq_s: float, avg_s: float):
+        disks = ctrl.disks
+        v = len(disks)
+        self.ctrl = ctrl
+        self.seq_s = seq_s
+        self.avg_s = avg_s
+        self.prevc = [float("-inf")] * v
+        self.dlast = [
+            _NO_OFFSET if d._last_offset is None else d._last_offset
+            for d in disks
+        ]
+        self.dbusyt = [d.busy_time for d in disks]
+        self.ddelay = [d.total_queue_delay for d in disks]
+        self.dreads = [0] * v
+        self.dwrites = [0] * v
+        # Pending next-phase submissions:
+        # (time, g, cnt, kind, arrival, phases, phase_idx).
+        self.pq: list[tuple] = []
+        self.maxc = float("-inf")
+        self.n = 0
+        self._cnt = 0
+        # kind -> (completions, latencies), in emission-source order.
+        self._kinds: dict[str, tuple[list[float], list[float]]] = {}
+
+    def _buf(self, kind: str) -> tuple[list[float], list[float]]:
+        b = self._kinds.get(kind)
+        if b is None:
+            b = self._kinds[kind] = ([], [])
+        return b
+
+    def _run_phase(self, phase, t: float) -> tuple[float, float]:
+        """Resolve one phase's IOs (submitted together at ``t``, plan
+        order) against the eager FIFO queues.  Returns the phase
+        completion (max IO completion) and its gating start ``g`` (the
+        start of the last-finishing IO; completion ties take the max
+        start — exactly :func:`_step_eager`'s phase-1 recovery)."""
+        prevc = self.prevc
+        dlast = self.dlast
+        dbusyt = self.dbusyt
+        ddelay = self.ddelay
+        dreads = self.dreads
+        dwrites = self.dwrites
+        seq_s = self.seq_s
+        avg_s = self.avg_s
+        best_c = float("-inf")
+        best_g = float("-inf")
+        for d, off, is_w in phase:
+            p = prevc[d]
+            if p > t:
+                ddelay[d] += p - t
+            else:
+                p = t
+            s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+            dlast[d] = off
+            dbusyt[d] += s
+            c = p + s
+            prevc[d] = c
+            if is_w:
+                dwrites[d] += 1
+            else:
+                dreads[d] += 1
+            if c > best_c:
+                best_c = c
+                best_g = p
+            elif c == best_c and p > best_g:
+                best_g = p
+        return best_c, best_g
+
+    def _retire_until(self, na: float) -> bool:
+        """Retire pending phases strictly before ``na`` (the next
+        arrival, or +inf at finish).  False on an order-ambiguous tie."""
+        pq = self.pq
+        while pq and pq[0][0] < na:
+            tw, g, _cnt, kind, at, phases, pidx = heappop(pq)
+            if pq and pq[0][0] == tw:
+                # Same-instant pending phases: distinct gating starts
+                # order them exactly (g tracks event-seq order); ties on
+                # both are fine only while the phases touch pairwise
+                # disjoint disk sets.
+                used = {d for d, _o, _w in phases[pidx]}
+                for item in pq:
+                    if item[0] == tw and item[1] == g:
+                        for d, _o, _w in item[5][item[6]]:
+                            if d in used:
+                                return False
+                            used.add(d)
+            c, g2 = self._run_phase(phases[pidx], tw)
+            pidx += 1
+            if pidx < len(phases):
+                self._cnt += 1
+                heappush(pq, (c, g2, self._cnt, kind, at, phases, pidx))
+            else:
+                if c > self.maxc:
+                    self.maxc = c
+                cs, ls = self._buf(kind)
+                cs.append(c)
+                ls.append(c - at)
+        return True
+
+    def feed(self, run) -> bool:
+        """Consume one planned window (a :class:`_CompiledRun`),
+        interleaving its arrivals with pending phase submissions.
+        Pending phases whose time lands past the window's last arrival
+        stay queued for the next feed.  Returns False on an ambiguous
+        tie (controller state untouched; the caller replays exactly)."""
+        atimes = run.times
+        single = run.single
+        wfast = run.wfast
+        plans = run.plans
+        n = run.n
+        pq = self.pq
+        inf = float("inf")
+        prevc = self.prevc
+        dlast = self.dlast
+        dbusyt = self.dbusyt
+        ddelay = self.ddelay
+        dreads = self.dreads
+        seq_s = self.seq_s
+        avg_s = self.avg_s
+        rbuf = self._buf("read")
+        rc_app = rbuf[0].append
+        rl_app = rbuf[1].append
+        self.n += n
+        ai = 0
+        while True:
+            limit = pq[0][0] if pq else inf
+            while ai < n:
+                t = atimes[ai]
+                if t >= limit:
+                    if t > limit:
+                        break
+                    # Arrival and pending phase at the same instant: the
+                    # heap's order is ambiguous, but it only matters if
+                    # they touch a common disk — disjoint submissions
+                    # commute, so process the arrival first.
+                    pos = single[ai]
+                    if pos is not None:
+                        aset = (pos[0],)
+                    else:
+                        w = wfast[ai]
+                        if w is not None:
+                            aset = (w[0], w[2])
+                        else:
+                            aset = tuple(
+                                d for d, _o, _w in plans[ai][1][0]
+                            )
+                    for item in pq:
+                        if item[0] == limit and any(
+                            d in aset for d, _o, _w in item[5][item[6]]
+                        ):
+                            return False
+                r = ai
+                ai += 1
+                pos = single[r]
+                if pos is not None:
+                    # Single-IO read (healthy, or surviving-disk
+                    # degraded): resolves entirely at arrival.
+                    d, off = pos
+                    p = prevc[d]
+                    if p > t:
+                        ddelay[d] += p - t
+                    else:
+                        p = t
+                    s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+                    dlast[d] = off
+                    dbusyt[d] += s
+                    c = p + s
+                    prevc[d] = c
+                    dreads[d] += 1
+                    if c > self.maxc:
+                        self.maxc = c
+                    rc_app(c)
+                    rl_app(c - t)
+                    continue
+                w = wfast[r]
+                if w is not None:
+                    # Healthy RMW phase 1: read old data, then parity.
+                    d, off, pd, po = w
+                    p = prevc[d]
+                    if p > t:
+                        ddelay[d] += p - t
+                    else:
+                        p = t
+                    s = seq_s if -1 <= off - dlast[d] <= 1 else avg_s
+                    dlast[d] = off
+                    dbusyt[d] += s
+                    g1 = p
+                    c1 = p + s
+                    prevc[d] = c1
+                    dreads[d] += 1
+                    p = prevc[pd]
+                    if p > t:
+                        ddelay[pd] += p - t
+                    else:
+                        p = t
+                    s = seq_s if -1 <= po - dlast[pd] <= 1 else avg_s
+                    dlast[pd] = po
+                    dbusyt[pd] += s
+                    c2 = p + s
+                    prevc[pd] = c2
+                    dreads[pd] += 1
+                    if c1 > c2:
+                        tw = c1
+                        g = g1
+                    elif c2 > c1:
+                        tw = c2
+                        g = p
+                    else:
+                        tw = c1
+                        g = g1 if g1 > p else p
+                    self._cnt += 1
+                    heappush(
+                        pq,
+                        (
+                            tw,
+                            g,
+                            self._cnt,
+                            self._WRITE_KIND,
+                            t,
+                            (((d, off, True), (pd, po, True)),),
+                            0,
+                        ),
+                    )
+                    if tw < limit:
+                        limit = tw
+                    continue
+                # Generic plan (degraded reads/writes, or any write in
+                # a degraded run): phase 0 submits at arrival.
+                kind, phases = plans[r]
+                c, g = self._run_phase(phases[0], t)
+                if len(phases) == 1:
+                    if c > self.maxc:
+                        self.maxc = c
+                    cs, ls = self._buf(kind)
+                    cs.append(c)
+                    ls.append(c - t)
+                else:
+                    self._cnt += 1
+                    heappush(pq, (c, g, self._cnt, kind, t, phases, 1))
+                    if c < limit:
+                        limit = c
+            if ai >= n:
+                return True
+            # Drain broke on t > limit: retire pending phases up to the
+            # next arrival (ties at the arrival re-enter the drain,
+            # which settles them with the disjointness check).
+            if not self._retire_until(atimes[ai]):
+                return False
+
+    def drain(self, threshold: float, sink) -> None:
+        """Emit buffered samples with completion <= ``threshold`` (the
+        fed stream's last arrival: everything still pending completes
+        strictly later, so emitted prefixes concatenate into exactly
+        the one-shot completion-sorted order).  ``sink(kind, lats)``
+        receives each kind's latencies completion-sorted, ties by
+        submission order."""
+        for kind, (cs, ls) in self._kinds.items():
+            if not cs:
+                continue
+            carr = np.asarray(cs)
+            ready = carr <= threshold
+            if not ready.any():
+                continue
+            larr = np.asarray(ls)
+            order = np.argsort(carr[ready], kind="stable")
+            sink(kind, larr[ready][order].tolist())
+            keep = ~ready
+            if keep.any():
+                cs[:] = carr[keep].tolist()
+                ls[:] = larr[keep].tolist()
+            else:
+                del cs[:]
+                del ls[:]
+
+    def settle(self) -> bool:
+        """Retire everything still pending without emitting or writing
+        anything back.  False on a late ambiguous tie — the controller
+        is still untouched, so multi-core callers (the fleet's carry
+        mode) can settle *every* shard before the first write-back and
+        abort the whole group cleanly."""
+        return self._retire_until(float("inf"))
+
+    def finish(self, sink) -> bool:
+        """Retire everything still pending, emit the remaining samples,
+        and write the accumulated disk/clock state back.  Returns False
+        on a late ambiguous tie (controller still untouched)."""
+        if not self._retire_until(float("inf")):
+            return False
+        self.drain(float("inf"), sink)
+        ctrl = self.ctrl
+        dbusyt = self.dbusyt
+        ddelay = self.ddelay
+        dreads = self.dreads
+        dwrites = self.dwrites
+        dlast = self.dlast
+        for i, disk in enumerate(ctrl.disks):
+            disk.busy_time = dbusyt[i]
+            disk.total_queue_delay = ddelay[i]
+            disk.completed_reads += dreads[i]
+            disk.completed_writes += dwrites[i]
+            lo = dlast[i]
+            disk._last_offset = None if lo == _NO_OFFSET else lo
+        if self.maxc > float("-inf"):
+            ctrl.sim.now = self.maxc
+        return True
+
+
+def _eager_planned(
+    ctrl: "ArrayController",
+    compiled: "CompiledTrace",
+    seq_s: float,
+    avg_s: float,
+) -> int | None:
+    """One-shot :class:`_EagerCore` run over a whole compiled trace
+    (the degraded counterpart of :func:`_step_eager`).  Returns the
+    request count, or ``None`` on an ambiguous tie with the controller
+    untouched."""
+    from .compile import _CompiledRun
+
+    core = _EagerCore(ctrl, seq_s, avg_s)
+    if not core.feed(_CompiledRun(ctrl, compiled)):
+        return None
+    latency = ctrl.latency
+
+    def sink(kind: str, lats: list[float]) -> None:
+        latency.setdefault(kind, LatencyStats()).samples.extend(lats)
+
+    if not core.finish(sink):
+        return None
+    return compiled.n
+
+
 def step_compiled(
     ctrl: "ArrayController",
     compiled: "CompiledTrace",
@@ -389,14 +773,18 @@ def step_compiled(
     )
     if (
         bucket_ms is None
-        and ctrl.failed_disk is None
         and ctrl.data is None
         and ctrl.write_policy == "rmw"
     ):
-        # Common benched shape: try the eager tier first; an exact
+        # Common benched shapes: try the eager tier first; an exact
         # timestamp tie (order-ambiguous) leaves state untouched and
-        # drops through to the calendar engine below.
-        eager = _step_eager(ctrl, compiled, seq_s, avg_s)
+        # drops through to the calendar engine below.  Healthy traces
+        # take the tuned specialized pass; degraded traces the
+        # plan-driven core (same idea, generic phases).
+        if ctrl.failed_disk is None:
+            eager = _step_eager(ctrl, compiled, seq_s, avg_s)
+        else:
+            eager = _eager_planned(ctrl, compiled, seq_s, avg_s)
         if eager is not None:
             return eager
 

@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid cycles)
 
 __all__ = [
     "CompiledTrace",
+    "StreamWindows",
     "generate_request_stream",
     "compile_stream",
     "compile_workload",
@@ -80,6 +81,114 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
+#: Default streaming window (requests per compiled slice).  Large
+#: enough to amortize per-window ``map_batch`` overhead, small enough
+#: that a window's arrays are a few MB regardless of the horizon.
+DEFAULT_WINDOW_SIZE = 65536
+
+
+class StreamWindows:
+    """Seed-deterministic fixed-size windows of a Poisson request stream.
+
+    Iterating yields ``(times, is_read, lbas)`` triples of at most
+    ``window_size`` requests each, in arrival order, ending strictly
+    below ``duration_ms``.  Concatenating the windows reproduces
+    :func:`generate_request_stream` for the same config **bit-for-bit
+    at every window size**, which is what lets the streaming executors
+    promise byte-identical reports.  That invariance rests on three
+    properties:
+
+    * each stream component (interarrival gaps, read flags, addresses)
+      draws from its **own** generator, spawned from
+      ``SeedSequence(config.seed)`` — so over-drawing gaps near the
+      horizon never shifts the flag or address draws;
+    * NumPy generators fill arrays element-sequentially from the bit
+      stream, so chunked draws of any size concatenate identically;
+    * arrival times are a left-fold prefix sum carried across windows
+      (``gaps[0] += carry`` before the window-local ``cumsum``), the
+      exact float-add association of one whole-stream ``cumsum``.
+
+    Each ``iter()`` builds fresh generators, so one ``StreamWindows``
+    can be iterated independently many times (the fleet's per-shard
+    pumps each own an iterator).
+
+    Example:
+        >>> from repro.sim import WorkloadConfig
+        >>> cfg = WorkloadConfig(interarrival_ms=1.0, seed=7)
+        >>> whole = generate_request_stream(cfg, 50.0, 24)
+        >>> import numpy as np
+        >>> chunks = list(StreamWindows(cfg, 50.0, 24, window_size=7))
+        >>> all(
+        ...     np.array_equal(np.concatenate([c[i] for c in chunks]), whole[i])
+        ...     for i in range(3)
+        ... )
+        True
+    """
+
+    def __init__(
+        self,
+        config: "WorkloadConfig",
+        duration_ms: float,
+        capacity: int,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.config = config
+        self.duration_ms = float(duration_ms)
+        self.capacity = int(capacity)
+        self.window_size = int(window_size)
+        ss = np.random.SeedSequence(config.seed)
+        self._gaps_ss, self._flags_ss, self._addrs_ss, self._tables_ss = ss.spawn(4)
+        self._cdf: np.ndarray | None = None
+        self._perm: np.ndarray | None = None
+        if config.zipf_theta > 0.0:
+            weights = 1.0 / np.power(
+                np.arange(1, capacity + 1, dtype=np.float64), config.zipf_theta
+            )
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf = cdf
+            # Deterministic rank->address shuffle so the hot set is
+            # spread over stripes rather than clustered at low
+            # addresses.  Drawn from the dedicated tables stream so it
+            # is identical no matter how the other streams are chunked.
+            self._perm = np.random.default_rng(self._tables_ss).permutation(
+                self.capacity
+            )
+
+    def __iter__(self):
+        cfg = self.config
+        rng_gaps = np.random.default_rng(self._gaps_ss)
+        rng_flags = np.random.default_rng(self._flags_ss)
+        rng_addrs = np.random.default_rng(self._addrs_ss)
+        w = self.window_size
+        horizon = self.duration_ms
+        carry = 0.0
+        while True:
+            gaps = rng_gaps.exponential(cfg.interarrival_ms, size=w)
+            gaps[0] += carry
+            times = np.cumsum(gaps)
+            carry = float(times[-1])
+            m = w
+            last = carry >= horizon
+            if last:
+                m = int(np.searchsorted(times, horizon, side="left"))
+                if m == 0:
+                    return
+                times = times[:m]
+            is_read = rng_flags.random(m) < cfg.read_fraction
+            if self._cdf is None:
+                lbas = rng_addrs.integers(0, self.capacity, size=m, dtype=np.int64)
+            else:
+                lbas = self._perm[
+                    np.searchsorted(self._cdf, rng_addrs.random(m))
+                ].astype(np.int64)
+            yield times, is_read, lbas
+            if last:
+                return
+
+
 def generate_request_stream(
     config: "WorkloadConfig", duration_ms: float, capacity: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -87,12 +196,13 @@ def generate_request_stream(
 
     Returns ``(times, is_read, lbas)``: arrival times (ms, ascending,
     strictly below ``duration_ms``), read flags, and logical addresses.
-    The draw order is fixed — Zipf tables, then interarrivals, then
-    read flags, then addresses — so a seed always produces the same
-    stream regardless of which path consumes it.  (This vectorized
-    order replaced the original per-request interleaved draws, so a
-    seed's stream differs from pre-compile-pipeline versions; the
-    distributions are unchanged.)
+    The stream is the concatenation of :class:`StreamWindows` slices —
+    per-component generators spawned from the seed, so the draws are
+    identical at every window size and the materialized and streaming
+    paths see the same requests.  (The per-component split replaced a
+    single shared generator — as with the earlier vectorization, a
+    seed's stream differs from prior versions while the distributions
+    are unchanged.)
 
     Example:
         >>> from repro.sim import WorkloadConfig
@@ -103,41 +213,21 @@ def generate_request_stream(
         >>> bool(times[-1] < 50.0 and lbas.max() < 24)
         True
     """
-    rng = np.random.default_rng(config.seed)
-    cdf = perm = None
-    if config.zipf_theta > 0.0:
-        weights = 1.0 / np.power(
-            np.arange(1, capacity + 1, dtype=np.float64), config.zipf_theta
+    window = max(64, int(duration_ms / config.interarrival_ms * 1.25) + 16)
+    parts = list(StreamWindows(config, duration_ms, capacity, window_size=window))
+    if not parts:
+        return (
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=bool),
+            np.zeros(0, dtype=np.int64),
         )
-        cdf = np.cumsum(weights)
-        cdf /= cdf[-1]
-        # Deterministic rank->address shuffle so the hot set is spread
-        # over stripes rather than clustered at low addresses.
-        perm = rng.permutation(capacity)
-
-    # Interarrival gaps come in chunks until the cumulative time passes
-    # the horizon; the chunk policy is deterministic, so the stream is a
-    # pure function of the seed.
-    chunk = max(64, int(duration_ms / config.interarrival_ms * 1.25) + 16)
-    gaps: list[np.ndarray] = []
-    total = 0.0
-    while True:
-        draw = rng.exponential(config.interarrival_ms, size=chunk)
-        gaps.append(draw)
-        total += float(draw.sum())
-        if total >= duration_ms:
-            break
-        chunk = max(64, chunk // 4)
-    times = np.cumsum(np.concatenate(gaps))
-    n = int(np.searchsorted(times, duration_ms, side="left"))
-    times = times[:n].copy()
-
-    is_read = rng.random(n) < config.read_fraction
-    if cdf is None:
-        lbas = rng.integers(0, capacity, size=n, dtype=np.int64)
-    else:
-        lbas = perm[np.searchsorted(cdf, rng.random(n))].astype(np.int64)
-    return times, is_read, lbas
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -288,6 +378,17 @@ class _CompiledRun:
     then re-arms itself for the next epoch.  Submission order and times
     are identical to scheduling one closure per request — the heap just
     never holds more than one arrival event.
+
+    With a ``source`` callable the pump *streams*: whenever the current
+    window's arrivals are exhausted it pulls the next
+    :class:`CompiledTrace` (``None`` ends the stream) and re-plans it in
+    place, so only one window's arrays are live at a time.  Window times
+    are stream-relative and monotone across windows, and every window is
+    offset by the base clock captured at construction — the same
+    ``base + t`` float op as the materialized pump, so absolute times
+    agree bit-exactly no matter how the stream is chunked.  An optional
+    ``on_window`` callback fires between windows (the streaming runners
+    drain latency-sample lists into constant-memory digests there).
     """
 
     __slots__ = (
@@ -303,18 +404,44 @@ class _CompiledRun:
         "_write_rec",
         "_planned_failed",
         "_compiled",
+        "_base",
+        "_source",
+        "_on_window",
     )
 
-    def __init__(self, ctrl: ArrayController, compiled: CompiledTrace):
+    def __init__(
+        self,
+        ctrl: ArrayController,
+        compiled: CompiledTrace,
+        *,
+        source=None,
+        on_window=None,
+        base: float | None = None,
+    ):
         self.ctrl = ctrl
-        base = ctrl.sim.now
         # Elementwise base + t is the same float op the scalar path's
         # schedule(delay=t) performs, so absolute times agree bit-exactly.
-        self.times = (base + compiled.times).tolist()
-        self.n = compiled.n
-        self._i = 0
+        # Captured once: windows loaded mid-run keep the stream's origin.
+        # ``base`` overrides the capture for pumps constructed mid-run
+        # whose window times are still relative to the stream's start
+        # (the fleet window router).
+        self._base = ctrl.sim.now if base is None else base
+        self._source = source
+        self._on_window = on_window
         self._read_sink: list[float] | None = None
         self._write_rec = None
+        self._load(compiled)
+
+    def _load(self, compiled: CompiledTrace) -> None:
+        """(Re)plan one compiled window against the *current* failure
+        state — for the first window this is construction-time planning;
+        for streamed windows it matches the scalar path's fire-time
+        planning, since the load happens when the window's first arrival
+        is due."""
+        ctrl = self.ctrl
+        self.times = (self._base + compiled.times).tolist()
+        self.n = compiled.n
+        self._i = 0
         # Plans are valid for this failure state; if a disk fails after
         # scheduling but before an arrival fires, that request re-plans
         # live (matching the scalar path's fire-time planning).
@@ -386,39 +513,65 @@ class _CompiledRun:
         ctrl = self.ctrl
         sim = ctrl.sim
         now = sim.now
-        times = self.times
-        i = self._i
-        n = self.n
-        # The failure state cannot change while this event runs (fail
-        # injections are events of their own), so one stale-plan check
-        # covers the whole epoch and the healthy-read fast path inlines
-        # submission: one DiskIO, no per-request dispatch.
-        if ctrl.failed_disk == self._planned_failed:
-            single = self.single
-            disks = ctrl.disks
-            sink = self._read_sink
-            while i < n and times[i] == now:
-                pos = single[i]
-                if pos is not None:
-                    if sink is None:
-                        sink = self._read_sink = ctrl.latency.setdefault(
-                            "read", LatencyStats()
-                        ).samples
-                    disks[pos[0]].submit(
-                        DiskIO(
-                            offset=pos[1], is_write=False, latency_sink=sink
+        # The outer loop only repeats in the streamed case, when a
+        # window boundary splits an arrival epoch (a zero interarrival
+        # gap straddling the chunk edge): the next window is pulled and
+        # the epoch continues in the same event, preserving the heap's
+        # one-pump-event-per-epoch serialization.
+        while True:
+            times = self.times
+            i = self._i
+            n = self.n
+            # The failure state cannot change while this event runs
+            # (fail injections are events of their own), so one
+            # stale-plan check covers the whole epoch and the
+            # healthy-read fast path inlines submission: one DiskIO, no
+            # per-request dispatch.
+            if ctrl.failed_disk == self._planned_failed:
+                single = self.single
+                disks = ctrl.disks
+                sink = self._read_sink
+                while i < n and times[i] == now:
+                    pos = single[i]
+                    if pos is not None:
+                        if sink is None:
+                            sink = self._read_sink = ctrl.latency.setdefault(
+                                "read", LatencyStats()
+                            ).samples
+                        disks[pos[0]].submit(
+                            DiskIO(
+                                offset=pos[1], is_write=False, latency_sink=sink
+                            )
                         )
-                    )
-                else:
-                    self._submit(i, now)
-                i += 1
-        else:
-            while i < n and times[i] == now:
-                self._replan_live(i, now)
-                i += 1
-        self._i = i
-        if i < n:
-            sim.at(times[i], self._fire)
+                    else:
+                        self._submit(i, now)
+                    i += 1
+            else:
+                while i < n and times[i] == now:
+                    self._replan_live(i, now)
+                    i += 1
+            self._i = i
+            if i < n:
+                sim.at(times[i], self._fire)
+                return
+            if not self._advance():
+                return
+
+    def _advance(self) -> bool:
+        """Pull the next non-empty window from the source, if any."""
+        source = self._source
+        if source is None:
+            return False
+        while True:
+            if self._on_window is not None:
+                self._on_window()
+            nxt = source()
+            if nxt is None:
+                self._source = None
+                return False
+            if nxt.n:
+                self._load(nxt)
+                return True
 
     def _replan_live(self, i: int, now: float) -> None:
         """Fire-time planning for a request whose compile-time plan went

@@ -29,6 +29,7 @@ from ..core.registry import get_incidence
 from ..layouts import Layout
 from ..layouts.sparing import DistributedSparing
 from .compile import (
+    StreamWindows,
     compile_workload,
     execute_compiled,
     schedule_compiled_scalar,
@@ -37,6 +38,7 @@ from .controller import ArrayController
 from .disk import DiskParameters
 from .reconstruction import RebuildProcess, RebuildReport
 from .stats import summarize
+from .stream import execute_windows
 from .workload import WorkloadConfig, drive_workload
 
 __all__ = [
@@ -195,6 +197,7 @@ def simulate_workload(
     seed: int = 0,
     batched: bool = True,
     write_policy: str = "rmw",
+    window_size: int | None = None,
 ) -> WorkloadReport:
     """Run a synthetic workload against a layout.
 
@@ -204,8 +207,13 @@ def simulate_workload(
     execute through the analytic queue solver (no event loop at all),
     anything else through the calendar-queue batch-stepped executor,
     and ``batched=False`` through the scalar per-event path — all
-    produce the same report.  Returns latency summaries keyed by
-    request kind plus per-disk load.
+    produce the same report.  With ``window_size`` set, the stream is
+    never materialized: it is generated, translated, and executed one
+    window at a time (:func:`repro.sim.stream.execute_windows`) with
+    latency reduced to constant-memory digests — peak memory is one
+    window at any horizon, and the report is byte-identical to the
+    materialized run.  Returns latency summaries keyed by request kind
+    plus per-disk load.
     """
     cfg = config if config is not None else WorkloadConfig()
     ctrl = ArrayController(
@@ -217,6 +225,22 @@ def simulate_workload(
     )
     if failed_disk is not None:
         ctrl.fail_disk(failed_disk)
+    if window_size is not None:
+        if not batched:
+            raise ValueError("windowed execution requires batched=True")
+        windows = StreamWindows(
+            cfg, duration_ms, ctrl.mapper.capacity, window_size=window_size
+        )
+        scheduled, digests = execute_windows(
+            ctrl, windows, read_only_hint=cfg.read_fraction >= 1.0
+        )
+        return WorkloadReport(
+            duration_ms=ctrl.sim.now,
+            scheduled=scheduled,
+            latency={kind: summarize(d) for kind, d in digests.items()},
+            per_disk_ios=ctrl.per_disk_completed(),
+            utilizations=ctrl.utilizations(),
+        )
     compiled = compile_workload(ctrl.mapper, cfg, duration_ms)
     if batched:
         scheduled = execute_compiled(ctrl, compiled)

@@ -1,16 +1,105 @@
-"""Simulation statistics helpers."""
+"""Simulation statistics helpers.
+
+Two latency accumulators share one summary contract:
+
+* :class:`LatencyStats` keeps every raw sample (exact, O(n) memory) —
+  the default for materialized runs, where tests compare sample lists
+  bit-for-bit;
+* :class:`LatencyDigest` keeps only a running count/sum/max plus a
+  log-bucketed histogram (constant memory) — what the streaming
+  windowed executors feed, so a 10^8-request horizon does not hold
+  10^8 floats.
+
+For the two to be byte-identical in summaries, the summary statistics
+must be computable from either representation with the same float
+operations:
+
+* ``count`` and ``max`` are trivially exact in both;
+* ``mean`` is the left-to-right running sum divided by the count — the
+  digest accumulates its sum in the exact order samples are emitted,
+  which the windowed executors arrange to match the order the
+  materialized engines append them, so ``sum(samples)`` and the running
+  sum are bit-identical;
+* percentiles are **quantized**: every sample is snapped to the lower
+  bound of a base-2 logarithmic bucket (:func:`quantize_latency`,
+  relative resolution 2^-12 ≈ 0.02%) before the nearest-rank pick.
+  Quantization makes the percentile a pure function of the bucket
+  *counts* — order-independent and mergeable — so the digest's
+  histogram and the exact sample list agree bit-for-bit.
+
+Fleet reports merge per-shard accumulators with
+:func:`merge_summaries`: counts and histograms add, maxes max, and the
+merged mean folds per-part sums left-to-right in part order — the same
+fold whether the parts are lists or digests, so serial, windowed, and
+process-parallel fleet reports stay byte-identical.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyStats", "summarize"]
+__all__ = [
+    "LatencyStats",
+    "LatencyDigest",
+    "quantize_latency",
+    "summarize",
+    "merge_summaries",
+]
+
+#: Sub-buckets per power-of-two octave (as a bit count): latencies are
+#: quantized to a relative resolution of 2^-12 before percentile ranks
+#: are taken.  Occupied buckets per octave are bounded by 2^12 and a
+#: realistic latency distribution spans a few dozen octaves, so a
+#: digest's histogram stays a few thousand entries at any horizon.
+_QUANT_BITS = 12
+_QUANT_SCALE = float(1 << (_QUANT_BITS + 1))
+_QUANT_MASK = (1 << _QUANT_BITS) - 1
+#: Bucket key reserved for non-positive samples (sorts before all real
+#: keys, whose exponent part dominates).
+_ZERO_KEY = -(1 << 62)
+
+
+def _bucket_key(x: float) -> int:
+    """Map a positive latency to its log-bucket key (monotone in x)."""
+    m, e = math.frexp(x)  # x = m * 2**e with m in [0.5, 1)
+    return (e << _QUANT_BITS) | int((m - 0.5) * _QUANT_SCALE)
+
+
+def _bucket_value(key: int) -> float:
+    """The bucket's lower bound — the representative every member of
+    the bucket quantizes to."""
+    if key == _ZERO_KEY:
+        return 0.0
+    return math.ldexp(0.5 + (key & _QUANT_MASK) / _QUANT_SCALE, key >> _QUANT_BITS)
+
+
+def quantize_latency(x: float) -> float:
+    """Snap a latency to its log-bucket lower bound (monotone; relative
+    error < 2^-12).  Non-positive values collapse to 0.0."""
+    if x <= 0.0:
+        return 0.0
+    return _bucket_value(_bucket_key(x))
+
+
+def _rank(p: float, count: int) -> int:
+    """Nearest-rank index for percentile ``p`` over ``count`` samples."""
+    return max(0, math.ceil(p / 100.0 * count) - 1)
+
+
+def _bucket_percentile(buckets: dict[int, int], count: int, p: float) -> float:
+    target = _rank(p, count)
+    seen = 0
+    for key in sorted(buckets):
+        seen += buckets[key]
+        if seen > target:
+            return _bucket_value(key)
+    return 0.0  # pragma: no cover - counts always sum to count
 
 
 @dataclass
 class LatencyStats:
-    """Streaming collection of request latencies (milliseconds)."""
+    """Exact collection of request latencies (milliseconds)."""
 
     samples: list[float] = field(default_factory=list)
 
@@ -23,29 +112,118 @@ class LatencyStats:
         return len(self.samples)
 
     @property
+    def total(self) -> float:
+        """Left-to-right sum of the samples (0.0 when empty)."""
+        return sum(self.samples) if self.samples else 0.0
+
+    @property
     def mean(self) -> float:
         """Arithmetic mean (0.0 when empty)."""
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile over quantized samples, ``p`` in
+        [0, 100] (see :func:`quantize_latency`)."""
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
+        return quantize_latency(ordered[_rank(p, len(ordered))])
 
     @property
     def max(self) -> float:
         return max(self.samples) if self.samples else 0.0
 
+    def bucket_counts(self) -> dict[int, int]:
+        """Quantization-bucket histogram of the samples."""
+        counts: dict[int, int] = {}
+        for x in self.samples:
+            key = _bucket_key(x) if x > 0.0 else _ZERO_KEY
+            counts[key] = counts.get(key, 0) + 1
+        return counts
 
-def summarize(stats: LatencyStats) -> dict[str, float]:
-    """Mean / p50 / p95 / max summary dict."""
+
+class LatencyDigest:
+    """Constant-memory latency accumulator, summary-identical to
+    :class:`LatencyStats` when fed the same samples in the same order."""
+
+    __slots__ = ("count", "total", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._buckets: dict[int, int] = {}
+
+    def record(self, latency: float) -> None:
+        """Add one sample (order matters for the bit-exact mean)."""
+        self.count += 1
+        self.total += latency
+        if latency > self.max:
+            self.max = latency
+        key = _bucket_key(latency) if latency > 0.0 else _ZERO_KEY
+        b = self._buckets
+        b[key] = b.get(key, 0) + 1
+
+    def extend(self, latencies) -> None:
+        """Add samples in order."""
+        for x in latencies:
+            self.record(x)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.count:
+            return 0.0
+        return _bucket_percentile(self._buckets, self.count, p)
+
+    def bucket_counts(self) -> dict[int, int]:
+        return dict(self._buckets)
+
+
+def summarize(stats: LatencyStats | LatencyDigest) -> dict[str, float]:
+    """Mean / p50 / p95 / max summary dict (``max`` is the exact raw
+    maximum; percentiles are quantized — see the module docstring)."""
     return {
         "count": float(stats.count),
         "mean": stats.mean,
         "p50": stats.percentile(50),
         "p95": stats.percentile(95),
         "max": stats.max,
+    }
+
+
+def merge_summaries(parts: list[LatencyStats | LatencyDigest]) -> dict[str, float]:
+    """Summarize the union of several accumulators.
+
+    The merged mean folds per-part sums left-to-right in part order;
+    percentiles rank over the summed bucket histograms.  Both are pure
+    functions of the (ordered) per-part state, so the result is
+    identical whether the parts are exact lists or streaming digests —
+    the byte-identity seam between materialized, windowed, and
+    process-parallel fleet reports.
+    """
+    count = 0
+    total = 0.0
+    peak = 0.0
+    buckets: dict[int, int] = {}
+    for part in parts:
+        c = part.count
+        if not c:
+            continue
+        count += c
+        total += part.total
+        if part.max > peak:
+            peak = part.max
+        for key, k in part.bucket_counts().items():
+            buckets[key] = buckets.get(key, 0) + k
+    if not count:
+        return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "count": float(count),
+        "mean": total / count,
+        "p50": _bucket_percentile(buckets, count, 50),
+        "p95": _bucket_percentile(buckets, count, 95),
+        "max": peak,
     }

@@ -17,10 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .compile import compile_workload, schedule_compiled, schedule_compiled_scalar
+from .compile import (
+    StreamWindows,
+    compile_workload,
+    schedule_compiled,
+    schedule_compiled_scalar,
+)
 from .controller import ArrayController
 
-__all__ = ["WorkloadConfig", "drive_workload"]
+__all__ = ["WorkloadConfig", "StreamWindows", "drive_workload"]
 
 
 @dataclass(frozen=True)

@@ -132,7 +132,10 @@ class TestServing:
         slow_rep = slow._report(
             [t.n for t in compiled],
             start=0.0,
-            lat_base=[{} for _ in slow.controllers],
+            accs=[
+                {kind: st for kind, st in ctrl.latency.items() if st.count}
+                for ctrl in slow.controllers
+            ],
             ios_base=[[0] * slow.layout.v for _ in slow.controllers],
         )
 

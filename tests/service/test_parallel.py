@@ -29,6 +29,12 @@ def _canon(payload: dict) -> str:
     return json.dumps(canonical_payload(payload), sort_keys=True)
 
 
+def replace_scenario(sc: FleetScenario, **overrides) -> FleetScenario:
+    from dataclasses import replace
+
+    return replace(sc, **overrides)
+
+
 def _scenario(**overrides) -> FleetScenario:
     base = dict(
         shards=4,
@@ -219,6 +225,136 @@ class TestReportEquality:
         assert _canon(serial) == _canon(grouped)
 
 
+#: The reshape whose move graph splits: 12 volumes over 4 shards grown
+#: to 6 decomposes into two migration components plus one idle array —
+#: the config the parallel-reshape acceptance gate pins.
+RESHAPE_SPLIT = _scenario(
+    duration_ms=400.0, reshape_to=6, volumes=12, seed=9
+)
+
+
+class TestReshapeComponents:
+    """Reshape scenarios split into connected components of the move
+    graph — each component a worker-runnable group with a static slice
+    of the copy budget — instead of always collapsing to serial."""
+
+    def test_move_graph_components_partition(self):
+        part = partition_scenario(RESHAPE_SPLIT)
+        assert not part.serial_fallback
+        by_arrays = {g.arrays: g for g in part.groups}
+        # Two components (each closed under its copy edges) plus the
+        # one array no move touches.
+        assert set(by_arrays) == {(0, 3, 4), (1,), (2, 5)}
+        assert by_arrays[(0, 3, 4)].migration_volumes == (6, 11)
+        assert by_arrays[(2, 5)].migration_volumes == (7,)
+        assert by_arrays[(1,)].migration_volumes == ()
+        # One copy destination per component -> one admission slot each.
+        assert by_arrays[(0, 3, 4)].admission_slots == 1
+        assert by_arrays[(2, 5)].admission_slots == 1
+        assert by_arrays[(1,)].admission_slots == 0
+
+    def test_admission_pressure_falls_back(self):
+        """More copy destinations than admission slots: FIFO queueing
+        at the shared gate couples every component."""
+        part = partition_scenario(replace_scenario(RESHAPE_SPLIT, admission=1))
+        assert part.serial_fallback
+        assert "admission" in part.reason
+
+    def test_single_component_falls_back(self):
+        """The default 4->6 grow (64 volumes) couples every array into
+        one component — the documented serial collapse."""
+        part = partition_scenario(
+            _scenario(duration_ms=400.0, reshape_to=6)
+        )
+        assert part.serial_fallback
+        assert "one" in part.reason and "component" in part.reason
+
+    def test_failures_alongside_reshape_fall_back(self):
+        from repro.service import FailureEvent
+
+        part = partition_scenario(
+            replace_scenario(
+                RESHAPE_SPLIT, failures=(FailureEvent(10.0, 1, 0),)
+            )
+        )
+        assert part.serial_fallback
+        assert "rebuild" in part.reason
+
+    def test_coordinator_volume_filter_validated(self):
+        from repro.service import Fleet
+        from repro.service.migration import MigrationCoordinator
+
+        fleet = Fleet(4, 9, 3, volumes=12, dataplane=False, seed=9)
+        with pytest.raises(ValueError, match="unmoved"):
+            MigrationCoordinator(fleet, 6, at_ms=10.0, volumes=(0,))
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_reshape_matches_serial(self, workers):
+        serial = run_fleet_scenario(RESHAPE_SPLIT)
+        run = run_fleet_scenario_parallel(RESHAPE_SPLIT, workers=workers)
+        assert not run.execution.serial_fallback
+        assert _canon(serial.to_dict()) == _canon(run.to_dict())
+        assert run.report.all_migrated_verified
+        assert len(run.report.migrations) == run.report.planned_moves
+
+    def test_parallel_reshape_windowed_matches_serial(self):
+        """Windowed workers regenerate and filter the stream per
+        component; the merged report must still match the serial
+        windowed run byte for byte."""
+        sc = replace_scenario(RESHAPE_SPLIT, window_size=64)
+        serial = run_fleet_scenario(sc)
+        run = run_fleet_scenario_parallel(sc, workers=2)
+        assert not run.execution.serial_fallback
+        assert _canon(serial.to_dict()) == _canon(run.to_dict())
+        assert run.report.all_migrated_verified
+
+
+class TestWindowedParallel:
+    """Windowed scenarios ship a window *iterator* to workers (never a
+    materialized stream) and must merge to the serial windowed report."""
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            _scenario(window_size=128),
+            _scenario(
+                window_size=128,
+                failures=default_failure_schedule(4, 9, 2, 80.0),
+            ),
+        ],
+        ids=["healthy", "failures"],
+    )
+    def test_windowed_workers_match_serial(self, scenario):
+        serial = run_fleet_scenario(scenario).to_dict()
+        par = run_fleet_scenario_parallel(scenario, workers=2).to_dict()
+        assert _canon(serial) == _canon(par)
+
+    def test_windowed_read_only_solver_path(self):
+        sc = _scenario(window_size=64, read_fraction=1.0)
+        serial = run_fleet_scenario(sc).to_dict()
+        par = run_fleet_scenario_parallel(sc, workers=2).to_dict()
+        assert _canon(serial) == _canon(par)
+
+    def test_no_stream_materialized_in_parent(self, monkeypatch):
+        """The windowed parallel path never calls the whole-stream
+        generator — not in the parent, not per group."""
+        import repro.service.parallel as par_mod
+
+        calls = []
+        real = par_mod.generate_request_stream
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(par_mod, "generate_request_stream", counting)
+        sc = _scenario(window_size=128)
+        serial = run_fleet_scenario(sc).to_dict()
+        grouped = run_fleet_scenario_parallel(sc, workers=1).to_dict()
+        assert calls == []
+        assert _canon(serial) == _canon(grouped)
+
+
 class TestExecutionMetadata:
     def test_parallel_section_shape(self):
         run = run_fleet_scenario_parallel(FAILURES, workers=2)
@@ -237,6 +373,7 @@ class TestExecutionMetadata:
                 "arrays",
                 "admission_slots",
                 "failures",
+                "migration_volumes",
                 "duration_ms",
                 "wall_s",
             }
@@ -356,6 +493,36 @@ class TestServeCLIWorkers:
         payload = json.loads(out.read_text())
         assert payload["serial_fallback"] is True
         assert payload["fallback_reason"]
+
+    def test_volumes_flag_splits_reshape_across_workers(self, tmp_path):
+        """--volumes can shrink the move graph until it splits into
+        components — then --grow + --workers genuinely parallelizes
+        (no serial fallback, so --smoke's downgrade gate stays green)."""
+        from repro.__main__ import main
+
+        out = tmp_path / "grow_split.json"
+        args = [
+            "serve",
+            "--smoke",
+            "--workers",
+            "2",
+            "--grow",
+            "4:6",
+            "--volumes",
+            "12",
+            "--seed",
+            "9",
+            "--json",
+            str(out),
+        ]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        assert payload["serial_fallback"] is False
+        assert payload["scenario"]["volumes"] == 12
+        groups = payload["parallel"]["groups"]
+        assert [g["arrays"] for g in groups] == [[0, 3, 4], [1], [2, 5]]
+        assert [g["migration_volumes"] for g in groups] == [[6, 11], [], [7]]
+        assert payload["passed"] is True
 
     def test_write_policy_flag_reaches_scenario(self, tmp_path):
         from repro.__main__ import main

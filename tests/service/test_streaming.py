@@ -1,0 +1,139 @@
+"""Fleet-level streaming: ``serve_windows`` / ``serve_workload(
+window_size=...)`` / the scenario ``window_size`` knob, serial and
+multi-process.
+
+The contract: a windowed serve is byte-identical to the materialized
+serve of the same stream — through the carry engines (idle clock), the
+window router (armed rebuild timers, live migration, data planes),
+and the parallel runner's per-group window pumps.  Scenario payloads
+are compared in canonical JSON form; the windowed scenario echoes its
+``window_size``, so scenario-vs-scenario comparisons strip that one
+field (everything below the echo must match byte for byte).
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.service import (
+    Fleet,
+    FleetScenario,
+    canonical_payload,
+    default_failure_schedule,
+    run_fleet_scenario,
+)
+from repro.sim import WorkloadConfig
+
+DURATION = 400.0
+WINDOW_SIZES = (1, 13, 64, 10**6)
+
+
+def _canon(payload: dict, *, ignore_window: bool = False) -> str:
+    canon = canonical_payload(payload)
+    if ignore_window:
+        canon["scenario"] = {
+            k: v for k, v in canon["scenario"].items() if k != "window_size"
+        }
+    return json.dumps(canon, sort_keys=True)
+
+
+def _workload(**overrides) -> WorkloadConfig:
+    base = dict(interarrival_ms=1.0, read_fraction=0.7, seed=3)
+    base.update(overrides)
+    return WorkloadConfig(**base)
+
+
+#: (id, Fleet kwargs, workload) — one per serve_windows mode: the two
+#: carry engines (eager / solver), the router forced by data planes,
+#: the single-phase write-through fleet, and a non-ring placement.
+FLEET_CASES = [
+    ("mixed_carry_eager", dict(dataplane=False), _workload()),
+    ("read_only_solver", dict(dataplane=False), _workload(read_fraction=1.0)),
+    ("dataplane_router", dict(dataplane=True), _workload()),
+    (
+        "write_through_solver",
+        dict(dataplane=False, write_policy="write_through"),
+        _workload(),
+    ),
+    ("p2c_placement", dict(dataplane=False, placement="p2c"), _workload()),
+]
+
+
+class TestServeWindowEquality:
+    @pytest.mark.parametrize(
+        "kwargs,config",
+        [(c[1], c[2]) for c in FLEET_CASES],
+        ids=[c[0] for c in FLEET_CASES],
+    )
+    def test_matches_materialized_at_every_window_size(self, kwargs, config):
+        materialized = asdict(
+            Fleet(3, 9, 3, seed=0, **kwargs).serve_workload(config, DURATION)
+        )
+        for ws in WINDOW_SIZES:
+            windowed = asdict(
+                Fleet(3, 9, 3, seed=0, **kwargs).serve_workload(
+                    config, DURATION, window_size=ws
+                )
+            )
+            assert windowed == materialized, ws
+
+
+def _scenario(**overrides) -> FleetScenario:
+    base = dict(
+        shards=4,
+        v=9,
+        k=3,
+        duration_ms=300.0,
+        interarrival_ms=1.0,
+        read_fraction=0.7,
+        admission=2,
+        verify_data=True,
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+#: (id, scenario overrides) — healthy carry, rebuilds interleaving
+#: with the router mid-stream, and a reshape cutting volumes over
+#: mid-stream (window boundaries land mid-rebuild and mid-copy).
+SCENARIO_CASES = [
+    ("healthy", {}),
+    ("rebuilds_mid_stream", dict(failures=default_failure_schedule(4, 9, 2, 80.0))),
+    (
+        "reshape_mid_stream",
+        dict(duration_ms=DURATION, reshape_to=6, volumes=12, seed=9),
+    ),
+]
+
+
+class TestScenarioWindowed:
+    @pytest.mark.parametrize(
+        "overrides",
+        [c[1] for c in SCENARIO_CASES],
+        ids=[c[0] for c in SCENARIO_CASES],
+    )
+    def test_windowed_scenario_matches_materialized(self, overrides):
+        materialized = _canon(
+            run_fleet_scenario(_scenario(**overrides)).to_dict(),
+            ignore_window=True,
+        )
+        for ws in (64, 1024):
+            windowed = _canon(
+                run_fleet_scenario(
+                    _scenario(window_size=ws, **overrides)
+                ).to_dict(),
+                ignore_window=True,
+            )
+            assert windowed == materialized, ws
+
+    def test_windowed_scenario_still_passes_gates(self):
+        report = run_fleet_scenario(
+            _scenario(
+                window_size=128,
+                failures=default_failure_schedule(4, 9, 2, 80.0),
+            )
+        )
+        assert report.passed
+        assert report.all_rebuilt_verified
+        assert len(report.rebuilds) == 2

@@ -1,12 +1,13 @@
-"""Mixed-path throughput regression guard (``make bench-guard``).
+"""Compiled-path throughput regression guard (``make bench-guard``).
 
-Re-times the sim suite's mixed read/write case — the one the
-batch-stepped executor owns — and fails when the fresh events/s falls
-below a fraction of the committed ``BENCH_sim.json`` figure.  This is
-the cheap tripwire between full benchmark runs: a change that quietly
-knocks the mixed engine back onto a slow path (or breaks the eager
-tier's no-fallback steady state) shows up as a large drop, far outside
-normal run-to-run noise.
+Re-times the sim suite's compiled-executor cases — the read-only
+solver, the healthy mixed read/write path, and the degraded mixed
+path — and fails when any fresh events/s figure falls below a fraction
+of the committed ``BENCH_sim.json`` row.  This is the cheap tripwire
+between full benchmark runs: a change that quietly knocks an engine
+back onto a slow path (the solver onto the heap, the eager tier into
+its fallback, the degraded planner onto per-event stepping) shows up
+as a large per-case drop, far outside normal run-to-run noise.
 
 The committed artifact is the reference, so the guard is relative to
 the machine that produced it.  On a host materially slower than that
@@ -15,8 +16,13 @@ machine the threshold can be loosened (or the check skipped) with::
     BENCH_GUARD_RATIO=0.5 python tools/bench_guard.py
     BENCH_GUARD_RATIO=0 python tools/bench_guard.py   # record only
 
-Exit codes: 0 = within threshold, 1 = regression, 2 = missing/invalid
-committed artifact.
+The final stdout line is machine-readable JSON (prefixed
+``bench-guard-json:``) with per-case ratios and, when the guard is
+skipped (ratio 0), an explicit ``skip_reason`` — hosted runners can
+log why no verdict bound instead of silently passing.
+
+Exit codes: 0 = within threshold (or skipped), 1 = regression,
+2 = missing/invalid committed artifact.
 """
 
 from __future__ import annotations
@@ -33,32 +39,55 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Fresh throughput must reach this fraction of the committed figure
 #: (>20% regression fails).  Override with BENCH_GUARD_RATIO.
 DEFAULT_RATIO = 0.8
-#: Timed runs; the best run is compared (the guard hunts regressions,
-#: not noise — the best of three is stable to a few percent).
+#: Timed runs per case; the best run is compared (the guard hunts
+#: regressions, not noise — the best of three is stable to a few
+#: percent).
 RUNS = 3
+#: Requests per timed run — enough to amortize compile overhead while
+#: keeping the three-case guard under a few seconds.
+REQUESTS = 30_000
+
+#: The guarded cases: (BENCH_sim.json case name, read_fraction,
+#: failed_disk).  Each mirrors the sim suite's config so the committed
+#: row is directly comparable.
+CASES = (
+    ("read_only_solver", 1.0, None),
+    ("mixed_rw_executor", 0.7, None),
+    ("degraded_mixed_executor", 0.7, 1),
+)
 
 
-def committed_mixed_events_per_s(path: Path) -> float:
+def committed_events_per_s(path: Path) -> dict[str, float]:
     payload = json.loads(path.read_text())
-    for row in payload["workload"]["cases"]:
-        if row["case"] == "mixed_rw_executor":
-            return float(row["batched_events_per_s"])
-    raise KeyError("mixed_rw_executor case not found")
+    rows = {
+        row["case"]: float(row["batched_events_per_s"])
+        for row in payload["workload"]["cases"]
+    }
+    missing = [name for name, _, _ in CASES if name not in rows]
+    if missing:
+        raise KeyError(f"cases missing from artifact: {missing}")
+    return rows
 
 
-def fresh_mixed_events_per_s() -> float:
+def fresh_events_per_s(read_fraction: float, failed_disk: int | None) -> float:
     from repro.core import get_layout
     from repro.sim import WorkloadConfig, simulate_workload
 
     layout = get_layout(13, 4)
-    cfg = WorkloadConfig(interarrival_ms=5.0, read_fraction=0.7, seed=7)
-    duration = 5.0 * 30_000
+    cfg = WorkloadConfig(
+        interarrival_ms=5.0, read_fraction=read_fraction, seed=7
+    )
+    duration = 5.0 * REQUESTS
 
     best = 0.0
     for _ in range(RUNS):
         t0 = time.perf_counter()
         rep = simulate_workload(
-            layout, duration_ms=duration, config=cfg, batched=True
+            layout,
+            duration_ms=duration,
+            config=cfg,
+            failed_disk=failed_disk,
+            batched=True,
         )
         elapsed = time.perf_counter() - t0
         best = max(best, rep.scheduled / elapsed)
@@ -68,7 +97,7 @@ def fresh_mixed_events_per_s() -> float:
 def main() -> int:
     artifact = REPO_ROOT / "BENCH_sim.json"
     try:
-        committed = committed_mixed_events_per_s(artifact)
+        committed = committed_events_per_s(artifact)
     except (OSError, KeyError, ValueError, TypeError) as exc:
         print(f"bench-guard: cannot read committed baseline: {exc}")
         print("bench-guard: run `python -m repro bench --suite sim` first")
@@ -80,23 +109,53 @@ def main() -> int:
         print("bench-guard: BENCH_GUARD_RATIO must be a number")
         return 2
 
-    fresh = fresh_mixed_events_per_s()
-    floor = ratio * committed
-    verdict = "OK" if fresh >= floor else "REGRESSION"
-    print(
-        f"bench-guard: mixed path {fresh:,.0f} ev/s vs committed "
-        f"{committed:,.0f} ev/s (floor {ratio:.2f}x = {floor:,.0f}) "
-        f"-> {verdict}"
-    )
-    if fresh < floor:
+    summary: dict = {
+        "floor_ratio": ratio,
+        "skipped": ratio <= 0,
+        "skip_reason": (
+            "BENCH_GUARD_RATIO=0 — record-only run, no verdict bound "
+            "(hosted/slow runner)"
+            if ratio <= 0
+            else None
+        ),
+        "cases": {},
+    }
+    regressed = []
+    for name, read_fraction, failed_disk in CASES:
+        fresh = fresh_events_per_s(read_fraction, failed_disk)
+        floor = ratio * committed[name]
+        ok = fresh >= floor
+        summary["cases"][name] = {
+            "fresh_events_per_s": fresh,
+            "committed_events_per_s": committed[name],
+            "ratio_vs_committed": (
+                fresh / committed[name] if committed[name] else 0.0
+            ),
+            "floor_events_per_s": floor,
+            "ok": ok,
+        }
+        verdict = "OK" if ok else "REGRESSION"
         print(
-            "bench-guard: mixed-path throughput regressed by more than "
-            f"{(1 - ratio) * 100:.0f}% — check the engine-selection gate "
-            "in repro.sim.compile.execute_compiled and the eager tier's "
+            f"bench-guard: {name:<24} {fresh:>10,.0f} ev/s vs committed "
+            f"{committed[name]:>10,.0f} ev/s "
+            f"({fresh / committed[name]:.2f}x, floor {ratio:.2f}x) "
+            f"-> {verdict}"
+        )
+        if not ok:
+            regressed.append(name)
+
+    if summary["skipped"]:
+        print(f"bench-guard: SKIPPED — {summary['skip_reason']}")
+    elif regressed:
+        print(
+            f"bench-guard: throughput regressed by more than "
+            f"{(1 - ratio) * 100:.0f}% in {', '.join(regressed)} — check "
+            "the engine-selection gate in "
+            "repro.sim.compile.execute_compiled and the eager tier's "
             "fallback rate in repro.sim.batchstep"
         )
-        return 1
-    return 0
+    print("bench-guard-json: " + json.dumps(summary, sort_keys=True))
+    return 1 if regressed and not summary["skipped"] else 0
 
 
 if __name__ == "__main__":
