@@ -2,8 +2,8 @@
 #
 # Targets:
 #   check   - tier-1 pytest suite + doctests + conformance sweep +
-#             fleet-serve smokes (serial + 2-worker) + headless
-#             examples smoke
+#             fleet-serve smokes (serial + 2-worker + streaming +
+#             instrumented) + headless examples smoke + bench guard
 #   test    - tier-1 pytest suite only (parallelized via pytest-xdist
 #             when installed)
 #   doctest - public-API usage examples (core.api, service, sim.compile)
@@ -17,6 +17,9 @@
 #             ceiling (--max-rss-mb) — the constant-memory gate.
 #             ~1 min of wall time; skip on slow hosts with
 #             STREAM_SMOKE=0
+#   smoke-obs - instrumented serve smoke: metrics JSONL + Prometheus +
+#             trace span files written on the serial and 2-worker runs
+#             must be byte-identical; the trace summary must render
 #   examples-smoke - run every script under examples/ headless
 #   docs-check     - link-check docs/ + README (local targets only)
 #   bench-guard    - re-time the mixed-path executor and fail on a >20%
@@ -33,9 +36,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # the plain serial run otherwise (the container image does not ship it).
 XDIST := $(shell $(PYTHON) -c "import pytest_xdist" 2>/dev/null && echo "-n auto")
 
-.PHONY: check test doctest verify smoke smoke-parallel smoke-stream examples-smoke docs-check bench-guard bench bench-all
+.PHONY: check test doctest verify smoke smoke-parallel smoke-stream smoke-obs examples-smoke docs-check bench-guard bench bench-all
 
-check: test doctest verify smoke smoke-parallel smoke-stream examples-smoke bench-guard
+check: test doctest verify smoke smoke-parallel smoke-stream smoke-obs examples-smoke bench-guard
 
 test:
 	$(PYTHON) -m pytest -x -q $(XDIST)
@@ -75,6 +78,28 @@ else
 		--window 65536 --max-rss-mb 256 \
 		--json BENCH_serve_stream_smoke.json
 endif
+
+# Instrumented serve smoke: a growing fleet with metrics + traces on,
+# serially and on 2 workers.  The observability files must be
+# byte-identical across worker counts (cmp), and the trace summarizer
+# must render them.  The BENCH_obs_* artifacts ride the CI upload glob.
+smoke-obs:
+	$(PYTHON) -m repro serve --smoke --shards 4 --grow 4:6 --window 128 \
+		--metrics-out BENCH_obs_metrics.jsonl \
+		--metrics-prom BENCH_obs_metrics.prom \
+		--trace-out BENCH_obs_trace.jsonl \
+		--json BENCH_serve_obs_smoke.json
+	$(PYTHON) -m repro serve --smoke --shards 4 --grow 4:6 --window 128 \
+		--workers 2 \
+		--metrics-out BENCH_obs_metrics_parallel.jsonl \
+		--metrics-prom BENCH_obs_metrics_parallel.prom \
+		--trace-out BENCH_obs_trace_parallel.jsonl \
+		--json BENCH_serve_obs_smoke_parallel.json
+	cmp BENCH_obs_metrics.jsonl BENCH_obs_metrics_parallel.jsonl
+	cmp BENCH_obs_metrics.prom BENCH_obs_metrics_parallel.prom
+	cmp BENCH_obs_trace.jsonl BENCH_obs_trace_parallel.jsonl
+	@echo "smoke-obs: metrics + trace byte-identical across worker counts"
+	$(PYTHON) -m repro trace BENCH_obs_trace.jsonl --metrics BENCH_obs_metrics.jsonl
 
 examples-smoke:
 	$(PYTHON) tools/run_examples.py

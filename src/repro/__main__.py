@@ -208,6 +208,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.duration * 0.25,
         )
 
+    recorder = None
+    if args.metrics_out or args.metrics_prom:
+        from .obs import MetricsRecorder
+
+        interval = args.metrics_interval
+        if interval is None:
+            # Default grid: 20 snapshot buckets across the horizon.
+            interval = args.duration / 20.0
+        recorder = MetricsRecorder(interval, shards=args.shards)
+
     scenario = FleetScenario(
         shards=args.shards,
         v=args.v,
@@ -235,11 +245,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     unexpected_fallback = False
     if args.workers == 1:
         # The default stays the plain single-process path, untouched.
-        payload = run_fleet_scenario(scenario).to_dict()
+        payload = run_fleet_scenario(scenario, recorder=recorder).to_dict()
     else:
         from .service import run_fleet_scenario_parallel
 
-        run = run_fleet_scenario_parallel(scenario, workers=args.workers)
+        run = run_fleet_scenario_parallel(
+            scenario, workers=args.workers, recorder=recorder
+        )
         payload = run.to_dict()
         ex = run.execution
         if ex.serial_fallback:
@@ -339,6 +351,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    if recorder is not None or args.trace_out:
+        from pathlib import Path
+
+        if args.metrics_out:
+            from .obs import build_rows, render_metrics_jsonl
+
+            rows = build_rows(recorder, payload)
+            Path(args.metrics_out).write_text(render_metrics_jsonl(rows))
+            print(
+                f"wrote {args.metrics_out} ({len(rows)} rows)",
+                file=sys.stderr,
+            )
+        if args.metrics_prom:
+            from .obs import prometheus_text
+
+            Path(args.metrics_prom).write_text(
+                prometheus_text(recorder, payload)
+            )
+            print(f"wrote {args.metrics_prom}", file=sys.stderr)
+        if args.trace_out:
+            from .obs import render_trace_jsonl, spans_from_payload
+
+            spans = spans_from_payload(payload)
+            Path(args.trace_out).write_text(render_trace_jsonl(spans))
+            print(
+                f"wrote {args.trace_out} ({len(spans)} spans)",
+                file=sys.stderr,
+            )
+
     text = json.dumps(payload, indent=2)
     if args.json:
         from pathlib import Path
@@ -355,6 +396,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import run_bench_suite
 
     return 0 if run_bench_suite(args.suite, args.out_dir) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import parse_trace_jsonl, summarize_trace
+
+    spans = parse_trace_jsonl(Path(args.trace).read_text())
+    if not spans:
+        raise ValueError(f"no spans in {args.trace}")
+    metrics_rows = None
+    if args.metrics:
+        metrics_rows = [
+            json.loads(line)
+            for line in Path(args.metrics).read_text().splitlines()
+            if line.strip()
+        ]
+    print(summarize_trace(spans, metrics_rows))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -535,7 +596,49 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--json", default=None, help="write the report here instead of stdout"
     )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="record sim-clock metrics and write periodic snapshot rows "
+        "as JSONL (byte-identical across --window sizes and --workers "
+        "counts; see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="snapshot grid width in simulated ms (default: duration/20)",
+    )
+    p.add_argument(
+        "--metrics-prom",
+        default=None,
+        metavar="FILE",
+        help="also write a Prometheus text exposition of the end state",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write scenario/shard/rebuild/migration spans as JSONL "
+        "(summarize with `python -m repro trace FILE`)",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize a --trace-out span file (phases, timelines)",
+    )
+    p.add_argument("trace", help="span JSONL file from serve --trace-out")
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="matching --metrics-out file: adds balance-over-time and "
+        "the worst-balance snapshot to the summary",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "bench", help="run benchmark suites, write BENCH_*.json artifacts"

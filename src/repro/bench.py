@@ -74,6 +74,28 @@ __all__ = [
 ]
 
 
+def _vm_hwm_mb(status_path: str = "/proc/self/status") -> float | None:
+    """Peak RSS from procfs ``VmHWM`` in MiB, or None when the file is
+    unreadable or carries no high-water-mark line (non-Linux)."""
+    try:
+        with open(status_path) as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return None
+
+
+def _rusage_mb(ru_maxrss: int, platform: str) -> float:
+    """Normalize a ``getrusage`` peak to MiB: the BSD interface leaves
+    the unit to the platform — KiB everywhere that matters except
+    macOS, which reports bytes."""
+    if platform == "darwin":
+        ru_maxrss //= 1024
+    return ru_maxrss / 1024.0
+
+
 def peak_rss_mb() -> float | None:
     """Peak RSS of this process in MiB, or None when unavailable.
 
@@ -82,22 +104,16 @@ def peak_rss_mb() -> float | None:
     Linux, which would make a child's reading reflect the parent's
     high-water mark); falls back to ``getrusage`` elsewhere.
     """
-    try:
-        with open("/proc/self/status") as f:
-            for line in f:
-                if line.startswith("VmHWM:"):
-                    return int(line.split()[1]) / 1024.0
-    except OSError:  # pragma: no cover - non-Linux
-        pass
+    hwm = _vm_hwm_mb()
+    if hwm is not None:
+        return hwm
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX platforms
         return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KiB on Linux, bytes on macOS.
-    if sys.platform == "darwin":  # pragma: no cover
-        peak //= 1024
-    return peak / 1024.0
+    return _rusage_mb(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss, sys.platform
+    )
 
 MAPPING_BATCH = 100_000
 MAPPING_CASES = [(9, 3), (13, 4), (33, 5)]

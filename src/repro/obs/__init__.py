@@ -1,0 +1,42 @@
+"""Deterministic observability: sim-clock metrics and trace spans.
+
+The subsystem has three layers (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.recorder` — the instrumentation sink.  Engines,
+  fleet serve paths, and orchestrators feed a
+  :class:`MetricsRecorder` attached to each
+  :class:`~repro.sim.ArrayController` (``ctrl.obs``); the default is
+  the no-op :data:`NULL_RECORDER`, so uninstrumented runs pay nothing.
+* :mod:`repro.obs.snapshot` — renders recorder state into snapshot
+  JSONL rows (byte-identical across window sizes and worker counts)
+  and a Prometheus text exposition.
+* :mod:`repro.obs.trace` — derives span trees (scenario -> shard ->
+  rebuild/migration -> phase) from the report payload and summarizes
+  trace files for ``python -m repro trace``.
+
+Everything is timestamped on the *simulated* clock, so two runs of the
+same scenario produce identical files no matter the host, the worker
+count, or the streaming window size.
+"""
+
+from .recorder import NULL_RECORDER, MetricsRecorder, NullRecorder
+from .snapshot import build_rows, prometheus_text, render_metrics_jsonl
+from .trace import (
+    parse_trace_jsonl,
+    render_trace_jsonl,
+    spans_from_payload,
+    summarize_trace,
+)
+
+__all__ = [
+    "MetricsRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "build_rows",
+    "render_metrics_jsonl",
+    "prometheus_text",
+    "spans_from_payload",
+    "render_trace_jsonl",
+    "parse_trace_jsonl",
+    "summarize_trace",
+]

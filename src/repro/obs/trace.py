@@ -1,0 +1,261 @@
+"""Trace spans: scenario -> shard -> rebuild / migration phase trees.
+
+Spans are derived **entirely from the scenario report payload** — the
+orchestrators already record every phase boundary on the simulated
+clock (failure time, rebuild admission and completion, migration
+request/copy/cutover), and the payload carrying them is pinned
+byte-identical across engines, window sizes, and worker counts by the
+project's report-equality invariants.  Deriving rather than
+instrumenting makes the trace file inherit that contract for free: no
+span ever depends on execution strategy, only on simulated outcomes.
+
+A trace file is JSONL, one span per line, in a canonical order
+(scenario, shards ascending, rebuilds by array, migrations by volume,
+each followed by its phase children).  Every span carries::
+
+    {"span": <type>, "id": <unique>, "parent": <id | null>,
+     "start_ms": <sim time>, "end_ms": <sim time>, ...attrs}
+
+``python -m repro trace FILE`` renders the summary
+(:func:`summarize_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "spans_from_payload",
+    "render_trace_jsonl",
+    "parse_trace_jsonl",
+    "summarize_trace",
+]
+
+
+def _span(
+    span: str,
+    span_id: str,
+    parent: str | None,
+    start: float,
+    end: float,
+    **attrs,
+) -> dict:
+    row = {
+        "span": span,
+        "id": span_id,
+        "parent": parent,
+        "start_ms": start,
+        "end_ms": end,
+    }
+    row.update(attrs)
+    return row
+
+
+def spans_from_payload(payload: dict) -> list[dict]:
+    """Build the span tree for one scenario report payload."""
+    fleet = payload["fleet"]
+    duration = fleet["duration_ms"]
+    engines = payload.get("engine_per_shard") or []
+    spans = [
+        _span(
+            "scenario",
+            "scenario",
+            None,
+            0.0,
+            duration,
+            shards=fleet["shards"],
+            scheduled=fleet["scheduled"],
+            completed=fleet["completed"],
+            passed=payload["passed"],
+        )
+    ]
+    for s in range(fleet["shards"]):
+        spans.append(
+            _span(
+                "shard",
+                f"shard:{s}",
+                "scenario",
+                0.0,
+                duration,
+                shard=s,
+                scheduled=fleet["per_shard_scheduled"][s],
+                engine=engines[s] if s < len(engines) else None,
+            )
+        )
+    for r in payload.get("rebuilds", ()):
+        array = r["array"]
+        rid = f"rebuild:{array}"
+        failed = r["failed_at_ms"]
+        started = r["started_at_ms"]
+        end = started + r["duration_ms"]
+        spans.append(
+            _span(
+                "rebuild",
+                rid,
+                f"shard:{array}",
+                failed,
+                end,
+                array=array,
+                failed_disk=r["failed_disk"],
+                stripes_rebuilt=r["stripes_rebuilt"],
+                data_verified=r["data_verified"],
+            )
+        )
+        spans.append(
+            _span("rebuild_wait", f"{rid}/wait", rid, failed, started)
+        )
+        spans.append(
+            _span("rebuild_run", f"{rid}/run", rid, started, end)
+        )
+    migration = payload.get("migration") or {}
+    for m in migration.get("volumes", ()):
+        volume = m["volume"]
+        mid = f"migration:{volume}"
+        requested = m.get("requested_at_ms")
+        started = m.get("started_at_ms")
+        copied = m.get("copied_at_ms")
+        cutover = m.get("cutover_at_ms")
+        if started is None or requested is None:
+            # Older payloads without absolute timestamps: reconstruct
+            # nothing rather than guess.
+            continue
+        spans.append(
+            _span(
+                "migration",
+                mid,
+                "scenario",
+                requested,
+                cutover,
+                volume=volume,
+                source=m["source"],
+                dest=m["dest"],
+                units_copied=m["units_copied"],
+                held_requests=m["held_requests"],
+                forwarded_writes=m["forwarded_writes"],
+                data_verified=m["data_verified"],
+            )
+        )
+        spans.append(
+            _span("migration_wait", f"{mid}/wait", mid, requested, started)
+        )
+        spans.append(
+            _span("migration_copy", f"{mid}/copy", mid, started, copied)
+        )
+        spans.append(
+            _span("migration_drain", f"{mid}/drain", mid, copied, cutover)
+        )
+    return spans
+
+
+def render_trace_jsonl(spans: list[dict]) -> str:
+    """Serialize spans as sorted-key JSONL (the byte-identity form)."""
+    return "".join(json.dumps(s, sort_keys=True) + "\n" for s in spans)
+
+
+def parse_trace_jsonl(text: str) -> list[dict]:
+    """Parse a trace file back into span rows."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def _phase_stats(spans: list[dict], span_type: str) -> dict | None:
+    rows = [s for s in spans if s["span"] == span_type]
+    if not rows:
+        return None
+    durations = [s["end_ms"] - s["start_ms"] for s in rows]
+    return {
+        "count": len(rows),
+        "total_ms": sum(durations),
+        "mean_ms": sum(durations) / len(durations),
+        "max_ms": max(durations),
+    }
+
+
+def summarize_trace(
+    spans: list[dict], metrics_rows: list[dict] | None = None
+) -> str:
+    """Human-readable trace summary: per-phase durations, rebuild and
+    migration timelines, and (when metrics rows are supplied) the
+    worst-shard balance over time."""
+    lines: list[str] = []
+    root = next((s for s in spans if s["span"] == "scenario"), None)
+    if root is not None:
+        lines.append(
+            f"scenario: {root['shards']} shards, "
+            f"{root['completed']}/{root['scheduled']} requests over "
+            f"{root['end_ms']:.0f} ms, passed={root['passed']}"
+        )
+    shards = [s for s in spans if s["span"] == "shard"]
+    if shards:
+        lines.append("shards:")
+        for s in sorted(shards, key=lambda s: s["shard"]):
+            engine = s.get("engine") or "-"
+            lines.append(
+                f"  shard {s['shard']}: {s['scheduled']} scheduled, "
+                f"engine {engine}"
+            )
+    rebuilds = [s for s in spans if s["span"] == "rebuild"]
+    if rebuilds:
+        lines.append("rebuild timeline:")
+        for r in sorted(rebuilds, key=lambda s: s["array"]):
+            rid = r["id"]
+            wait = next(s for s in spans if s["id"] == f"{rid}/wait")
+            run = next(s for s in spans if s["id"] == f"{rid}/run")
+            lines.append(
+                f"  array {r['array']} disk {r['failed_disk']}: failed at "
+                f"{r['start_ms']:.0f} ms, waited "
+                f"{wait['end_ms'] - wait['start_ms']:.0f} ms, rebuilt "
+                f"{r['stripes_rebuilt']} stripes in "
+                f"{run['end_ms'] - run['start_ms']:.0f} ms "
+                f"(verified={r['data_verified']})"
+            )
+    migrations = [s for s in spans if s["span"] == "migration"]
+    if migrations:
+        lines.append("migration timeline:")
+        for m in sorted(migrations, key=lambda s: s["volume"]):
+            mid = m["id"]
+            phases = {
+                phase: next(s for s in spans if s["id"] == f"{mid}/{phase}")
+                for phase in ("wait", "copy", "drain")
+            }
+            rendered = ", ".join(
+                f"{phase} {p['end_ms'] - p['start_ms']:.0f} ms"
+                for phase, p in phases.items()
+            )
+            lines.append(
+                f"  volume {m['volume']}: {m['source']} -> {m['dest']} "
+                f"({m['units_copied']} units): {rendered} "
+                f"(verified={m['data_verified']})"
+            )
+    lines.append("phase durations:")
+    for phase in (
+        "rebuild_wait",
+        "rebuild_run",
+        "migration_wait",
+        "migration_copy",
+        "migration_drain",
+    ):
+        stats = _phase_stats(spans, phase)
+        if stats is None:
+            continue
+        lines.append(
+            f"  {phase:<16} n={stats['count']} "
+            f"mean {stats['mean_ms']:.1f} ms  max {stats['max_ms']:.1f} ms  "
+            f"total {stats['total_ms']:.1f} ms"
+        )
+    if metrics_rows:
+        snapshots = [r for r in metrics_rows if r.get("type") == "snapshot"]
+        timed = [
+            (r["t_ms"], r["fleet"]["balance"])
+            for r in snapshots
+            if r["fleet"].get("balance") is not None
+        ]
+        if timed:
+            worst_t, worst = max(timed, key=lambda tv: tv[1])
+            lines.append("shard balance over time (max/min completed):")
+            for t, v in timed:
+                marker = "  <- worst" if (t, v) == (worst_t, worst) else ""
+                lines.append(f"  t={t:>10.1f} ms  balance {v:.3f}{marker}")
+            lines.append(
+                f"  worst balance {worst:.3f} at {worst_t:.1f} ms"
+            )
+    return "\n".join(lines)

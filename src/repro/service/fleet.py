@@ -39,6 +39,7 @@ import numpy as np
 
 from ..core.registry import get_layout
 from ..layouts import Layout
+from ..obs.nullrec import NULL_RECORDER
 from ..sim.batchstep import _EagerCore
 from ..sim.compile import (
     CompiledTrace,
@@ -169,6 +170,12 @@ class Fleet:
             )
             for i in range(shards)
         ]
+        # Metrics recording: the null default makes uninstrumented
+        # serves free; attach_recorder swaps in a real recorder and
+        # tags every controller with its fleet-global shard id.
+        self._obs = NULL_RECORDER
+        for i, ctrl in enumerate(self.controllers):
+            ctrl.obs_shard = i
         self.shard_capacity = self.controllers[0].mapper.capacity
         # The logical address space is fixed at creation: growing the
         # fleet adds serving capacity for the *same* volumes (the
@@ -240,16 +247,25 @@ class Fleet:
         volumes until a migration cuts some over to them."""
         while len(self.controllers) < target:
             i = len(self.controllers)
-            self.controllers.append(
-                ArrayController(
-                    self.layout,
-                    sim=self.sim,
-                    disk_params=self._disk_params,
-                    dataplane=self._dataplane,
-                    seed=self.seed + i,
-                    write_policy=self.write_policy,
-                )
+            ctrl = ArrayController(
+                self.layout,
+                sim=self.sim,
+                disk_params=self._disk_params,
+                dataplane=self._dataplane,
+                seed=self.seed + i,
+                write_policy=self.write_policy,
             )
+            ctrl.obs_shard = i
+            ctrl.obs = self._obs
+            self.controllers.append(ctrl)
+
+    def attach_recorder(self, recorder) -> None:
+        """Route every shard's instrumentation into ``recorder`` (a
+        :class:`repro.obs.MetricsRecorder`); shards added later by
+        :meth:`ensure_shards` inherit it."""
+        self._obs = recorder
+        for ctrl in self.controllers:
+            ctrl.obs = recorder
 
     def attach_migration(self, coordinator) -> None:
         """Register the live migration that diverts moving-volume
@@ -384,6 +400,11 @@ class Fleet:
         ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
         mig = self._migration
         mig_base = list(mig.dispatched_per_shard) if mig is not None else None
+        obs = self._obs
+        if obs.enabled:
+            for s, trace in enumerate(compiled):
+                if trace.n:
+                    obs.arrivals(s, start + trace.times)
         if not self.sim.pending():
             # No armed timers or in-flight events: shards are
             # independent, so each picks its cheapest engine.
@@ -512,6 +533,14 @@ class Fleet:
             self.sim.run()
             router.drain()
         while len(scheduled) < len(self.controllers):
+            if not carried:
+                # Shards born after the final window delivery (a single
+                # oversized window covers the whole stream): the pad in
+                # ``_WindowRouter._deliver`` never saw them — label here
+                # so engine labels match at every window size.
+                born = self.controllers[len(scheduled)]
+                born.last_engine = "windowed-pump"
+                born.obs.set_engine(born.obs_shard, "windowed-pump")
             scheduled.append(0)
             ios_base.append([0] * self.layout.v)
             digests.append({})
@@ -615,7 +644,7 @@ class Fleet:
         completed = int(
             sum(acc.count for shard in accs for acc in shard.values())
         )  # one sample per finished request; lost requests have none
-        return FleetReport(
+        report = FleetReport(
             shards=self.shards,
             scheduled=total,
             completed=completed,
@@ -631,6 +660,15 @@ class Fleet:
                 for c, base in zip(self.controllers, ios_base)
             ],
         )
+        # A plain (non-field) attribute: the engine each shard's
+        # execution actually used.  Kept out of the dataclass fields so
+        # asdict()/equality comparisons — the byte-identity tests —
+        # never see it (windowed and materialized serves legitimately
+        # pick differently-labelled engines for identical reports).
+        object.__setattr__(
+            report, "engines", [c.last_engine for c in self.controllers]
+        )
+        return report
 
 
 class _WindowRouter:
@@ -673,6 +711,12 @@ class _WindowRouter:
         ]
 
     def start(self) -> None:
+        # Router mode runs every shard on the chained heap pump; label
+        # all controllers up front so serial and multi-process serves
+        # agree even for shards that see no traffic.
+        for ctrl in self.fleet.controllers:
+            ctrl.last_engine = "windowed-pump"
+            ctrl.obs.set_engine(ctrl.obs_shard, "windowed-pump")
         self._next = self._pull()
         if self._next is not None:
             self._arm()
@@ -712,11 +756,20 @@ class _WindowRouter:
                 shard_ids = np.where(moving, np.int64(-1), shard_ids)
         scheduled = self.scheduled
         while len(scheduled) < len(fleet.controllers):
-            scheduled.append(0)  # shards born from a reshape mid-run
+            # Shards born from a reshape mid-run: label them with the
+            # engine that will serve them from here on.
+            born = fleet.controllers[len(scheduled)]
+            born.last_engine = "windowed-pump"
+            born.obs.set_engine(born.obs_shard, "windowed-pump")
+            scheduled.append(0)
+        obs = fleet._obs
+        obs.count("window_boundaries", volatile=True)
         for s, ctrl in enumerate(fleet.controllers):
             mask = shard_ids == s
             if not mask.any():
                 continue
+            if obs.enabled:
+                obs.arrivals(s, self.base + times[mask])
             w = compile_stream(
                 ctrl.mapper,
                 times[mask],
@@ -782,10 +835,16 @@ def _windows_carry(
     the controllers untouched (aborted shards replay on a per-shard
     chained heap pump before returning True)."""
     base = sim.now
-    sinks = [_digest_sink(d) for d in digests]
+    sinks = [
+        _digest_sink(d, c.obs if c.obs.enabled else None, g)
+        for d, c, g in zip(digests, controllers, gids)
+    ]
     solver = read_only_hint or write_policy == "write_through"
     if solver:
         engines = [_WindowedSolver(c) for c in controllers]
+        for c, g in zip(controllers, gids):
+            c.last_engine = "windowed-solver"
+            c.obs.set_engine(g, "windowed-solver")
     else:
         # The eager tier needs re-iterable windows: an abort replays
         # the whole stream from the top.
@@ -809,6 +868,9 @@ def _windows_carry(
         if min(seq_s, avg_s) <= 0.0:
             return False
         engines = [_EagerCore(c, seq_s, avg_s) for c in controllers]
+        for c, g in zip(controllers, gids):
+            c.last_engine = "windowed-eager"
+            c.obs.set_engine(g, "windowed-eager")
     # Shards whose eager core hit an ambiguous tie: their core is
     # dropped (it wrote nothing back) and their whole sub-stream
     # replays on a per-shard chained heap pump at the end — the
@@ -820,10 +882,14 @@ def _windows_carry(
         fallback.add(i)
         digests[i].clear()
         scheduled[i] = 0
+        obs_i = controllers[i].obs
+        obs_i.reset_shard(gids[i])
+        obs_i.count("tie_abort_replays")
 
     for times, is_read, lbas in windows:
         if not len(times):
             continue
+        controllers[0].obs.count("window_boundaries", volatile=True)
         vols = lbas // volume_units
         if vols.min() < 0 or vols.max() >= n_volumes:
             raise IndexError(
@@ -837,6 +903,8 @@ def _windows_carry(
             mask = shard_ids == gids[i]
             if not mask.any():
                 continue
+            if ctrl.obs.enabled:
+                ctrl.obs.arrivals(gids[i], base + times[mask])
             w = compile_stream(
                 ctrl.mapper,
                 times[mask],
@@ -903,6 +971,10 @@ def _arm_shard_pump(
     boundary; call it once more after the clock drains).  The caller
     runs the simulator — so a worker can arm every shard's pump before
     one shared ``sim.run()`` when failure timers interleave."""
+    ctrl.last_engine = "windowed-pump"
+    obs = ctrl.obs
+    obs.set_engine(gid, "windowed-pump")
+    base = ctrl.sim.now
 
     def slices():
         for times, is_read, lbas in windows:
@@ -911,6 +983,8 @@ def _arm_shard_pump(
             mask = route[lbas // volume_units] == gid
             if not mask.any():
                 continue
+            if obs.enabled:
+                obs.arrivals(gid, base + times[mask])
             yield compile_stream(
                 ctrl.mapper,
                 times[mask],

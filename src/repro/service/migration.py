@@ -598,6 +598,10 @@ class MigrationCoordinator:
         start (held requests measure from their original arrival) and
         optional in-flight tracking for the drain."""
         ctrl = self.fleet.controllers[shard]
+        if ctrl.obs.enabled:
+            # Diverted traffic arrives one request at a time; count it
+            # at its original arrival (held requests keep theirs).
+            ctrl.obs.arrive(shard, start)
         local = lba % self.fleet.shard_capacity
         pu = ctrl.mapper.logical_to_physical(local)
         sid = pu.stripe % ctrl.layout.b

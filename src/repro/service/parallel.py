@@ -82,6 +82,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..core.registry import get_layout
+from ..obs.recorder import MetricsRecorder
 from ..sim.compile import (
     CompiledTrace,
     StreamWindows,
@@ -417,6 +418,11 @@ class GroupResult:
             ``samples``; ``None`` for materialized workers).
         migrations: completed volume moves this group's coordinator
             executed (global ids, completion order).
+        engines: per-shard engine labels (group order; ``None`` entries
+            for shards that never ran an engine).  Always populated —
+            the report surfaces engine choice even with metrics off.
+        obs: the worker's :class:`repro.obs.MetricsRecorder` when the
+            run is instrumented (the parent absorbs it), else ``None``.
     """
 
     group_index: int
@@ -429,6 +435,8 @@ class GroupResult:
     wall_s: float
     digests: list[dict[str, LatencyDigest]] | None = None
     migrations: list[VolumeMigrationOutcome] = field(default_factory=list)
+    engines: list[str | None] = field(default_factory=list)
+    obs: MetricsRecorder | None = None
 
 
 @dataclass
@@ -452,6 +460,7 @@ def _execute_group(
     compiled: tuple[CompiledTrace, ...],
     group_index: int,
     allow_batched: bool,
+    metrics_interval_ms: float | None = None,
 ) -> GroupResult:
     """Run one group's sub-fleet to completion (worker side).
 
@@ -459,7 +468,10 @@ def _execute_group(
     step for the arrays it owns: same seeds, same pre-routed traces
     (compiled once in the parent — workers never regenerate the fleet
     stream), same engine choice, same final clock drain — so the
-    merged report equals the serial one exactly.
+    merged report equals the serial one exactly.  With
+    ``metrics_interval_ms`` the worker records into a local
+    :class:`repro.obs.MetricsRecorder` keyed by *global* shard ids, so
+    the parent's absorb is a pure placement merge.
     """
     t0 = time.perf_counter()
     sim = Simulator()
@@ -474,6 +486,21 @@ def _execute_group(
         )
         for gid in group.arrays
     ]
+    rec = (
+        MetricsRecorder(metrics_interval_ms)
+        if metrics_interval_ms is not None
+        else None
+    )
+    for gid, ctrl in zip(group.arrays, controllers):
+        ctrl.obs_shard = gid
+        if rec is not None:
+            ctrl.obs = rec
+    if rec is not None:
+        # Same point the serial serve records arrivals (stream start is
+        # sim time 0 in workers, exactly as in the serial scenario run).
+        for gid, trace in zip(group.arrays, compiled):
+            if trace.n:
+                rec.arrivals(gid, trace.times)
 
     orchestrator = None
     if group.failures:
@@ -519,6 +546,13 @@ def _execute_group(
             replace(o, array=group.arrays[o.array])
             for o in orchestrator.outcomes
         ]
+    if rec is not None:
+        for gid, ctrl in zip(group.arrays, controllers):
+            rec.set_stat(
+                gid,
+                "queue_delay_ms",
+                sum(d.total_queue_delay for d in ctrl.disks),
+            )
     return GroupResult(
         group_index=group_index,
         arrays=group.arrays,
@@ -535,6 +569,8 @@ def _execute_group(
         duration_ms=duration,
         outcomes=outcomes,
         wall_s=time.perf_counter() - t0,
+        engines=[ctrl.last_engine for ctrl in controllers],
+        obs=rec,
     )
 
 
@@ -572,6 +608,7 @@ def _execute_group_windowed(
     n_volumes: int,
     group_index: int,
     allow_batched: bool,
+    metrics_interval_ms: float | None = None,
 ) -> GroupResult:
     """Run one group's sub-fleet with a windowed stream (worker side).
 
@@ -601,6 +638,15 @@ def _execute_group_windowed(
         )
         for gid in group.arrays
     ]
+    rec = (
+        MetricsRecorder(metrics_interval_ms)
+        if metrics_interval_ms is not None
+        else None
+    )
+    for gid, ctrl in zip(group.arrays, controllers):
+        ctrl.obs_shard = gid
+        if rec is not None:
+            ctrl.obs = rec
     orchestrator = None
     if group.failures:
         local_index = {gid: i for i, gid in enumerate(group.arrays)}
@@ -673,6 +719,13 @@ def _execute_group_windowed(
             replace(o, array=group.arrays[o.array])
             for o in orchestrator.outcomes
         ]
+    if rec is not None:
+        for gid, ctrl in zip(group.arrays, controllers):
+            rec.set_stat(
+                gid,
+                "queue_delay_ms",
+                sum(d.total_queue_delay for d in ctrl.disks),
+            )
     return GroupResult(
         group_index=group_index,
         arrays=group.arrays,
@@ -683,6 +736,8 @@ def _execute_group_windowed(
         outcomes=outcomes,
         wall_s=time.perf_counter() - t0,
         digests=digests,
+        engines=[ctrl.last_engine for ctrl in controllers],
+        obs=rec,
     )
 
 
@@ -690,6 +745,7 @@ def _execute_migration_group(
     scenario: FleetScenario,
     group: ShardGroup,
     group_index: int,
+    metrics_interval_ms: float | None = None,
 ) -> GroupResult:
     """Run one migration component to completion (worker side).
 
@@ -724,6 +780,16 @@ def _execute_migration_group(
         copy_parallelism=scenario.copy_parallelism,
         volumes=group.migration_volumes,
     )
+    rec = (
+        MetricsRecorder(metrics_interval_ms)
+        if metrics_interval_ms is not None
+        else None
+    )
+    if rec is not None:
+        # The worker's fleet is full-size, so shard ids are already
+        # global; only the group's arrays see traffic (the keep filter
+        # below), so the recorder state stays disjoint across workers.
+        fleet.attach_recorder(rec)
     coordinator.arm()
     static_route = fleet.volume_route()
     keep = np.isin(static_route, np.array(group.arrays, dtype=np.int64))
@@ -756,6 +822,10 @@ def _execute_migration_group(
         compiled, _ = fleet.route_stream(
             times[mask], is_read[mask], lbas[mask]
         )
+        if rec is not None:
+            for s, trace in enumerate(compiled):
+                if trace.n:
+                    rec.arrivals(s, trace.times)
         for ctrl, trace in zip(fleet.controllers, compiled):
             schedule_compiled(ctrl, trace)
         fleet.sim.run()
@@ -779,6 +849,16 @@ def _execute_migration_group(
         scheduled[s] += total
 
     local = list(group.arrays)
+    if rec is not None:
+        for a in local:
+            rec.set_stat(
+                a,
+                "queue_delay_ms",
+                sum(
+                    d.total_queue_delay
+                    for d in fleet.controllers[a].disks
+                ),
+            )
     return GroupResult(
         group_index=group_index,
         arrays=group.arrays,
@@ -798,6 +878,8 @@ def _execute_migration_group(
             [digests[a] for a in local] if digests is not None else None
         ),
         migrations=list(coordinator.outcomes),
+        engines=[fleet.controllers[a].last_engine for a in local],
+        obs=rec,
     )
 
 
@@ -841,6 +923,7 @@ def _merge_results(
     scheduled = [0] * n
     accs: list[dict] = [{} for _ in range(n)]
     per_disk: list[list[int]] = [[0] * scenario.v for _ in range(n)]
+    engines: list[str | None] = [None] * n
     duration = 0.0
     outcomes: list[RebuildOutcome] = []
     migrations: list[VolumeMigrationOutcome] = []
@@ -851,6 +934,8 @@ def _merge_results(
         for i, gid in enumerate(res.arrays):
             scheduled[gid] = res.scheduled[i]
             per_disk[gid] = res.per_disk_ios[i]
+            if i < len(res.engines):
+                engines[gid] = res.engines[i]
             if res.digests is not None:
                 accs[gid] = {
                     kind: res.digests[i][kind]
@@ -893,6 +978,9 @@ def _merge_results(
         per_shard_latency=per_shard_latency,
         per_disk_ios=per_disk,
     )
+    # Same non-field attribute Fleet._report sets on the serial path —
+    # the payload's engine keys must agree serial vs merged bit for bit.
+    object.__setattr__(report, "engines", engines)
     return (
         report,
         tuple(sorted(outcomes, key=lambda o: o.array)),
@@ -1003,12 +1091,19 @@ def run_fleet_scenario_parallel(
     workers: int | None = None,
     *,
     mp_context: str = "auto",
+    recorder=None,
 ) -> ParallelScenarioRun:
     """Run a scenario across worker processes, one per shard group.
 
     Args:
         scenario: the scenario to run (must be failure/migration
             consistent, exactly as :func:`run_fleet_scenario` requires).
+        recorder: optional :class:`repro.obs.MetricsRecorder`.  Workers
+            record into local recorders on their own simulated clocks
+            (keyed by global shard id) and the parent absorbs them —
+            per-shard state is disjoint across groups, so the merged
+            recorder renders snapshot rows byte-identical to a serial
+            instrumented run's.
         workers: process budget.  ``None`` auto-sizes to
             ``min(groups, available_cpus())``; ``1`` runs the grouped
             pipeline in-process (useful for testing the merge without
@@ -1035,7 +1130,7 @@ def run_fleet_scenario_parallel(
     partition = partition_scenario(scenario)
 
     if partition.serial_fallback:
-        report = run_fleet_scenario(scenario)
+        report = run_fleet_scenario(scenario, recorder=recorder)
         group = partition.groups[0]
         execution = ParallelExecution(
             requested_workers=workers,
@@ -1107,10 +1202,11 @@ def run_fleet_scenario_parallel(
         )
         compiled, _ = fleet.route_stream(times, is_read, lbas)
     route = fleet.volume_route()
+    interval = recorder.interval_ms if recorder is not None else None
     tasks: list[tuple] = []
     for i, group in enumerate(partition.groups):
         if group.migration_volumes:
-            tasks.append(("migration", scenario, group, i))
+            tasks.append(("migration", scenario, group, i, interval))
         elif windowed:
             tasks.append(
                 (
@@ -1124,6 +1220,7 @@ def run_fleet_scenario_parallel(
                     fleet.shard_map.volumes,
                     i,
                     allow_batched,
+                    interval,
                 )
             )
         else:
@@ -1135,6 +1232,7 @@ def run_fleet_scenario_parallel(
                     tuple(compiled[a] for a in group.arrays),
                     i,
                     allow_batched,
+                    interval,
                 )
             )
 
@@ -1157,6 +1255,11 @@ def run_fleet_scenario_parallel(
         ) as pool:
             results = list(pool.map(_execute_group_task, tasks))
     results.sort(key=lambda r: r.group_index)
+
+    if recorder is not None:
+        for res in results:
+            if res.obs is not None:
+                recorder.absorb(res.obs)
 
     fleet_report, outcomes, migrations = _merge_results(scenario, results)
     report = FleetScenarioReport(

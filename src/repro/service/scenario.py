@@ -210,6 +210,21 @@ class FleetScenarioReport:
             and self.all_migrated_verified
         )
 
+    def engine_per_shard(self) -> list[str | None]:
+        """The execution engine each shard actually used (``None`` for
+        shards that never ran an engine, e.g. reshape-born arrays that
+        only received dispatched requests)."""
+        return list(getattr(self.fleet, "engines", None) or [])
+
+    def engine_label(self) -> str | None:
+        """One label for the whole run: the common engine when every
+        shard agrees, ``"mixed"`` otherwise, ``None`` when no shard ran
+        an engine at all."""
+        distinct = sorted({e for e in self.engine_per_shard() if e})
+        if not distinct:
+            return None
+        return distinct[0] if len(distinct) == 1 else "mixed"
+
     def to_dict(self) -> dict:
         """JSON-ready report (the ``repro serve`` output; schema
         documented in ``docs/SCENARIOS.md``)."""
@@ -245,6 +260,15 @@ class FleetScenarioReport:
             "conformance": (
                 self.conformance.to_dict() if self.conformance else None
             ),
+            # Engine labels are part of the canonical payload: the
+            # parallel runner's groups must pick the exact engines the
+            # serial gate picks, and these keys make any divergence a
+            # loud report diff instead of a silent perf drift.  (The
+            # labels legitimately differ between windowed and
+            # materialized serves of the same scenario — the byte
+            # identity holds per execution mode.)
+            "engine": self.engine_label(),
+            "engine_per_shard": self.engine_per_shard(),
             "fleet": {
                 "shards": self.fleet.shards,
                 "scheduled": self.fleet.scheduled,
@@ -297,6 +321,10 @@ class FleetScenarioReport:
                             "source": o.source,
                             "dest": o.dest,
                             "units_copied": o.units_copied,
+                            "requested_at_ms": o.requested_at_ms,
+                            "started_at_ms": o.started_at_ms,
+                            "copied_at_ms": o.copied_at_ms,
+                            "cutover_at_ms": o.cutover_at_ms,
                             "admission_delay_ms": o.admission_delay_ms,
                             "copy_ms": o.copy_ms,
                             "drain_ms": o.drain_ms,
@@ -321,9 +349,17 @@ class FleetScenarioReport:
         }
 
 
-def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
+def run_fleet_scenario(
+    scenario: FleetScenario, *, recorder=None
+) -> FleetScenarioReport:
     """Run one scenario end to end (see the module docstring for the
     exact order).
+
+    With ``recorder`` (a :class:`repro.obs.MetricsRecorder`), the run
+    is instrumented on the simulated clock — the report itself is
+    byte-identical either way; the recorder fills with per-shard
+    completion-bucketed latency, arrivals, engine labels, rebuild
+    progress, and end-of-run queue-delay stats.
 
     Raises:
         ValueError: on inconsistent scenario parameters (bad failure
@@ -341,6 +377,8 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
         placement=scenario.placement,
         write_policy=scenario.write_policy,
     )
+    if recorder is not None:
+        fleet.attach_recorder(recorder)
     conformance = check_fleet(fleet) if scenario.check_conformance else None
 
     admission = AdmissionController(scenario.admission)
@@ -382,6 +420,16 @@ def run_fleet_scenario(scenario: FleetScenario) -> FleetScenarioReport:
     # by now (serve drains the shared loop), but guard the empty-stream
     # edge where arming happened with nothing else pending.
     fleet.sim.run()
+    if recorder is not None:
+        # Cumulative queue delay is a scalar left-fold in per-disk
+        # arrival order on every engine path, so this sum is bit-exact
+        # across engines, window sizes, and worker counts.
+        for s, ctrl in enumerate(fleet.controllers):
+            recorder.set_stat(
+                s,
+                "queue_delay_ms",
+                sum(d.total_queue_delay for d in ctrl.disks),
+            )
 
     return FleetScenarioReport(
         scenario=scenario,

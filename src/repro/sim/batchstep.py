@@ -331,10 +331,15 @@ def _step_eager(
     else:
         kinds = (("write", wc, wl),)
     latency = ctrl.latency
+    obs = ctrl.obs if ctrl.obs.enabled else None
     for kind, cs, ls in kinds:
-        order = np.argsort(np.asarray(cs), kind="stable")
+        carr = np.asarray(cs)
+        order = np.argsort(carr, kind="stable")
         sink = latency.setdefault(kind, LatencyStats()).samples
-        sink.extend(np.asarray(ls)[order].tolist())
+        lat_sorted = np.asarray(ls)[order]
+        sink.extend(lat_sorted.tolist())
+        if obs is not None:
+            obs.feed(ctrl.obs_shard, kind, carr[order], lat_sorted)
     sim.now = maxc
     return n
 
@@ -644,9 +649,10 @@ class _EagerCore:
         """Emit buffered samples with completion <= ``threshold`` (the
         fed stream's last arrival: everything still pending completes
         strictly later, so emitted prefixes concatenate into exactly
-        the one-shot completion-sorted order).  ``sink(kind, lats)``
-        receives each kind's latencies completion-sorted, ties by
-        submission order."""
+        the one-shot completion-sorted order).  ``sink(kind, lats,
+        comps)`` receives each kind's latencies completion-sorted, ties
+        by submission order, plus the matching completion times (for
+        metrics bucketing)."""
         for kind, (cs, ls) in self._kinds.items():
             if not cs:
                 continue
@@ -655,8 +661,9 @@ class _EagerCore:
             if not ready.any():
                 continue
             larr = np.asarray(ls)
-            order = np.argsort(carr[ready], kind="stable")
-            sink(kind, larr[ready][order].tolist())
+            ready_c = carr[ready]
+            order = np.argsort(ready_c, kind="stable")
+            sink(kind, larr[ready][order].tolist(), ready_c[order])
             keep = ~ready
             if keep.any():
                 cs[:] = carr[keep].tolist()
@@ -714,9 +721,12 @@ def _eager_planned(
     if not core.feed(_CompiledRun(ctrl, compiled)):
         return None
     latency = ctrl.latency
+    obs = ctrl.obs if ctrl.obs.enabled else None
 
-    def sink(kind: str, lats: list[float]) -> None:
+    def sink(kind: str, lats: list[float], comps=None) -> None:
         latency.setdefault(kind, LatencyStats()).samples.extend(lats)
+        if obs is not None:
+            obs.feed(ctrl.obs_shard, kind, comps, lats)
 
     if not core.finish(sink):
         return None
@@ -786,8 +796,15 @@ def step_compiled(
         else:
             eager = _eager_planned(ctrl, compiled, seq_s, avg_s)
         if eager is not None:
+            ctrl.last_engine = "eager"
+            ctrl.obs.set_engine(ctrl.obs_shard, "eager")
             return eager
+        # An ambiguous tie left state untouched; the calendar engine
+        # below replays the trace exactly.
+        ctrl.obs.count("tie_abort_replays")
 
+    ctrl.last_engine = "calendar"
+    ctrl.obs.set_engine(ctrl.obs_shard, "calendar")
     hint = bucket_ms if bucket_ms is not None else min(seq_s, avg_s)
     from .events import calendar_bucket_width
 
@@ -805,6 +822,8 @@ def step_compiled(
     plans = run.plans
     writes = run.writes
     latency = ctrl.latency
+    obs = ctrl.obs if ctrl.obs.enabled else None
+    obs_shard = ctrl.obs_shard
 
     # Per-disk state, mirroring Disk but in parallel lists.
     disks = ctrl.disks
@@ -980,7 +999,10 @@ def step_compiled(
             # --- the completion itself (Disk._service_done).
             if action == 0:
                 dreads[d] += 1
-                read_sink.append(t - atimes[req])
+                lat = t - atimes[req]
+                read_sink.append(lat)
+                if obs is not None:
+                    obs.record(obs_shard, "read", t, lat)
             elif action == 1:
                 dreads[d] += 1
                 left = wrem[req] - 1
@@ -996,7 +1018,10 @@ def step_compiled(
                 left = wrem[req] - 1
                 wrem[req] = left
                 if not left:
-                    write_sink.append(t - atimes[req])
+                    lat = t - atimes[req]
+                    write_sink.append(lat)
+                    if obs is not None:
+                        obs.record(obs_shard, "write", t, lat)
             else:
                 if action == 4:
                     dwrites[d] += 1
@@ -1024,7 +1049,10 @@ def step_compiled(
                             sink = generic_sinks[kind] = latency.setdefault(
                                 kind, LatencyStats()
                             ).samples
-                        sink.append(t - atimes[req])
+                        lat = t - atimes[req]
+                        sink.append(lat)
+                        if obs is not None:
+                            obs.record(obs_shard, kind, t, lat)
             # --- start the disk's next queued IO (Disk._start_next).
             q = dqueue[d]
             if q:

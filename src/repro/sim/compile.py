@@ -370,6 +370,26 @@ def compile_trace(
 # ----------------------------------------------------------------------
 
 
+class _ObsSink:
+    """Latency-sink adapter for the heap engine's inlined read path:
+    appends to the controller's samples list (the raw-list fast path)
+    and folds the sample into the metrics recorder at the completion
+    event, where ``sim.now`` is the completion time."""
+
+    __slots__ = ("samples", "obs", "shard", "kind", "sim")
+
+    def __init__(self, samples, obs, shard, kind, sim):
+        self.samples = samples
+        self.obs = obs
+        self.shard = shard
+        self.kind = kind
+        self.sim = sim
+
+    def append(self, lat: float) -> None:
+        self.samples.append(lat)
+        self.obs.record(self.shard, self.kind, self.sim.now, lat)
+
+
 class _CompiledRun:
     """Chained-arrival pump: one pending event drives the whole trace.
 
@@ -535,9 +555,14 @@ class _CompiledRun:
                     pos = single[i]
                     if pos is not None:
                         if sink is None:
-                            sink = self._read_sink = ctrl.latency.setdefault(
+                            sink = ctrl.latency.setdefault(
                                 "read", LatencyStats()
                             ).samples
+                            if ctrl.obs.enabled:
+                                sink = _ObsSink(
+                                    sink, ctrl.obs, ctrl.obs_shard, "read", sim
+                                )
+                            self._read_sink = sink
                         disks[pos[0]].submit(
                             DiskIO(
                                 offset=pos[1], is_write=False, latency_sink=sink
@@ -621,9 +646,16 @@ class _CompiledRun:
         parity_disk = disks[pd]
         rec = self._write_rec
         if rec is None:
-            rec = self._write_rec = self.ctrl.latency.setdefault(
-                "write", LatencyStats()
-            ).record
+            ctrl = self.ctrl
+            rec = ctrl.latency.setdefault("write", LatencyStats()).record
+            if ctrl.obs.enabled:
+                base, obs, shard, sim = rec, ctrl.obs, ctrl.obs_shard, ctrl.sim
+
+                def rec(lat, _b=base, _o=obs, _s=shard, _sim=sim):
+                    _b(lat)
+                    _o.record(_s, "write", _sim.now, lat)
+
+            self._write_rec = rec
         remaining = 2
         writing = False
 
@@ -667,6 +699,8 @@ def schedule_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
         >>> sum(st.count for st in ctrl.latency.values()) == trace.n
         True
     """
+    ctrl.last_engine = "heap"
+    ctrl.obs.set_engine(ctrl.obs_shard, "heap")
     _CompiledRun(ctrl, compiled).schedule()
     return compiled.n
 
@@ -755,6 +789,8 @@ def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
         )
     if ctrl.sim.pending():
         raise RuntimeError("solve_compiled requires an idle simulator")
+    ctrl.last_engine = "solver"
+    ctrl.obs.set_engine(ctrl.obs_shard, "solver")
     n = compiled.n
     if n == 0:
         return 0
@@ -917,21 +953,29 @@ def solve_compiled(ctrl: ArrayController, compiled: CompiledTrace) -> int:
         req_completion = np.maximum.reduceat(completion, block_start)
     latencies = req_completion - times
     done_order = np.argsort(req_completion, kind="stable")
+    obs = ctrl.obs if ctrl.obs.enabled else None
     if kind_code is None:
+        lat_done = latencies[done_order]
         ctrl.latency.setdefault("read", LatencyStats()).samples.extend(
-            latencies[done_order].tolist()
+            lat_done.tolist()
         )
+        if obs is not None:
+            obs.feed(ctrl.obs_shard, "read", req_completion[done_order], lat_done)
     else:
         kinds_done = kind_code[done_order]
         lat_done = latencies[done_order]
+        comp_done = req_completion[done_order] if obs is not None else None
         for code, name in enumerate(
             ("read", "degraded_read", "write", "degraded_write")
         ):
-            sel = lat_done[kinds_done == code]
+            mask = kinds_done == code
+            sel = lat_done[mask]
             if len(sel):
                 ctrl.latency.setdefault(name, LatencyStats()).samples.extend(
                     sel.tolist()
                 )
+                if obs is not None:
+                    obs.feed(ctrl.obs_shard, name, comp_done[mask], sel)
     sim.now = float(req_completion.max())
     return n
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.registry import get_mapper
 from ..layouts import Layout
+from ..obs.nullrec import NULL_RECORDER
 from .dataplane import DataPlane
 from .disk import Disk, DiskIO, DiskParameters
 from .events import Simulator
@@ -82,6 +83,20 @@ class ArrayController:
     """
 
     WRITE_POLICIES = ("rmw", "write_through")
+
+    #: Observability sink + this controller's shard id within it.
+    #: Class-level defaults keep the uninstrumented path free: engines
+    #: test ``ctrl.obs.enabled`` once per batch and skip all recording.
+    #: A fleet (or ``simulate_workload(recorder=...)``) overrides both
+    #: per instance when metrics are requested.
+    obs = NULL_RECORDER
+    obs_shard = 0
+    #: Label of the execution engine that last ran this controller's
+    #: compiled traffic ("solver" / "eager" / "calendar" / "heap" /
+    #: "windowed-*"), set by every engine entry point.  Not a dataclass
+    #: field anywhere — reports surface it as a plain attribute so
+    #: cross-engine report-equality comparisons stay byte-identical.
+    last_engine: str | None = None
 
     def __init__(
         self,
@@ -194,7 +209,14 @@ class ArrayController:
             rec = self._lat_record[req.kind] = self.latency.setdefault(
                 req.kind, LatencyStats()
             ).record
-        rec(when - req.start)
+        lat = when - req.start
+        rec(lat)
+        obs = self.obs
+        if obs.enabled:
+            # Heap-path completions arrive one event at a time in
+            # completion order (the event loop runs in time order), so
+            # scalar recording preserves the recorder's fold contract.
+            obs.record(self.obs_shard, req.kind, when, lat)
         if req.on_done is not None:
             req.on_done(when)
 

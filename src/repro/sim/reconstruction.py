@@ -221,6 +221,19 @@ class RebuildProcess:
 
         def write_done(_when: float) -> None:
             self._spare_writes += 1
+            obs = ctrl.obs
+            if obs.enabled:
+                # Progress gauge at each decile crossing (and at 100%):
+                # sim-clock timestamps, so the series is deterministic.
+                total = len(self._queue)
+                done = self._spare_writes
+                if (10 * done) // total != (10 * (done - 1)) // total:
+                    obs.gauge(
+                        "rebuild_progress",
+                        ctrl.obs_shard,
+                        ctrl.sim.now,
+                        done / total,
+                    )
             self._outstanding -= 1
             if self._next < len(self._queue):
                 self._launch_next()

@@ -198,6 +198,7 @@ def simulate_workload(
     batched: bool = True,
     write_policy: str = "rmw",
     window_size: int | None = None,
+    recorder=None,
 ) -> WorkloadReport:
     """Run a synthetic workload against a layout.
 
@@ -214,6 +215,12 @@ def simulate_workload(
     window at any horizon, and the report is byte-identical to the
     materialized run.  Returns latency summaries keyed by request kind
     plus per-disk load.
+
+    With ``recorder`` (a :class:`repro.obs.MetricsRecorder`), the run
+    is instrumented on the simulated clock: the report itself is
+    unchanged, and the recorder fills with completion-bucketed latency,
+    arrivals, and the engine label (also surfaced as the report's
+    ``engine`` attribute either way).
     """
     cfg = config if config is not None else WorkloadConfig()
     ctrl = ArrayController(
@@ -223,6 +230,9 @@ def simulate_workload(
         seed=seed,
         write_policy=write_policy,
     )
+    if recorder is not None:
+        ctrl.obs = recorder
+        ctrl.obs_shard = 0
     if failed_disk is not None:
         ctrl.fail_disk(failed_disk)
     if window_size is not None:
@@ -234,23 +244,34 @@ def simulate_workload(
         scheduled, digests = execute_windows(
             ctrl, windows, read_only_hint=cfg.read_fraction >= 1.0
         )
-        return WorkloadReport(
+        if recorder is not None:
+            # Arrivals are pure workload input; record them after the
+            # run so a tie-abort replay's shard reset cannot drop them.
+            for times, _is_read, _lbas in windows:
+                recorder.arrivals(0, times)
+        report = WorkloadReport(
             duration_ms=ctrl.sim.now,
             scheduled=scheduled,
             latency={kind: summarize(d) for kind, d in digests.items()},
             per_disk_ios=ctrl.per_disk_completed(),
             utilizations=ctrl.utilizations(),
         )
+        report.engine = ctrl.last_engine
+        return report
     compiled = compile_workload(ctrl.mapper, cfg, duration_ms)
     if batched:
         scheduled = execute_compiled(ctrl, compiled)
     else:
         scheduled = schedule_compiled_scalar(ctrl, compiled)
         ctrl.sim.run()
-    return WorkloadReport(
+    if recorder is not None:
+        recorder.arrivals(0, compiled.times)
+    report = WorkloadReport(
         duration_ms=ctrl.sim.now,
         scheduled=scheduled,
         latency={kind: summarize(st) for kind, st in ctrl.latency.items()},
         per_disk_ios=ctrl.per_disk_completed(),
         utilizations=ctrl.utilizations(),
     )
+    report.engine = ctrl.last_engine
+    return report

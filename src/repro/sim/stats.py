@@ -74,6 +74,26 @@ def _bucket_value(key: int) -> float:
     return math.ldexp(0.5 + (key & _QUANT_MASK) / _QUANT_SCALE, key >> _QUANT_BITS)
 
 
+def bucket_keys_array(arr):
+    """Vectorized :func:`_bucket_key` over a float64 ndarray.
+
+    Reproduces the scalar path bit for bit: ``np.frexp`` matches
+    ``math.frexp``, the mantissa scaling is the same double
+    arithmetic, and ``astype(int64)`` truncates like ``int()``.
+    Non-positive samples map to :data:`_ZERO_KEY` as in
+    :meth:`LatencyDigest.record`.
+    """
+    import numpy as np
+
+    m, e = np.frexp(arr)
+    keys = (e.astype(np.int64) << _QUANT_BITS) | (
+        (m - 0.5) * _QUANT_SCALE
+    ).astype(np.int64)
+    if arr.min() <= 0.0:
+        keys = np.where(arr > 0.0, keys, _ZERO_KEY)
+    return keys
+
+
 def quantize_latency(x: float) -> float:
     """Snap a latency to its log-bucket lower bound (monotone; relative
     error < 2^-12).  Non-positive values collapse to 0.0."""
@@ -142,17 +162,41 @@ class LatencyStats:
         return counts
 
 
+#: extend_array defers histogram counting into pending key arrays and
+#: consolidates them vectorized once this many keys are queued —
+#: bounding per-digest staging memory while amortizing the sort.
+_CONSOLIDATE_AT = 4096
+
+
 class LatencyDigest:
     """Constant-memory latency accumulator, summary-identical to
     :class:`LatencyStats` when fed the same samples in the same order."""
 
-    __slots__ = ("count", "total", "max", "_buckets")
+    __slots__ = (
+        "count",
+        "total",
+        "max",
+        "_buckets",
+        "_pending",
+        "_pending_n",
+        "_hkeys",
+        "_hcounts",
+        "_cache",
+    )
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.max = 0.0
+        #: scalar-path histogram (record()).
         self._buckets: dict[int, int] = {}
+        #: vector-path staging: raw key arrays queued by extend_array,
+        #: consolidated into the sorted (keys, counts) pair below.
+        self._pending: list = []
+        self._pending_n = 0
+        self._hkeys = None
+        self._hcounts = None
+        self._cache: dict[int, int] | None = None
 
     def record(self, latency: float) -> None:
         """Add one sample (order matters for the bit-exact mean)."""
@@ -163,11 +207,105 @@ class LatencyDigest:
         key = _bucket_key(latency) if latency > 0.0 else _ZERO_KEY
         b = self._buckets
         b[key] = b.get(key, 0) + 1
+        self._cache = None
 
     def extend(self, latencies) -> None:
         """Add samples in order."""
         for x in latencies:
             self.record(x)
+
+    def extend_array(self, arr) -> None:
+        """Add a float64 ndarray of samples in order — vectorized, but
+        state-identical to :meth:`record` per element (see
+        :meth:`extend_keyed` for the fold and
+        :func:`bucket_keys_array` for the keys)."""
+        n = arr.size
+        if not n:
+            return
+        self.extend_keyed(arr, bucket_keys_array(arr))
+
+    def extend_keyed(self, arr, keys) -> None:
+        """Add a float64 ndarray of samples whose histogram keys were
+        already computed (:func:`bucket_keys_array`), in order.
+
+        State-identical to :meth:`record` per element: the running
+        total performs the same left-to-right float fold
+        (``np.add.accumulate`` is a strict sequential accumulation —
+        each partial carries a loop dependency, so no reassociation —
+        and seeding the buffer with the prior total reproduces
+        ``((total + x0) + x1) + ...`` bit for bit).  Histogram
+        counting is deferred: key arrays queue in ``_pending`` and
+        consolidate vectorized, so no per-sample Python object is
+        ever built."""
+        import numpy as np
+
+        n = arr.size
+        if not n:
+            return
+        self.count += n
+        buf = np.empty(n + 1)
+        buf[0] = self.total
+        buf[1:] = arr
+        np.add.accumulate(buf, out=buf)
+        self.total = float(buf[-1])
+        peak = arr.max()
+        if peak > self.max:
+            self.max = float(peak)
+        self._pending.append(keys)
+        self._pending_n += n
+        self._cache = None
+        if self._pending_n >= _CONSOLIDATE_AT:
+            self._consolidate()
+
+    def _consolidate(self) -> None:
+        """Fold pending key arrays into the sorted (keys, counts)
+        histogram pair — pure counting, so order is irrelevant."""
+        import numpy as np
+
+        if not self._pending:
+            return
+        batch = (
+            np.concatenate(self._pending)
+            if len(self._pending) > 1
+            else self._pending[0]
+        )
+        self._pending = []
+        self._pending_n = 0
+        uk, uc = np.unique(batch, return_counts=True)
+        if self._hkeys is None:
+            self._hkeys, self._hcounts = uk, uc
+            return
+        allk = np.concatenate([self._hkeys, uk])
+        allc = np.concatenate([self._hcounts, uc])
+        order = np.argsort(allk, kind="stable")
+        allk = allk[order]
+        allc = allc[order]
+        first = np.empty(len(allk), dtype=bool)
+        first[0] = True
+        np.not_equal(allk[1:], allk[:-1], out=first[1:])
+        idx = np.flatnonzero(first)
+        self._hkeys = allk[idx]
+        self._hcounts = np.add.reduceat(allc, idx)
+
+    def _counts(self) -> dict[int, int]:
+        """The combined histogram (scalar + vector paths), cached
+        until the next ingestion."""
+        cache = self._cache
+        if cache is None:
+            self._consolidate()
+            cache = dict(self._buckets)
+            if self._hkeys is not None:
+                if cache:
+                    for key, k in zip(
+                        self._hkeys.tolist(), self._hcounts.tolist()
+                    ):
+                        cache[key] = cache.get(key, 0) + k
+                else:
+                    cache = dict(
+                        zip(self._hkeys.tolist(), self._hcounts.tolist())
+                    )
+            self._cache = cache
+        return cache
 
     @property
     def mean(self) -> float:
@@ -176,10 +314,10 @@ class LatencyDigest:
     def percentile(self, p: float) -> float:
         if not self.count:
             return 0.0
-        return _bucket_percentile(self._buckets, self.count, p)
+        return _bucket_percentile(self._counts(), self.count, p)
 
     def bucket_counts(self) -> dict[int, int]:
-        return dict(self._buckets)
+        return dict(self._counts())
 
 
 def summarize(stats: LatencyStats | LatencyDigest) -> dict[str, float]:

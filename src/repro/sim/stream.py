@@ -60,12 +60,23 @@ _KIND_NAMES = ("read", "degraded_read", "write", "degraded_write")
 _Window = tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
-def _digest_sink(digests: dict[str, LatencyDigest]):
-    def sink(kind: str, lats: list[float]) -> None:
+def _digest_sink(digests: dict[str, LatencyDigest], obs=None, shard: int = 0):
+    """Build a drain sink folding samples into per-kind digests.
+
+    When a metrics recorder ``obs`` is supplied, each drained batch is
+    also folded into its completion-time buckets — the drain contract
+    (completion-sorted emission, windowed prefixes of the one-shot
+    order) is exactly what keeps the recorder's per-bucket folds
+    byte-identical across window sizes.
+    """
+
+    def sink(kind: str, lats: list[float], comps=None) -> None:
         d = digests.get(kind)
         if d is None:
             d = digests[kind] = LatencyDigest()
         d.extend(lats)
+        if obs is not None:
+            obs.feed(shard, kind, comps, lats)
 
     return sink
 
@@ -295,12 +306,14 @@ class _WindowedSolver:
         larr = np.asarray(self._lats)
         codes = np.asarray(self._codes, dtype=np.int8)
         order = np.argsort(carr[ready], kind="stable")
+        comp_done = carr[ready][order]
         lat_done = larr[ready][order]
         kinds_done = codes[ready][order]
         for code, name in enumerate(_KIND_NAMES):
-            sel = lat_done[kinds_done == code]
+            mask = kinds_done == code
+            sel = lat_done[mask]
             if len(sel):
-                sink(name, sel.tolist())
+                sink(name, sel.tolist(), comp_done[mask])
         keep = ~ready
         if keep.any():
             comps[:] = carr[keep].tolist()
@@ -332,7 +345,8 @@ def _eager_windows(
     from .batchstep import _EagerCore
 
     core = _EagerCore(ctrl, seq_s, avg_s)
-    sink = _digest_sink(digests)
+    obs = ctrl.obs
+    sink = _digest_sink(digests, obs if obs.enabled else None, ctrl.obs_shard)
     n = 0
     for times, is_read, lbas in windows:
         w = compile_stream(ctrl.mapper, times, is_read, lbas)
@@ -342,9 +356,12 @@ def _eager_windows(
         if not core.feed(run):
             return None
         n += w.n
+        obs.count("window_boundaries", volatile=True)
         core.drain(run.times[-1], sink)
     if not core.finish(sink):
         return None
+    ctrl.last_engine = "windowed-eager"
+    obs.set_engine(ctrl.obs_shard, "windowed-eager")
     return n
 
 
@@ -356,7 +373,15 @@ def _pump_windows(
     """Stream through the chained heap pump: the general engine, able
     to interleave with foreign events (rebuilds, timers, other streams).
     Latency-sample lists are swept into the digests at every window
-    boundary, so they never grow past one window."""
+    boundary, so they never grow past one window.
+
+    Metrics recording rides the event-level hooks (the controller's
+    ``_record``, the compiled run's inlined sinks), which see every
+    completion at its event time — the boundary sweep below moves
+    samples that the recorder has already bucketed, so it must not feed
+    the recorder again."""
+    ctrl.last_engine = "windowed-pump"
+    ctrl.obs.set_engine(ctrl.obs_shard, "windowed-pump")
     mapper = ctrl.mapper
     first: CompiledTrace | None = None
     for times, is_read, lbas in it:
@@ -366,6 +391,8 @@ def _pump_windows(
             break
     if first is None:
         return 0
+    obs = ctrl.obs
+    obs.count("window_boundaries", volatile=True)
     scheduled = [first.n]
 
     def source() -> CompiledTrace | None:
@@ -373,6 +400,7 @@ def _pump_windows(
             w = compile_stream(mapper, times, is_read, lbas)
             if w.n:
                 scheduled[0] += w.n
+                obs.count("window_boundaries", volatile=True)
                 return w
         return None
 
@@ -439,12 +467,18 @@ def execute_windows(
     if not sim.pending():
         if read_only_hint or ctrl.write_policy == "write_through":
             solver = _WindowedSolver(ctrl)
-            sink = _digest_sink(digests)
+            obs = ctrl.obs
+            ctrl.last_engine = "windowed-solver"
+            obs.set_engine(ctrl.obs_shard, "windowed-solver")
+            sink = _digest_sink(
+                digests, obs if obs.enabled else None, ctrl.obs_shard
+            )
             n = 0
             for times, is_read, lbas in windows:
                 n += solver.feed(
                     compile_stream(ctrl.mapper, times, is_read, lbas), sink
                 )
+                obs.count("window_boundaries", volatile=True)
             solver.finish(sink)
             return n, digests
         p = ctrl.params
@@ -469,5 +503,7 @@ def execute_windows(
                 return n, digests
             # Ambiguous tie: nothing touched; replay exactly on the pump.
             digests.clear()
+            ctrl.obs.reset_shard(ctrl.obs_shard)
+            ctrl.obs.count("tie_abort_replays")
             windows = iter(windows)
     return _pump_windows(ctrl, iter(windows), digests), digests

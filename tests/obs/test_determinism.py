@@ -1,0 +1,133 @@
+"""Observability determinism contracts.
+
+Three invariants, mirrored from the report byte-identity contract the
+rest of the suite already pins:
+
+* metrics and trace JSONL are byte-identical across streaming window
+  sizes (1, a prime, a power of two, oversized);
+* serial and process-parallel serves emit byte-identical metrics,
+  trace, and canonical report;
+* instrumentation is transparent — running with a recorder attached
+  leaves the canonical report payload byte-identical to running
+  without one.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRecorder,
+    build_rows,
+    render_metrics_jsonl,
+    render_trace_jsonl,
+    spans_from_payload,
+)
+from repro.service import (
+    FleetScenario,
+    default_failure_schedule,
+    run_fleet_scenario,
+)
+from repro.service.parallel import canonical_payload, run_fleet_scenario_parallel
+
+WINDOW_SIZES = (1, 13, 64, 10**6)
+INTERVAL_MS = 20.0
+
+FAILURES = dict(
+    shards=4,
+    v=9,
+    k=3,
+    duration_ms=300.0,
+    interarrival_ms=1.0,
+    read_fraction=0.7,
+    failures=default_failure_schedule(4, 9, 2, 80.0),
+    verify_data=True,
+    check_conformance=False,
+)
+RESHAPE = dict(
+    shards=3,
+    v=9,
+    k=3,
+    duration_ms=400.0,
+    interarrival_ms=1.0,
+    read_fraction=0.7,
+    failures=(),
+    reshape_to=4,
+    verify_data=True,
+    check_conformance=False,
+)
+
+
+def _serve(base: dict, *, window_size=None, workers=None, instrument=True):
+    """One serve; returns (metrics_jsonl, trace_jsonl, canonical_json)."""
+    scenario = FleetScenario(**base, window_size=window_size)
+    rec = (
+        MetricsRecorder(INTERVAL_MS, shards=base["shards"])
+        if instrument
+        else None
+    )
+    if workers is not None:
+        report = run_fleet_scenario_parallel(
+            scenario, workers=workers, recorder=rec
+        )
+    else:
+        report = run_fleet_scenario(scenario, recorder=rec)
+    payload = report.to_dict()
+    canon = json.dumps(canonical_payload(payload), sort_keys=True)
+    metrics = (
+        render_metrics_jsonl(build_rows(rec, payload))
+        if rec is not None
+        else None
+    )
+    trace = render_trace_jsonl(spans_from_payload(payload))
+    return metrics, trace, canon
+
+
+class TestWindowSizeIndependence:
+    @pytest.mark.parametrize(
+        "base", [FAILURES, RESHAPE], ids=["failures", "reshape"]
+    )
+    def test_metrics_and_trace_identical_across_window_sizes(self, base):
+        outputs = [_serve(base, window_size=ws) for ws in WINDOW_SIZES]
+        ref_metrics, ref_trace, _ = outputs[0]
+        assert ref_metrics.count("\n") > 1  # non-degenerate file
+        for metrics, trace, _ in outputs[1:]:
+            assert metrics == ref_metrics
+            assert trace == ref_trace
+
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize(
+        "base,window_size",
+        [
+            (FAILURES, None),
+            (FAILURES, 64),
+            (RESHAPE, None),
+            (RESHAPE, 64),
+        ],
+        ids=[
+            "failures-materialized",
+            "failures-windowed",
+            "reshape-materialized",
+            "reshape-windowed",
+        ],
+    )
+    def test_workers_emit_identical_observability(self, base, window_size):
+        serial = _serve(base, window_size=window_size)
+        parallel = _serve(base, window_size=window_size, workers=2)
+        assert parallel[0] == serial[0]  # metrics JSONL
+        assert parallel[1] == serial[1]  # trace JSONL
+        assert parallel[2] == serial[2]  # canonical report
+
+
+class TestInstrumentationTransparency:
+    @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "parallel"])
+    def test_recorder_leaves_canonical_report_unchanged(self, workers):
+        _, _, bare = _serve(FAILURES, workers=workers, instrument=False)
+        _, _, instrumented = _serve(FAILURES, workers=workers)
+        assert instrumented == bare
+
+    def test_windowed_recorder_transparent(self):
+        _, _, bare = _serve(RESHAPE, window_size=32, instrument=False)
+        _, _, instrumented = _serve(RESHAPE, window_size=32)
+        assert instrumented == bare

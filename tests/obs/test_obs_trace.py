@@ -1,0 +1,129 @@
+"""Trace spans derived from scenario report payloads."""
+
+from repro.obs import (
+    parse_trace_jsonl,
+    render_trace_jsonl,
+    spans_from_payload,
+    summarize_trace,
+)
+from repro.service import (
+    FleetScenario,
+    default_failure_schedule,
+    run_fleet_scenario,
+)
+
+
+def _payload(**overrides):
+    base = dict(
+        shards=4,
+        v=9,
+        k=3,
+        duration_ms=300.0,
+        interarrival_ms=1.0,
+        read_fraction=0.7,
+        failures=(),
+        verify_data=True,
+        check_conformance=False,
+    )
+    base.update(overrides)
+    return run_fleet_scenario(FleetScenario(**base)).to_dict()
+
+
+class TestSpansFromPayload:
+    def test_healthy_scenario_tree(self):
+        payload = _payload()
+        spans = spans_from_payload(payload)
+        by_type = {}
+        for s in spans:
+            by_type.setdefault(s["span"], []).append(s)
+        assert len(by_type["scenario"]) == 1
+        root = by_type["scenario"][0]
+        assert root["parent"] is None
+        # end_ms is the drained simulation end, at or past the nominal
+        # 300 ms stream duration.
+        assert root["start_ms"] == 0.0 and root["end_ms"] >= 300.0
+        assert root["passed"] is True
+        assert [s["shard"] for s in by_type["shard"]] == [0, 1, 2, 3]
+        assert all(s["parent"] == "scenario" for s in by_type["shard"])
+        assert by_type["shard"][0]["engine"] == payload["engine_per_shard"][0]
+        assert "rebuild" not in by_type and "migration" not in by_type
+
+    def test_rebuild_spans(self):
+        payload = _payload(
+            failures=default_failure_schedule(4, 9, 2, 80.0)
+        )
+        spans = spans_from_payload(payload)
+        rebuilds = [s for s in spans if s["span"] == "rebuild"]
+        assert len(rebuilds) == 2
+        for r in rebuilds:
+            assert r["parent"] == f"shard:{r['array']}"
+            assert r["data_verified"] is True
+            wait = next(s for s in spans if s["id"] == f"{r['id']}/wait")
+            run = next(s for s in spans if s["id"] == f"{r['id']}/run")
+            assert wait["parent"] == r["id"] and run["parent"] == r["id"]
+            # wait ends where run starts; both bracket the parent span.
+            assert wait["start_ms"] == r["start_ms"]
+            assert wait["end_ms"] == run["start_ms"]
+            assert run["end_ms"] == r["end_ms"]
+
+    def test_migration_spans(self):
+        payload = _payload(shards=3, reshape_to=4, duration_ms=400.0)
+        spans = spans_from_payload(payload)
+        migrations = [s for s in spans if s["span"] == "migration"]
+        assert migrations, "reshape scenario must emit migration spans"
+        for m in migrations:
+            assert m["parent"] == "scenario"
+            phases = {
+                p: next(
+                    s for s in spans if s["id"] == f"{m['id']}/{p}"
+                )
+                for p in ("wait", "copy", "drain")
+            }
+            assert phases["wait"]["start_ms"] == m["start_ms"]
+            assert phases["wait"]["end_ms"] == phases["copy"]["start_ms"]
+            assert phases["copy"]["end_ms"] == phases["drain"]["start_ms"]
+            assert phases["drain"]["end_ms"] == m["end_ms"]
+
+    def test_payload_without_timestamps_skips_migrations(self):
+        payload = _payload(shards=3, reshape_to=4, duration_ms=400.0)
+        for row in payload["migration"]["volumes"]:
+            row.pop("requested_at_ms")
+        spans = spans_from_payload(payload)
+        assert not [s for s in spans if s["span"].startswith("migration")]
+
+
+class TestRoundTrip:
+    def test_render_parse_identity(self):
+        spans = spans_from_payload(
+            _payload(failures=default_failure_schedule(4, 9, 1, 80.0))
+        )
+        text = render_trace_jsonl(spans)
+        assert parse_trace_jsonl(text) == spans
+
+    def test_parse_skips_blank_lines(self):
+        assert parse_trace_jsonl("\n\n") == []
+
+
+class TestSummary:
+    def test_summary_lines(self):
+        payload = _payload(
+            failures=default_failure_schedule(4, 9, 1, 80.0)
+        )
+        spans = spans_from_payload(payload)
+        text = summarize_trace(spans)
+        assert "scenario: 4 shards" in text
+        assert "passed=True" in text
+        assert "rebuild timeline:" in text
+        assert "phase durations:" in text
+        assert "rebuild_run" in text
+
+    def test_summary_with_metrics_rows(self):
+        spans = spans_from_payload(_payload())
+        rows = [
+            {"type": "snapshot", "t_ms": 10.0, "fleet": {"balance": 1.2}},
+            {"type": "snapshot", "t_ms": 20.0, "fleet": {"balance": 1.5}},
+            {"type": "final"},
+        ]
+        text = summarize_trace(spans, rows)
+        assert "shard balance over time" in text
+        assert "worst balance 1.500 at 20.0 ms" in text

@@ -52,6 +52,10 @@ class TestScenario:
         assert back["fleet"]["shards"] == 8
         assert len(back["rebuilds"]) == 2
         assert back["scenario"]["failures"][0]["array"] == 0
+        # Armed failure timers force every shard onto the shared event
+        # heap — the payload surfaces the engine actually used.
+        assert back["engine"] == "heap"
+        assert back["engine_per_shard"] == ["heap"] * 8
 
     def test_scenario_deterministic(self):
         a = run_fleet_scenario(_small_scenario()).to_dict()
@@ -66,6 +70,11 @@ class TestScenario:
         assert report.rebuilds == ()
         assert report.all_rebuilt_verified  # vacuously
         assert report.passed
+        # Idle clock: every shard picks a cheap per-shard engine.
+        assert all(
+            e in ("solver", "eager", "calendar")
+            for e in report.engine_per_shard()
+        )
 
     def test_unverified_mode_runs(self):
         report = run_fleet_scenario(_small_scenario(verify_data=False))

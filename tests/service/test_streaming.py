@@ -35,6 +35,12 @@ def _canon(payload: dict, *, ignore_window: bool = False) -> str:
         canon["scenario"] = {
             k: v for k, v in canon["scenario"].items() if k != "window_size"
         }
+        # Engine labels legitimately differ between windowed and
+        # materialized serves of the same scenario ("windowed-solver"
+        # vs "solver", ...); the byte-identity contract covers them
+        # only within one execution mode.
+        canon.pop("engine", None)
+        canon.pop("engine_per_shard", None)
     return json.dumps(canon, sort_keys=True)
 
 

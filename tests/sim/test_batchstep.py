@@ -217,3 +217,13 @@ class TestEngineOwnership:
         assert step_compiled(ctrl, trace) == 0
         assert ctrl.sim.now == 0.0
         assert ctrl.sim.events_processed == 0
+
+    def test_engine_label_set(self):
+        """step_compiled labels the controller with the tier that
+        actually finished the trace (eager, or calendar after a tie
+        demotion)."""
+        ctrl = ArrayController(ring_layout(5, 3))
+        cfg = WorkloadConfig(interarrival_ms=5.0, seed=1)
+        trace = compile_workload(ctrl.mapper, cfg, 200.0)
+        step_compiled(ctrl, trace)
+        assert ctrl.last_engine in ("eager", "calendar")

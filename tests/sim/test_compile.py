@@ -268,6 +268,14 @@ class TestSolverGuards:
         with pytest.raises(RuntimeError, match="idle"):
             solve_compiled(ctrl, compiled)
 
+    def test_solver_label_set(self):
+        lay = ring_layout(5, 3)
+        ctrl = ArrayController(lay)
+        cfg = WorkloadConfig(interarrival_ms=5.0, read_fraction=1.0, seed=1)
+        compiled = compile_workload(ctrl.mapper, cfg, 500.0)
+        solve_compiled(ctrl, compiled)
+        assert ctrl.last_engine == "solver"
+
 
 class TestMidRunFailure:
     def test_disk_failure_after_scheduling_replans_live(self):

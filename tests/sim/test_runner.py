@@ -61,6 +61,33 @@ class TestSimulateWorkload:
         assert rep.per_disk_ios[0] == 0
         assert "degraded_read" in rep.latency or "degraded_write" in rep.latency
 
+    def test_engine_label_surfaced(self):
+        """The report carries the engine the run actually used, for
+        every gate outcome: analytic solver (single-phase), batch
+        stepper (mixed), windowed variants, and the unlabeled scalar
+        baseline."""
+        lay = ring_layout(5, 3)
+        common = dict(duration_ms=400.0, config=WorkloadConfig(seed=2))
+        mixed = simulate_workload(lay, **common)
+        assert mixed.engine in ("eager", "calendar")
+        solver = simulate_workload(
+            lay,
+            duration_ms=400.0,
+            config=WorkloadConfig(read_fraction=1.0, seed=2),
+        )
+        assert solver.engine == "solver"
+        windowed = simulate_workload(lay, window_size=16, **common)
+        assert windowed.engine in ("windowed-eager", "windowed-pump")
+        windowed_ro = simulate_workload(
+            lay,
+            duration_ms=400.0,
+            window_size=16,
+            config=WorkloadConfig(read_fraction=1.0, seed=2),
+        )
+        assert windowed_ro.engine == "windowed-solver"
+        scalar = simulate_workload(lay, batched=False, **common)
+        assert scalar.engine is None
+
     def test_saturation_raises_latency(self):
         lay = ring_layout(5, 3)
         light = simulate_workload(

@@ -165,6 +165,7 @@ class TestExecuteWindowsGate:
             StreamWindows(cfg, 400.0, ctrl.mapper.capacity, window_size=32)
         )
         scheduled, digests = execute_windows(ctrl, one_shot)
+        assert ctrl.last_engine == "windowed-pump"
         assert scheduled == materialized["scheduled"]
         latency = {kind: summarize(d) for kind, d in digests.items()}
         assert latency == materialized["latency"]

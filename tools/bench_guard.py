@@ -16,6 +16,12 @@ machine the threshold can be loosened (or the check skipped) with::
     BENCH_GUARD_RATIO=0.5 python tools/bench_guard.py
     BENCH_GUARD_RATIO=0 python tools/bench_guard.py   # record only
 
+A fourth, self-relative case gates observability overhead: the mixed
+path with a live ``MetricsRecorder`` attached must reach 0.95x of its
+own metrics-off throughput (host speed cancels out, so no committed
+row is involved).  ``BENCH_GUARD_OBS_RATIO`` overrides that floor;
+``<= 0`` skips just this case.
+
 The final stdout line is machine-readable JSON (prefixed
 ``bench-guard-json:``) with per-case ratios and, when the guard is
 skipped (ratio 0), an explicit ``skip_reason`` — hosted runners can
@@ -56,6 +62,16 @@ CASES = (
     ("degraded_mixed_executor", 0.7, 1),
 )
 
+#: Observability overhead gate: the mixed path with a live
+#: MetricsRecorder attached must reach this fraction of its own
+#: metrics-off throughput (self-relative, so no committed row is
+#: needed and host speed cancels out).  Override with
+#: BENCH_GUARD_OBS_RATIO; <= 0 skips just this case.
+OBS_RATIO = 0.95
+#: Interleaved off/on run pairs for the overhead case; the verdict is
+#: the best per-pair on/off ratio.
+OBS_RUNS = 5
+
 
 def committed_events_per_s(path: Path) -> dict[str, float]:
     payload = json.loads(path.read_text())
@@ -69,7 +85,9 @@ def committed_events_per_s(path: Path) -> dict[str, float]:
     return rows
 
 
-def fresh_events_per_s(read_fraction: float, failed_disk: int | None) -> float:
+def fresh_events_per_s(
+    read_fraction: float, failed_disk: int | None
+) -> float:
     from repro.core import get_layout
     from repro.sim import WorkloadConfig, simulate_workload
 
@@ -92,6 +110,54 @@ def fresh_events_per_s(read_fraction: float, failed_disk: int | None) -> float:
         elapsed = time.perf_counter() - t0
         best = max(best, rep.scheduled / elapsed)
     return best
+
+
+def obs_overhead_case(obs_ratio: float) -> dict:
+    """Time the mixed path metrics-off vs metrics-on (a fresh recorder
+    per run, 20-bucket grid) and compare best-of-OBS_RUNS figures.
+
+    Off/on runs are interleaved in pairs and the verdict ratio is the
+    best per-pair ``on/off`` — adjacent runs sample the same host-load
+    drift, and a true regression suppresses *every* pair while noise
+    cannot, so the max pair ratio is stable where the ratio of
+    series bests flaps a few hundredths around the floor even when
+    the true overhead is well inside it."""
+    from repro.core import get_layout
+    from repro.obs import MetricsRecorder
+    from repro.sim import WorkloadConfig, simulate_workload
+
+    interval = 5.0 * REQUESTS / 20.0
+    layout = get_layout(13, 4)
+    cfg = WorkloadConfig(interarrival_ms=5.0, read_fraction=0.7, seed=7)
+    duration = 5.0 * REQUESTS
+
+    def timed(recorder) -> float:
+        t0 = time.perf_counter()
+        rep = simulate_workload(
+            layout,
+            duration_ms=duration,
+            config=cfg,
+            batched=True,
+            recorder=recorder,
+        )
+        return rep.scheduled / (time.perf_counter() - t0)
+
+    timed(None)  # warm compile caches outside the timed pairs
+    off = on = ratio = 0.0
+    for _ in range(OBS_RUNS):
+        o = timed(None)
+        m = timed(MetricsRecorder(interval))
+        off = max(off, o)
+        on = max(on, m)
+        if o:
+            ratio = max(ratio, m / o)
+    return {
+        "metrics_off_events_per_s": off,
+        "metrics_on_events_per_s": on,
+        "ratio_on_vs_off": ratio,
+        "floor_ratio": obs_ratio,
+        "ok": ratio >= obs_ratio,
+    }
 
 
 def main() -> int:
@@ -143,6 +209,33 @@ def main() -> int:
         )
         if not ok:
             regressed.append(name)
+
+    try:
+        obs_ratio = float(
+            os.environ.get("BENCH_GUARD_OBS_RATIO", OBS_RATIO)
+        )
+    except ValueError:
+        print("bench-guard: BENCH_GUARD_OBS_RATIO must be a number")
+        return 2
+    if obs_ratio > 0 and not summary["skipped"]:
+        obs = obs_overhead_case(obs_ratio)
+        summary["cases"]["obs_overhead"] = obs
+        verdict = "OK" if obs["ok"] else "REGRESSION"
+        print(
+            f"bench-guard: {'obs_overhead':<24} "
+            f"{obs['metrics_on_events_per_s']:>10,.0f} ev/s on vs "
+            f"{obs['metrics_off_events_per_s']:>10,.0f} ev/s off "
+            f"({obs['ratio_on_vs_off']:.2f}x, floor {obs_ratio:.2f}x) "
+            f"-> {verdict}"
+        )
+        if not obs["ok"]:
+            regressed.append("obs_overhead")
+    elif obs_ratio <= 0:
+        summary["cases"]["obs_overhead"] = {
+            "skipped": True,
+            "skip_reason": "BENCH_GUARD_OBS_RATIO<=0",
+        }
+        print("bench-guard: obs_overhead          skipped (BENCH_GUARD_OBS_RATIO<=0)")
 
     if summary["skipped"]:
         print(f"bench-guard: SKIPPED — {summary['skip_reason']}")
