@@ -20,6 +20,9 @@
 #   smoke-obs - instrumented serve smoke: metrics JSONL + Prometheus +
 #             trace span files written on the serial and 2-worker runs
 #             must be byte-identical; the trace summary must render
+#   smoke-autoscale - autoscaling control-loop smoke: a scripted load
+#             spike must fire a grow with zero lost requests, verified
+#             cutovers, and a byte-identically replayable decision log
 #   examples-smoke - run every script under examples/ headless
 #   docs-check     - link-check docs/ + README (local targets only)
 #   bench-guard    - re-time the mixed-path executor and fail on a >20%
@@ -36,9 +39,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # the plain serial run otherwise (the container image does not ship it).
 XDIST := $(shell $(PYTHON) -c "import pytest_xdist" 2>/dev/null && echo "-n auto")
 
-.PHONY: check test doctest verify smoke smoke-parallel smoke-stream smoke-obs examples-smoke docs-check bench-guard bench bench-all
+.PHONY: check test doctest verify smoke smoke-parallel smoke-stream smoke-obs smoke-autoscale examples-smoke docs-check bench-guard bench bench-all
 
-check: test doctest verify smoke smoke-parallel smoke-stream smoke-obs examples-smoke bench-guard
+check: test doctest verify smoke smoke-parallel smoke-stream smoke-obs smoke-autoscale examples-smoke bench-guard
 
 test:
 	$(PYTHON) -m pytest -x -q $(XDIST)
@@ -100,6 +103,25 @@ smoke-obs:
 	cmp BENCH_obs_trace.jsonl BENCH_obs_trace_parallel.jsonl
 	@echo "smoke-obs: metrics + trace byte-identical across worker counts"
 	$(PYTHON) -m repro trace BENCH_obs_trace.jsonl --metrics BENCH_obs_metrics.jsonl
+
+# Autoscale smoke: a 2-shard fleet under load past the policy
+# threshold — the control loop must fire a grow through the live
+# migration path.  The report's "passed" gate (exit code) folds in
+# zero lost requests, verified cutovers, and decision-log replay
+# byte-identity; the greps pin that the grow actually fired rather
+# than the loop idling below threshold.  The decision log and report
+# ride the CI artifact upload globs.
+smoke-autoscale:
+	$(PYTHON) -m repro serve --smoke --shards 2 --interarrival 1.0 \
+		--autoscale tools/autoscale_smoke_policy.json \
+		--decisions-out BENCH_autoscale_decisions.jsonl \
+		--json BENCH_serve_autoscale_smoke.json
+	grep -q '"action": "grow"' BENCH_autoscale_decisions.jsonl
+	$(PYTHON) -c "import json; p = json.load(open('BENCH_serve_autoscale_smoke.json')); \
+	a = p['autoscale']; \
+	assert a['events'], 'autoscale smoke: no scaling event fired'; \
+	assert a['ok'], 'autoscale smoke: replay/zero-lost/verify gate failed'; \
+	print('autoscale smoke: %d tick(s), grow fired, replay identical, zero lost' % len(a['decisions']))"
 
 examples-smoke:
 	$(PYTHON) tools/run_examples.py

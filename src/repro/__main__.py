@@ -167,6 +167,34 @@ def _peak_rss_mb() -> float | None:
     return peak_rss_mb()
 
 
+def _load_autoscale_policy(path: str) -> "AutoscalePolicy":
+    """Load and validate an ``--autoscale`` policy JSON file."""
+    import json
+    from pathlib import Path
+
+    from .service import AutoscalePolicy
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read --autoscale policy {path}: "
+            f"{exc.strerror or exc}"
+        ) from exc
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"--autoscale policy {path} is not valid JSON "
+            f"({exc.msg}, line {exc.lineno})"
+        ) from exc
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"--autoscale policy {path} must be a JSON object"
+        )
+    return AutoscalePolicy.from_dict(spec)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -192,6 +220,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.shrink, "--shrink", grow=False
         )
 
+    policy = None
+    if args.autoscale:
+        if reshape_to is not None:
+            raise ValueError(
+                "--autoscale plans reshapes itself — it is mutually "
+                "exclusive with --grow/--shrink"
+            )
+        policy = _load_autoscale_policy(args.autoscale)
+    elif args.decisions_out:
+        raise ValueError("--decisions-out needs --autoscale")
+
     if args.failure_spec:
         failures = _parse_failure_spec(args.failure_spec)
     else:
@@ -200,7 +239,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # failure pair applies only to pure failure scenarios.
         count = args.failures
         if count is None:
-            count = 0 if reshape_to is not None else 2
+            count = 0 if (reshape_to is not None or policy is not None) else 2
         failures = default_failure_schedule(
             args.shards,
             args.v,
@@ -215,7 +254,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         interval = args.metrics_interval
         if interval is None:
             # Default grid: 20 snapshot buckets across the horizon.
-            interval = args.duration / 20.0
+            # With an autoscale policy the recorder is the control
+            # loop's input, so the default pins the grid to the
+            # policy cadence — requesting metrics files must not
+            # change what the autoscaler sees (an explicit
+            # --metrics-interval changes the decision inputs, and is
+            # validated against the policy lookback).
+            if policy is not None:
+                interval = policy.cadence_ms
+            else:
+                interval = args.duration / 20.0
         recorder = MetricsRecorder(interval, shards=args.shards)
 
     scenario = FleetScenario(
@@ -239,7 +287,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_policy=args.write_policy,
         window_size=args.window,
         seed=args.seed,
+        autoscale=policy,
     )
+    if args.listen:
+        from .service import run_frontend
+
+        host, sep, port_text = args.listen.rpartition(":")
+        if not sep or not port_text.isdigit():
+            raise ValueError(
+                f"bad --listen address {args.listen!r} (want HOST:PORT)"
+            )
+        if args.workers != 1:
+            raise ValueError("--listen runs in-process; drop --workers")
+
+        def ready(addr: tuple) -> None:
+            print(f"serving on {addr[0]}:{addr[1]}", file=sys.stderr)
+
+        return run_frontend(
+            scenario,
+            host=host or "127.0.0.1",
+            port=int(port_text),
+            ready=ready,
+        )
     if args.workers < 1:
         raise ValueError(f"--workers must be >= 1, got {args.workers}")
     unexpected_fallback = False
@@ -334,6 +403,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"zero lost: {mig['zero_lost']}; {verified}",
             file=sys.stderr,
         )
+    asum = payload.get("autoscale")
+    if asum is not None:
+        for ev in asum["events"]:
+            print(
+                f"autoscale {ev['action']} at {ev['t_ms']:.0f} ms "
+                f"({ev['reason']}): {ev['from_shards']} -> "
+                f"{ev['to_shards']} shards, "
+                f"{ev['completed_moves']}/{ev['planned_moves']} volumes "
+                f"moved, converged at {ev['converged_at_ms']:.0f} ms "
+                f"(verified={ev['all_verified']})",
+                file=sys.stderr,
+            )
+        print(
+            f"autoscale: {len(asum['decisions'])} ticks, "
+            f"{len(asum['events'])} actions, final "
+            f"{asum['final_shards']} shards; replay identical: "
+            f"{asum['replay_identical']}; zero lost: {asum['zero_lost']}",
+            file=sys.stderr,
+        )
+        if args.decisions_out:
+            from pathlib import Path
+
+            log_text = "".join(
+                json.dumps(d, sort_keys=True) + "\n"
+                for d in asum["decisions"]
+            )
+            Path(args.decisions_out).write_text(log_text)
+            print(
+                f"wrote {args.decisions_out} "
+                f"({len(asum['decisions'])} decisions)",
+                file=sys.stderr,
+            )
     rss_exceeded = False
     peak_mb = _peak_rss_mb()
     if peak_mb is not None:
@@ -404,16 +505,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from .obs import parse_trace_jsonl, summarize_trace
 
-    spans = parse_trace_jsonl(Path(args.trace).read_text())
+    try:
+        text = Path(args.trace).read_text()
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read trace file {args.trace}: {exc.strerror or exc}"
+        ) from exc
+    try:
+        spans = parse_trace_jsonl(text)
+    except ValueError as exc:
+        raise ValueError(f"{args.trace}: {exc}") from exc
     if not spans:
-        raise ValueError(f"no spans in {args.trace}")
+        raise ValueError(
+            f"{args.trace} contains no spans — empty trace file "
+            "(was it written by serve --trace-out?)"
+        )
     metrics_rows = None
     if args.metrics:
-        metrics_rows = [
-            json.loads(line)
-            for line in Path(args.metrics).read_text().splitlines()
-            if line.strip()
-        ]
+        try:
+            metrics_text = Path(args.metrics).read_text()
+        except OSError as exc:
+            raise ValueError(
+                f"cannot read metrics file {args.metrics}: "
+                f"{exc.strerror or exc}"
+            ) from exc
+        metrics_rows = []
+        for i, line in enumerate(metrics_text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                metrics_rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{args.metrics}: line {i} is not valid JSON "
+                    f"({exc.msg}) — truncated or corrupt metrics file?"
+                ) from exc
     print(summarize_trace(spans, metrics_rows))
     return 0
 
@@ -520,6 +646,31 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="when the grow/shrink fires (ms; default: duration/4)",
+    )
+    p.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="POLICY.json",
+        help="run the autoscaling control loop with this policy (JSON, "
+        "see docs/SCENARIOS.md): poll live metrics on a sim-clock "
+        "cadence and grow/shrink the fleet through the migration path; "
+        "mutually exclusive with --grow/--shrink",
+    )
+    p.add_argument(
+        "--decisions-out",
+        default=None,
+        metavar="FILE",
+        help="write the autoscale decision log as JSONL (replayable "
+        "byte-identically from the recorded snapshots; needs "
+        "--autoscale)",
+    )
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a long-lived front-end: accept request streams "
+        "over a local socket (line-delimited JSON ops) and serve each "
+        "through this scenario until a shutdown op",
     )
     p.add_argument(
         "--volumes",

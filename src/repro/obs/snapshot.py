@@ -90,6 +90,7 @@ def build_rows(
     n_shards = recorder.shard_count()
     last = recorder.last_bucket()
     progress = recorder.gauge_series("rebuild_progress")
+    scale = recorder.gauge_series("autoscale_shards")
     active_iv: list = []
     queued_iv: list = []
     if payload is not None:
@@ -149,6 +150,9 @@ def build_rows(
         }
         if frac:
             fleet["rebuild_progress"] = frac
+        shards_now = _carry_forward(scale.get(0, []), t_end)
+        if shards_now is not None:
+            fleet["autoscale_shards"] = int(shards_now)
         rows.append(
             {
                 "type": "snapshot",

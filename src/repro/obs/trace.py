@@ -144,6 +144,63 @@ def spans_from_payload(payload: dict) -> list[dict]:
         spans.append(
             _span("migration_drain", f"{mid}/drain", mid, copied, cutover)
         )
+    autoscale = payload.get("autoscale") or {}
+    for ev in autoscale.get("events", ()):
+        seq = ev["seq"]
+        aid = f"autoscale:{seq}"
+        start = ev["t_ms"]
+        end = ev.get("converged_at_ms")
+        spans.append(
+            _span(
+                "autoscale",
+                aid,
+                "scenario",
+                start,
+                end if end is not None else start,
+                action=ev["action"],
+                reason=ev["reason"],
+                from_shards=ev["from_shards"],
+                to_shards=ev["to_shards"],
+                planned_moves=ev["planned_moves"],
+                completed_moves=ev["completed_moves"],
+                all_verified=ev["all_verified"],
+            )
+        )
+        for m in ev.get("volumes", ()):
+            requested = m.get("requested_at_ms")
+            started = m.get("started_at_ms")
+            copied = m.get("copied_at_ms")
+            cutover = m.get("cutover_at_ms")
+            if requested is None or started is None:
+                continue
+            vid = f"{aid}/vol:{m['volume']}"
+            spans.append(
+                _span(
+                    "migration",
+                    vid,
+                    aid,
+                    requested,
+                    cutover,
+                    volume=m["volume"],
+                    source=m["source"],
+                    dest=m["dest"],
+                    units_copied=m["units_copied"],
+                    held_requests=m["held_requests"],
+                    forwarded_writes=m["forwarded_writes"],
+                    data_verified=m["data_verified"],
+                )
+            )
+            spans.append(
+                _span(
+                    "migration_wait", f"{vid}/wait", vid, requested, started
+                )
+            )
+            spans.append(
+                _span("migration_copy", f"{vid}/copy", vid, started, copied)
+            )
+            spans.append(
+                _span("migration_drain", f"{vid}/drain", vid, copied, cutover)
+            )
     return spans
 
 
@@ -153,8 +210,30 @@ def render_trace_jsonl(spans: list[dict]) -> str:
 
 
 def parse_trace_jsonl(text: str) -> list[dict]:
-    """Parse a trace file back into span rows."""
-    return [json.loads(line) for line in text.splitlines() if line.strip()]
+    """Parse a trace file back into span rows.
+
+    Raises:
+        ValueError: with the offending line number when a line is not
+            valid JSON (a truncated write leaves a partial last line)
+            or is not a span object.
+    """
+    spans: list[dict] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {i} is not valid JSON ({exc.msg}) — truncated or "
+                "corrupt trace file?"
+            ) from exc
+        if not isinstance(row, dict) or "span" not in row:
+            raise ValueError(
+                f"line {i} is not a span object — not a trace file?"
+            )
+        spans.append(row)
+    return spans
 
 
 def _phase_stats(spans: list[dict], span_type: str) -> dict | None:
@@ -207,6 +286,17 @@ def summarize_trace(
                 f"{r['stripes_rebuilt']} stripes in "
                 f"{run['end_ms'] - run['start_ms']:.0f} ms "
                 f"(verified={r['data_verified']})"
+            )
+    autoscales = [s for s in spans if s["span"] == "autoscale"]
+    if autoscales:
+        lines.append("autoscale timeline:")
+        for a in sorted(autoscales, key=lambda s: s["start_ms"]):
+            lines.append(
+                f"  t={a['start_ms']:.0f} ms: {a['action']} "
+                f"{a['from_shards']} -> {a['to_shards']} ({a['reason']}), "
+                f"{a['completed_moves']}/{a['planned_moves']} moves, "
+                f"converged at {a['end_ms']:.0f} ms "
+                f"(verified={a['all_verified']})"
             )
     migrations = [s for s in spans if s["span"] == "migration"]
     if migrations:

@@ -49,8 +49,22 @@ True
 These doctests run in ``make check`` (``make doctest``).
 """
 
+from .autoscale import (
+    DEFAULT_AUTOSCALE_WINDOW,
+    AutoscaleController,
+    AutoscaleDecision,
+    AutoscalePolicy,
+    AutoscaleSummary,
+    MetricSnapshot,
+    PolicyState,
+    decide,
+    parse_decision_jsonl,
+    render_decision_jsonl,
+    replay_decisions,
+)
 from .conformance import FleetConformance, check_fleet
 from .fleet import Fleet, FleetReport
+from .frontend import ServiceFrontend, run_frontend
 from .migration import (
     MigrationCoordinator,
     MigrationPlan,
@@ -81,6 +95,19 @@ from .scenario import (
 from .sharding import PLACEMENT_POLICIES, ShardMap, splitmix64
 
 __all__ = [
+    "DEFAULT_AUTOSCALE_WINDOW",
+    "AutoscaleController",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "AutoscaleSummary",
+    "MetricSnapshot",
+    "PolicyState",
+    "decide",
+    "parse_decision_jsonl",
+    "render_decision_jsonl",
+    "replay_decisions",
+    "ServiceFrontend",
+    "run_frontend",
     "FleetConformance",
     "check_fleet",
     "Fleet",

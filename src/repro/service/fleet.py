@@ -196,6 +196,11 @@ class Fleet:
         # volume at a time by a live migration's cutovers.
         self._volume_route = self.shard_map.assignment()
         self._migration = None  # attached by MigrationCoordinator
+        # Every coordinator ever attached, in order — serve accounting
+        # sums dispatch counts across all of them, so migrations fired
+        # mid-serve (the autoscale loop can run several sequentially)
+        # still land in the per-shard scheduled totals.
+        self._migrations: list = []
 
     @property
     def shards(self) -> int:
@@ -278,6 +283,18 @@ class Fleet:
         if self._migration is not None and not self._migration.done:
             raise RuntimeError("a migration is already in progress")
         self._migration = coordinator
+        self._migrations.append(coordinator)
+
+    def migration_dispatch_totals(self) -> list[int]:
+        """Requests dispatched per shard by every migration ever
+        attached (diverted traffic counts where the coordinator sent
+        it).  Serve paths snapshot this before and after a stream so
+        scheduled counts cover coordinators created mid-serve too."""
+        totals = [0] * self.shards
+        for co in self._migrations:
+            for s, n in enumerate(co.dispatched_per_shard):
+                totals[s] += n
+        return totals
 
     # ------------------------------------------------------------------
     # Routing
@@ -398,8 +415,7 @@ class Fleet:
             for ctrl in self.controllers
         ]
         ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
-        mig = self._migration
-        mig_base = list(mig.dispatched_per_shard) if mig is not None else None
+        mig_base = self.migration_dispatch_totals()
         obs = self._obs
         if obs.enabled:
             for s, trace in enumerate(compiled):
@@ -420,11 +436,11 @@ class Fleet:
             scheduled.append(0)
             lat_base.append({})
             ios_base.append([0] * self.layout.v)
-        if mig is not None:
-            # Diverted requests count where the coordinator actually
-            # dispatched them (source pre-cutover, destination after).
-            for s, total in enumerate(mig.dispatched_per_shard):
-                base = mig_base[s] if s < len(mig_base) else 0
+        # Diverted requests count where the coordinators actually
+        # dispatched them (source pre-cutover, destination after).
+        for s, total in enumerate(self.migration_dispatch_totals()):
+            base = mig_base[s] if s < len(mig_base) else 0
+            if total != base:
                 scheduled[s] += total - base
         # This stream's samples as per-shard exact accumulators.
         accs: list[dict[str, LatencyStats]] = []
@@ -511,7 +527,7 @@ class Fleet:
         start = self.sim.now
         ios_base = [ctrl.per_disk_completed() for ctrl in self.controllers]
         mig = self._migration
-        mig_base = list(mig.dispatched_per_shard) if mig is not None else None
+        mig_base = self.migration_dispatch_totals()
         digests: list[dict[str, LatencyDigest]] = [
             {} for _ in self.controllers
         ]
@@ -544,9 +560,9 @@ class Fleet:
             scheduled.append(0)
             ios_base.append([0] * self.layout.v)
             digests.append({})
-        if mig is not None:
-            for s, total in enumerate(mig.dispatched_per_shard):
-                base = mig_base[s] if s < len(mig_base) else 0
+        for s, total in enumerate(self.migration_dispatch_totals()):
+            base = mig_base[s] if s < len(mig_base) else 0
+            if total != base:
                 scheduled[s] += total - base
         return self._report(
             scheduled=scheduled,

@@ -1,0 +1,225 @@
+"""Long-lived serving front-end: request streams over a local socket.
+
+A :class:`ServiceFrontend` owns one :class:`FleetScenario` (optionally
+with an :class:`~repro.service.autoscale.AutoscalePolicy`) and listens
+on a local TCP socket for line-delimited JSON requests.  Clients submit
+request-stream chunks and ask the front-end to serve them; each serve
+runs the full scenario machinery (:func:`run_fleet_scenario` with
+``stream=``) in a worker thread, so a submitted stream produces a
+report **canonically identical** to the equivalent batch scenario —
+the front-end adds transport, never semantics.
+
+Protocol — one JSON object per line, one JSON reply per line:
+
+========  ====================================================
+op        behaviour
+========  ====================================================
+ping      liveness + scenario shape + buffered request count
+submit    append a stream chunk: ``{"op": "submit", "times":
+          [...], "is_read": [...], "lbas": [...]}``; arrival
+          times must be non-decreasing across chunks
+reset     drop the buffered stream
+serve     run the scenario over the buffered stream (clears
+          the buffer); reply carries the full report payload
+run       run the scenario's own synthetic workload
+shutdown  close the listener after replying
+========  ====================================================
+
+Every reply carries ``"ok"``; errors reply ``{"ok": false, "error":
+...}`` without killing the connection.  The simulation itself is
+blocking CPU work, so serves run under an :class:`asyncio.Lock` in the
+default executor — one scenario at a time, results in request order.
+
+``python -m repro serve --listen HOST:PORT`` wraps this in a process
+(:func:`run_frontend`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+
+import numpy as np
+
+from .scenario import FleetScenario, run_fleet_scenario
+
+__all__ = ["ServiceFrontend", "run_frontend"]
+
+
+class ServiceFrontend:
+    """One scenario behind a local line-delimited-JSON TCP listener.
+
+    Args:
+        scenario: the :class:`FleetScenario` every serve runs (its
+            ``autoscale`` policy, placement, verification, and window
+            settings all apply).
+        host / port: bind address (port 0 = ephemeral; read the bound
+            address from :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scenario = scenario
+        self.host = host
+        self.port = port
+        self.runs = 0
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._buffered = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._lock = asyncio.Lock()
+        self._closed = asyncio.Event()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting connections and release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`close`) lands."""
+        await self._closed.wait()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                    reply = await self._dispatch(request)
+                except (ValueError, KeyError, TypeError) as exc:
+                    reply = {"ok": False, "error": str(exc)}
+                writer.write(
+                    json.dumps(reply, sort_keys=True).encode() + b"\n"
+                )
+                await writer.drain()
+                if reply.get("op") == "shutdown" and reply.get("ok"):
+                    await self.close()
+                    break
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            sc = self.scenario
+            return {
+                "ok": True,
+                "op": "ping",
+                "scenario": {
+                    "shards": sc.shards,
+                    "v": sc.v,
+                    "k": sc.k,
+                    "duration_ms": sc.duration_ms,
+                    "autoscale": sc.autoscale is not None,
+                },
+                "buffered": self._buffered,
+                "runs": self.runs,
+            }
+        if op == "submit":
+            return self._submit(request)
+        if op == "reset":
+            self._chunks.clear()
+            self._buffered = 0
+            return {"ok": True, "op": "reset", "buffered": 0}
+        if op == "serve":
+            if not self._buffered:
+                raise ValueError("serve with no buffered requests")
+            times = np.concatenate([c[0] for c in self._chunks])
+            is_read = np.concatenate([c[1] for c in self._chunks])
+            lbas = np.concatenate([c[2] for c in self._chunks])
+            self._chunks.clear()
+            self._buffered = 0
+            payload = await self._run(stream=(times, is_read, lbas))
+            return {"ok": True, "op": "serve", "report": payload}
+        if op == "run":
+            payload = await self._run(stream=None)
+            return {"ok": True, "op": "run", "report": payload}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        raise ValueError(f"unknown op {op!r}")
+
+    def _submit(self, request: dict) -> dict:
+        times = np.asarray(request["times"], dtype=np.float64)
+        is_read = np.asarray(request["is_read"], dtype=bool)
+        lbas = np.asarray(request["lbas"], dtype=np.int64)
+        if not (times.size == is_read.size == lbas.size):
+            raise ValueError(
+                "times/is_read/lbas must be the same length, got "
+                f"{times.size}/{is_read.size}/{lbas.size}"
+            )
+        if times.size:
+            if (times[1:] < times[:-1]).any():
+                raise ValueError("arrival times must be non-decreasing")
+            if self._chunks and times[0] < self._chunks[-1][0][-1]:
+                raise ValueError(
+                    "chunk starts before the previously submitted chunk "
+                    "ends — submit chunks in arrival order"
+                )
+            self._chunks.append((times, is_read, lbas))
+            self._buffered += times.size
+        return {"ok": True, "op": "submit", "buffered": self._buffered}
+
+    async def _run(self, stream) -> dict:
+        async with self._lock:
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    run_fleet_scenario, self.scenario, stream=stream
+                ),
+            )
+        self.runs += 1
+        return report.to_dict()
+
+
+def run_frontend(
+    scenario: FleetScenario,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready=None,
+) -> int:
+    """Run a front-end until a client sends ``shutdown`` (the
+    ``serve --listen`` entry point).
+
+    ``ready`` (optional) is called with the bound ``(host, port)`` once
+    the listener is up.  Returns a process exit code.
+    """
+
+    async def main() -> int:
+        frontend = ServiceFrontend(scenario, host=host, port=port)
+        await frontend.start()
+        if ready is not None:
+            ready(frontend.address)
+        await frontend.wait_closed()
+        return 0
+
+    return asyncio.run(main())

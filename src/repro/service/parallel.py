@@ -221,6 +221,16 @@ def partition_scenario(scenario: FleetScenario) -> GroupPartition:
     """
     _validate_scenario(scenario)
     n = scenario.shards
+    if scenario.autoscale is not None:
+        # The control loop watches fleet-wide metrics and can fire a
+        # reshape at any tick — every shard is coupled to every other
+        # through the decisions, so the whole fleet is one group.
+        return _serial_reshape(
+            scenario,
+            "the autoscale control loop watches fleet-wide metrics and "
+            "can reshape at any tick — the whole fleet is one execution "
+            "group",
+        )
     if scenario.reshape_to is not None:
         return _partition_reshape(scenario)
     by_array: dict[int, FailureEvent] = {

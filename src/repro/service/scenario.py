@@ -30,8 +30,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..sim.compile import ArrayWindows
 from ..sim.disk import DiskParameters
 from ..sim.workload import WorkloadConfig
+from .autoscale import (
+    DEFAULT_AUTOSCALE_WINDOW,
+    AutoscaleController,
+    AutoscalePolicy,
+    AutoscaleSummary,
+)
 from .conformance import FleetConformance, check_fleet
 from .fleet import Fleet, FleetReport
 from .migration import MigrationCoordinator, VolumeMigrationOutcome
@@ -114,6 +123,13 @@ class FleetScenario:
             stays flat at any horizon; the report is byte-identical to
             the materialized run.
         seed: shard-ring / data-plane seed.
+        autoscale: optional :class:`AutoscalePolicy` — a control loop
+            polls the live metrics on a sim-clock cadence and fires
+            grow/shrink migrations on sustained load or imbalance
+            (mutually exclusive with ``reshape_to``).  Autoscaled runs
+            always serve windowed (``window_size`` or
+            :data:`~repro.service.autoscale.DEFAULT_AUTOSCALE_WINDOW`)
+            so mid-stream cutovers take effect.
     """
 
     shards: int = 8
@@ -137,6 +153,7 @@ class FleetScenario:
     write_policy: str = "rmw"
     window_size: int | None = None
     seed: int = 0
+    autoscale: AutoscalePolicy | None = None
 
     def workload(self) -> WorkloadConfig:
         """The scenario's synthetic workload config."""
@@ -169,6 +186,7 @@ class FleetScenarioReport:
     routing_fingerprint: int
     wall_s: float
     max_concurrent_rebuilds: int = field(default=0)
+    autoscale: AutoscaleSummary | None = field(default=None)
 
     @property
     def all_rebuilt_verified(self) -> bool:
@@ -200,14 +218,22 @@ class FleetScenarioReport:
         return all(o.data_verified is not False for o in self.migrations)
 
     @property
+    def all_autoscale_ok(self) -> bool:
+        """Every fired autoscale event converged fully verified with
+        nothing lost, and the decision log replayed byte-identically
+        (vacuously true without an autoscale policy)."""
+        return self.autoscale is None or self.autoscale.ok
+
+    @property
     def passed(self) -> bool:
-        """Conformance (when checked), full verified recovery, and a
-        fully verified reconfiguration."""
+        """Conformance (when checked), full verified recovery, a fully
+        verified reconfiguration, and a clean autoscale log."""
         conf_ok = self.conformance is None or self.conformance.passed
         return (
             conf_ok
             and self.all_rebuilt_verified
             and self.all_migrated_verified
+            and self.all_autoscale_ok
         )
 
     def engine_per_shard(self) -> list[str | None]:
@@ -252,6 +278,9 @@ class FleetScenarioReport:
                 "write_policy": sc.write_policy,
                 "window_size": sc.window_size,
                 "seed": sc.seed,
+                "autoscale": (
+                    sc.autoscale.to_dict() if sc.autoscale is not None else None
+                ),
                 "failures": [
                     {"time_ms": f.time_ms, "array": f.array, "disk": f.disk}
                     for f in sc.failures
@@ -340,6 +369,9 @@ class FleetScenarioReport:
                 if sc.reshape_to is not None
                 else None
             ),
+            "autoscale": (
+                self.autoscale.to_dict() if self.autoscale is not None else None
+            ),
             "max_concurrent_rebuilds": self.max_concurrent_rebuilds,
             "routing_fingerprint": self.routing_fingerprint,
             "all_rebuilt_verified": self.all_rebuilt_verified,
@@ -350,7 +382,7 @@ class FleetScenarioReport:
 
 
 def run_fleet_scenario(
-    scenario: FleetScenario, *, recorder=None
+    scenario: FleetScenario, *, recorder=None, stream=None
 ) -> FleetScenarioReport:
     """Run one scenario end to end (see the module docstring for the
     exact order).
@@ -361,12 +393,31 @@ def run_fleet_scenario(
     completion-bucketed latency, arrivals, engine labels, rebuild
     progress, and end-of-run queue-delay stats.
 
+    With ``stream`` (a ``(times, is_read, lbas)`` triple of arrays),
+    the scenario serves *that* stream instead of generating its own —
+    the service front-end's path.  A stream equal to the scenario's
+    synthetic workload produces a report canonically identical to the
+    batch run.
+
+    An ``autoscale`` policy always serves windowed (the window router
+    re-routes each window through the live volume table, so cutovers
+    the control loop fires mid-stream take effect) and instruments the
+    run even without a caller recorder — the loop needs live arrival
+    buckets to decide from.
+
     Raises:
         ValueError: on inconsistent scenario parameters (bad failure
             targets, admission < 1, a failure schedule overlapping the
-            arrays a reshape copies between, ...).
+            arrays a reshape copies between, autoscale combined with a
+            static reshape, ...).
     """
     t0 = time.perf_counter()
+    policy = scenario.autoscale
+    if policy is not None and scenario.reshape_to is not None:
+        raise ValueError(
+            "autoscale and a static reshape_to are mutually exclusive — "
+            "the control loop owns grow/shrink decisions"
+        )
     fleet = Fleet(
         scenario.shards,
         scenario.v,
@@ -377,6 +428,12 @@ def run_fleet_scenario(
         placement=scenario.placement,
         write_policy=scenario.write_policy,
     )
+    if recorder is None and policy is not None:
+        # The loop decides from live arrival buckets; give it a grid
+        # exactly one cadence wide when the caller brought no recorder.
+        from ..obs import MetricsRecorder
+
+        recorder = MetricsRecorder(policy.cadence_ms, shards=scenario.shards)
     if recorder is not None:
         fleet.attach_recorder(recorder)
     conformance = check_fleet(fleet) if scenario.check_conformance else None
@@ -411,11 +468,39 @@ def run_fleet_scenario(
             )
         coordinator.arm()
     orchestrator.arm()
-    report = fleet.serve_workload(
-        scenario.workload(),
-        scenario.duration_ms,
-        window_size=scenario.window_size,
-    )
+    autoscaler = None
+    window_size = scenario.window_size
+    if policy is not None:
+        if window_size is None:
+            window_size = DEFAULT_AUTOSCALE_WINDOW
+        autoscaler = AutoscaleController(
+            fleet,
+            policy,
+            recorder,
+            admission=admission,
+            horizon_ms=scenario.duration_ms,
+            copy_parallelism=scenario.copy_parallelism,
+        )
+        autoscaler.arm()
+    if stream is not None:
+        times, is_read, lbas = stream
+        if window_size is not None:
+            report = fleet.serve_windows(
+                ArrayWindows(times, is_read, lbas, window_size),
+                read_only_hint=scenario.read_fraction >= 1.0,
+            )
+        else:
+            report = fleet.serve_stream(
+                np.asarray(times, dtype=np.float64),
+                np.asarray(is_read, dtype=bool),
+                np.asarray(lbas, dtype=np.int64),
+            )
+    else:
+        report = fleet.serve_workload(
+            scenario.workload(),
+            scenario.duration_ms,
+            window_size=window_size,
+        )
     # Failures scheduled beyond the last request completion have fired
     # by now (serve drains the shared loop), but guard the empty-stream
     # edge where arming happened with nothing else pending.
@@ -431,6 +516,14 @@ def run_fleet_scenario(
                 sum(d.total_queue_delay for d in ctrl.disks),
             )
 
+    autoscale_summary = None
+    if autoscaler is not None:
+        autoscale_summary = autoscaler.summary(
+            verify_data=scenario.verify_data,
+            # With failures scheduled, lost requests have a legitimate
+            # cause outside the autoscaler — don't gate on them.
+            lost=report.lost if not scenario.failures else None,
+        )
     return FleetScenarioReport(
         scenario=scenario,
         conformance=conformance,
@@ -445,4 +538,5 @@ def run_fleet_scenario(
         routing_fingerprint=fleet.shard_map.fingerprint(),
         wall_s=time.perf_counter() - t0,
         max_concurrent_rebuilds=orchestrator.max_concurrent_observed(),
+        autoscale=autoscale_summary,
     )

@@ -11,6 +11,7 @@ for end-to-end correctness checks.
 from .analysis import LoadEstimate, analyze_load, declustering_ratio
 from .batchstep import step_compiled
 from .compile import (
+    ArrayWindows,
     CompiledTrace,
     StreamWindows,
     compile_stream,
@@ -50,6 +51,7 @@ __all__ = [
     "LoadEstimate",
     "analyze_load",
     "declustering_ratio",
+    "ArrayWindows",
     "CompiledTrace",
     "StreamWindows",
     "compile_stream",

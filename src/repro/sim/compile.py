@@ -65,6 +65,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid cycles)
 __all__ = [
     "CompiledTrace",
     "StreamWindows",
+    "ArrayWindows",
     "generate_request_stream",
     "compile_stream",
     "compile_workload",
@@ -187,6 +188,52 @@ class StreamWindows:
             yield times, is_read, lbas
             if last:
                 return
+
+
+class ArrayWindows:
+    """Re-iterable fixed-size windows over a materialized stream.
+
+    The explicit-array analogue of :class:`StreamWindows`: iterating
+    yields ``(times, is_read, lbas)`` slices of at most ``window_size``
+    requests, in order, whose concatenation is the input arrays
+    themselves — so serving a materialized stream through the windowed
+    executors is byte-identical to :func:`generate_request_stream`'s
+    windows when the arrays came from the same config.  This is how
+    externally submitted request streams (the service front-end's
+    socket chunks) ride the same constant-memory serving path as
+    synthetic workloads.
+
+    Raises:
+        ValueError: on a non-positive window size, mismatched array
+            lengths, or arrival times that are not non-decreasing.
+    """
+
+    __slots__ = ("times", "is_read", "lbas", "window_size")
+
+    def __init__(self, times, is_read, lbas, window_size: int) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.times = np.asarray(times, dtype=np.float64)
+        self.is_read = np.asarray(is_read, dtype=bool)
+        self.lbas = np.ascontiguousarray(lbas, dtype=np.int64)
+        if not (len(self.times) == len(self.is_read) == len(self.lbas)):
+            raise ValueError(
+                "times/is_read/lbas must be the same length, got "
+                f"{len(self.times)}/{len(self.is_read)}/{len(self.lbas)}"
+            )
+        if self.times.size and (self.times[1:] < self.times[:-1]).any():
+            raise ValueError("arrival times must be non-decreasing")
+        self.window_size = int(window_size)
+
+    def __iter__(self):
+        n = self.times.size
+        w = self.window_size
+        for i in range(0, n, w):
+            yield (
+                self.times[i : i + w],
+                self.is_read[i : i + w],
+                self.lbas[i : i + w],
+            )
 
 
 def generate_request_stream(

@@ -45,6 +45,7 @@ __all__ = [
     "quantize_latency",
     "summarize",
     "merge_summaries",
+    "percentile_of_parts",
 ]
 
 #: Sub-buckets per power-of-two octave (as a bit count): latencies are
@@ -330,6 +331,33 @@ def summarize(stats: LatencyStats | LatencyDigest) -> dict[str, float]:
         "p95": stats.percentile(95),
         "max": stats.max,
     }
+
+
+def percentile_of_parts(
+    parts: list[LatencyStats | LatencyDigest], p: float
+) -> float:
+    """Quantized nearest-rank percentile over the union of several
+    accumulators (0.0 when all are empty).
+
+    Like :func:`merge_summaries`, the rank is taken over the summed
+    bucket histograms, so the result is a pure order-independent
+    function of the per-part state — exact lists and streaming digests
+    agree bit for bit.  This is how service-level objectives query
+    percentiles the summary dict does not carry (e.g. p99 over the
+    buckets of one time window) without changing the report schema.
+    """
+    count = 0
+    buckets: dict[int, int] = {}
+    for part in parts:
+        c = part.count
+        if not c:
+            continue
+        count += c
+        for key, k in part.bucket_counts().items():
+            buckets[key] = buckets.get(key, 0) + k
+    if not count:
+        return 0.0
+    return _bucket_percentile(buckets, count, p)
 
 
 def merge_summaries(parts: list[LatencyStats | LatencyDigest]) -> dict[str, float]:

@@ -1,5 +1,7 @@
 """Trace spans derived from scenario report payloads."""
 
+import pytest
+
 from repro.obs import (
     parse_trace_jsonl,
     render_trace_jsonl,
@@ -7,6 +9,7 @@ from repro.obs import (
     summarize_trace,
 )
 from repro.service import (
+    AutoscalePolicy,
     FleetScenario,
     default_failure_schedule,
     run_fleet_scenario,
@@ -92,6 +95,66 @@ class TestSpansFromPayload:
         assert not [s for s in spans if s["span"].startswith("migration")]
 
 
+def _autoscaled_payload():
+    return run_fleet_scenario(
+        FleetScenario(
+            shards=2,
+            v=9,
+            k=3,
+            duration_ms=600.0,
+            interarrival_ms=0.5,
+            seed=7,
+            autoscale=AutoscalePolicy(
+                cadence_ms=50.0,
+                high_rate=0.5,
+                sustain_ticks=2,
+                cooldown_ms=200.0,
+                grow_step=2,
+                max_shards=8,
+            ),
+        )
+    ).to_dict()
+
+
+class TestAutoscaleSpans:
+    def test_autoscale_event_tree(self):
+        payload = _autoscaled_payload()
+        assert payload["autoscale"]["events"], "scenario must grow"
+        spans = spans_from_payload(payload)
+        autoscales = [s for s in spans if s["span"] == "autoscale"]
+        assert len(autoscales) == len(payload["autoscale"]["events"])
+        for a in autoscales:
+            assert a["parent"] == "scenario"
+            assert a["action"] == "grow"
+            assert a["to_shards"] > a["from_shards"]
+            assert a["completed_moves"] == a["planned_moves"]
+            moves = [s for s in spans if s["parent"] == a["id"]]
+            assert len(moves) == a["planned_moves"]
+            for m in moves:
+                assert m["span"] == "migration"
+                phases = {
+                    p: next(
+                        s for s in spans if s["id"] == f"{m['id']}/{p}"
+                    )
+                    for p in ("wait", "copy", "drain")
+                }
+                assert phases["wait"]["start_ms"] == m["start_ms"]
+                assert phases["drain"]["end_ms"] == m["end_ms"]
+            # Every move falls inside the event's span window.
+            assert all(
+                a["start_ms"] <= m["start_ms"]
+                and m["end_ms"] <= a["end_ms"]
+                for m in moves
+            )
+
+    def test_summary_has_autoscale_timeline(self):
+        spans = spans_from_payload(_autoscaled_payload())
+        text = summarize_trace(spans)
+        assert "autoscale timeline:" in text
+        assert "grow 2 -> 4" in text
+        assert "(verified=True)" in text
+
+
 class TestRoundTrip:
     def test_render_parse_identity(self):
         spans = spans_from_payload(
@@ -102,6 +165,89 @@ class TestRoundTrip:
 
     def test_parse_skips_blank_lines(self):
         assert parse_trace_jsonl("\n\n") == []
+
+    def test_parse_rejects_truncated_json(self):
+        good = render_trace_jsonl(spans_from_payload(_payload()))
+        first = good.splitlines()[0]
+        truncated = first + "\n" + first[: len(first) // 2] + "\n"
+        with pytest.raises(ValueError, match="line 2 is not valid JSON"):
+            parse_trace_jsonl(truncated)
+        assert "truncated" in _raises_message(truncated)
+
+    def test_parse_rejects_non_span_rows(self):
+        with pytest.raises(ValueError, match="line 1 is not a span object"):
+            parse_trace_jsonl('{"not": "a span"}\n')
+        with pytest.raises(ValueError, match="line 1 is not a span object"):
+            parse_trace_jsonl('[1, 2, 3]\n')
+
+
+def _raises_message(text):
+    try:
+        parse_trace_jsonl(text)
+    except ValueError as exc:
+        return str(exc)
+    raise AssertionError("expected ValueError")
+
+
+class TestTraceCli:
+    """`python -m repro trace` must fail with a clear one-line error
+    (exit 2) on missing, empty, or corrupt span files — never a
+    traceback."""
+
+    def _main(self, argv):
+        from repro.__main__ import main
+
+        return main(argv)
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = self._main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read trace file" in err
+        assert "Traceback" not in err
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = self._main(["trace", str(empty)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "contains no spans" in err
+        assert "Traceback" not in err
+
+    def test_blank_lines_only(self, tmp_path, capsys):
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n\n")
+        code = self._main(["trace", str(blank)])
+        assert code == 2
+        assert "contains no spans" in capsys.readouterr().err
+
+    def test_truncated_file(self, tmp_path, capsys):
+        good = render_trace_jsonl(spans_from_payload(_payload()))
+        first = good.splitlines()[0]
+        bad = tmp_path / "trunc.jsonl"
+        bad.write_text(first + "\n" + first[:20] + "\n")
+        code = self._main(["trace", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "line 2 is not valid JSON" in err
+        assert str(bad) in err
+
+    def test_not_a_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "report.json"
+        bad.write_text('{"passed": true}\n')
+        code = self._main(["trace", str(bad)])
+        assert code == 2
+        assert "not a span object" in capsys.readouterr().err
+
+    def test_valid_trace_summarizes(self, tmp_path, capsys):
+        spans = spans_from_payload(_payload())
+        path = tmp_path / "trace.jsonl"
+        path.write_text(render_trace_jsonl(spans))
+        code = self._main(["trace", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario: 4 shards" in out
 
 
 class TestSummary:

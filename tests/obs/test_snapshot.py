@@ -54,6 +54,16 @@ class TestBuildRows:
         rows = build_rows(rec)
         assert rows[0]["fleet"]["balance"] is None
 
+    def test_autoscale_shards_gauge_carries_forward(self):
+        rec = _loaded_recorder()
+        rec.gauge("autoscale_shards", 0, 12.0, 2)
+        rec.gauge("autoscale_shards", 0, 18.0, 4)
+        rows = build_rows(rec)
+        # No sample in the first window -> key absent; latest value
+        # carries into each later snapshot.
+        assert "autoscale_shards" not in rows[0]["fleet"]
+        assert rows[1]["fleet"]["autoscale_shards"] == 4
+
     def test_volatile_counters_stay_out_of_jsonl(self):
         text = render_metrics_jsonl(build_rows(_loaded_recorder()))
         assert "window_boundaries" not in text

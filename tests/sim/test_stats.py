@@ -1,0 +1,146 @@
+"""Latency accumulator edge cases: empty and single-sample digests,
+mid-window stability of polled values, and multi-part percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import (
+    LatencyDigest,
+    LatencyStats,
+    percentile_of_parts,
+    quantize_latency,
+    summarize,
+)
+
+
+class TestEmpty:
+    @pytest.mark.parametrize("make", [LatencyStats, LatencyDigest])
+    @pytest.mark.parametrize("p", [0, 50, 95, 99, 100])
+    def test_empty_percentile_is_zero(self, make, p):
+        assert make().percentile(p) == 0.0
+
+    @pytest.mark.parametrize("make", [LatencyStats, LatencyDigest])
+    def test_empty_summary(self, make):
+        s = summarize(make())
+        assert s == {
+            "count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0
+        }
+
+    @pytest.mark.parametrize("make", [LatencyStats, LatencyDigest])
+    def test_empty_bucket_counts(self, make):
+        assert make().bucket_counts() == {}
+
+    def test_empty_extend_array_is_a_no_op(self):
+        d = LatencyDigest()
+        d.extend_array(np.array([], dtype=np.float64))
+        assert d.count == 0 and d.percentile(99) == 0.0
+
+    def test_percentile_of_no_parts_is_zero(self):
+        assert percentile_of_parts([], 99.0) == 0.0
+        assert percentile_of_parts(
+            [LatencyStats(), LatencyDigest()], 99.0
+        ) == 0.0
+
+
+class TestSingleSample:
+    @pytest.mark.parametrize("make", [LatencyStats, LatencyDigest])
+    @pytest.mark.parametrize("value", [0.0, 0.25, 7.3, 1e6])
+    def test_every_percentile_is_the_quantized_sample(self, make, value):
+        acc = make()
+        acc.record(value)
+        expected = quantize_latency(value)
+        for p in (0, 1, 50, 99, 100):
+            assert acc.percentile(p) == expected
+        assert acc.max == value
+        assert acc.mean == value
+
+    @pytest.mark.parametrize("make", [LatencyStats, LatencyDigest])
+    def test_single_sample_bucket(self, make):
+        acc = make()
+        acc.record(3.7)
+        counts = acc.bucket_counts()
+        assert len(counts) == 1
+        assert sum(counts.values()) == 1
+
+    def test_zero_latency_gets_its_own_bucket(self):
+        acc = LatencyDigest()
+        acc.record(0.0)
+        acc.record(1.0)
+        assert len(acc.bucket_counts()) == 2
+        assert acc.percentile(0) == 0.0
+
+
+class TestMidWindowStability:
+    """The snapshot-poll path: values read from a digest mid-window
+    must be stable — identical before and after unrelated churn, and
+    identical between scalar and vectorized ingestion."""
+
+    def test_polling_does_not_perturb_state(self):
+        d = LatencyDigest()
+        d.extend([5.0, 1.0, 9.0])
+        first = (d.count, d.total, d.percentile(50), d.bucket_counts())
+        # Poll repeatedly (the controller does this every tick).
+        for _ in range(3):
+            assert d.percentile(50) == first[2]
+            assert d.bucket_counts() == first[3]
+        assert (d.count, d.total) == first[:2]
+
+    def test_scalar_and_vector_paths_agree_mid_window(self):
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(4.0, size=500)
+        scalar = LatencyDigest()
+        vector = LatencyDigest()
+        # Interleave ingestion with polling: values must agree at every
+        # cut point, not just at the end.
+        for lo in range(0, 500, 100):
+            chunk = samples[lo:lo + 100]
+            scalar.extend(chunk.tolist())
+            vector.extend_array(chunk)
+            assert vector.count == scalar.count
+            assert vector.total == scalar.total
+            assert vector.max == scalar.max
+            for p in (50, 95, 99):
+                assert vector.percentile(p) == scalar.percentile(p)
+            assert vector.bucket_counts() == scalar.bucket_counts()
+
+    def test_digest_matches_exact_stats(self):
+        rng = np.random.default_rng(5)
+        samples = rng.exponential(2.0, size=1000).tolist()
+        exact = LatencyStats()
+        digest = LatencyDigest()
+        for x in samples:
+            exact.record(x)
+            digest.record(x)
+        assert summarize(digest) == summarize(exact)
+
+
+class TestPercentileOfParts:
+    def test_union_equals_single_accumulator(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(4.0, size=900)
+        whole = LatencyDigest()
+        whole.extend_array(samples)
+        parts = []
+        for lo in range(0, 900, 300):
+            part = LatencyDigest()
+            part.extend_array(samples[lo:lo + 300])
+            parts.append(part)
+        for p in (1, 50, 95, 99, 100):
+            assert percentile_of_parts(parts, p) == whole.percentile(p)
+
+    def test_mixed_part_types(self):
+        a = LatencyStats()
+        a.record(1.0)
+        b = LatencyDigest()
+        b.record(100.0)
+        # 2 samples: p50 hits the first bucket, p100 the second.
+        assert percentile_of_parts([a, b], 50) == quantize_latency(1.0)
+        assert percentile_of_parts([a, b], 100) == quantize_latency(100.0)
+
+    def test_empty_parts_are_skipped(self):
+        a = LatencyDigest()
+        a.record(2.0)
+        assert (
+            percentile_of_parts([LatencyDigest(), a, LatencyStats()], 99)
+            == quantize_latency(2.0)
+        )
