@@ -23,6 +23,11 @@
 #   smoke-autoscale - autoscaling control-loop smoke: a scripted load
 #             spike must fire a grow with zero lost requests, verified
 #             cutovers, and a byte-identically replayable decision log
+#   smoke-frontend - warm serving smoke: serve --listen with a 2-process
+#             pool in a subprocess, submit the same stream twice; the
+#             warm report must be canonically identical to the cold one
+#             and to the batch run, with a proven pool/cache hit, clean
+#             shutdown, and zero leaked /dev/shm segments
 #   examples-smoke - run every script under examples/ headless
 #   docs-check     - link-check docs/ + README (local targets only)
 #   bench-guard    - re-time the mixed-path executor and fail on a >20%
@@ -39,9 +44,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # the plain serial run otherwise (the container image does not ship it).
 XDIST := $(shell $(PYTHON) -c "import pytest_xdist" 2>/dev/null && echo "-n auto")
 
-.PHONY: check test doctest verify smoke smoke-parallel smoke-stream smoke-obs smoke-autoscale examples-smoke docs-check bench-guard bench bench-all
+.PHONY: check test doctest verify smoke smoke-parallel smoke-stream smoke-obs smoke-autoscale smoke-frontend examples-smoke docs-check bench-guard bench bench-all
 
-check: test doctest verify smoke smoke-parallel smoke-stream smoke-obs smoke-autoscale examples-smoke bench-guard
+check: test doctest verify smoke smoke-parallel smoke-stream smoke-obs smoke-autoscale smoke-frontend examples-smoke bench-guard
 
 test:
 	$(PYTHON) -m pytest -x -q $(XDIST)
@@ -122,6 +127,13 @@ smoke-autoscale:
 	assert a['events'], 'autoscale smoke: no scaling event fired'; \
 	assert a['ok'], 'autoscale smoke: replay/zero-lost/verify gate failed'; \
 	print('autoscale smoke: %d tick(s), grow fired, replay identical, zero lost' % len(a['decisions']))"
+
+# Warm-runtime front-end smoke: the persistent pool + shm transport +
+# artifact cache behind `serve --listen --workers 2`, exercised over a
+# real socket from a real subprocess.  The BENCH_frontend_smoke.json
+# artifact rides the CI upload glob.
+smoke-frontend:
+	$(PYTHON) tools/frontend_smoke.py
 
 examples-smoke:
 	$(PYTHON) tools/run_examples.py

@@ -297,8 +297,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ValueError(
                 f"bad --listen address {args.listen!r} (want HOST:PORT)"
             )
-        if args.workers != 1:
-            raise ValueError("--listen runs in-process; drop --workers")
+        if args.workers < 1:
+            raise ValueError(f"--workers must be >= 1, got {args.workers}")
 
         def ready(addr: tuple) -> None:
             print(f"serving on {addr[0]}:{addr[1]}", file=sys.stderr)
@@ -308,6 +308,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=host or "127.0.0.1",
             port=int(port_text),
             ready=ready,
+            workers=args.workers,
         )
     if args.workers < 1:
         raise ValueError(f"--workers must be >= 1, got {args.workers}")
@@ -540,7 +541,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                     f"{args.metrics}: line {i} is not valid JSON "
                     f"({exc.msg}) — truncated or corrupt metrics file?"
                 ) from exc
-    print(summarize_trace(spans, metrics_rows))
+    runtime = None
+    if args.report:
+        try:
+            report_text = Path(args.report).read_text()
+        except OSError as exc:
+            raise ValueError(
+                f"cannot read report file {args.report}: "
+                f"{exc.strerror or exc}"
+            ) from exc
+        try:
+            report = json.loads(report_text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{args.report}: not valid JSON ({exc.msg})"
+            ) from exc
+        if not isinstance(report, dict):
+            raise ValueError(f"{args.report}: expected a report object")
+        runtime = report.get("runtime")
+    print(summarize_trace(spans, metrics_rows, runtime=runtime))
     return 0
 
 
@@ -670,7 +689,10 @@ def main(argv: list[str] | None = None) -> int:
         metavar="HOST:PORT",
         help="run as a long-lived front-end: accept request streams "
         "over a local socket (line-delimited JSON ops) and serve each "
-        "through this scenario until a shutdown op",
+        "through this scenario's warm runtime until a shutdown op "
+        "(combine with --workers N for a persistent worker pool; "
+        "repeated serves reuse the pool and the compiled-artifact "
+        "cache, reports stay canonically identical to batch)",
     )
     p.add_argument(
         "--volumes",
@@ -782,6 +804,13 @@ def main(argv: list[str] | None = None) -> int:
         help="summarize a --trace-out span file (phases, timelines)",
     )
     p.add_argument("trace", help="span JSONL file from serve --trace-out")
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="matching report JSON (serve --json): adds the warm "
+        "runtime's pool/cache/shm counters to the summary",
+    )
     p.add_argument(
         "--metrics",
         default=None,

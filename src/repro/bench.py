@@ -201,6 +201,48 @@ PARALLEL_DURATION_MS = 60_000.0
 #: 0.25x bar, publishing a misleading scaling bar chart).  The
 #: merge-equality check still binds everywhere.
 PARALLEL_SPEEDUP_BAR = 2.5
+#: Warm-serve case: repeated serves of one scenario through the warm
+#: runtime (persistent pool + shared-memory transport + compiled-
+#: artifact cache) at this worker count.  Spawn is deliberate: the
+#: cold first serve pays the full cold path — pool boot (interpreter
+#: start + registry priming), stream generation, routing — while warm
+#: serves reuse all of it, so the warm-over-cold ratio measures
+#: exactly what the runtime amortizes and does not depend on host
+#: core count (both sides run on the same machine).
+WARM_SERVE_WORKERS = 2
+WARM_SERVE_MP_CONTEXT = "spawn"
+WARM_SERVE_DURATION_MS = 4_000.0
+#: Warm serves timed after the cold one; the steady-state wall is
+#: their median.
+WARM_SERVE_RUNS = 3
+#: Warm steady-state must be at least this much faster than the cold
+#: first serve.  Unlike the multi-core case there is no
+#: host-inadequate escape: cold and warm run on the same host, so the
+#: ratio is meaningful even on one core.
+WARM_SERVE_SPEEDUP_BAR = 2.0
+
+
+def warm_serve_scenario():
+    """The scenario the ``warm_serve`` bench case (and the bench-guard
+    regression case) serve repeatedly — one definition so the guard
+    measures what the committed artifact recorded."""
+    from .service import FleetScenario
+
+    return FleetScenario(
+        shards=4,
+        v=9,
+        k=3,
+        duration_ms=WARM_SERVE_DURATION_MS,
+        interarrival_ms=SERVICE_OFFERED_INTERARRIVAL_MS,
+        read_fraction=SERVICE_READ_FRACTION,
+        workload_seed=7,
+        failures=(),
+        admission=2,
+        verify_data=True,
+        seed=0,
+    )
+
+
 #: Full event-driven rebuilds are timed up to this stripe count; above
 #: it only the scan planning is compared (the event engine itself is
 #: identical between modes, so simulating 10^6 stripes twice would just
@@ -1084,6 +1126,82 @@ def _parallel_case() -> dict:
     }
 
 
+def _warm_serve_case() -> dict:
+    """Repeated serves through the warm runtime: the cold first serve
+    (pool boot + stream generation + routing + shm packing) vs the
+    median warm serve (pool, artifact, and segments all reused).
+
+    Gates three things at once: the >= 2x warm-over-cold bar, canonical
+    byte-identity of every warm report against the cold serial runner,
+    and zero leaked ``/dev/shm`` segments after :meth:`WarmRuntime.
+    close` — the acceptance criteria of the warm-runtime work, pinned
+    as a committed artifact so ``tools/bench_guard.py`` can fail
+    regressions.
+    """
+    import json as _json
+    import os
+    import statistics
+
+    from .service import (
+        canonical_payload,
+        leaked_segments,
+        run_fleet_scenario,
+    )
+    from .service.runtime import WarmRuntime
+
+    scenario = warm_serve_scenario()
+    serial = run_fleet_scenario(scenario)
+    canon = _json.dumps(canonical_payload(serial.to_dict()), sort_keys=True)
+
+    runtime = WarmRuntime(
+        scenario, workers=WARM_SERVE_WORKERS, mp_context=WARM_SERVE_MP_CONTEXT
+    )
+    try:
+        t0 = time.perf_counter()
+        first = runtime.run()
+        cold_wall = time.perf_counter() - t0
+        merge_equal = (
+            _json.dumps(canonical_payload(first), sort_keys=True) == canon
+        )
+        warm_walls = []
+        for _ in range(WARM_SERVE_RUNS):
+            t0 = time.perf_counter()
+            payload = runtime.run()
+            warm_walls.append(time.perf_counter() - t0)
+            merge_equal = merge_equal and (
+                _json.dumps(canonical_payload(payload), sort_keys=True)
+                == canon
+            )
+        stats = runtime.stats.to_dict()
+    finally:
+        runtime.close()
+    leaked = len(leaked_segments(os.getpid()))
+    warm_wall = statistics.median(warm_walls)
+    speedup = cold_wall / warm_wall if warm_wall else 0.0
+    return {
+        "shards": scenario.shards,
+        "duration_ms": WARM_SERVE_DURATION_MS,
+        "requests": serial.fleet.scheduled,
+        "workers": WARM_SERVE_WORKERS,
+        "mp_context": WARM_SERVE_MP_CONTEXT,
+        "runs_timed": WARM_SERVE_RUNS,
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_walls_s": warm_walls,
+        "warm_requests_per_s": (
+            serial.fleet.scheduled / warm_wall if warm_wall else 0.0
+        ),
+        "speedup": speedup,
+        "speedup_bar": WARM_SERVE_SPEEDUP_BAR,
+        "merge_equal": merge_equal,
+        "pool_warm_hits": stats["pool_warm_hits"],
+        "compile_cache_hits": stats["compile_cache_hits"],
+        "shm_bytes": stats["shm_bytes"],
+        "pickled_bytes_avoided": stats["ipc_bytes_avoided"],
+        "leaked_segments": leaked,
+    }
+
+
 def run_service_bench(out_dir: str | Path = ".") -> dict:
     """Run the fleet service suite and write ``BENCH_service.json``."""
     clear_registry()
@@ -1101,6 +1219,7 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
     migration = _migration_case()
     autoscale = _autoscale_slo_case()
     parallel = _parallel_case()
+    warm = _warm_serve_case()
     payload = {
         "benchmark": "service",
         "offered_interarrival_ms": SERVICE_OFFERED_INTERARRIVAL_MS,
@@ -1117,6 +1236,7 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
         "migration": migration,
         "autoscale_slo": autoscale,
         "parallel_scaling": parallel,
+        "warm_serve": warm,
         "peak_rss_mb": peak_rss_mb(),
         "single_array_rps": baseline,
         "fleet_rps": top["throughput_rps"],
@@ -1140,6 +1260,9 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
                 parallel["host_inadequate"]
                 or parallel["speedup"] >= PARALLEL_SPEEDUP_BAR
             )
+            and warm["merge_equal"]
+            and warm["speedup"] >= WARM_SERVE_SPEEDUP_BAR
+            and warm["leaked_segments"] == 0
         ),
     }
     out = Path(out_dir) / "BENCH_service.json"
@@ -1193,6 +1316,14 @@ def run_service_bench(out_dir: str | Path = ".") -> dict:
         f"{parallel['parallel_wall_s']:.2f} s "
         f"({parallel['speedup']:.2f}x, {bar_note}), merge identical: "
         f"{parallel['merge_equal']}"
+    )
+    print(
+        f"warm serve {warm['shards']}-shard x {warm['workers']} workers "
+        f"({warm['mp_context']}): cold {warm['cold_wall_s']:.2f} s -> "
+        f"warm {warm['warm_wall_s']:.2f} s ({warm['speedup']:.1f}x, bar "
+        f"{WARM_SERVE_SPEEDUP_BAR}x), identical: {warm['merge_equal']}, "
+        f"pickled bytes avoided {warm['pickled_bytes_avoided']:,}, "
+        f"leaked segments {warm['leaked_segments']}"
     )
     print(
         f"throughput scaling {scaling:.1f}x over single array "

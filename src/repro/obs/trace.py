@@ -250,11 +250,21 @@ def _phase_stats(spans: list[dict], span_type: str) -> dict | None:
 
 
 def summarize_trace(
-    spans: list[dict], metrics_rows: list[dict] | None = None
+    spans: list[dict],
+    metrics_rows: list[dict] | None = None,
+    *,
+    runtime: dict | None = None,
 ) -> str:
     """Human-readable trace summary: per-phase durations, rebuild and
     migration timelines, and (when metrics rows are supplied) the
-    worst-shard balance over time."""
+    worst-shard balance over time.
+
+    ``runtime`` (a report payload's warm-runtime stats section — see
+    :class:`repro.service.RuntimeStats`) appends a warm-runtime line:
+    pool reuse, compile-cache hit rate, resident shared memory, and the
+    IPC bytes the digest/shm transports kept off the pickle channel.
+    Spans never carry these — trace files must stay byte-identical
+    across worker counts and cold/warm serves."""
     lines: list[str] = []
     root = next((s for s in spans if s["span"] == "scenario"), None)
     if root is not None:
@@ -348,4 +358,15 @@ def summarize_trace(
             lines.append(
                 f"  worst balance {worst:.3f} at {worst_t:.1f} ms"
             )
+    if runtime:
+        lines.append(
+            "warm runtime: "
+            f"{runtime.get('runs', 0)} run(s), pool "
+            f"{runtime.get('pool_warm_hits', 0)} warm / "
+            f"{runtime.get('pool_cold_boots', 0)} cold, compile cache "
+            f"{runtime.get('compile_cache_hits', 0)} hit(s) / "
+            f"{runtime.get('compile_cache_misses', 0)} miss(es), "
+            f"{runtime.get('shm_bytes', 0)} shm bytes resident, "
+            f"~{runtime.get('ipc_bytes_avoided', 0)} IPC bytes avoided"
+        )
     return "\n".join(lines)

@@ -86,6 +86,7 @@ from .parallel import (
     partition_scenario,
     run_fleet_scenario_parallel,
 )
+from .runtime import RuntimeStats, WarmRuntime, WorkerPool, leaked_segments
 from .scenario import (
     FleetScenario,
     FleetScenarioReport,
@@ -127,6 +128,10 @@ __all__ = [
     "canonical_payload",
     "partition_scenario",
     "run_fleet_scenario_parallel",
+    "RuntimeStats",
+    "WarmRuntime",
+    "WorkerPool",
+    "leaked_segments",
     "FleetScenario",
     "FleetScenarioReport",
     "default_failure_schedule",

@@ -4,10 +4,18 @@ A :class:`ServiceFrontend` owns one :class:`FleetScenario` (optionally
 with an :class:`~repro.service.autoscale.AutoscalePolicy`) and listens
 on a local TCP socket for line-delimited JSON requests.  Clients submit
 request-stream chunks and ask the front-end to serve them; each serve
-runs the full scenario machinery (:func:`run_fleet_scenario` with
-``stream=``) in a worker thread, so a submitted stream produces a
-report **canonically identical** to the equivalent batch scenario —
-the front-end adds transport, never semantics.
+runs through a :class:`~repro.service.runtime.WarmRuntime` in a worker
+thread — the persistent worker pool, shared-memory trace transport,
+and compiled-artifact cache amortize the cold batch path across
+repeated serves, and a submitted stream still produces a report
+**canonically identical** to the equivalent batch scenario — the
+front-end adds transport and warmth, never semantics.
+
+The front-end owns the runtime's lifecycle: :meth:`ServiceFrontend.
+close` drains the pool and unlinks every shared-memory segment, and
+:func:`run_frontend` guarantees that teardown on the ``shutdown`` op,
+SIGTERM, and KeyboardInterrupt — no ``/dev/shm`` orphans, no
+``resource_tracker`` warnings.
 
 Protocol — one JSON object per line, one JSON reply per line:
 
@@ -39,10 +47,12 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import signal
 
 import numpy as np
 
-from .scenario import FleetScenario, run_fleet_scenario
+from .runtime import WarmRuntime
+from .scenario import FleetScenario
 
 __all__ = ["ServiceFrontend", "run_frontend"]
 
@@ -56,6 +66,10 @@ class ServiceFrontend:
             settings all apply).
         host / port: bind address (port 0 = ephemeral; read the bound
             address from :attr:`address` after :meth:`start`).
+        workers: worker processes for each serve (1 = in-process; the
+            warm runtime's artifact cache still applies).
+        mp_context: multiprocessing start method for the worker pool
+            (``"auto"`` / ``"fork"`` / ``"spawn"`` / ``"forkserver"``).
     """
 
     def __init__(
@@ -64,14 +78,20 @@ class ServiceFrontend:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        workers: int = 1,
+        mp_context: str = "auto",
     ) -> None:
         self.scenario = scenario
         self.host = host
         self.port = port
         self.runs = 0
+        self.runtime = WarmRuntime(
+            scenario, workers=workers, mp_context=mp_context
+        )
         self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._buffered = 0
         self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
         self._lock = asyncio.Lock()
         self._closed = asyncio.Event()
 
@@ -90,11 +110,26 @@ class ServiceFrontend:
         return self.host, self.port
 
     async def close(self) -> None:
-        """Stop accepting connections and release the socket."""
+        """Stop accepting connections, release the socket, and tear
+        down the warm runtime — the pool drains gracefully and every
+        shared-memory segment is unlinked (idempotent; the ``shutdown``
+        op, SIGTERM, and ``finally`` paths all land here)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Idle connection handlers sit in readline() forever; cancel
+        # and await them so loop shutdown never sees a pending task
+        # (which asyncio.streams would log as a callback traceback).
+        # The shutdown op lands here from inside a handler — that task
+        # must not cancel or await itself.
+        current = asyncio.current_task()
+        pending = [t for t in self._conn_tasks if t is not current]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self.runtime.close()
         self._closed.set()
 
     async def wait_closed(self) -> None:
@@ -104,6 +139,9 @@ class ServiceFrontend:
     # -- connection handling ----------------------------------------------
 
     async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 line = await reader.readline()
@@ -123,7 +161,10 @@ class ServiceFrontend:
                 if reply.get("op") == "shutdown" and reply.get("ok"):
                     await self.close()
                     break
+        except asyncio.CancelledError:
+            pass  # front-end teardown cancelled this connection
         finally:
+            self._conn_tasks.discard(task)
             writer.close()
 
     async def _dispatch(self, request: dict) -> dict:
@@ -142,6 +183,8 @@ class ServiceFrontend:
                 },
                 "buffered": self._buffered,
                 "runs": self.runs,
+                "workers": self.runtime.workers,
+                "runtime": self.runtime.stats.to_dict(),
             }
         if op == "submit":
             return self._submit(request)
@@ -190,14 +233,12 @@ class ServiceFrontend:
     async def _run(self, stream) -> dict:
         async with self._lock:
             loop = asyncio.get_running_loop()
-            report = await loop.run_in_executor(
+            payload = await loop.run_in_executor(
                 None,
-                functools.partial(
-                    run_fleet_scenario, self.scenario, stream=stream
-                ),
+                functools.partial(self.runtime.run, stream=stream),
             )
         self.runs += 1
-        return report.to_dict()
+        return payload
 
 
 def run_frontend(
@@ -206,20 +247,45 @@ def run_frontend(
     host: str = "127.0.0.1",
     port: int = 0,
     ready=None,
+    workers: int = 1,
+    mp_context: str = "auto",
 ) -> int:
     """Run a front-end until a client sends ``shutdown`` (the
     ``serve --listen`` entry point).
 
     ``ready`` (optional) is called with the bound ``(host, port)`` once
     the listener is up.  Returns a process exit code.
+
+    Teardown is guaranteed on every exit path — the ``shutdown`` op,
+    SIGTERM/SIGINT (handlers close the front-end so the pool drains
+    and segments unlink before the loop exits), and any exception —
+    leaving no orphaned ``/dev/shm`` segments and no
+    ``resource_tracker`` warnings.
     """
 
     async def main() -> int:
-        frontend = ServiceFrontend(scenario, host=host, port=port)
-        await frontend.start()
-        if ready is not None:
-            ready(frontend.address)
-        await frontend.wait_closed()
-        return 0
+        frontend = ServiceFrontend(
+            scenario,
+            host=host,
+            port=port,
+            workers=workers,
+            mp_context=mp_context,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: loop.create_task(frontend.close())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without signal support in the loop
+        try:
+            await frontend.start()
+            if ready is not None:
+                ready(frontend.address)
+            await frontend.wait_closed()
+            return 0
+        finally:
+            await frontend.close()
 
     return asyncio.run(main())

@@ -416,16 +416,20 @@ class GroupResult:
         arrays: global shard ids (ascending, mirrors the group spec).
         scheduled: per-shard routed request counts (group order).
         samples: per-shard ``{kind: [latency, ...]}`` in completion
-            order (group order; empty dicts when ``digests`` carries
-            the latency instead).
+            order (group order).  Every built-in executor now reduces
+            latency worker-side into ``digests`` and leaves these
+            empty — raw O(requests) sample lists never ride the result
+            pickle — but the merge still accepts samples for
+            compatibility.
         per_disk_ios: per-shard completed-IO vectors (group order).
         duration_ms: this group's makespan on its own clock.
         outcomes: completed rebuilds (global array ids, completion
             order).
         wall_s: worker wall-clock for the group (build + simulate).
-        digests: per-shard ``{kind: LatencyDigest}`` accumulators from
-            a windowed worker (constant-memory alternative to
-            ``samples``; ``None`` for materialized workers).
+        digests: per-shard ``{kind: LatencyDigest}`` accumulators —
+            constant-size result IPC for windowed *and* materialized
+            workers (summary-identical to the raw sample lists; see
+            ``repro.sim.stats``).
         migrations: completed volume moves this group's coordinator
             executed (global ids, completion order).
         engines: per-shard engine labels (group order; ``None`` entries
@@ -462,6 +466,26 @@ class _LocalFleet:
     @property
     def shards(self) -> int:
         return len(self.controllers)
+
+
+def _digest_latency(ctrl: ArrayController) -> dict[str, LatencyDigest]:
+    """Reduce a controller's raw latency samples into constant-size
+    digests for the result pickle — O(requests) sample lists never
+    cross the process boundary.  Bit-exactness: the digest's seeded
+    ``np.add.accumulate`` fold reproduces ``sum(samples)`` exactly and
+    its percentiles are pure functions of the quantization-bucket
+    counts (see ``repro.sim.stats``), so ``summarize(digest)`` equals
+    ``summarize(LatencyStats(samples))`` for the same completion-order
+    samples."""
+    out: dict[str, LatencyDigest] = {}
+    for kind in sorted(ctrl.latency):
+        samples = ctrl.latency[kind].samples
+        if not samples:
+            continue
+        digest = LatencyDigest()
+        digest.extend_array(np.asarray(samples, dtype=np.float64))
+        out[kind] = digest
+    return out
 
 
 def _execute_group(
@@ -567,18 +591,12 @@ def _execute_group(
         group_index=group_index,
         arrays=group.arrays,
         scheduled=[t.n for t in compiled],
-        samples=[
-            {
-                kind: list(ctrl.latency[kind].samples)
-                for kind in sorted(ctrl.latency)
-                if ctrl.latency[kind].samples
-            }
-            for ctrl in controllers
-        ],
+        samples=[{} for _ in controllers],
         per_disk_ios=[ctrl.per_disk_completed() for ctrl in controllers],
         duration_ms=duration,
         outcomes=outcomes,
         wall_s=time.perf_counter() - t0,
+        digests=[_digest_latency(ctrl) for ctrl in controllers],
         engines=[ctrl.last_engine for ctrl in controllers],
         obs=rec,
     )
@@ -619,6 +637,8 @@ def _execute_group_windowed(
     group_index: int,
     allow_batched: bool,
     metrics_interval_ms: float | None = None,
+    *,
+    windows=None,
 ) -> GroupResult:
     """Run one group's sub-fleet with a windowed stream (worker side).
 
@@ -627,7 +647,11 @@ def _execute_group_windowed(
     (:class:`StreamWindows` is seed-deterministic) and routes each
     window to its own arrays through the shipped static table — peak
     memory stays one window per shard at any horizon, in the parent
-    *and* in every worker.  Engine choice mirrors the serial
+    *and* in every worker.  The warm runtime passes ``windows``
+    explicitly instead — any re-iterable ``(times, is_read, lbas)``
+    window source, e.g. :class:`repro.sim.compile.ArrayWindows` over
+    shared-memory views of a submitted stream — and the worker serves
+    it through the identical pumps.  Engine choice mirrors the serial
     :meth:`Fleet.serve_windows` gate exactly: the carry engines only
     when the whole scenario arms nothing on any clock, the per-shard
     chained heap pumps otherwise (the serial window router's per-shard
@@ -672,12 +696,13 @@ def _execute_group_windowed(
         )
         orchestrator.arm()
 
-    windows = StreamWindows(
-        scenario.workload(),
-        scenario.duration_ms,
-        capacity,
-        window_size=scenario.window_size,
-    )
+    if windows is None:
+        windows = StreamWindows(
+            scenario.workload(),
+            scenario.duration_ms,
+            capacity,
+            window_size=scenario.window_size,
+        )
     digests: list[dict[str, LatencyDigest]] = [{} for _ in controllers]
     scheduled = [0] * len(controllers)
     carried = False
@@ -840,15 +865,8 @@ def _execute_migration_group(
             schedule_compiled(ctrl, trace)
         fleet.sim.run()
         scheduled = [t.n for t in compiled]
-        digests = None
-        samples = [
-            {
-                kind: list(ctrl.latency[kind].samples)
-                for kind in sorted(ctrl.latency)
-                if ctrl.latency[kind].samples
-            }
-            for ctrl in fleet.controllers
-        ]
+        digests = [_digest_latency(ctrl) for ctrl in fleet.controllers]
+        samples = None
     duration = fleet.sim.now
     fleet.sim.run()
     while len(scheduled) < len(fleet.controllers):
@@ -1068,18 +1086,20 @@ class ParallelScenarioRun:
 
 
 _VOLATILE_KEYS = frozenset(
-    {"wall_s", "parallel", "serial_fallback", "fallback_reason"}
+    {"wall_s", "parallel", "serial_fallback", "fallback_reason", "runtime"}
 )
 
 
 def canonical_payload(payload: dict) -> dict:
     """A report payload with run-to-run-volatile fields removed: wall
-    clock times (``wall_s`` at any depth) and the ``parallel``
-    execution-metadata section.  Two runs of the same scenario —
-    serial, ``workers=1``, or ``workers=N`` — must produce *identical*
-    canonical payloads; this is the merge-equality gate the tests and
-    the benchmark suite check with ``json.dumps(..., sort_keys=True)``
-    string comparison.
+    clock times (``wall_s`` at any depth), the ``parallel``
+    execution-metadata section, and the warm runtime's ``runtime``
+    stats section (cache hits and pool reuse are properties of the
+    serving session, not of the report).  Two runs of the same
+    scenario — serial, ``workers=1``, ``workers=N``, cold or warm —
+    must produce *identical* canonical payloads; this is the
+    merge-equality gate the tests and the benchmark suite check with
+    ``json.dumps(..., sort_keys=True)`` string comparison.
     """
 
     def strip(node):

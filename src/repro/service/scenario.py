@@ -382,7 +382,7 @@ class FleetScenarioReport:
 
 
 def run_fleet_scenario(
-    scenario: FleetScenario, *, recorder=None, stream=None
+    scenario: FleetScenario, *, recorder=None, stream=None, precompiled=None
 ) -> FleetScenarioReport:
     """Run one scenario end to end (see the module docstring for the
     exact order).
@@ -399,6 +399,15 @@ def run_fleet_scenario(
     synthetic workload produces a report canonically identical to the
     batch run.
 
+    With ``precompiled`` (per-shard :class:`repro.sim.CompiledTrace`
+    slices, e.g. the warm runtime's cached ``route_stream`` output),
+    stream generation and routing are skipped and the traces serve
+    directly through :meth:`Fleet.serve_compiled`.  Because routing is
+    a pure function of the fleet shape and the stream, the report is
+    byte-identical to serving the originating stream — valid only for
+    materialized serves (no ``window_size``, no ``reshape_to``, no
+    ``autoscale``, whose paths re-route live).
+
     An ``autoscale`` policy always serves windowed (the window router
     re-routes each window through the live volume table, so cutovers
     the control loop fires mid-stream take effect) and instruments the
@@ -413,6 +422,22 @@ def run_fleet_scenario(
     """
     t0 = time.perf_counter()
     policy = scenario.autoscale
+    if precompiled is not None:
+        if stream is not None:
+            raise ValueError(
+                "stream and precompiled are mutually exclusive — "
+                "precompiled IS the routed stream"
+            )
+        if (
+            scenario.window_size is not None
+            or scenario.reshape_to is not None
+            or policy is not None
+        ):
+            raise ValueError(
+                "precompiled applies only to materialized serves "
+                "without a reshape or autoscale policy — windowed and "
+                "reshaping serves route live"
+            )
     if policy is not None and scenario.reshape_to is not None:
         raise ValueError(
             "autoscale and a static reshape_to are mutually exclusive — "
@@ -482,7 +507,9 @@ def run_fleet_scenario(
             copy_parallelism=scenario.copy_parallelism,
         )
         autoscaler.arm()
-    if stream is not None:
+    if precompiled is not None:
+        report = fleet.serve_compiled(list(precompiled))
+    elif stream is not None:
         times, is_read, lbas = stream
         if window_size is not None:
             report = fleet.serve_windows(

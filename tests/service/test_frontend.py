@@ -97,6 +97,49 @@ class TestFrontend:
         served = _run(main())
         assert _canonical(served) == _canonical(batch)
 
+    def test_warm_resubmit_is_identical_and_provably_warm(self):
+        """The warm-runtime identity over the socket: the same stream
+        submitted twice through a 2-process pool serves two canonically
+        identical reports (warm == cold == batch), and the ping stats
+        prove the pool and the compiled-artifact cache were reused."""
+        scenario = _scenario(window_size=None)
+        times, is_read, lbas = _stream_for(scenario)
+        batch = run_fleet_scenario(
+            scenario, stream=(times, is_read, lbas)
+        ).to_dict()
+
+        async def main():
+            frontend = ServiceFrontend(scenario, workers=2)
+            await frontend.start()
+            try:
+                rpc, writer = await _client(frontend)
+                reports = []
+                for _ in range(2):
+                    mid = len(times) // 2
+                    for lo, hi in ((0, mid), (mid, len(times))):
+                        reply = await rpc({
+                            "op": "submit",
+                            "times": times[lo:hi].tolist(),
+                            "is_read": is_read[lo:hi].tolist(),
+                            "lbas": lbas[lo:hi].tolist(),
+                        })
+                        assert reply["ok"], reply
+                    served = await rpc({"op": "serve"})
+                    assert served["ok"], served
+                    reports.append(served["report"])
+                ping = await rpc({"op": "ping"})
+                writer.close()
+                return reports, ping
+            finally:
+                await frontend.close()
+
+        (cold, warm), ping = _run(main())
+        assert _canonical(cold) == _canonical(batch)
+        assert _canonical(warm) == _canonical(cold)
+        assert ping["workers"] == 2
+        assert ping["runtime"]["pool_warm_hits"] >= 1
+        assert ping["runtime"]["compile_cache_hits"] >= 1
+
     def test_run_op_matches_run_fleet_scenario(self):
         """Regression pin: the ``run`` op (no submitted stream) returns
         the scenario's own report byte-identically — a disabled

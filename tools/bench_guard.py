@@ -22,6 +22,14 @@ own metrics-off throughput (host speed cancels out, so no committed
 row is involved).  ``BENCH_GUARD_OBS_RATIO`` overrides that floor;
 ``<= 0`` skips just this case.
 
+A fifth case guards the warm serving path: repeated serves through
+``repro.service.runtime.WarmRuntime`` (persistent pool + shared-memory
+transport + compiled-artifact cache) must reach ``BENCH_GUARD_RATIO``
+of the committed ``BENCH_service.json`` ``warm_serve`` row's warm
+steady-state requests/s — a regression that silently reboots the pool,
+misses the artifact cache, or re-pickles traces per serve shows up as
+a large drop in exactly this figure.
+
 The final stdout line is machine-readable JSON (prefixed
 ``bench-guard-json:``) with per-case ratios and, when the guard is
 skipped (ratio 0), an explicit ``skip_reason`` — hosted runners can
@@ -112,6 +120,48 @@ def fresh_events_per_s(
     return best
 
 
+def committed_warm_requests_per_s(path: Path) -> float:
+    payload = json.loads(path.read_text())
+    return float(payload["warm_serve"]["warm_requests_per_s"])
+
+
+def warm_serve_case(ratio: float, committed: float) -> dict:
+    """Serve the bench suite's warm-serve scenario repeatedly through a
+    warm runtime and compare the best warm requests/s against the
+    committed figure (cold boot excluded — the guard times the steady
+    state the runtime exists to provide)."""
+    from repro.bench import (
+        WARM_SERVE_MP_CONTEXT,
+        WARM_SERVE_WORKERS,
+        warm_serve_scenario,
+    )
+    from repro.service.runtime import WarmRuntime
+
+    runtime = WarmRuntime(
+        warm_serve_scenario(),
+        workers=WARM_SERVE_WORKERS,
+        mp_context=WARM_SERVE_MP_CONTEXT,
+    )
+    try:
+        runtime.run()  # cold: boot the pool, build + pack the artifact
+        best = 0.0
+        for _ in range(RUNS):
+            t0 = time.perf_counter()
+            payload = runtime.run()
+            elapsed = time.perf_counter() - t0
+            best = max(best, payload["fleet"]["scheduled"] / elapsed)
+    finally:
+        runtime.close()
+    floor = ratio * committed
+    return {
+        "fresh_requests_per_s": best,
+        "committed_requests_per_s": committed,
+        "ratio_vs_committed": best / committed if committed else 0.0,
+        "floor_requests_per_s": floor,
+        "ok": best >= floor,
+    }
+
+
 def obs_overhead_case(obs_ratio: float) -> dict:
     """Time the mixed path metrics-off vs metrics-on (a fresh recorder
     per run, 20-bucket grid) and compare best-of-OBS_RUNS figures.
@@ -168,6 +218,15 @@ def main() -> int:
         print(f"bench-guard: cannot read committed baseline: {exc}")
         print("bench-guard: run `python -m repro bench --suite sim` first")
         return 2
+    service_artifact = REPO_ROOT / "BENCH_service.json"
+    try:
+        committed_warm = committed_warm_requests_per_s(service_artifact)
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        print(f"bench-guard: cannot read committed warm-serve row: {exc}")
+        print(
+            "bench-guard: run `python -m repro bench --suite service` first"
+        )
+        return 2
 
     try:
         ratio = float(os.environ.get("BENCH_GUARD_RATIO", DEFAULT_RATIO))
@@ -210,6 +269,20 @@ def main() -> int:
         if not ok:
             regressed.append(name)
 
+    if not summary["skipped"]:
+        warm = warm_serve_case(ratio, committed_warm)
+        summary["cases"]["warm_serve"] = warm
+        verdict = "OK" if warm["ok"] else "REGRESSION"
+        print(
+            f"bench-guard: {'warm_serve':<24} "
+            f"{warm['fresh_requests_per_s']:>10,.0f} rq/s vs committed "
+            f"{warm['committed_requests_per_s']:>10,.0f} rq/s "
+            f"({warm['ratio_vs_committed']:.2f}x, floor {ratio:.2f}x) "
+            f"-> {verdict}"
+        )
+        if not warm["ok"]:
+            regressed.append("warm_serve")
+
     try:
         obs_ratio = float(
             os.environ.get("BENCH_GUARD_OBS_RATIO", OBS_RATIO)
@@ -244,8 +317,10 @@ def main() -> int:
             f"bench-guard: throughput regressed by more than "
             f"{(1 - ratio) * 100:.0f}% in {', '.join(regressed)} — check "
             "the engine-selection gate in "
-            "repro.sim.compile.execute_compiled and the eager tier's "
-            "fallback rate in repro.sim.batchstep"
+            "repro.sim.compile.execute_compiled, the eager tier's "
+            "fallback rate in repro.sim.batchstep, and (for warm_serve) "
+            "the pool/cache reuse counters in "
+            "repro.service.runtime.WarmRuntime"
         )
     print("bench-guard-json: " + json.dumps(summary, sort_keys=True))
     return 1 if regressed and not summary["skipped"] else 0
